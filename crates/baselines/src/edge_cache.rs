@@ -1,0 +1,135 @@
+//! At-most-once edge similarity evaluation.
+//!
+//! pSCAN's central invariant is that the structural similarity of each edge
+//! is computed **at most once** (Chang et al., §3): verdicts are cached per
+//! CSR arc, and looking up the mirror arc costs one binary search. SCAN++'s
+//! phase 2 reuses the same cache for its pivot-seeded verdicts.
+
+use anyscan_graph::{CsrGraph, VertexId};
+use anyscan_scan_common::Kernel;
+
+/// Three-valued verdict per arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    Unknown,
+    Similar,
+    Dissimilar,
+}
+
+/// Per-arc verdict cache aligned with the CSR arc arrays.
+#[derive(Debug)]
+pub struct EdgeCache {
+    verdicts: Vec<Verdict>,
+}
+
+impl EdgeCache {
+    /// All-unknown cache for `g`.
+    pub fn new(g: &CsrGraph) -> Self {
+        EdgeCache { verdicts: vec![Verdict::Unknown; g.num_arcs()] }
+    }
+
+    /// Cached verdict of the arc `(u, v)`; `Unknown` if never evaluated or
+    /// if the vertices are not adjacent.
+    pub fn get(&self, g: &CsrGraph, u: VertexId, v: VertexId) -> Verdict {
+        match g.neighbor_ids(u).binary_search(&v) {
+            Ok(local) => self.verdicts[Self::global_offset(g, u) + local],
+            Err(_) => Verdict::Unknown,
+        }
+    }
+
+    /// Decides `σ(u,v) ≥ ε`, consulting the cache first and recording the
+    /// verdict on both arcs. Returns the (possibly cached) verdict.
+    pub fn decide(&mut self, kernel: &Kernel<'_>, u: VertexId, v: VertexId) -> Verdict {
+        let g = kernel.graph();
+        let off_u = Self::global_offset(g, u);
+        let Some(iu) = g.neighbor_ids(u).binary_search(&v).ok() else {
+            return Verdict::Unknown;
+        };
+        let cached = self.verdicts[off_u + iu];
+        if cached != Verdict::Unknown {
+            return cached;
+        }
+        let verdict =
+            if kernel.is_eps_neighbor(u, v) { Verdict::Similar } else { Verdict::Dissimilar };
+        self.verdicts[off_u + iu] = verdict;
+        if let Ok(iv) = g.neighbor_ids(v).binary_search(&u) {
+            self.verdicts[Self::global_offset(g, v) + iv] = verdict;
+        }
+        verdict
+    }
+
+    /// Records an externally computed verdict for both arc directions.
+    pub fn record(&mut self, g: &CsrGraph, u: VertexId, v: VertexId, similar: bool) {
+        let verdict = if similar { Verdict::Similar } else { Verdict::Dissimilar };
+        if let Ok(iu) = g.neighbor_ids(u).binary_search(&v) {
+            self.verdicts[Self::global_offset(g, u) + iu] = verdict;
+        }
+        if let Ok(iv) = g.neighbor_ids(v).binary_search(&u) {
+            self.verdicts[Self::global_offset(g, v) + iv] = verdict;
+        }
+    }
+
+    /// Number of arcs whose verdict is known.
+    pub fn decided_arcs(&self) -> usize {
+        self.verdicts.iter().filter(|&&v| v != Verdict::Unknown).count()
+    }
+
+    #[inline]
+    fn global_offset(g: &CsrGraph, u: VertexId) -> usize {
+        g.arc_range(u).start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan_graph::GraphBuilder;
+    use anyscan_scan_common::ScanParams;
+
+    fn triangle() -> anyscan_graph::CsrGraph {
+        GraphBuilder::from_unweighted_edges(3, vec![(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn decide_caches_both_directions() {
+        let g = triangle();
+        let kernel = Kernel::new(&g, ScanParams::new(0.5, 2));
+        let mut cache = EdgeCache::new(&g);
+        assert_eq!(cache.get(&g, 0, 1), Verdict::Unknown);
+        let v1 = cache.decide(&kernel, 0, 1);
+        assert_eq!(v1, Verdict::Similar);
+        let evals_after_first = kernel.stats().sigma_evals;
+        // Mirror direction must hit the cache: no new evaluation.
+        let v2 = cache.decide(&kernel, 1, 0);
+        assert_eq!(v2, Verdict::Similar);
+        assert_eq!(kernel.stats().sigma_evals, evals_after_first);
+        assert_eq!(cache.decided_arcs(), 2);
+    }
+
+    #[test]
+    fn record_stores_external_verdicts() {
+        let g = triangle();
+        let mut cache = EdgeCache::new(&g);
+        cache.record(&g, 1, 2, false);
+        assert_eq!(cache.get(&g, 2, 1), Verdict::Dissimilar);
+        assert_eq!(cache.get(&g, 1, 2), Verdict::Dissimilar);
+    }
+
+    #[test]
+    fn non_adjacent_pairs_are_unknown() {
+        let g = GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (2, 3)]).unwrap();
+        let kernel = Kernel::new(&g, ScanParams::new(0.5, 2));
+        let mut cache = EdgeCache::new(&g);
+        assert_eq!(cache.decide(&kernel, 0, 2), Verdict::Unknown);
+        assert_eq!(kernel.stats().sigma_evals, 0);
+    }
+
+    #[test]
+    fn self_loop_arcs_work() {
+        let g = triangle();
+        let kernel = Kernel::new(&g, ScanParams::new(0.5, 2));
+        let mut cache = EdgeCache::new(&g);
+        // σ(v,v) = 1 ≥ ε always.
+        assert_eq!(cache.decide(&kernel, 0, 0), Verdict::Similar);
+    }
+}

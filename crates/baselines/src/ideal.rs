@@ -1,0 +1,92 @@
+//! The "ideal parallel algorithm" of Fig. 11.
+//!
+//! The paper benchmarks anySCAN's scalability against an idealized
+//! comparator that "only calculates the structural similarities (without
+//! optimizations) of all edges of G … and ignore[s] the label propagation
+//! process": perfectly parallel, no synchronization, no output. Its speedup
+//! curve is the ceiling any real SCAN parallelization could reach.
+
+use anyscan_graph::{CsrGraph, VertexId};
+use anyscan_parallel::{parallel_reduce_dynamic, DEFAULT_CHUNK};
+use anyscan_scan_common::kernel::sigma_raw;
+use anyscan_scan_common::ScanParams;
+
+/// What the ideal run measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdealReport {
+    /// Number of σ evaluations performed (= number of undirected edges).
+    pub evaluations: u64,
+    /// Number of evaluations at or above ε (returned so the computation has
+    /// an observable result the optimizer cannot discard).
+    pub similar_edges: u64,
+}
+
+/// Evaluates σ for every undirected edge with `threads` workers under
+/// dynamic scheduling, and nothing else.
+pub fn ideal_parallel(g: &CsrGraph, params: ScanParams, threads: usize) -> IdealReport {
+    let n = g.num_vertices();
+    let accs = parallel_reduce_dynamic(
+        threads,
+        n,
+        DEFAULT_CHUNK,
+        || (0u64, 0u64),
+        |acc, u| {
+            let u = u as VertexId;
+            for &v in g.neighbor_ids(u) {
+                if v <= u {
+                    continue;
+                }
+                acc.0 += 1;
+                if sigma_raw(g, u, v) >= params.epsilon {
+                    acc.1 += 1;
+                }
+            }
+        },
+    );
+    let (evaluations, similar_edges) =
+        accs.into_iter().fold((0, 0), |(a, b), (x, y)| (a + x, b + y));
+    IdealReport { evaluations, similar_edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan_graph::gen::{erdos_renyi, WeightModel};
+    use anyscan_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn evaluates_every_edge_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let g = erdos_renyi(&mut rng, 200, 1500, WeightModel::uniform_default());
+        for threads in [1, 2, 4] {
+            let r = ideal_parallel(&g, ScanParams::paper_defaults(), threads);
+            assert_eq!(r.evaluations, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn similar_count_is_thread_invariant() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = erdos_renyi(&mut rng, 100, 600, WeightModel::uniform_default());
+        let r1 = ideal_parallel(&g, ScanParams::new(0.4, 5), 1);
+        let r4 = ideal_parallel(&g, ScanParams::new(0.4, 5), 4);
+        assert_eq!(r1, r4);
+        assert!(r1.similar_edges <= r1.evaluations);
+    }
+
+    #[test]
+    fn clique_is_fully_similar() {
+        let mut edges = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                edges.push((a, b));
+            }
+        }
+        let g = GraphBuilder::from_unweighted_edges(6, edges).unwrap();
+        let r = ideal_parallel(&g, ScanParams::new(0.5, 2), 2);
+        assert_eq!(r.evaluations, 15);
+        assert_eq!(r.similar_edges, 15);
+    }
+}

@@ -1,0 +1,35 @@
+//! From-scratch implementations of every comparator the paper evaluates
+//! against (Section IV):
+//!
+//! * [`scan`] — the original SCAN of Xu et al. (KDD 2007), extended to
+//!   weighted graphs via the shared kernel, with **no** similarity
+//!   optimizations: every range query runs the full merge-join, so the
+//!   evaluation counts land at ≈ 2|E| as the paper reports.
+//! * [`scan_b`] — "SCAN-B", the paper's own baseline: SCAN plus the
+//!   Section III-D optimizations (Lemma-5 O(1) filter, early accept/reject).
+//! * [`pscan`] — pSCAN of Chang et al. (ICDE 2016): effective/similar
+//!   degrees, at-most-once edge evaluation via a verdict cache, cores first.
+//! * [`scanpp`] — SCAN++ of Shiokawa et al. (VLDB 2015): two-hop-away
+//!   (DTAR) pivot expansion with similarity sharing; reports *true* and
+//!   *shared* evaluation counts separately, as Fig. 7 stacks them.
+//! * [`ideal`] — the "ideal parallel algorithm" of Fig. 11: evaluates the
+//!   structural similarity of every edge with perfect parallelism and does
+//!   no label propagation at all; the scalability yardstick.
+//!
+//! All algorithms produce a [`anyscan_scan_common::Clustering`] and are
+//! pairwise exact (asserted by the `exactness` integration suite).
+
+pub mod edge_cache;
+pub mod ideal;
+pub mod output;
+pub mod pscan;
+pub mod scan;
+pub mod scan_b;
+pub mod scanpp;
+
+pub use ideal::{ideal_parallel, IdealReport};
+pub use output::AlgoOutput;
+pub use pscan::pscan;
+pub use scan::scan;
+pub use scan_b::scan_b;
+pub use scanpp::scanpp;

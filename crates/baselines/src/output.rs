@@ -1,0 +1,21 @@
+//! Common output bundle of the batch algorithms.
+
+use anyscan_scan_common::{Clustering, SimStats};
+
+/// What every batch algorithm returns: the clustering plus the similarity
+/// accounting Fig. 7 plots.
+#[derive(Debug, Clone)]
+pub struct AlgoOutput {
+    pub clustering: Clustering,
+    pub stats: SimStats,
+    /// `Union` operations performed (only meaningful for DSU-based
+    /// algorithms: pSCAN; Fig. 12 compares it against anySCAN and |V|).
+    pub union_ops: u64,
+}
+
+impl AlgoOutput {
+    /// Bundles a clustering with its counter snapshots.
+    pub fn new(clustering: Clustering, stats: SimStats, union_ops: u64) -> Self {
+        AlgoOutput { clustering, stats, union_ops }
+    }
+}

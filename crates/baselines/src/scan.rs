@@ -1,0 +1,211 @@
+//! The original SCAN algorithm (Xu et al., KDD 2007), weighted-extended.
+
+use std::collections::VecDeque;
+
+use anyscan_graph::{CsrGraph, VertexId};
+use anyscan_scan_common::{Clustering, Kernel, Role, ScanParams, NOISE, UNCLASSIFIED};
+
+use crate::output::AlgoOutput;
+
+/// Runs plain SCAN: breadth-first cluster expansion from core seeds, one
+/// full range query per vertex, no similarity optimizations. This is the
+/// ground-truth producer for the whole workspace.
+pub fn scan(g: &CsrGraph, params: ScanParams) -> AlgoOutput {
+    let kernel = Kernel::with_optimizations(g, params, false);
+    let clustering = scan_with_kernel(&kernel);
+    let stats = kernel.stats();
+    AlgoOutput::new(clustering, stats, 0)
+}
+
+/// SCAN's control flow over an arbitrary kernel; SCAN-B passes an optimized
+/// one (Section III-D) and inherits the identical clustering.
+pub fn scan_with_kernel(kernel: &Kernel<'_>) -> Clustering {
+    let g = kernel.graph();
+    let mu = kernel.params().mu;
+    let n = g.num_vertices();
+    let mut labels = vec![UNCLASSIFIED; n];
+    let mut roles = vec![Role::Unclassified; n];
+    // Every vertex receives exactly one range query, tracked here (seeds,
+    // expansion fronts and failed seeds all consume theirs).
+    let mut queried = vec![false; n];
+    let mut next_cluster = 0u32;
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+
+    for seed in 0..n as VertexId {
+        if labels[seed as usize] != UNCLASSIFIED {
+            continue;
+        }
+        debug_assert!(!queried[seed as usize]);
+        queried[seed as usize] = true;
+        let neigh = kernel.eps_neighborhood(seed);
+        if neigh.len() < mu {
+            // Non-member for now; may be adopted as a border later.
+            labels[seed as usize] = NOISE;
+            continue;
+        }
+
+        // New cluster seeded at a core.
+        let c = next_cluster;
+        next_cluster += 1;
+        labels[seed as usize] = c;
+        roles[seed as usize] = Role::Core;
+        queue.clear();
+        for &x in &neigh {
+            if x == seed {
+                continue;
+            }
+            adopt(&mut labels, &mut roles, x, c);
+            if !queried[x as usize] {
+                queue.push_back(x);
+            }
+        }
+
+        while let Some(y) = queue.pop_front() {
+            if queried[y as usize] {
+                continue;
+            }
+            queried[y as usize] = true;
+            let ny = kernel.eps_neighborhood(y);
+            if ny.len() < mu {
+                roles[y as usize] = Role::Border;
+                continue;
+            }
+            roles[y as usize] = Role::Core;
+            for &x in &ny {
+                if x == y {
+                    continue;
+                }
+                adopt(&mut labels, &mut roles, x, c);
+                if !queried[x as usize] && labels[x as usize] == c {
+                    queue.push_back(x);
+                }
+            }
+        }
+    }
+
+    let mut clustering = Clustering { labels, roles };
+    for v in 0..n {
+        if clustering.labels[v] == NOISE || clustering.labels[v] == UNCLASSIFIED {
+            clustering.labels[v] = NOISE;
+            clustering.roles[v] = Role::Outlier; // refined below
+        }
+    }
+    clustering.classify_noise(g);
+    clustering
+}
+
+/// Assigns `x` to cluster `c` if it is unclassified or currently parked as
+/// noise (a failed seed being adopted as a border).
+fn adopt(labels: &mut [u32], roles: &mut [Role], x: VertexId, c: u32) {
+    let slot = &mut labels[x as usize];
+    if *slot == UNCLASSIFIED || *slot == NOISE {
+        *slot = c;
+        if roles[x as usize] != Role::Core {
+            roles[x as usize] = Role::Border;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan_graph::GraphBuilder;
+    use anyscan_scan_common::kernel::sigma_raw;
+
+    /// Two 4-cliques joined by one bridge edge (2–4); ε high enough that the
+    /// bridge does not merge them.
+    fn two_cliques() -> CsrGraph {
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                edges.push((a, b));
+                edges.push((a + 4, b + 4));
+            }
+        }
+        edges.push((2, 4));
+        GraphBuilder::from_unweighted_edges(8, edges).unwrap()
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let g = two_cliques();
+        let out = scan(&g, ScanParams::new(0.7, 3));
+        let c = &out.clustering;
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_eq!(c.labels[0], c.labels[3]);
+        assert_eq!(c.labels[4], c.labels[7]);
+        assert_ne!(c.labels[0], c.labels[4]);
+    }
+
+    #[test]
+    fn eval_count_is_two_arcs_per_edge() {
+        // Every vertex gets exactly one full range query: total σ evals =
+        // Σ_v open_degree(v) = 2|E|.
+        let g = two_cliques();
+        let out = scan(&g, ScanParams::new(0.7, 3));
+        assert_eq!(out.stats.sigma_evals, 2 * g.num_edges());
+        assert_eq!(out.stats.lemma5_filtered, 0, "plain SCAN never filters");
+    }
+
+    #[test]
+    fn isolated_vertices_are_outliers() {
+        let g = GraphBuilder::from_unweighted_edges(5, vec![(0, 1), (1, 2), (2, 0)]).unwrap();
+        let out = scan(&g, ScanParams::new(0.5, 3));
+        let c = &out.clustering;
+        assert_eq!(c.labels[3], NOISE);
+        assert_eq!(c.labels[4], NOISE);
+        assert_eq!(c.roles[3], Role::Outlier);
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn failed_seed_becomes_border() {
+        // Star center with a pendant: pendant may be seeded first (id order)
+        // and parked as noise, then adopted as border of the clique cluster.
+        let mut edges = vec![(0u32, 1u32), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)];
+        edges.push((3, 4)); // pendant 4
+        let g = GraphBuilder::from_unweighted_edges(5, edges).unwrap();
+        let params = ScanParams::new(0.55, 3);
+        let out = scan(&g, params);
+        let c = &out.clustering;
+        // Pendant 4: σ(4,3) = 2/sqrt(2·5) ≈ 0.632 ≥ 0.55, so 4 is a border.
+        assert!(sigma_raw(&g, 3, 4) >= 0.55);
+        assert_eq!(c.roles[4], Role::Border);
+        assert_eq!(c.labels[4], c.labels[3]);
+    }
+
+    #[test]
+    fn mu_one_makes_everything_core() {
+        let g = two_cliques();
+        let out = scan(&g, ScanParams::new(0.01, 1));
+        assert!(out.clustering.roles.iter().all(|&r| r == Role::Core));
+        // Low ε, bridge similar: all one cluster.
+        assert_eq!(out.clustering.num_clusters(), 1);
+    }
+
+    #[test]
+    fn weighted_bridge_can_merge_clusters() {
+        // Same two cliques, but give the bridge a dominant weight and use a
+        // low ε: the bridge endpoints become ε-similar and merge the cliques.
+        let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                edges.push((a, b, 1.0));
+                edges.push((a + 4, b + 4, 1.0));
+            }
+        }
+        edges.push((2, 4, 1.0));
+        let g = GraphBuilder::from_edges(8, edges).unwrap();
+        let out = scan(&g, ScanParams::new(0.4, 3));
+        assert_eq!(out.clustering.num_clusters(), 1, "low ε should merge via the bridge");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        let out = scan(&g, ScanParams::paper_defaults());
+        assert!(out.clustering.is_empty());
+        assert_eq!(out.stats.sigma_evals, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! End-to-end comparison of the five algorithms on a small clustered graph
+//! (the microbench companion of Fig. 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use anyscan_bench::{run_algo, Algo};
+use anyscan_graph::gen::{planted_partition, PlantedPartitionParams, WeightModel};
+use anyscan_scan_common::ScanParams;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let (g, _) = planted_partition(
+        &mut rng,
+        &PlantedPartitionParams {
+            n: 2_000,
+            num_communities: 20,
+            p_in: 0.35,
+            p_out: 0.005,
+            weights: WeightModel::uniform_default(),
+        },
+    );
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(15).measurement_time(std::time::Duration::from_secs(3));
+    for algo in Algo::ALL {
+        for eps in [0.3, 0.5] {
+            group.bench_function(format!("{}/eps{eps}", algo.name()), |b| {
+                let params = ScanParams::new(eps, 5);
+                b.iter(|| run_algo(algo, &g, params).clustering.num_clusters())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

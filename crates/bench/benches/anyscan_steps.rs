@@ -1,0 +1,53 @@
+//! Per-step cost profile of anySCAN: how much of the runtime each of the
+//! four steps (plus role resolution) consumes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use anyscan::{AnyScan, AnyScanConfig, Phase};
+use anyscan_graph::gen::{lfr, LfrParams};
+use anyscan_scan_common::ScanParams;
+
+fn run_until(g: &anyscan_graph::CsrGraph, config: AnyScanConfig, until: Phase) -> usize {
+    let mut algo = AnyScan::new(g, config);
+    let mut steps = 0;
+    while algo.phase() != until && algo.phase() != Phase::Done {
+        algo.step();
+        steps += 1;
+    }
+    steps
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let (g, _) = lfr(&mut rng, &LfrParams::paper_defaults(3_000, 24.0));
+    let params = ScanParams::new(0.45, 5);
+    let config = AnyScanConfig::new(params).with_auto_block_size(g.num_vertices());
+
+    let mut group = c.benchmark_group("anyscan_steps");
+    group.sample_size(15).measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("construct", |b| b.iter(|| AnyScan::new(&g, config).phase()));
+    group.bench_function("through_step1", |b| {
+        b.iter(|| run_until(&g, config, Phase::MergeStrong))
+    });
+    group.bench_function("through_step2", |b| b.iter(|| run_until(&g, config, Phase::MergeWeak)));
+    group.bench_function("through_step3", |b| b.iter(|| run_until(&g, config, Phase::Borders)));
+    group.bench_function("full_run", |b| {
+        b.iter(|| {
+            let mut algo = AnyScan::new(&g, config);
+            algo.run().num_clusters()
+        })
+    });
+    group.bench_function("snapshot_mid_run", |b| {
+        let mut algo = AnyScan::new(&g, config);
+        while algo.phase() == Phase::Summarize {
+            algo.step();
+        }
+        b.iter(|| algo.snapshot().num_clusters())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

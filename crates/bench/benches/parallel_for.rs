@@ -1,0 +1,63 @@
+//! Overhead of the dynamic-scheduled parallel-for (thread spawn + chunk
+//! claiming) relative to a plain sequential loop — the cost the paper
+//! amortizes with block sizes α = β ≥ 8192.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use anyscan_parallel::{parallel_for_dynamic, parallel_reduce_dynamic};
+
+fn work(i: usize) -> u64 {
+    // A few hundred ns of arithmetic, like a small merge-join.
+    let mut acc = i as u64;
+    for k in 0..64u64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+    }
+    acc
+}
+
+fn bench_parallel_for(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_for");
+    group.sample_size(20);
+    for &n in &[1_024usize, 32_768] {
+        group.bench_function(format!("sequential/n{n}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..n {
+                    acc ^= work(i);
+                }
+                black_box(acc)
+            })
+        });
+        for threads in [1usize, 2, 4] {
+            group.bench_function(format!("dynamic_t{threads}/n{n}"), |b| {
+                b.iter(|| {
+                    let accs = parallel_reduce_dynamic(
+                        threads,
+                        n,
+                        16,
+                        || 0u64,
+                        |acc, i| *acc ^= work(i),
+                    );
+                    black_box(accs.into_iter().fold(0, |a, b| a ^ b))
+                })
+            });
+        }
+        for chunk in [1usize, 16, 256] {
+            group.bench_function(format!("chunk{chunk}_t2/n{n}"), |b| {
+                b.iter(|| {
+                    parallel_for_dynamic(2, n, chunk, |range| {
+                        let mut acc = 0u64;
+                        for i in range {
+                            acc ^= work(i);
+                        }
+                        black_box(acc);
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_for);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Uniform dispatch over the five algorithms the paper compares.
+
+use std::time::{Duration, Instant};
+
+use anyscan::anyscan;
+use anyscan_baselines::{pscan, scan, scan_b, scanpp};
+use anyscan_graph::CsrGraph;
+use anyscan_scan_common::{Clustering, ScanParams, SimStats};
+
+/// The algorithms of the evaluation section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    Scan,
+    ScanB,
+    PScan,
+    ScanPP,
+    AnyScan,
+}
+
+impl Algo {
+    /// Everything the paper benchmarks head-to-head.
+    pub const ALL: [Algo; 5] = [Algo::Scan, Algo::ScanB, Algo::PScan, Algo::ScanPP, Algo::AnyScan];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Scan => "SCAN",
+            Algo::ScanB => "SCAN-B",
+            Algo::PScan => "pSCAN",
+            Algo::ScanPP => "SCAN++",
+            Algo::AnyScan => "anySCAN",
+        }
+    }
+}
+
+/// Timing + result + work counters of one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    pub algo: Algo,
+    pub elapsed: Duration,
+    pub clustering: Clustering,
+    pub stats: SimStats,
+    pub union_ops: u64,
+}
+
+/// Runs one algorithm once, timed.
+pub fn run_algo(algo: Algo, g: &CsrGraph, params: ScanParams) -> RunOutcome {
+    let start = Instant::now();
+    let (clustering, stats, union_ops) = match algo {
+        Algo::Scan => {
+            let out = scan(g, params);
+            (out.clustering, out.stats, out.union_ops)
+        }
+        Algo::ScanB => {
+            let out = scan_b(g, params);
+            (out.clustering, out.stats, out.union_ops)
+        }
+        Algo::PScan => {
+            let out = pscan(g, params);
+            (out.clustering, out.stats, out.union_ops)
+        }
+        Algo::ScanPP => {
+            let out = scanpp(g, params);
+            (out.clustering, out.stats, out.union_ops)
+        }
+        Algo::AnyScan => {
+            let out = anyscan(g, params);
+            (out.clustering, out.stats, out.unions.total())
+        }
+    };
+    RunOutcome { algo, elapsed: start.elapsed(), clustering, stats, union_ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan_graph::gen::{planted_partition, PlantedPartitionParams};
+    use anyscan_scan_common::verify::assert_scan_equivalent;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_algorithms_agree_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, _) = planted_partition(
+            &mut rng,
+            &PlantedPartitionParams {
+                n: 300,
+                num_communities: 6,
+                p_in: 0.4,
+                p_out: 0.02,
+                weights: anyscan_graph::gen::WeightModel::uniform_default(),
+            },
+        );
+        let params = ScanParams::new(0.4, 4);
+        let truth = run_algo(Algo::Scan, &g, params);
+        for algo in Algo::ALL {
+            let out = run_algo(algo, &g, params);
+            assert_scan_equivalent(&g, params, &truth.clustering, &out.clustering);
+            assert!(out.elapsed > Duration::ZERO);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Anytime-curve measurement: NMI of every intermediate snapshot against a
+//! ground-truth labeling, with cumulative wall time — the data behind
+//! Figs. 5, 8 and 10 (left).
+
+use std::time::Duration;
+
+use anyscan::{AnyScan, AnyScanConfig, Phase};
+use anyscan_graph::CsrGraph;
+use anyscan_metrics::nmi;
+
+/// One sampled point of an anytime run.
+#[derive(Debug, Clone, Copy)]
+pub struct AnytimePoint {
+    pub iteration: usize,
+    pub phase: Phase,
+    /// Cumulative algorithm time (snapshot/NMI cost excluded).
+    pub cumulative: Duration,
+    /// NMI of the current snapshot vs. the supplied ground truth
+    /// (noise mapped to one special cluster, as the paper scores it).
+    pub nmi: f64,
+}
+
+/// Runs anySCAN to completion, sampling at most `max_samples` snapshots
+/// (evenly over iterations) plus the final state. `truth` must already have
+/// noise folded into a special cluster
+/// (`Clustering::labels_with_noise_cluster`).
+pub fn anytime_curve(
+    g: &CsrGraph,
+    config: AnyScanConfig,
+    truth: &[u32],
+    max_samples: usize,
+) -> Vec<AnytimePoint> {
+    // Estimate the iteration count to choose a sampling stride: step 1
+    // dominates (≈ |V|/α blocks); steps 2–4 add a comparable amount.
+    let est_iters = (2 * g.num_vertices() / config.alpha.max(1)).max(8);
+    let stride = (est_iters / max_samples.max(1)).max(1);
+
+    let mut algo = AnyScan::new(g, config);
+    let mut points = Vec::new();
+    let mut iter = 0usize;
+    let mut last_phase = Phase::Summarize;
+    while algo.phase() != Phase::Done {
+        let rec = algo.step();
+        let phase_boundary = rec.phase != last_phase;
+        last_phase = rec.phase;
+        if iter.is_multiple_of(stride) || phase_boundary || algo.phase() == Phase::Done {
+            let snap = algo.snapshot();
+            points.push(AnytimePoint {
+                iteration: iter,
+                phase: rec.phase,
+                cumulative: algo.cumulative_time(),
+                nmi: nmi(&snap.labels_with_noise_cluster(), truth),
+            });
+        }
+        iter += 1;
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan_baselines::scan;
+    use anyscan_graph::gen::{planted_partition, PlantedPartitionParams};
+    use anyscan_scan_common::ScanParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn curve_ends_at_one() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let (g, _) = planted_partition(
+            &mut rng,
+            &PlantedPartitionParams {
+                n: 400,
+                num_communities: 8,
+                p_in: 0.4,
+                p_out: 0.01,
+                weights: anyscan_graph::gen::WeightModel::Unit,
+            },
+        );
+        let params = ScanParams::new(0.4, 5);
+        let truth = scan(&g, params).clustering.labels_with_noise_cluster();
+        let config = AnyScanConfig::new(params).with_block_size(32);
+        let curve = anytime_curve(&g, config, &truth, 10);
+        assert!(!curve.is_empty());
+        let last = curve.last().unwrap();
+        assert!(last.nmi > 0.999, "final NMI {}", last.nmi);
+        // Cumulative time is monotone.
+        for w in curve.windows(2) {
+            assert!(w[1].cumulative >= w[0].cumulative);
+            assert!(w[1].iteration > w[0].iteration);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 10 — anytime × parallel: cumulative runtime per iteration across
+//! thread counts (left) and final speedup scalability (right), GR01–GR04.
+//!
+//! HONESTY NOTE: the reproduction container exposes **one hardware CPU**, so
+//! measured "speedups" here certify correctness and overhead of the parallel
+//! path, not real scaling — the paper measured 2×8 hardware threads. The
+//! harness sweeps the requested thread counts regardless and reports what it
+//! sees.
+
+use anyscan::{AnyScan, AnyScanConfig, Phase};
+use anyscan_bench::table::secs;
+use anyscan_bench::{load_dataset, HarnessArgs, Table};
+use anyscan_graph::gen::{Dataset, DatasetId};
+use anyscan_scan_common::ScanParams;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let params = ScanParams::paper_defaults();
+    let ids = [DatasetId::Gr01, DatasetId::Gr02, DatasetId::Gr03, DatasetId::Gr04];
+    println!(
+        "available CPUs: {}\n",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    );
+    for id in ids {
+        let d = Dataset::get(id);
+        let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
+        // The multicore study uses 4× the sequential block size
+        // (α = β = 32768 vs 8192 in the paper).
+        let block = (g.num_vertices() / 32).clamp(32, 32_768);
+
+        println!("== Fig. 10 (left): {} cumulative-s at sampled iterations ==\n", id.short());
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut final_times = Vec::new();
+        for &threads in &args.threads {
+            let config = AnyScanConfig::new(params).with_block_size(block).with_threads(threads);
+            let mut algo = AnyScan::new(&g, config);
+            let mut samples = Vec::new();
+            while algo.phase() != Phase::Done {
+                algo.step();
+                samples.push(algo.cumulative_time());
+            }
+            final_times.push(algo.cumulative_time());
+            // Sample 6 evenly spaced iteration checkpoints.
+            let k = samples.len();
+            let picks: Vec<usize> = (1..=6).map(|i| (i * k / 6).saturating_sub(1)).collect();
+            let mut row = vec![format!("threads={threads}")];
+            for p in picks {
+                row.push(secs(samples[p]));
+            }
+            rows.push(row);
+        }
+        let mut t = Table::new(&["config", "it-1/6", "it-2/6", "it-3/6", "it-4/6", "it-5/6", "final"]);
+        for row in rows {
+            t.row(row);
+        }
+        t.print();
+
+        println!("\n== Fig. 10 (right): {} final runtime and speedup vs 1 thread ==\n", id.short());
+        let base = final_times[0];
+        let mut t = Table::new(&["threads", "runtime-s", "speedup"]);
+        for (i, &threads) in args.threads.iter().enumerate() {
+            t.row(vec![
+                threads.to_string(),
+                secs(final_times[i]),
+                format!("{:.2}", base.as_secs_f64() / final_times[i].as_secs_f64()),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+}

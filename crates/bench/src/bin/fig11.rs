@@ -1,0 +1,44 @@
+//! Figure 11 — anySCAN's speedup vs. the ideal parallel algorithm.
+//!
+//! The ideal algorithm evaluates σ on every edge with no synchronization and
+//! no label propagation; its curve is the ceiling for any SCAN
+//! parallelization. (Single-CPU container: see the note in fig10.)
+
+use anyscan::{AnyScan, AnyScanConfig};
+use anyscan_bench::table::secs;
+use anyscan_bench::{load_dataset, time, HarnessArgs, Table};
+use anyscan_baselines::ideal_parallel;
+use anyscan_graph::gen::{Dataset, DatasetId};
+use anyscan_scan_common::ScanParams;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let params = ScanParams::paper_defaults();
+    let ids = [DatasetId::Gr01, DatasetId::Gr02, DatasetId::Gr03, DatasetId::Gr04];
+    for id in ids {
+        let d = Dataset::get(id);
+        let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
+        let block = (g.num_vertices() / 32).clamp(32, 32_768);
+        println!("\n== Fig. 11: {} speedups vs threads ==\n", id.short());
+        let mut any_base = None;
+        let mut ideal_base = None;
+        let mut t = Table::new(&[
+            "threads", "anySCAN-s", "anySCAN-speedup", "ideal-s", "ideal-speedup",
+        ]);
+        for &threads in &args.threads {
+            let config = AnyScanConfig::new(params).with_block_size(block).with_threads(threads);
+            let (any_t, _) = time(|| AnyScan::new(&g, config).run());
+            let (ideal_t, _) = time(|| ideal_parallel(&g, params, threads));
+            let ab = *any_base.get_or_insert(any_t);
+            let ib = *ideal_base.get_or_insert(ideal_t);
+            t.row(vec![
+                threads.to_string(),
+                secs(any_t),
+                format!("{:.2}", ab.as_secs_f64() / any_t.as_secs_f64()),
+                secs(ideal_t),
+                format!("{:.2}", ib.as_secs_f64() / ideal_t.as_secs_f64()),
+            ]);
+        }
+        t.print();
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 13 — parameter effects on anySCAN's scalability (GR01).
+//!
+//! Left: speedup at the maximum requested thread count across (μ, ε).
+//! Right: speedup vs block size. (Single-CPU container: see fig10's note —
+//! values certify overhead behaviour, not real scaling.)
+
+use anyscan::{AnyScan, AnyScanConfig};
+use anyscan_bench::{load_dataset, time, HarnessArgs, Table};
+use anyscan_graph::gen::{Dataset, DatasetId};
+use anyscan_scan_common::ScanParams;
+
+fn run(g: &anyscan_graph::CsrGraph, params: ScanParams, block: usize, threads: usize) -> f64 {
+    let config = AnyScanConfig::new(params).with_block_size(block).with_threads(threads);
+    let (t, _) = time(|| AnyScan::new(g, config).run());
+    t.as_secs_f64()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let d = Dataset::get(DatasetId::Gr01);
+    let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
+    let max_threads = *args.threads.iter().max().unwrap_or(&16);
+    let block = (g.num_vertices() / 32).clamp(32, 32_768);
+
+    println!("== Fig. 13 (left): GR01 speedup at {max_threads} threads vs (mu, eps) ==\n");
+    let mut t = Table::new(&["params", "t1-s", "tN-s", "speedup"]);
+    for (eps, mu) in [(0.2, 5), (0.5, 5), (0.8, 5), (0.5, 2), (0.5, 10), (0.5, 15)] {
+        let params = ScanParams::new(eps, mu);
+        let t1 = run(&g, params, block, 1);
+        let tn = run(&g, params, block, max_threads);
+        t.row(vec![
+            format!("eps={eps} mu={mu}"),
+            format!("{t1:.3}"),
+            format!("{tn:.3}"),
+            format!("{:.2}", t1 / tn),
+        ]);
+    }
+    t.print();
+
+    println!("\n== Fig. 13 (right): GR01 speedup at {max_threads} threads vs block size ==\n");
+    let params = ScanParams::paper_defaults();
+    let mut t = Table::new(&["block", "t1-s", "tN-s", "speedup"]);
+    for ratio in [0.005, 0.02, 0.08, 0.3] {
+        let b = ((g.num_vertices() as f64 * ratio) as usize).max(8);
+        let t1 = run(&g, params, b, 1);
+        let tn = run(&g, params, b, max_threads);
+        t.row(vec![
+            b.to_string(),
+            format!("{t1:.3}"),
+            format!("{tn:.3}"),
+            format!("{:.2}", t1 / tn),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,51 @@
+//! Figure 14 — anySCAN scalability on the LFR grid.
+//!
+//! Left: speedup vs average degree (LFR01–05). Right: speedup vs clustering
+//! coefficient (LFR11–15). (Single-CPU container: see fig10's note.)
+
+use anyscan::{AnyScan, AnyScanConfig};
+use anyscan_bench::{load_dataset, time, HarnessArgs, Table};
+use anyscan_graph::gen::Dataset;
+use anyscan_scan_common::ScanParams;
+
+fn speedups(
+    g: &anyscan_graph::CsrGraph,
+    params: ScanParams,
+    threads: &[usize],
+) -> Vec<(usize, f64)> {
+    let block = (g.num_vertices() / 32).clamp(32, 32_768);
+    let mut base = None;
+    threads
+        .iter()
+        .map(|&th| {
+            let config = AnyScanConfig::new(params).with_block_size(block).with_threads(th);
+            let (t, _) = time(|| AnyScan::new(g, config).run());
+            let b = *base.get_or_insert(t.as_secs_f64());
+            (th, b / t.as_secs_f64())
+        })
+        .collect()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let params = ScanParams::paper_defaults();
+    for (title, sweep) in [
+        ("vs average degree (LFR01-05)", Dataset::lfr_degree_sweep()),
+        ("vs clustering coefficient (LFR11-15)", Dataset::lfr_clustering_sweep()),
+    ] {
+        println!("\n== Fig. 14: speedup {title} ==\n");
+        let header: Vec<String> = std::iter::once("dataset".to_string())
+            .chain(args.threads.iter().map(|t| format!("x{t}")))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(&header_refs);
+        for d in sweep {
+            let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
+            let sp = speedups(&g, params, &args.threads);
+            let mut row = vec![d.id.short()];
+            row.extend(sp.iter().map(|(_, s)| format!("{s:.2}")));
+            t.row(row);
+        }
+        t.print();
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 5 — anytime behaviour of anySCAN vs. the batch algorithms.
+//!
+//! For GR01–GR04 and ε ∈ {0.5, 0.6} (μ = 5) this prints:
+//! * the final runtime of every batch algorithm (the horizontal lines of the
+//!   figure), and
+//! * the (cumulative time, NMI) series of anySCAN's intermediate snapshots,
+//!   scored against SCAN's result with noise as one special cluster.
+//!
+//! The paper's claims to check: NMI increases toward 1.0; useful NMI (≈0.5)
+//! is reached at a small fraction of the batch runtimes; anySCAN's final
+//! cumulative runtime is competitive with pSCAN.
+
+use anyscan::AnyScanConfig;
+use anyscan_bench::table::secs;
+use anyscan_bench::{anytime_curve, load_dataset, run_algo, Algo, HarnessArgs, Table};
+use anyscan_graph::gen::{Dataset, DatasetId};
+use anyscan_scan_common::ScanParams;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let ids = [DatasetId::Gr01, DatasetId::Gr02, DatasetId::Gr03, DatasetId::Gr04];
+    for eps in [0.5, 0.6] {
+        for id in ids {
+            let d = Dataset::get(id);
+            let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
+            let params = ScanParams::new(eps, 5);
+            println!(
+                "\n== Fig. 5: {} (|V|={}, |E|={}), eps={eps}, mu=5 ==",
+                id.short(),
+                g.num_vertices(),
+                g.num_edges()
+            );
+
+            // Batch algorithms: the horizontal reference lines.
+            let truth = run_algo(Algo::Scan, &g, params);
+            let mut batch = Table::new(&["algorithm", "runtime-s", "sigma-evals"]);
+            batch.row(vec![
+                "SCAN".into(),
+                secs(truth.elapsed),
+                truth.stats.sigma_evals.to_string(),
+            ]);
+            for algo in [Algo::ScanB, Algo::PScan, Algo::ScanPP, Algo::AnyScan] {
+                let out = run_algo(algo, &g, params);
+                batch.row(vec![
+                    out.algo.name().into(),
+                    secs(out.elapsed),
+                    (out.stats.sigma_evals + out.stats.shared_evals).to_string(),
+                ]);
+            }
+            batch.print();
+
+            // anySCAN's anytime curve.
+            let truth_labels = truth.clustering.labels_with_noise_cluster();
+            let config =
+                AnyScanConfig::new(params).with_auto_block_size(g.num_vertices());
+            let curve = anytime_curve(&g, config, &truth_labels, 14);
+            let mut t = Table::new(&["iter", "phase", "cumulative-s", "NMI"]);
+            for p in &curve {
+                t.row(vec![
+                    p.iteration.to_string(),
+                    format!("{:?}", p.phase),
+                    secs(p.cumulative),
+                    format!("{:.4}", p.nmi),
+                ]);
+            }
+            t.print();
+        }
+    }
+}

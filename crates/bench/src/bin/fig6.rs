@@ -1,0 +1,50 @@
+//! Figure 6 — final runtimes of all five algorithms across parameters.
+//!
+//! Top: ε sweep (0.2 … 0.8) at μ = 5. Bottom: μ sweep (2 … 15) at ε = 0.5.
+//! One table per dataset and sweep; rows are the sweep values, columns the
+//! algorithms — the same series the figure plots.
+//!
+//! Shape to check against the paper: SCAN slowest and flat; SCAN-B closes
+//! the gap as ε grows (Lemma-5 filtering); pSCAN and anySCAN fastest and
+//! close to each other; SCAN++ struggles at small ε/μ.
+
+use anyscan_bench::table::secs;
+use anyscan_bench::{load_dataset, run_algo, Algo, HarnessArgs, Table};
+use anyscan_graph::gen::Dataset;
+use anyscan_scan_common::ScanParams;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let eps_sweep: &[f64] = if args.quick { &[0.2, 0.5, 0.8] } else { &[0.2, 0.35, 0.5, 0.65, 0.8] };
+    let mu_sweep: &[usize] = if args.quick { &[2, 10] } else { &[2, 5, 10, 15] };
+
+    for d in Dataset::real_graphs() {
+        let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
+        println!(
+            "\n== Fig. 6 (top): {} runtime-s vs eps (mu=5) ==",
+            d.id.short()
+        );
+        let mut t = Table::new(&["eps", "SCAN", "SCAN-B", "pSCAN", "SCAN++", "anySCAN"]);
+        for &eps in eps_sweep {
+            let params = ScanParams::new(eps, 5);
+            let mut row = vec![format!("{eps}")];
+            for algo in Algo::ALL {
+                row.push(secs(run_algo(algo, &g, params).elapsed));
+            }
+            t.row(row);
+        }
+        t.print();
+
+        println!("\n== Fig. 6 (bottom): {} runtime-s vs mu (eps=0.5) ==", d.id.short());
+        let mut t = Table::new(&["mu", "SCAN", "SCAN-B", "pSCAN", "SCAN++", "anySCAN"]);
+        for &mu in mu_sweep {
+            let params = ScanParams::new(0.5, mu);
+            let mut row = vec![format!("{mu}")];
+            for algo in Algo::ALL {
+                row.push(secs(run_algo(algo, &g, params).elapsed));
+            }
+            t.row(row);
+        }
+        t.print();
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 7 — work accounting and vertex roles.
+//!
+//! Left: structural-similarity evaluation counts for every algorithm, with
+//! SCAN++'s split into *true* (pivot queries) and *shared* evaluations.
+//! Right: core / border / hub+outlier counts per dataset (from the SCAN
+//! ground truth).
+//!
+//! Shape to check: SCAN ≈ 2|E|; pSCAN and anySCAN lowest and close;
+//! SCAN++'s shared evaluations track the number of cores.
+
+use anyscan_bench::{load_dataset, run_algo, Algo, HarnessArgs, Table};
+use anyscan_graph::gen::Dataset;
+use anyscan_scan_common::ScanParams;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let params = ScanParams::paper_defaults();
+    println!("== Fig. 7 (left): similarity evaluations (eps=0.5, mu=5) ==\n");
+    let mut evals = Table::new(&[
+        "dataset", "2|E|", "SCAN", "SCAN-B", "pSCAN", "SCANpp-true", "SCANpp-shared", "anySCAN",
+    ]);
+    let mut roles = Table::new(&["dataset", "cores", "borders", "hubs+outliers", "clusters"]);
+    for d in Dataset::real_graphs() {
+        let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
+        let mut row = vec![d.id.short(), (2 * g.num_edges()).to_string()];
+        let mut truth = None;
+        for algo in Algo::ALL {
+            let out = run_algo(algo, &g, params);
+            match algo {
+                Algo::ScanPP => {
+                    row.push(out.stats.sigma_evals.to_string());
+                    row.push(out.stats.shared_evals.to_string());
+                }
+                _ => row.push(out.stats.sigma_evals.to_string()),
+            }
+            if algo == Algo::Scan {
+                truth = Some(out.clustering);
+            }
+        }
+        evals.row(row);
+        let c = truth.expect("SCAN ran");
+        let rc = c.role_counts();
+        roles.row(vec![
+            d.id.short(),
+            rc.cores.to_string(),
+            rc.borders.to_string(),
+            rc.noise().to_string(),
+            c.num_clusters().to_string(),
+        ]);
+    }
+    evals.print();
+    println!("\n== Fig. 7 (right): vertex roles under SCAN ==\n");
+    roles.print();
+}

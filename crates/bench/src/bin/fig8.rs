@@ -1,0 +1,69 @@
+//! Figure 8 — parameter effects on anySCAN (GR01).
+//!
+//! Left: anytime NMI curves for the ε sweep (μ = 5) and the μ sweep
+//! (ε = 0.5) — lower μ / lower ε should reach good NMI earlier.
+//! Right: final runtime vs. block size α = β across (ε, μ) combinations —
+//! the paper finds a shallow optimum (too-small blocks pay anytime
+//! overhead; too-large blocks pay redundant Step-1 similarity work) and
+//! overall stability.
+//!
+//! Block sizes are swept at the paper's α/|V| *ratios* scaled to the
+//! analogue's size (the paper's absolute 256…8192 covers 0.2–8 % of GR01's
+//! 107 K vertices).
+
+use anyscan::{AnyScan, AnyScanConfig};
+use anyscan_bench::table::secs;
+use anyscan_bench::{anytime_curve, load_dataset, run_algo, Algo, HarnessArgs, Table};
+use anyscan_graph::gen::{Dataset, DatasetId};
+use anyscan_scan_common::ScanParams;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let d = Dataset::get(DatasetId::Gr01);
+    let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
+    let n = g.num_vertices();
+
+    println!("== Fig. 8 (left): anytime NMI vs time for eps sweep (GR01, mu=5) ==");
+    for eps in [0.2, 0.35, 0.5, 0.65, 0.8] {
+        let params = ScanParams::new(eps, 5);
+        let truth = run_algo(Algo::Scan, &g, params).clustering.labels_with_noise_cluster();
+        let config = AnyScanConfig::new(params).with_auto_block_size(n);
+        let curve = anytime_curve(&g, config, &truth, 8);
+        let series: Vec<String> =
+            curve.iter().map(|p| format!("({}, {:.3})", secs(p.cumulative), p.nmi)).collect();
+        println!("eps={eps}: {}", series.join(" "));
+    }
+
+    println!("\n== Fig. 8 (left): anytime NMI vs time for mu sweep (GR01, eps=0.5) ==");
+    for mu in [2usize, 5, 10, 15] {
+        let params = ScanParams::new(0.5, mu);
+        let truth = run_algo(Algo::Scan, &g, params).clustering.labels_with_noise_cluster();
+        let config = AnyScanConfig::new(params).with_auto_block_size(n);
+        let curve = anytime_curve(&g, config, &truth, 8);
+        let series: Vec<String> =
+            curve.iter().map(|p| format!("({}, {:.3})", secs(p.cumulative), p.nmi)).collect();
+        println!("mu={mu}: {}", series.join(" "));
+    }
+
+    println!("\n== Fig. 8 (right): final runtime-s vs block size alpha=beta (GR01) ==\n");
+    // Paper ratios 256/107k … 8192/107k ≈ 0.24 % … 7.6 %, mapped to |V|.
+    let blocks: Vec<usize> =
+        [0.0024, 0.019, 0.076, 0.3].iter().map(|r| ((n as f64 * r) as usize).max(8)).collect();
+    let header: Vec<String> = std::iter::once("params".to_string())
+        .chain(blocks.iter().map(|b| format!("alpha={b}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for (eps, mu) in [(0.2, 5), (0.5, 5), (0.8, 5), (0.5, 2), (0.5, 15)] {
+        let params = ScanParams::new(eps, mu);
+        let mut row = vec![format!("eps={eps} mu={mu}")];
+        for &b in &blocks {
+            let config = AnyScanConfig::new(params).with_block_size(b);
+            let mut algo = AnyScan::new(&g, config);
+            let _ = algo.run();
+            row.push(secs(algo.cumulative_time()));
+        }
+        t.row(row);
+    }
+    t.print();
+}

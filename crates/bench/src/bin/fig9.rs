@@ -1,0 +1,48 @@
+//! Figure 9 — anySCAN vs pSCAN on the LFR grid.
+//!
+//! Left: runtime vs average degree (LFR01–05). Right: runtime vs average
+//! clustering coefficient (LFR11–15).
+//!
+//! Shape to check: both grow with density; both *shrink* as the clustering
+//! coefficient grows; anySCAN gains on pSCAN on denser / more clustered
+//! graphs (bigger super-nodes, fewer merge checks).
+
+use anyscan_bench::table::secs;
+use anyscan_bench::{load_dataset, run_algo, Algo, HarnessArgs, Table};
+use anyscan_graph::gen::Dataset;
+use anyscan_scan_common::ScanParams;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let params = ScanParams::paper_defaults();
+
+    println!("== Fig. 9 (left): runtime-s vs average degree (LFR01-05) ==\n");
+    let mut t = Table::new(&["dataset", "avg-deg", "pSCAN", "anySCAN"]);
+    for d in Dataset::lfr_degree_sweep() {
+        let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
+        let p = run_algo(Algo::PScan, &g, params);
+        let a = run_algo(Algo::AnyScan, &g, params);
+        t.row(vec![
+            d.id.short(),
+            format!("{:.1}", g.average_degree()),
+            secs(p.elapsed),
+            secs(a.elapsed),
+        ]);
+    }
+    t.print();
+
+    println!("\n== Fig. 9 (right): runtime-s vs clustering coefficient (LFR11-15) ==\n");
+    let mut t = Table::new(&["dataset", "target-c", "pSCAN", "anySCAN"]);
+    for d in Dataset::lfr_clustering_sweep() {
+        let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
+        let p = run_algo(Algo::PScan, &g, params);
+        let a = run_algo(Algo::AnyScan, &g, params);
+        t.row(vec![
+            d.id.short(),
+            format!("{:.2}", d.paper.clustering_coefficient),
+            secs(p.elapsed),
+            secs(a.elapsed),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,36 @@
+//! Table I — real-graph dataset statistics.
+//!
+//! Regenerates the GR01–GR05 analogues and prints |V|, |E|, average degree
+//! `d̄` and average clustering coefficient `c` next to the paper's numbers
+//! for the original datasets. The analogues match the paper's `d̄` (capped
+//! for GR01, see DESIGN.md) and `c`; |V|/|E| are laptop-scale by design.
+
+use anyscan_bench::{load_dataset, HarnessArgs, Table};
+use anyscan_graph::gen::Dataset;
+use anyscan_graph::stats::graph_stats;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "== Table I: real graph datasets (analogues at scale {}) ==\n",
+        args.effective_scale()
+    );
+    let mut t = Table::new(&[
+        "Id", "Graph", "Vertices", "Edges", "avg-deg", "clust-c", "paper-deg", "paper-c",
+    ]);
+    for d in Dataset::real_graphs() {
+        let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
+        let s = graph_stats(&g);
+        t.row(vec![
+            d.id.short(),
+            format!("{}-analogue", d.id.paper_name()),
+            s.num_vertices.to_string(),
+            s.num_edges.to_string(),
+            format!("{:.2}", s.average_degree),
+            format!("{:.4}", s.average_clustering_coefficient),
+            format!("{:.2}", d.paper.average_degree),
+            format!("{:.4}", d.paper.clustering_coefficient),
+        ]);
+    }
+    t.print();
+}

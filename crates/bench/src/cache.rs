@@ -1,0 +1,88 @@
+//! Disk-cached dataset generation.
+//!
+//! LFR calibration is the expensive part of dataset generation; caching the
+//! generated graphs (binary CSR + a small label sidecar) makes repeated
+//! experiment runs start instantly. The cache key is
+//! `(dataset, scale, seed)`; files live under `target/bench-data/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use anyscan_graph::gen::Dataset;
+use anyscan_graph::io::{read_binary, write_binary};
+use anyscan_graph::CsrGraph;
+
+/// Loads (or generates and caches) a dataset at the given scale and seed.
+/// Returns the graph and, when the generator defines one, the planted
+/// ground-truth labels.
+pub fn load_dataset(d: &Dataset, scale: f64, seed: u64) -> (CsrGraph, Option<Vec<u32>>) {
+    let dir = cache_dir();
+    let stem = format!("{}-s{}-r{}", d.id.short(), scale, seed);
+    let graph_path = dir.join(format!("{stem}.bin"));
+    let label_path = dir.join(format!("{stem}.labels"));
+
+    if let Ok(file) = fs::File::open(&graph_path) {
+        if let Ok(g) = read_binary(std::io::BufReader::new(file)) {
+            let labels = fs::read(&label_path).ok().and_then(|raw| decode_labels(&raw, g.num_vertices()));
+            return (g, labels);
+        }
+        // Corrupt cache entry: fall through and regenerate.
+        let _ = fs::remove_file(&graph_path);
+    }
+
+    let (g, labels) = d.generate_scaled(scale, seed);
+    let _ = fs::create_dir_all(&dir);
+    if let Ok(file) = fs::File::create(&graph_path) {
+        let _ = write_binary(&g, std::io::BufWriter::new(file));
+    }
+    if let Some(l) = &labels {
+        let _ = fs::write(&label_path, encode_labels(l));
+    }
+    (g, labels)
+}
+
+fn cache_dir() -> PathBuf {
+    // Keep cache inside the workspace target dir so `cargo clean` clears it.
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    PathBuf::from(manifest).join("../../target/bench-data")
+}
+
+fn encode_labels(labels: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(labels.len() * 4);
+    for &l in labels {
+        out.extend_from_slice(&l.to_le_bytes());
+    }
+    out
+}
+
+fn decode_labels(raw: &[u8], n: usize) -> Option<Vec<u32>> {
+    if raw.len() != n * 4 {
+        return None;
+    }
+    Some(raw.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan_graph::gen::DatasetId;
+
+    #[test]
+    fn generate_then_hit_cache() {
+        let d = Dataset::get(DatasetId::Lfr(11));
+        // Tiny scale + uncommon seed so the test stays fast and isolated.
+        let (g1, l1) = load_dataset(&d, 0.02, 987_654);
+        let (g2, l2) = load_dataset(&d, 0.02, 987_654);
+        assert_eq!(g1, g2);
+        assert_eq!(l1, l2);
+        assert!(l1.is_some());
+    }
+
+    #[test]
+    fn label_codec_roundtrip() {
+        let labels = vec![0u32, 7, u32::MAX, 42];
+        let enc = encode_labels(&labels);
+        assert_eq!(decode_labels(&enc, 4), Some(labels));
+        assert_eq!(decode_labels(&enc, 3), None);
+    }
+}

@@ -1,0 +1,113 @@
+//! Minimal flag parsing shared by the experiment binaries (kept
+//! hand-rolled: the workspace's dependency budget is deliberately small).
+
+/// Common harness options.
+///
+/// ```text
+/// --scale <f64>      dataset size multiplier        (default 1.0)
+/// --seed <u64>       generator seed                 (default 7)
+/// --threads <list>   comma-separated thread counts  (default 1,2,4,8,16)
+/// --quick            quarter-scale datasets, fewer sweep points
+/// ```
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    pub scale: f64,
+    pub seed: u64,
+    pub threads: Vec<usize>,
+    pub quick: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs { scale: 1.0, seed: 7, threads: vec![1, 2, 4, 8, 16], quick: false }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`, panicking with a usage message on bad
+    /// input (these are operator-facing binaries).
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => out.scale = expect_value(&mut it, "--scale"),
+                "--seed" => out.seed = expect_value(&mut it, "--seed"),
+                "--threads" => {
+                    let raw: String = it.next().unwrap_or_else(|| usage("--threads needs a list"));
+                    out.threads = raw
+                        .split(',')
+                        .map(|t| t.trim().parse().unwrap_or_else(|_| usage("bad thread count")))
+                        .collect();
+                    if out.threads.is_empty() {
+                        usage("--threads list is empty");
+                    }
+                }
+                "--quick" => out.quick = true,
+                "--help" | "-h" => usage("help requested"),
+                other => usage(&format!("unknown flag {other:?}")),
+            }
+        }
+        if out.quick {
+            out.scale *= 0.25;
+        }
+        out
+    }
+
+    /// Effective dataset scale (already folded `--quick`).
+    pub fn effective_scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+fn expect_value<T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> T {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn usage(reason: &str) -> ! {
+    eprintln!(
+        "{reason}\n\nusage: <experiment> [--scale F] [--seed N] [--threads a,b,c] [--quick]"
+    );
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse_from(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 1.0);
+        assert_eq!(a.threads, vec![1, 2, 4, 8, 16]);
+        assert!(!a.quick);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&["--scale", "0.5", "--seed", "42", "--threads", "1,4"]);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.threads, vec![1, 4]);
+    }
+
+    #[test]
+    fn quick_quarters_the_scale() {
+        let a = parse(&["--scale", "2.0", "--quick"]);
+        assert!((a.effective_scale() - 0.5).abs() < 1e-12);
+    }
+}

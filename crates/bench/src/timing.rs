@@ -1,0 +1,51 @@
+//! Timing helpers for the harness binaries.
+
+use std::time::{Duration, Instant};
+
+/// Times one closure invocation.
+pub fn time<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// Runs `f` `reps` times and returns the median wall time together with the
+/// last output (the harness reports medians to damp single-core noise).
+pub fn median_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let (d, out) = time(&mut f);
+        times.push(d);
+        last = Some(out);
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], last.expect("reps >= 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_and_returns() {
+        let (d, v) = time(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn median_of_returns_middle() {
+        let mut calls = 0;
+        let (_, out) = median_of(3, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(out, 3);
+        assert_eq!(calls, 3);
+    }
+}

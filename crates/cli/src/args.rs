@@ -1,0 +1,130 @@
+//! Flag parsing for the CLI (hand-rolled; the workspace keeps its
+//! dependency budget minimal).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` options (plus boolean switches).
+#[derive(Debug, Default)]
+pub struct Options {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Options {
+    /// Parses a `--key value | --switch` token stream.
+    pub fn parse(argv: &[String]) -> Result<Options, String> {
+        const SWITCHES: &[&str] = &["unweighted", "no-opt", "quiet"];
+        let mut out = Options::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let tok = &argv[i];
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got {tok:?}"));
+            };
+            if SWITCHES.contains(&key) {
+                out.switches.push(key.to_string());
+                i += 1;
+                continue;
+            }
+            let value =
+                argv.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
+            out.values.insert(key.to_string(), value);
+            i += 2;
+        }
+        Ok(out)
+    }
+
+    /// A required typed option.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let raw = self.values.get(key).ok_or_else(|| format!("missing --{key}"))?;
+        raw.parse().map_err(|_| format!("bad value for --{key}: {raw:?}"))
+    }
+
+    /// An optional typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("bad value for --{key}: {raw:?}")),
+        }
+    }
+
+    /// Raw string option.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Comma-separated list of typed values.
+    pub fn get_list<T: std::str::FromStr>(&self, key: &str) -> Result<Option<Vec<T>>, String> {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .split(',')
+                .map(|t| t.trim().parse().map_err(|_| format!("bad list item {t:?} in --{key}")))
+                .collect::<Result<Vec<T>, String>>()
+                .map(Some),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+pub fn print_usage() {
+    eprintln!(
+        "anyscan — structural graph clustering (SCAN family / anySCAN)
+
+commands:
+  stats        --input FILE | --dataset ID [--scale F] [--seed N]
+  generate     --kind lfr|er|sbm|rmat --n N [--avg-degree D] [--mixing M]
+               [--communities K] [--edge-factor F] [--seed N] [--unweighted]
+               --out FILE[.bin|.txt]
+  cluster      --input FILE | --dataset ID  --eps E --mu M
+               [--algo anyscan|scan|scan-b|pscan|scan++] [--threads T]
+               [--block B] [--labels-out FILE] [--no-opt]
+  explore      --input FILE | --dataset ID  [--eps a,b,c] [--mu a,b,c]
+               [--threads T]
+  hierarchy    --input FILE | --dataset ID  [--mu M] [--eps a,b,c]
+               [--threads T] [--top N]
+  interactive  --input FILE | --dataset ID  --eps E --mu M
+               [--checkpoint-ms MS] [--threads T]
+
+dataset ids: GR01..GR05, LFR01..LFR05, LFR11..LFR15 (Table I/II analogues)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(tokens: &[&str]) -> Options {
+        Options::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let o = opts(&["--eps", "0.5", "--unweighted", "--mu", "5"]);
+        assert_eq!(o.require::<f64>("eps").unwrap(), 0.5);
+        assert_eq!(o.require::<usize>("mu").unwrap(), 5);
+        assert!(o.switch("unweighted"));
+        assert!(!o.switch("no-opt"));
+    }
+
+    #[test]
+    fn defaults_and_lists() {
+        let o = opts(&["--eps", "0.1,0.2,0.3"]);
+        assert_eq!(o.get_or::<usize>("mu", 5).unwrap(), 5);
+        assert_eq!(o.get_list::<f64>("eps").unwrap(), Some(vec![0.1, 0.2, 0.3]));
+        assert_eq!(o.get_list::<f64>("nope").unwrap(), None);
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(Options::parse(&["eps".to_string()]).is_err());
+        assert!(Options::parse(&["--eps".to_string()]).is_err());
+        let o = opts(&["--mu", "abc"]);
+        assert!(o.require::<usize>("mu").is_err());
+        assert!(o.require::<usize>("absent").is_err());
+    }
+}

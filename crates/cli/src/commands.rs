@@ -1,0 +1,325 @@
+//! Command implementations.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::time::Instant;
+
+use anyscan::explore::EpsilonExplorer;
+use anyscan::hierarchy::EpsilonHierarchy;
+use anyscan::{anyscan, AnyScan, AnyScanConfig, Phase};
+use anyscan_baselines::{pscan, scan, scan_b, scanpp};
+use anyscan_graph::gen::{
+    erdos_renyi, lfr, planted_partition, rmat, Dataset, DatasetId, LfrParams,
+    PlantedPartitionParams, RmatParams, WeightModel,
+};
+use anyscan_graph::io::{read_binary, read_edge_list, write_binary, write_edge_list};
+use anyscan_graph::stats::graph_stats;
+use anyscan_graph::CsrGraph;
+use anyscan_scan_common::{Clustering, ScanParams, NOISE};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::Options;
+
+type CmdResult = Result<(), String>;
+
+/// Loads the input graph from `--input FILE` (`.bin` = binary CSR,
+/// anything else = text edge list) or `--dataset ID`.
+fn load_graph(opts: &Options) -> Result<CsrGraph, String> {
+    if let Some(path) = opts.get_str("input") {
+        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let reader = BufReader::new(file);
+        return if path.ends_with(".bin") {
+            read_binary(reader).map_err(|e| format!("read {path}: {e}"))
+        } else {
+            read_edge_list(reader, None).map_err(|e| format!("read {path}: {e}"))
+        };
+    }
+    if let Some(id) = opts.get_str("dataset") {
+        let id = parse_dataset_id(id)?;
+        let scale: f64 = opts.get_or("scale", 1.0)?;
+        let seed: u64 = opts.get_or("seed", 7)?;
+        let (g, _) = Dataset::get(id).generate_scaled(scale, seed);
+        return Ok(g);
+    }
+    Err("need --input FILE or --dataset ID".into())
+}
+
+fn parse_dataset_id(raw: &str) -> Result<DatasetId, String> {
+    let up = raw.to_ascii_uppercase();
+    match up.as_str() {
+        "GR01" => Ok(DatasetId::Gr01),
+        "GR02" => Ok(DatasetId::Gr02),
+        "GR03" => Ok(DatasetId::Gr03),
+        "GR04" => Ok(DatasetId::Gr04),
+        "GR05" => Ok(DatasetId::Gr05),
+        _ => up
+            .strip_prefix("LFR")
+            .and_then(|k| k.parse::<u8>().ok())
+            .filter(|k| matches!(k, 1..=5 | 11..=15))
+            .map(DatasetId::Lfr)
+            .ok_or_else(|| format!("unknown dataset {raw:?}")),
+    }
+}
+
+fn scan_params(opts: &Options) -> Result<ScanParams, String> {
+    let eps: f64 = opts.require("eps")?;
+    let mu: usize = opts.require("mu")?;
+    if !(eps > 0.0 && eps <= 1.0) {
+        return Err(format!("--eps must be in (0,1], got {eps}"));
+    }
+    if mu == 0 {
+        return Err("--mu must be >= 1".into());
+    }
+    Ok(ScanParams::new(eps, mu))
+}
+
+pub fn stats(opts: &Options) -> CmdResult {
+    let g = load_graph(opts)?;
+    let s = graph_stats(&g);
+    println!("vertices                {}", s.num_vertices);
+    println!("edges                   {}", s.num_edges);
+    println!("average degree          {:.3}", s.average_degree);
+    println!("min / max degree        {} / {}", s.min_degree, s.max_degree);
+    println!("triangles               {}", s.triangles);
+    println!("avg clustering coeff    {:.4}", s.average_clustering_coefficient);
+    println!("global clustering coeff {:.4}", s.global_clustering_coefficient);
+    let (_, components) = anyscan_graph::traversal::connected_components(&g);
+    println!("connected components    {components}");
+    Ok(())
+}
+
+pub fn generate(opts: &Options) -> CmdResult {
+    let kind = opts.get_str("kind").ok_or("missing --kind")?;
+    let n: usize = opts.get_or("n", 10_000)?;
+    let seed: u64 = opts.get_or("seed", 7)?;
+    let weights = if opts.switch("unweighted") {
+        WeightModel::Unit
+    } else {
+        WeightModel::uniform_default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = match kind {
+        "lfr" => {
+            let mut p = LfrParams::paper_defaults(n, opts.get_or("avg-degree", 20.0)?);
+            p.mixing = opts.get_or("mixing", 0.3)?;
+            p.weights = weights;
+            lfr(&mut rng, &p).0
+        }
+        "er" => {
+            let d: f64 = opts.get_or("avg-degree", 20.0)?;
+            erdos_renyi(&mut rng, n, (n as f64 * d / 2.0) as usize, weights)
+        }
+        "sbm" => {
+            let p = PlantedPartitionParams {
+                n,
+                num_communities: opts.get_or("communities", 10)?,
+                p_in: opts.get_or("p-in", 0.3)?,
+                p_out: opts.get_or("p-out", 0.01)?,
+                weights,
+            };
+            planted_partition(&mut rng, &p).0
+        }
+        "rmat" => {
+            let scale = (n.max(2) as f64).log2().ceil() as u32;
+            let mut p = RmatParams::graph500(scale, opts.get_or("edge-factor", 16)?);
+            p.weights = weights;
+            rmat(&mut rng, &p)
+        }
+        other => return Err(format!("unknown --kind {other:?} (lfr|er|sbm|rmat)")),
+    };
+    let out = opts.get_str("out").ok_or("missing --out")?;
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    if out.ends_with(".bin") {
+        write_binary(&g, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    } else {
+        write_edge_list(&g, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {} vertices, {} edges to {out}", g.num_vertices(), g.num_edges());
+    Ok(())
+}
+
+pub fn cluster(opts: &Options) -> CmdResult {
+    let g = load_graph(opts)?;
+    let params = scan_params(opts)?;
+    let algo = opts.get_str("algo").unwrap_or("anyscan");
+    let start = Instant::now();
+    let (clustering, evals): (Clustering, u64) = match algo {
+        "scan" => {
+            let out = scan(&g, params);
+            (out.clustering, out.stats.sigma_evals)
+        }
+        "scan-b" => {
+            let out = scan_b(&g, params);
+            (out.clustering, out.stats.sigma_evals)
+        }
+        "pscan" => {
+            let out = pscan(&g, params);
+            (out.clustering, out.stats.sigma_evals)
+        }
+        "scan++" | "scanpp" => {
+            let out = scanpp(&g, params);
+            (out.clustering, out.stats.sigma_evals + out.stats.shared_evals)
+        }
+        "anyscan" => {
+            let mut config = AnyScanConfig::new(params)
+                .with_auto_block_size(g.num_vertices())
+                .with_threads(opts.get_or("threads", 1)?);
+            if let Some(b) = opts.get_list::<usize>("block")?.and_then(|v| v.first().copied()) {
+                config = config.with_block_size(b);
+            }
+            config.optimizations = !opts.switch("no-opt");
+            let mut a = AnyScan::new(&g, config);
+            let c = a.run();
+            (c, a.stats().sigma_evals)
+        }
+        other => return Err(format!("unknown --algo {other:?}")),
+    };
+    let elapsed = start.elapsed();
+    let rc = clustering.role_counts();
+    println!("algorithm   {algo}");
+    println!("runtime     {elapsed:?}");
+    println!("sigma evals {evals}");
+    println!("clusters    {}", clustering.num_clusters());
+    println!("cores       {}", rc.cores);
+    println!("borders     {}", rc.borders);
+    println!("hubs        {}", rc.hubs);
+    println!("outliers    {}", rc.outliers);
+    if let Some(path) = opts.get_str("labels-out") {
+        write_labels(path, &clustering)?;
+        println!("labels written to {path}");
+    }
+    Ok(())
+}
+
+fn write_labels(path: &str, c: &Clustering) -> CmdResult {
+    let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# vertex cluster role").map_err(|e| e.to_string())?;
+    for (v, (&l, &r)) in c.labels.iter().zip(&c.roles).enumerate() {
+        let label = if l == NOISE { "-".to_string() } else { l.to_string() };
+        writeln!(w, "{v} {label} {r:?}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+pub fn explore(opts: &Options) -> CmdResult {
+    let g = load_graph(opts)?;
+    let threads: usize = opts.get_or("threads", 1)?;
+    let eps_grid = opts
+        .get_list::<f64>("eps")?
+        .unwrap_or_else(|| vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]);
+    let mu_grid = opts.get_list::<usize>("mu")?.unwrap_or_else(|| vec![5]);
+    let start = Instant::now();
+    let ex = EpsilonExplorer::new(&g, threads);
+    println!(
+        "precomputed {} edge similarities in {:?}\n",
+        ex.num_edges(),
+        start.elapsed()
+    );
+    println!("{:>6} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9}", "eps", "mu", "clusters", "cores", "borders", "noise", "largest");
+    for &mu in &mu_grid {
+        for &eps in &eps_grid {
+            let p = ex.summarize(ScanParams::new(eps, mu));
+            println!(
+                "{:>6} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                eps, mu, p.clusters, p.cores, p.borders, p.noise, p.largest_cluster
+            );
+        }
+    }
+    Ok(())
+}
+
+pub fn hierarchy(opts: &Options) -> CmdResult {
+    let g = load_graph(opts)?;
+    let mu: usize = opts.get_or("mu", 5)?;
+    let threads: usize = opts.get_or("threads", 1)?;
+    let start = Instant::now();
+    let h = EpsilonHierarchy::build(&g, mu, threads);
+    println!(
+        "hierarchy built in {:?}: {} merge events (mu = {})",
+        start.elapsed(),
+        h.merges().len(),
+        h.mu()
+    );
+    let grid = opts
+        .get_list::<f64>("eps")?
+        .unwrap_or_else(|| (1..=9).map(|i| i as f64 / 10.0).collect());
+    let counts = h.cluster_counts(&grid);
+    println!("{:>6} {:>9}", "eps", "clusters");
+    for (e, c) in grid.iter().zip(&counts) {
+        println!("{e:>6} {c:>9}");
+    }
+    // Show the top of the dendrogram.
+    println!("
+first merges (highest ε):");
+    for m in h.merges().iter().take(opts.get_or("top", 10)?) {
+        println!("  eps={:.4}: {} -- {}", m.epsilon, m.u, m.v);
+    }
+    Ok(())
+}
+
+pub fn interactive(opts: &Options) -> CmdResult {
+    let g = load_graph(opts)?;
+    let params = scan_params(opts)?;
+    let checkpoint = std::time::Duration::from_millis(opts.get_or("checkpoint-ms", 100)?);
+    let config = AnyScanConfig::new(params)
+        .with_auto_block_size(g.num_vertices())
+        .with_threads(opts.get_or("threads", 1)?);
+    let mut algo = AnyScan::new(&g, config);
+    let mut next = checkpoint;
+    println!("clustering {} vertices / {} edges; checkpoint every {checkpoint:?}", g.num_vertices(), g.num_edges());
+    while algo.phase() != Phase::Done {
+        algo.step();
+        if algo.cumulative_time() >= next || algo.phase() == Phase::Done {
+            next += checkpoint;
+            let snap = algo.snapshot();
+            let rc = snap.role_counts();
+            println!(
+                "[{:>10?}] {:?}: clusters={} cores={} unclassified={}",
+                algo.cumulative_time(),
+                algo.phase(),
+                snap.num_clusters(),
+                rc.cores,
+                rc.unclassified
+            );
+        }
+    }
+    let result = algo.result();
+    println!(
+        "final: {} clusters, {} σ evaluations, unions {:?}",
+        result.num_clusters(),
+        algo.stats().sigma_evals,
+        algo.union_breakdown()
+    );
+    // Sanity: the batch entry point agrees.
+    debug_assert_eq!(anyscan(&g, params).clustering.num_clusters(), result.num_clusters());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_ids_parse() {
+        assert_eq!(parse_dataset_id("gr01").unwrap(), DatasetId::Gr01);
+        assert_eq!(parse_dataset_id("GR05").unwrap(), DatasetId::Gr05);
+        assert_eq!(parse_dataset_id("lfr13").unwrap(), DatasetId::Lfr(13));
+        assert!(parse_dataset_id("LFR07").is_err());
+        assert!(parse_dataset_id("bogus").is_err());
+    }
+
+    #[test]
+    fn scan_params_validation() {
+        let o = Options::parse(&["--eps".into(), "1.5".into(), "--mu".into(), "5".into()])
+            .unwrap();
+        assert!(scan_params(&o).is_err());
+        let o = Options::parse(&["--eps".into(), "0.5".into(), "--mu".into(), "0".into()])
+            .unwrap();
+        assert!(scan_params(&o).is_err());
+        let o = Options::parse(&["--eps".into(), "0.5".into(), "--mu".into(), "3".into()])
+            .unwrap();
+        assert!(scan_params(&o).is_ok());
+    }
+}

@@ -1,0 +1,46 @@
+//! `anyscan` — the command-line face of the workspace.
+//!
+//! ```text
+//! anyscan stats    --input g.txt
+//! anyscan generate --kind lfr --n 10000 --avg-degree 20 --out g.bin
+//! anyscan cluster  --input g.bin --algo anyscan --eps 0.5 --mu 5
+//! anyscan explore  --input g.bin --eps 0.2,0.4,0.6,0.8 --mu 5
+//! anyscan interactive --dataset GR02 --eps 0.5 --mu 5 --checkpoint-ms 50
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        args::print_usage();
+        std::process::exit(2);
+    }
+    let cmd = argv.remove(0);
+    let opts = match args::Options::parse(&argv) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            args::print_usage();
+            std::process::exit(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "stats" => commands::stats(&opts),
+        "generate" => commands::generate(&opts),
+        "cluster" => commands::cluster(&opts),
+        "explore" => commands::explore(&opts),
+        "hierarchy" => commands::hierarchy(&opts),
+        "interactive" => commands::interactive(&opts),
+        "help" | "--help" | "-h" => {
+            args::print_usage();
+            return;
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

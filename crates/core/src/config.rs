@@ -1,0 +1,137 @@
+//! anySCAN configuration.
+
+use anyscan_scan_common::ScanParams;
+
+/// Which shared disjoint-set implementation backs the parallel merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DsuKind {
+    /// Lock-free union-find (CAS parents). Default.
+    Atomic,
+    /// Mutex around the sequential structure — the literal analogue of the
+    /// paper's `#pragma omp critical Union`; kept for the DSU ablation.
+    Locked,
+}
+
+/// Full configuration of an anySCAN run.
+///
+/// The paper's defaults are α = β = 8192 (sequential study, §IV-A) and
+/// α = β = 32768 for the multicore study (§IV-B).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyScanConfig {
+    /// SCAN parameters (ε, μ).
+    pub params: ScanParams,
+    /// Step-1 block size: untouched vertices summarized per iteration.
+    pub alpha: usize,
+    /// Step-2/3 block size: candidates core-checked per iteration.
+    pub beta: usize,
+    /// Worker threads; 1 reproduces the sequential algorithm exactly.
+    pub threads: usize,
+    /// Seed of the random vertex draw order in Step 1.
+    pub seed: u64,
+    /// Section III-D similarity optimizations (Lemma-5 filter,
+    /// early accept/reject). Ablation lever.
+    pub optimizations: bool,
+    /// Sort Step 2's candidate set by super-node count, descending
+    /// (paper line 21). Ablation lever.
+    pub sort_step2: bool,
+    /// Sort Step 3's candidate set by degree, descending (paper line 36).
+    /// Ablation lever.
+    pub sort_step3: bool,
+    /// Skip Step 2 entirely, leaving all merging to Step 3 — quantifies the
+    /// strongly-related shortcut. The final result stays exact (Step 3
+    /// subsumes the merges at higher cost). Ablation lever.
+    pub skip_step2: bool,
+    /// Shared DSU implementation for the parallel merges.
+    pub dsu: DsuKind,
+    /// Run the finishing pass that decides the core/border role of vertices
+    /// the pruning never examined. Cluster labels are final either way; with
+    /// this off the run is cheaper but roles of some clustered vertices stay
+    /// heuristic (reported as borders). Default on, so results are
+    /// role-exact against SCAN.
+    pub resolve_roles: bool,
+}
+
+impl AnyScanConfig {
+    /// Paper defaults with the given (ε, μ).
+    pub fn new(params: ScanParams) -> Self {
+        AnyScanConfig {
+            params,
+            alpha: 8192,
+            beta: 8192,
+            threads: 1,
+            seed: 0x5CA7,
+            optimizations: true,
+            sort_step2: true,
+            sort_step3: true,
+            skip_step2: false,
+            dsu: DsuKind::Atomic,
+            resolve_roles: true,
+        }
+    }
+
+    /// Builder-style block-size override (α = β = `size`).
+    pub fn with_block_size(mut self, size: usize) -> Self {
+        assert!(size >= 1, "block size must be positive");
+        self.alpha = size;
+        self.beta = size;
+        self
+    }
+
+    /// Sets α = β to keep the paper's block-to-graph ratio at laptop scale.
+    ///
+    /// The paper runs α = 8192 against multi-million-vertex graphs
+    /// (α/|V| ≈ 0.2 %); a block that *covers* the graph degenerates Step 1
+    /// into plain SCAN (everything is range-queried before any state
+    /// marking can save work). This helper picks `|V|/128`, clamped to
+    /// `[32, 8192]` — the same fraction regime scaled down.
+    pub fn with_auto_block_size(self, num_vertices: usize) -> Self {
+        let size = (num_vertices / 128).clamp(32, 8192);
+        self.with_block_size(size)
+    }
+
+    /// Builder-style thread-count override.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for AnyScanConfig {
+    fn default() -> Self {
+        AnyScanConfig::new(ScanParams::paper_defaults())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AnyScanConfig::default();
+        assert_eq!(c.alpha, 8192);
+        assert_eq!(c.beta, 8192);
+        assert_eq!(c.threads, 1);
+        assert!(c.optimizations && c.sort_step2 && c.sort_step3 && !c.skip_step2);
+        assert_eq!(c.dsu, DsuKind::Atomic);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = AnyScanConfig::default().with_block_size(256).with_threads(4).with_seed(9);
+        assert_eq!((c.alpha, c.beta, c.threads, c.seed), (256, 256, 4, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn rejects_zero_block() {
+        let _ = AnyScanConfig::default().with_block_size(0);
+    }
+}

@@ -1,0 +1,438 @@
+//! The anytime driver: phases, block iterations, suspension points.
+
+use std::sync::atomic::AtomicU32;
+use std::time::{Duration, Instant};
+
+use anyscan_dsu::{AtomicDsu, DsuSeq, LockedDsu, SharedDsu};
+use anyscan_graph::{CsrGraph, VertexId};
+use anyscan_scan_common::{Clustering, Kernel, ScanParams, SimStats};
+
+use crate::config::{AnyScanConfig, DsuKind};
+use crate::snapshot::build_snapshot;
+use crate::state::StateTable;
+use crate::supernode::SuperNodes;
+
+/// The phase an anySCAN run is currently in. Each [`AnyScan::step`] performs
+/// one block iteration of the current phase; phases advance automatically
+/// when their work list drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Step 1: summarization of α-blocks of untouched vertices.
+    Summarize,
+    /// Step 2: merging strongly-related super-nodes (β-blocks of S).
+    MergeStrong,
+    /// Step 3: merging weakly-related super-nodes (β-blocks of T).
+    MergeWeak,
+    /// Step 4: determining border vertices (β-blocks of the noise list).
+    Borders,
+    /// Optional finishing pass deciding the core/border role of vertices the
+    /// pruning never had to examine (cluster labels are already final).
+    ResolveRoles,
+    /// Finished; [`AnyScan::result`] is exact.
+    Done,
+}
+
+/// Timing record of one block iteration — the x-axis of Figs. 5 and 10.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationRecord {
+    pub phase: Phase,
+    /// Global iteration index (0-based).
+    pub index: usize,
+    /// Vertices handled in this block.
+    pub block_len: usize,
+    /// Wall time of this iteration.
+    pub elapsed: Duration,
+    /// Cumulative wall time since construction.
+    pub cumulative: Duration,
+}
+
+/// `Union` operations per step (Fig. 12): the paper highlights that most
+/// unions happen in the sequential part of Step 1, leaving few inside the
+/// parallel critical sections of Steps 2–3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnionBreakdown {
+    pub step1: u64,
+    pub step2: u64,
+    pub step3: u64,
+}
+
+impl UnionBreakdown {
+    /// Total successful unions.
+    pub fn total(&self) -> u64 {
+        self.step1 + self.step2 + self.step3
+    }
+}
+
+/// Shared-DSU implementation selected by [`DsuKind`].
+pub(crate) enum SharedDsuImpl {
+    Atomic(AtomicDsu),
+    Locked(LockedDsu),
+}
+
+impl SharedDsuImpl {
+    fn from_seq(kind: DsuKind, seq: &DsuSeq) -> Self {
+        match kind {
+            DsuKind::Atomic => SharedDsuImpl::Atomic(AtomicDsu::from_seq(seq)),
+            DsuKind::Locked => {
+                // Replicate only the partition; counters restart at zero and
+                // Step 1's tally lives in the driver's snapshot.
+                let mut fresh = DsuSeq::new(seq.len());
+                for x in 0..seq.len() as u32 {
+                    let r = seq.find_immutable(x);
+                    if r != x {
+                        fresh.union(x, r);
+                    }
+                }
+                fresh.reset_counters();
+                SharedDsuImpl::Locked(LockedDsu::from_seq(fresh))
+            }
+        }
+    }
+}
+
+impl SharedDsu for SharedDsuImpl {
+    fn find(&self, x: u32) -> u32 {
+        match self {
+            SharedDsuImpl::Atomic(d) => d.find(x),
+            SharedDsuImpl::Locked(d) => d.find(x),
+        }
+    }
+
+    fn union(&self, x: u32, y: u32) -> bool {
+        match self {
+            SharedDsuImpl::Atomic(d) => d.union(x, y),
+            SharedDsuImpl::Locked(d) => d.union(x, y),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            SharedDsuImpl::Atomic(d) => d.len(),
+            SharedDsuImpl::Locked(d) => d.len(),
+        }
+    }
+
+    fn counters(&self) -> anyscan_dsu::DsuCounters {
+        match self {
+            SharedDsuImpl::Atomic(d) => d.counters(),
+            SharedDsuImpl::Locked(d) => d.counters(),
+        }
+    }
+}
+
+/// An in-progress (or finished) anySCAN run.
+///
+/// ```
+/// use anyscan::{AnyScan, AnyScanConfig, Phase};
+/// use anyscan_graph::GraphBuilder;
+/// use anyscan_scan_common::ScanParams;
+///
+/// let g = GraphBuilder::from_unweighted_edges(
+///     6,
+///     vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+/// ).unwrap();
+/// let mut algo = AnyScan::new(&g, AnyScanConfig::new(ScanParams::new(0.6, 3)));
+/// // Drive it interactively: one block at a time, snapshotting in between.
+/// while algo.phase() != Phase::Done {
+///     let _progress = algo.step();
+///     let _approx = algo.snapshot(); // best-so-far clustering
+/// }
+/// assert_eq!(algo.result().num_clusters(), 2);
+/// ```
+pub struct AnyScan<'g> {
+    pub(crate) config: AnyScanConfig,
+    pub(crate) kernel: Kernel<'g>,
+    pub(crate) states: StateTable,
+    /// `nei(q)` of the paper: confirmed ε-neighbors including q itself.
+    pub(crate) nei: Vec<AtomicU32>,
+    pub(crate) sn: SuperNodes,
+    /// DSU during Step 1 (grown as super-nodes appear, sequential tail).
+    pub(crate) dsu_seq: Option<DsuSeq>,
+    /// DSU from Step 2 on (fixed element set, shared across threads).
+    pub(crate) dsu_shared: Option<SharedDsuImpl>,
+    /// Processed-noise vertices and their stored ε-neighborhoods (Step 1's
+    /// list L, consumed by Step 4).
+    pub(crate) noise_list: Vec<(VertexId, Vec<VertexId>)>,
+    /// Shuffled vertex draw order for Step 1 and the cursor into it.
+    pub(crate) draw_order: Vec<VertexId>,
+    pub(crate) draw_cursor: usize,
+    /// Work list of the current phase (S, T, Step-4 items, role backlog).
+    pub(crate) work: Vec<VertexId>,
+    /// Step 4 only: per-work-item index into `noise_list` (None = the vertex
+    /// is unprocessed-noise and has no stored ε-neighborhood).
+    pub(crate) work_aux: Vec<Option<usize>>,
+    pub(crate) work_cursor: usize,
+    phase: Phase,
+    phase_initialized: bool,
+    iterations: Vec<IterationRecord>,
+    cumulative: Duration,
+    union_marks: UnionBreakdown,
+    /// Shared-DSU union count at the moment of conversion (the AtomicDsu
+    /// carries Step 1's tally over; deltas are measured from here).
+    shared_union_base: u64,
+}
+
+impl<'g> AnyScan<'g> {
+    /// Prepares a run over `g`; no similarity work happens yet.
+    pub fn new(g: &'g CsrGraph, config: AnyScanConfig) -> Self {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = g.num_vertices();
+        let kernel = Kernel::with_optimizations(g, config.params, config.optimizations);
+        let mut draw_order: Vec<VertexId> = (0..n as VertexId).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        draw_order.shuffle(&mut rng);
+        AnyScan {
+            config,
+            kernel,
+            states: StateTable::new(n),
+            nei: (0..n).map(|_| AtomicU32::new(1)).collect(),
+            sn: SuperNodes::new(n),
+            dsu_seq: Some(DsuSeq::new(0)),
+            dsu_shared: None,
+            noise_list: Vec::new(),
+            draw_order,
+            draw_cursor: 0,
+            work: Vec::new(),
+            work_aux: Vec::new(),
+            work_cursor: 0,
+            phase: Phase::Summarize,
+            phase_initialized: false,
+            iterations: Vec::new(),
+            cumulative: Duration::ZERO,
+            union_marks: UnionBreakdown::default(),
+            shared_union_base: 0,
+        }
+    }
+
+    /// The graph being clustered.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.kernel.graph()
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &AnyScanConfig {
+        &self.config
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Similarity-evaluation counters so far (Fig. 7's left panel).
+    pub fn stats(&self) -> SimStats {
+        self.kernel.stats()
+    }
+
+    /// `Union` counts per step so far (Fig. 12).
+    pub fn union_breakdown(&self) -> UnionBreakdown {
+        let mut b = self.union_marks;
+        if let Some(shared) = &self.dsu_shared {
+            let since_step1 = shared.counters().unions - self.shared_union_base;
+            match self.phase {
+                Phase::MergeStrong => b.step2 = since_step1,
+                Phase::MergeWeak | Phase::Borders | Phase::ResolveRoles | Phase::Done => {
+                    b.step3 = since_step1 - b.step2;
+                }
+                _ => {}
+            }
+        }
+        b
+    }
+
+    /// Timing records of every block iteration executed so far.
+    pub fn iterations(&self) -> &[IterationRecord] {
+        &self.iterations
+    }
+
+    /// Cumulative wall time spent inside [`AnyScan::step`].
+    pub fn cumulative_time(&self) -> Duration {
+        self.cumulative
+    }
+
+    /// Number of super-nodes created so far.
+    pub fn num_supernodes(&self) -> usize {
+        self.sn.len()
+    }
+
+    /// Executes one block iteration of the current phase and returns its
+    /// timing record. Calling after `Done` is a cheap no-op record.
+    pub fn step(&mut self) -> IterationRecord {
+        let start = Instant::now();
+        let block_len = match self.phase {
+            Phase::Summarize => {
+                let len = self.step1_block();
+                if self.draw_cursor >= self.draw_order.len() && len == 0 {
+                    self.finish_step1();
+                    self.advance(Phase::MergeStrong);
+                }
+                len
+            }
+            Phase::MergeStrong => {
+                if !self.phase_initialized {
+                    self.init_step2();
+                }
+                let len = self.step2_block();
+                if self.work_cursor >= self.work.len() {
+                    self.mark_step2_unions();
+                    self.advance(Phase::MergeWeak);
+                }
+                len
+            }
+            Phase::MergeWeak => {
+                if !self.phase_initialized {
+                    self.init_step3();
+                }
+                let len = self.step3_block();
+                if self.work_cursor >= self.work.len() {
+                    self.mark_step3_unions();
+                    self.advance(Phase::Borders);
+                }
+                len
+            }
+            Phase::Borders => {
+                if !self.phase_initialized {
+                    self.init_step4();
+                }
+                let len = self.step4_block();
+                if self.work_cursor >= self.work.len() {
+                    self.advance(Phase::ResolveRoles);
+                }
+                len
+            }
+            Phase::ResolveRoles => {
+                if !self.phase_initialized {
+                    self.init_resolve_roles();
+                }
+                let len = self.resolve_roles_block();
+                if self.work_cursor >= self.work.len() {
+                    self.advance(Phase::Done);
+                }
+                len
+            }
+            Phase::Done => 0,
+        };
+        let elapsed = start.elapsed();
+        self.cumulative += elapsed;
+        let record = IterationRecord {
+            phase: self.phase,
+            index: self.iterations.len(),
+            block_len,
+            elapsed,
+            cumulative: self.cumulative,
+        };
+        if self.phase != Phase::Done || block_len > 0 {
+            self.iterations.push(record);
+        }
+        record
+    }
+
+    /// Runs to completion and returns the exact result.
+    pub fn run(&mut self) -> Clustering {
+        while self.phase != Phase::Done {
+            self.step();
+        }
+        self.result()
+    }
+
+    /// Best-so-far clustering at the current instant (Lemma 1: label every
+    /// vertex by the cluster of its super-nodes). Cheap: no similarity work.
+    pub fn snapshot(&self) -> Clustering {
+        build_snapshot(self, false)
+    }
+
+    /// The final clustering, with hubs and outliers classified. Panics if
+    /// the run has not finished; use [`AnyScan::snapshot`] mid-run.
+    pub fn result(&self) -> Clustering {
+        assert_eq!(self.phase, Phase::Done, "result() requires a finished run; use snapshot()");
+        build_snapshot(self, true)
+    }
+
+    fn advance(&mut self, next: Phase) {
+        self.phase = next;
+        self.phase_initialized = false;
+        self.work.clear();
+        self.work_aux.clear();
+        self.work_cursor = 0;
+    }
+
+    pub(crate) fn set_phase_initialized(&mut self) {
+        self.phase_initialized = true;
+    }
+
+    /// Converts the growing sequential DSU into the fixed shared one at the
+    /// end of Step 1 and snapshots the step-1 union count.
+    fn finish_step1(&mut self) {
+        let seq = self.dsu_seq.take().expect("step 1 DSU present");
+        self.union_marks.step1 = seq.counters().unions;
+        let shared = SharedDsuImpl::from_seq(self.config.dsu, &seq);
+        self.shared_union_base = shared.counters().unions;
+        self.dsu_shared = Some(shared);
+    }
+
+    fn mark_step2_unions(&mut self) {
+        if let Some(shared) = &self.dsu_shared {
+            self.union_marks.step2 = shared.counters().unions - self.shared_union_base;
+        }
+    }
+
+    fn mark_step3_unions(&mut self) {
+        if let Some(shared) = &self.dsu_shared {
+            self.union_marks.step3 =
+                shared.counters().unions - self.shared_union_base - self.union_marks.step2;
+        }
+    }
+
+    /// Current cluster root of a super-node id, regardless of phase.
+    #[inline]
+    pub(crate) fn sn_root(&self, snid: u32) -> u32 {
+        match (&self.dsu_shared, &self.dsu_seq) {
+            (Some(shared), _) => shared.find(snid),
+            (None, Some(seq)) => seq.find_immutable(snid),
+            _ => unreachable!("one DSU always exists"),
+        }
+    }
+
+    /// Cluster root of a vertex via its first super-node membership.
+    #[inline]
+    pub(crate) fn vertex_root(&self, v: VertexId) -> Option<u32> {
+        self.sn.first_of(v).map(|snid| self.sn_root(snid))
+    }
+}
+
+/// Convenience batch API: runs anySCAN to completion with the given
+/// parameters and a block size auto-scaled to the graph (see
+/// [`AnyScanConfig::with_auto_block_size`]), returning the clustering
+/// together with its work counters — the shape the experiment harness
+/// consumes.
+pub fn anyscan(g: &CsrGraph, params: ScanParams) -> anyscan_output::AnyScanOutput {
+    let config = AnyScanConfig::new(params).with_auto_block_size(g.num_vertices());
+    let mut algo = AnyScan::new(g, config);
+    let clustering = algo.run();
+    anyscan_output::AnyScanOutput {
+        clustering,
+        stats: algo.stats(),
+        unions: algo.union_breakdown(),
+        supernodes: algo.num_supernodes(),
+        iterations: algo.iterations().len(),
+    }
+}
+
+pub mod anyscan_output {
+    //! Output bundle of the batch convenience API.
+
+    use anyscan_scan_common::{Clustering, SimStats};
+
+    use super::UnionBreakdown;
+
+    /// Result of a completed batch anySCAN run.
+    #[derive(Debug, Clone)]
+    pub struct AnyScanOutput {
+        pub clustering: Clustering,
+        pub stats: SimStats,
+        pub unions: UnionBreakdown,
+        pub supernodes: usize,
+        pub iterations: usize,
+    }
+}

@@ -1,0 +1,284 @@
+//! The ε-hierarchy: every SCAN clustering for **all** ε at once.
+//!
+//! The paper's related work (SCOT, gSkeletonClu [20, 21]) builds
+//! structure-connected hierarchies to sidestep ε selection. This module
+//! implements that idea on top of our kernel, for a fixed μ:
+//!
+//! * every vertex `v` has a **core threshold** `ε_core(v)` — the largest ε
+//!   at which it is still a core. With closed neighborhoods this is the
+//!   μ-th largest similarity among `{1.0} ∪ {σ(v, q) | q ∈ N_v}` (σ(v,v)=1
+//!   counts), or 0-like if `|Γ(v)| < μ`;
+//! * two cores `u, v` joined by an edge become density-connected once
+//!   `ε ≤ min(σ(u,v), ε_core(u), ε_core(v))` — the edge's **merge
+//!   threshold**;
+//! * processing edges by descending merge threshold through a union-find
+//!   yields a dendrogram whose cut at any ε is exactly SCAN's partition of
+//!   the core vertices at that ε.
+//!
+//! One `O(ΣD + |E| log |E|)` build then answers every "what if ε were…"
+//! question in `O(|E| α(|V|))`; correctness is cross-checked against the
+//! full algorithms in tests.
+
+use anyscan_dsu::DsuSeq;
+use anyscan_graph::{CsrGraph, VertexId};
+use anyscan_parallel::{parallel_map_dynamic, DEFAULT_CHUNK};
+use anyscan_scan_common::kernel::sigma_raw;
+use anyscan_scan_common::{Clustering, Role, NOISE};
+
+/// One dendrogram merge event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeEvent {
+    /// Largest ε at which the merge is active.
+    pub epsilon: f64,
+    /// The edge that created the connection.
+    pub u: VertexId,
+    pub v: VertexId,
+}
+
+/// The ε-hierarchy for a fixed μ.
+#[derive(Debug)]
+pub struct EpsilonHierarchy<'g> {
+    graph: &'g CsrGraph,
+    mu: usize,
+    /// `ε_core(v)`: largest ε at which `v` is a core (0.0 when never).
+    core_threshold: Vec<f64>,
+    /// Per-edge σ, kept for border attachment at query time.
+    edge_sigmas: Vec<(VertexId, VertexId, f64)>,
+    /// Merge events sorted by descending ε.
+    merges: Vec<MergeEvent>,
+}
+
+impl<'g> EpsilonHierarchy<'g> {
+    /// Builds the hierarchy with `threads` workers (the σ evaluations are
+    /// the dominant cost and parallelize perfectly).
+    pub fn build(graph: &'g CsrGraph, mu: usize, threads: usize) -> Self {
+        assert!(mu >= 1);
+        let n = graph.num_vertices();
+
+        // σ for every edge, grouped by the lower endpoint.
+        let per_vertex: Vec<Vec<(VertexId, VertexId, f64)>> =
+            parallel_map_dynamic(threads, n, DEFAULT_CHUNK, |u| {
+                let u = u as VertexId;
+                graph
+                    .neighbor_ids(u)
+                    .iter()
+                    .filter(|&&v| v > u)
+                    .map(|&v| (u, v, sigma_raw(graph, u, v)))
+                    .collect()
+            });
+        let edge_sigmas: Vec<(VertexId, VertexId, f64)> =
+            per_vertex.into_iter().flatten().collect();
+
+        // ε_core(v): μ-th largest of {1.0 (self)} ∪ incident σ.
+        let mut incident: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for &(u, v, s) in &edge_sigmas {
+            incident[u as usize].push(s);
+            incident[v as usize].push(s);
+        }
+        let core_threshold: Vec<f64> = incident
+            .into_iter()
+            .map(|mut sims| {
+                sims.push(1.0); // σ(v, v)
+                if sims.len() < mu {
+                    return 0.0;
+                }
+                sims.sort_unstable_by(|a, b| b.partial_cmp(a).expect("σ is finite"));
+                sims[mu - 1]
+            })
+            .collect();
+
+        // Merge events: potential connections between adjacent cores.
+        let mut merges: Vec<MergeEvent> = edge_sigmas
+            .iter()
+            .filter(|&&(u, v, _)| {
+                core_threshold[u as usize] > 0.0 && core_threshold[v as usize] > 0.0
+            })
+            .map(|&(u, v, s)| MergeEvent {
+                epsilon: s
+                    .min(core_threshold[u as usize])
+                    .min(core_threshold[v as usize]),
+                u,
+                v,
+            })
+            .collect();
+        merges.sort_unstable_by(|a, b| b.epsilon.partial_cmp(&a.epsilon).expect("finite ε"));
+
+        EpsilonHierarchy { graph, mu, core_threshold, edge_sigmas, merges }
+    }
+
+    /// The μ this hierarchy was built for.
+    pub fn mu(&self) -> usize {
+        self.mu
+    }
+
+    /// `ε_core(v)` — the largest ε at which `v` is a core.
+    pub fn core_threshold(&self, v: VertexId) -> f64 {
+        self.core_threshold[v as usize]
+    }
+
+    /// All merge events, by descending ε (the dendrogram).
+    pub fn merges(&self) -> &[MergeEvent] {
+        &self.merges
+    }
+
+    /// The full SCAN clustering at `epsilon` (cores + borders + noise),
+    /// equivalent to running any of the workspace algorithms at
+    /// `(epsilon, μ)`.
+    pub fn clustering_at(&self, epsilon: f64) -> Clustering {
+        let n = self.graph.num_vertices();
+        let is_core = |v: VertexId| self.core_threshold[v as usize] >= epsilon;
+        let mut dsu = DsuSeq::new(n);
+        for m in &self.merges {
+            if m.epsilon < epsilon {
+                break; // sorted descending: nothing below is active
+            }
+            dsu.union(m.u, m.v);
+        }
+        let mut labels = vec![NOISE; n];
+        let mut roles = vec![Role::Outlier; n];
+        for v in 0..n as VertexId {
+            if is_core(v) {
+                labels[v as usize] = dsu.find(v);
+                roles[v as usize] = Role::Core;
+            }
+        }
+        for &(u, v, s) in &self.edge_sigmas {
+            if s < epsilon {
+                continue;
+            }
+            for (a, b) in [(u, v), (v, u)] {
+                if is_core(a) && !is_core(b) && labels[b as usize] == NOISE {
+                    labels[b as usize] = labels[a as usize];
+                    roles[b as usize] = Role::Border;
+                }
+            }
+        }
+        let mut clustering = Clustering { labels, roles };
+        clustering.classify_noise(self.graph);
+        clustering
+    }
+
+    /// Number of clusters at each of the given ε values (descending sweep
+    /// in one union-find pass; ε values may come in any order, the result
+    /// aligns with the input).
+    pub fn cluster_counts(&self, epsilons: &[f64]) -> Vec<usize> {
+        // Process ε descending, replaying merges incrementally.
+        let n = self.graph.num_vertices();
+        let mut order: Vec<usize> = (0..epsilons.len()).collect();
+        order.sort_by(|&a, &b| epsilons[b].partial_cmp(&epsilons[a]).expect("finite ε"));
+        let mut out = vec![0usize; epsilons.len()];
+        let mut dsu = DsuSeq::new(n);
+        let mut next_merge = 0usize;
+        for &slot in &order {
+            let eps = epsilons[slot];
+            while next_merge < self.merges.len() && self.merges[next_merge].epsilon >= eps {
+                dsu.union(self.merges[next_merge].u, self.merges[next_merge].v);
+                next_merge += 1;
+            }
+            // Count distinct roots among cores at this ε.
+            let mut roots = std::collections::HashSet::new();
+            for v in 0..n as VertexId {
+                if self.core_threshold[v as usize] >= eps {
+                    roots.insert(dsu.find(v));
+                }
+            }
+            out[slot] = roots.len();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan_graph::gen::{erdos_renyi, WeightModel};
+    use anyscan_graph::GraphBuilder;
+    use anyscan_scan_common::verify::assert_scan_equivalent;
+    use anyscan_scan_common::ScanParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bridged_triangles() -> CsrGraph {
+        GraphBuilder::from_unweighted_edges(
+            6,
+            vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn core_thresholds_are_sensible() {
+        let g = bridged_triangles();
+        let h = EpsilonHierarchy::build(&g, 3, 1);
+        // Triangle-corner vertices stay cores up to high ε; with μ=3 the
+        // threshold is the 3rd largest of {1, σ…} > 0.5 here.
+        for v in 0..6u32 {
+            assert!(h.core_threshold(v) > 0.5, "v={v}: {}", h.core_threshold(v));
+            assert!(h.core_threshold(v) <= 1.0);
+        }
+        // μ larger than any closed degree ⇒ never a core.
+        let h = EpsilonHierarchy::build(&g, 10, 1);
+        for v in 0..6u32 {
+            assert_eq!(h.core_threshold(v), 0.0);
+        }
+    }
+
+    #[test]
+    fn merges_are_sorted_descending() {
+        let g = bridged_triangles();
+        let h = EpsilonHierarchy::build(&g, 3, 1);
+        for w in h.merges().windows(2) {
+            assert!(w[0].epsilon >= w[1].epsilon);
+        }
+    }
+
+    #[test]
+    fn cut_matches_full_algorithms_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let g = erdos_renyi(&mut rng, 180, 1_400, WeightModel::uniform_default());
+        for mu in [2usize, 5] {
+            let h = EpsilonHierarchy::build(&g, mu, 2);
+            for eps in [0.25, 0.45, 0.65, 0.85] {
+                let params = ScanParams::new(eps, mu);
+                let truth = anyscan_baselines::scan(&g, params).clustering;
+                let cut = h.clustering_at(eps);
+                assert_scan_equivalent(&g, params, &truth, &cut);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_counts_match_individual_cuts() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let g = erdos_renyi(&mut rng, 120, 900, WeightModel::uniform_default());
+        let h = EpsilonHierarchy::build(&g, 4, 1);
+        // Deliberately unsorted query order.
+        let eps = [0.6, 0.2, 0.8, 0.4];
+        let fast = h.cluster_counts(&eps);
+        for (i, &e) in eps.iter().enumerate() {
+            assert_eq!(fast[i], h.clustering_at(e).num_clusters(), "eps {e}");
+        }
+    }
+
+    #[test]
+    fn cluster_count_evolution_on_known_graph() {
+        let g = bridged_triangles();
+        let h = EpsilonHierarchy::build(&g, 3, 1);
+        let counts = h.cluster_counts(&[0.2, 0.7]);
+        assert_eq!(counts, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let g = GraphBuilder::new(0).build();
+        let h = EpsilonHierarchy::build(&g, 3, 1);
+        assert!(h.merges().is_empty());
+        assert_eq!(h.clustering_at(0.5).len(), 0);
+
+        let g = GraphBuilder::new(1).build();
+        let h = EpsilonHierarchy::build(&g, 1, 1);
+        // A lone vertex with μ=1 is a core (its closed neighborhood is {v}).
+        assert_eq!(h.core_threshold(0), 1.0);
+        assert_eq!(h.clustering_at(0.9).num_clusters(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Best-so-far labeling (Lemma 1: every super-node member carries its
+//! super-node's cluster).
+
+use anyscan_graph::VertexId;
+use anyscan_scan_common::{Clustering, Role, NOISE, UNCLASSIFIED};
+
+use crate::driver::AnyScan;
+use crate::state::VertexState;
+
+/// Builds the clustering implied by the current super-node DSU and state
+/// table. `finalize` additionally splits noise into hubs and outliers (only
+/// meaningful once the run is done).
+pub(crate) fn build_snapshot(algo: &AnyScan<'_>, finalize: bool) -> Clustering {
+    let g = algo.graph();
+    let n = g.num_vertices();
+    let mut labels = vec![UNCLASSIFIED; n];
+    let mut roles = vec![Role::Unclassified; n];
+    for v in 0..n as VertexId {
+        let state = algo.states.get(v);
+        let (label, role) = match algo.vertex_root(v) {
+            Some(root) => {
+                let role = match state {
+                    VertexState::ProcessedCore | VertexState::UnprocessedCore => Role::Core,
+                    // Unprocessed-border = clustered, core status unknown
+                    // (or deliberately unresolved): reported as border.
+                    VertexState::UnprocessedBorder | VertexState::ProcessedBorder => Role::Border,
+                    other => {
+                        debug_assert!(false, "clustered vertex {v} in noise state {other:?}");
+                        Role::Border
+                    }
+                };
+                (root, role)
+            }
+            None => match state {
+                VertexState::Untouched => (UNCLASSIFIED, Role::Unclassified),
+                VertexState::UnprocessedNoise | VertexState::ProcessedNoise => {
+                    (NOISE, Role::Outlier)
+                }
+                other => {
+                    debug_assert!(false, "member-less vertex {v} in state {other:?}");
+                    (NOISE, Role::Outlier)
+                }
+            },
+        };
+        labels[v as usize] = label;
+        roles[v as usize] = role;
+    }
+    let mut clustering = Clustering { labels, roles };
+    if finalize {
+        clustering.classify_noise(g);
+    }
+    clustering
+}

@@ -1,0 +1,271 @@
+//! The seven-state vertex machine of Fig. 3, with atomic transitions.
+//!
+//! States only ever move "up" a partial order (processed never reverts to
+//! unprocessed, a core never demotes, a border never becomes a core), so the
+//! parallel phases can publish transitions with CAS loops and conflicting
+//! writers always converge.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Vertex states (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum VertexState {
+    /// Never seen.
+    Untouched = 0,
+    /// `|Γ(p)| < μ` observed: can never be a core; not yet examined.
+    UnprocessedNoise = 1,
+    /// Examined (range query ran), not a core, no core neighbor known yet.
+    ProcessedNoise = 2,
+    /// Member of ≥ 1 super-node; own core status unknown.
+    UnprocessedBorder = 3,
+    /// Confirmed non-core inside a cluster.
+    ProcessedBorder = 4,
+    /// Known core (e.g. `nei ≥ μ`), neighborhood not yet summarized.
+    UnprocessedCore = 5,
+    /// Examined core: representative of a super-node.
+    ProcessedCore = 6,
+}
+
+impl VertexState {
+    /// All states, in discriminant order.
+    pub const ALL: [VertexState; 7] = [
+        VertexState::Untouched,
+        VertexState::UnprocessedNoise,
+        VertexState::ProcessedNoise,
+        VertexState::UnprocessedBorder,
+        VertexState::ProcessedBorder,
+        VertexState::UnprocessedCore,
+        VertexState::ProcessedCore,
+    ];
+
+    #[inline]
+    fn from_u8(v: u8) -> VertexState {
+        Self::ALL[v as usize]
+    }
+
+    /// True for the two states that certify a core (Definition 3 already
+    /// established).
+    #[inline]
+    pub fn is_known_core(self) -> bool {
+        matches!(self, VertexState::UnprocessedCore | VertexState::ProcessedCore)
+    }
+
+    /// True once the vertex can never become a core.
+    #[inline]
+    pub fn is_known_non_core(self) -> bool {
+        matches!(
+            self,
+            VertexState::UnprocessedNoise
+                | VertexState::ProcessedNoise
+                | VertexState::ProcessedBorder
+        )
+    }
+
+    /// Whether the transition `self → next` is allowed by Fig. 3
+    /// (self-transitions are allowed as no-ops).
+    pub fn can_transition_to(self, next: VertexState) -> bool {
+        use VertexState::*;
+        if self == next {
+            return true;
+        }
+        matches!(
+            (self, next),
+            (Untouched, UnprocessedNoise)
+                | (Untouched, ProcessedNoise)
+                | (Untouched, UnprocessedBorder)
+                | (Untouched, UnprocessedCore)
+                | (Untouched, ProcessedCore)
+                | (UnprocessedNoise, ProcessedBorder)
+                | (UnprocessedNoise, ProcessedNoise)
+                | (ProcessedNoise, ProcessedBorder)
+                | (UnprocessedBorder, UnprocessedCore)
+                | (UnprocessedBorder, ProcessedBorder)
+                | (UnprocessedBorder, ProcessedCore)
+                | (UnprocessedCore, ProcessedCore)
+        )
+    }
+}
+
+/// One atomic state cell per vertex.
+#[derive(Debug)]
+pub struct StateTable {
+    cells: Vec<AtomicU8>,
+}
+
+impl StateTable {
+    /// All vertices start `Untouched`.
+    pub fn new(n: usize) -> Self {
+        StateTable { cells: (0..n).map(|_| AtomicU8::new(VertexState::Untouched as u8)).collect() }
+    }
+
+    /// Number of vertices tracked.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Current state of `v`.
+    #[inline]
+    pub fn get(&self, v: u32) -> VertexState {
+        VertexState::from_u8(self.cells[v as usize].load(Ordering::Acquire))
+    }
+
+    /// Publishes `next` for `v` if Fig. 3 allows it from the current state;
+    /// retries on contention; returns the state that ended up stored (which
+    /// may be a concurrent writer's *later* state). Illegal requested
+    /// transitions panic in debug builds and are ignored in release.
+    pub fn transition(&self, v: u32, next: VertexState) -> VertexState {
+        let cell = &self.cells[v as usize];
+        let mut cur = VertexState::from_u8(cell.load(Ordering::Acquire));
+        loop {
+            if cur == next {
+                return cur;
+            }
+            if !cur.can_transition_to(next) {
+                // A concurrent writer may have advanced past `next` (e.g.
+                // two threads marking border vs. core); keep the later state.
+                debug_assert!(
+                    concurrent_overtake_allowed(cur, next),
+                    "illegal state transition {cur:?} -> {next:?} for vertex {v}"
+                );
+                return cur;
+            }
+            match cell.compare_exchange_weak(
+                cur as u8,
+                next as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return next,
+                Err(actual) => cur = VertexState::from_u8(actual),
+            }
+        }
+    }
+
+    /// Number of vertices currently in `state` (linear scan; diagnostics).
+    pub fn count(&self, state: VertexState) -> usize {
+        self.cells.iter().filter(|c| c.load(Ordering::Relaxed) == state as u8).count()
+    }
+}
+
+/// Pairs where a *requested* transition is legitimately superseded by a
+/// concurrent stronger one: e.g. thread A marks `q` border while thread B
+/// already certified it core.
+fn concurrent_overtake_allowed(cur: VertexState, requested: VertexState) -> bool {
+    use VertexState::*;
+    matches!(
+        (cur, requested),
+        (UnprocessedCore, UnprocessedBorder)   // border marking lost to core upgrade
+            | (ProcessedCore, UnprocessedBorder)
+            | (ProcessedCore, UnprocessedCore) // examination finished first
+            | (ProcessedBorder, UnprocessedBorder)
+            | (ProcessedBorder, ProcessedNoise)
+            | (UnprocessedBorder, ProcessedNoise)
+            | (UnprocessedCore, ProcessedNoise)
+            | (ProcessedCore, ProcessedNoise)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use VertexState::*;
+
+    #[test]
+    fn fig3_transitions_allowed() {
+        assert!(Untouched.can_transition_to(UnprocessedBorder));
+        assert!(Untouched.can_transition_to(ProcessedCore));
+        assert!(Untouched.can_transition_to(ProcessedNoise));
+        assert!(Untouched.can_transition_to(UnprocessedNoise));
+        assert!(UnprocessedNoise.can_transition_to(ProcessedBorder));
+        assert!(UnprocessedNoise.can_transition_to(ProcessedNoise));
+        assert!(ProcessedNoise.can_transition_to(ProcessedBorder));
+        assert!(UnprocessedBorder.can_transition_to(UnprocessedCore));
+        assert!(UnprocessedBorder.can_transition_to(ProcessedCore));
+        assert!(UnprocessedBorder.can_transition_to(ProcessedBorder));
+        assert!(UnprocessedCore.can_transition_to(ProcessedCore));
+    }
+
+    #[test]
+    fn forbidden_transitions() {
+        // A core never demotes; a border never becomes noise; processed
+        // never reverts to unprocessed.
+        assert!(!ProcessedCore.can_transition_to(ProcessedBorder));
+        assert!(!UnprocessedCore.can_transition_to(ProcessedBorder));
+        assert!(!ProcessedBorder.can_transition_to(UnprocessedCore));
+        assert!(!ProcessedBorder.can_transition_to(ProcessedNoise));
+        assert!(!ProcessedBorder.can_transition_to(UnprocessedBorder));
+        assert!(!ProcessedNoise.can_transition_to(Untouched));
+        assert!(!UnprocessedNoise.can_transition_to(UnprocessedCore));
+        assert!(!UnprocessedNoise.can_transition_to(UnprocessedBorder));
+    }
+
+    #[test]
+    fn known_core_and_non_core_are_disjoint() {
+        for s in VertexState::ALL {
+            assert!(!(s.is_known_core() && s.is_known_non_core()), "{s:?}");
+        }
+        assert!(UnprocessedCore.is_known_core());
+        assert!(ProcessedCore.is_known_core());
+        assert!(UnprocessedNoise.is_known_non_core());
+        assert!(ProcessedBorder.is_known_non_core());
+        assert!(!Untouched.is_known_core());
+        assert!(!Untouched.is_known_non_core());
+        assert!(!UnprocessedBorder.is_known_core());
+        assert!(!UnprocessedBorder.is_known_non_core());
+    }
+
+    #[test]
+    fn table_transitions_and_counts() {
+        let t = StateTable::new(4);
+        assert_eq!(t.count(Untouched), 4);
+        assert_eq!(t.transition(0, UnprocessedBorder), UnprocessedBorder);
+        assert_eq!(t.transition(0, UnprocessedCore), UnprocessedCore);
+        assert_eq!(t.transition(0, ProcessedCore), ProcessedCore);
+        assert_eq!(t.get(0), ProcessedCore);
+        assert_eq!(t.count(Untouched), 3);
+        // No-op self transition.
+        assert_eq!(t.transition(0, ProcessedCore), ProcessedCore);
+    }
+
+    #[test]
+    fn concurrent_border_vs_core_marking_converges_to_core() {
+        let t = StateTable::new(1);
+        t.transition(0, UnprocessedBorder);
+        t.transition(0, UnprocessedCore);
+        // A straggler thread still trying to mark "border" must observe the
+        // stronger state and leave it.
+        assert_eq!(t.transition(0, UnprocessedBorder), UnprocessedCore);
+        assert_eq!(t.get(0), UnprocessedCore);
+    }
+
+    #[test]
+    fn parallel_hammering_is_monotone() {
+        let t = StateTable::new(64);
+        std::thread::scope(|s| {
+            for tid in 0..4u32 {
+                let t = &t;
+                s.spawn(move || {
+                    for v in 0..64u32 {
+                        t.transition(v, UnprocessedBorder);
+                        if (v + tid) % 2 == 0 {
+                            t.transition(v, UnprocessedCore);
+                        }
+                    }
+                });
+            }
+        });
+        for v in 0..64u32 {
+            let s = t.get(v);
+            assert!(
+                s == UnprocessedBorder || s == UnprocessedCore,
+                "vertex {v} ended in {s:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Step 4 — Determining border vertices (Fig. 4 lines 63–65), plus the
+//! optional role-resolution pass.
+//!
+//! Every vertex still in a noise state is re-examined: if some adjacent core
+//! is ε-similar, the vertex is a border of that core's cluster; otherwise it
+//! is true noise (split into hubs and outliers at result time). For
+//! processed-noise vertices the stored ε-neighborhood from Step 1 already
+//! certifies σ ≥ ε, so only the neighbor's core status matters; for
+//! unprocessed-noise vertices σ must be evaluated too. Core checks of
+//! unprocessed-border neighbors may race redundantly across threads — the
+//! paper accepts this ("this case very rarely happens") and the state table
+//! converges.
+
+use anyscan_graph::VertexId;
+use anyscan_parallel::{parallel_for_dynamic, parallel_map_dynamic};
+
+use crate::driver::AnyScan;
+use crate::state::VertexState;
+
+impl AnyScan<'_> {
+    pub(crate) fn init_step4(&mut self) {
+        let n = self.kernel.graph().num_vertices() as VertexId;
+        let mut work = Vec::new();
+        let mut aux = Vec::new();
+        for (idx, (v, _)) in self.noise_list.iter().enumerate() {
+            if self.states.get(*v) == VertexState::ProcessedNoise {
+                work.push(*v);
+                aux.push(Some(idx));
+            }
+        }
+        for v in 0..n {
+            if self.states.get(v) == VertexState::UnprocessedNoise {
+                work.push(v);
+                aux.push(None);
+            }
+        }
+        self.work = work;
+        self.work_aux = aux;
+        self.work_cursor = 0;
+        self.set_phase_initialized();
+    }
+
+    /// Runs one β-block of border determination; returns the block length.
+    pub(crate) fn step4_block(&mut self) -> usize {
+        let start = self.work_cursor;
+        let end = (start + self.config.beta).min(self.work.len());
+        self.work_cursor = end;
+        if start >= end {
+            return 0;
+        }
+        let block: Vec<VertexId> = self.work[start..end].to_vec();
+        let aux: Vec<Option<usize>> = self.work_aux[start..end].to_vec();
+        let threads = self.config.threads;
+        let this: &AnyScan<'_> = &*self;
+        let g = this.kernel.graph();
+
+        // Phase A: find an adopting core per noise vertex (parallel).
+        let block_ref = &block;
+        let aux_ref = &aux;
+        let adoptions: Vec<Option<u32>> = parallel_map_dynamic(threads, block.len(), 4, |i| {
+            let p = block_ref[i];
+            match aux_ref[i] {
+                Some(noise_idx) => {
+                    // Stored N^ε_p: σ(p, q) ≥ ε is already certified.
+                    for &q in &this.noise_list[noise_idx].1 {
+                        if q != p && this.decide_core(q) {
+                            return this.sn.first_of(q);
+                        }
+                    }
+                    None
+                }
+                None => {
+                    // Unprocessed noise: similarity unknown; test cores and
+                    // candidate cores among the plain neighbors.
+                    for &q in g.neighbor_ids(p) {
+                        if q == p {
+                            continue;
+                        }
+                        let qs = this.states.get(q);
+                        let could_adopt = qs.is_known_core()
+                            || qs == VertexState::UnprocessedBorder;
+                        if !could_adopt {
+                            continue;
+                        }
+                        if this.kernel.is_eps_neighbor(p, q) && this.decide_core(q) {
+                            return this.sn.first_of(q);
+                        }
+                    }
+                    None
+                }
+            }
+        });
+
+        // Phase B (sequential, cheap): record adoptions.
+        for (i, snid) in adoptions.into_iter().enumerate() {
+            let p = block[i];
+            match snid {
+                Some(snid) => {
+                    self.sn.attach(p, snid);
+                    self.states.transition(p, VertexState::ProcessedBorder);
+                }
+                None => {
+                    // True noise; normalize unprocessed-noise to processed.
+                    self.states.transition(p, VertexState::ProcessedNoise);
+                }
+            }
+        }
+        block.len()
+    }
+
+    pub(crate) fn init_resolve_roles(&mut self) {
+        let n = self.kernel.graph().num_vertices() as VertexId;
+        self.work = if self.config.resolve_roles {
+            (0..n).filter(|&v| self.states.get(v) == VertexState::UnprocessedBorder).collect()
+        } else {
+            Vec::new()
+        };
+        self.work_cursor = 0;
+        self.set_phase_initialized();
+    }
+
+    /// Decides the core/border role of one β-block of pruned vertices.
+    pub(crate) fn resolve_roles_block(&mut self) -> usize {
+        let start = self.work_cursor;
+        let end = (start + self.config.beta).min(self.work.len());
+        self.work_cursor = end;
+        if start >= end {
+            return 0;
+        }
+        let block: Vec<VertexId> = self.work[start..end].to_vec();
+        let this: &AnyScan<'_> = &*self;
+        let block_ref = &block;
+        parallel_for_dynamic(self.config.threads, block.len(), 4, |range| {
+            for i in range {
+                let _ = this.decide_core(block_ref[i]);
+            }
+        });
+        block.len()
+    }
+}

@@ -1,0 +1,104 @@
+//! Mutex-protected union-find: the paper's `#pragma omp critical` analogue.
+
+use parking_lot::Mutex;
+
+use crate::seq::DsuSeq;
+use crate::{DsuCounters, SharedDsu};
+
+/// [`DsuSeq`] behind a [`parking_lot::Mutex`].
+///
+/// This mirrors the paper's parallelization exactly: every `Union` (and here
+/// also `Find`) executes inside a critical section. The paper argues the
+/// number of Union operations is small enough that this does not hurt
+/// scalability (§III-B, Fig. 12); the DSU ablation bench compares this
+/// against the lock-free [`crate::AtomicDsu`] to check that claim.
+#[derive(Debug)]
+pub struct LockedDsu {
+    inner: Mutex<DsuSeq>,
+}
+
+impl LockedDsu {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        LockedDsu { inner: Mutex::new(DsuSeq::new(n)) }
+    }
+
+    /// Wraps an existing sequential structure (preserving its counters).
+    pub fn from_seq(seq: DsuSeq) -> Self {
+        LockedDsu { inner: Mutex::new(seq) }
+    }
+
+    /// Unwraps back into the sequential structure.
+    pub fn into_seq(self) -> DsuSeq {
+        self.inner.into_inner()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.inner.lock().num_sets()
+    }
+}
+
+impl SharedDsu for LockedDsu {
+    fn find(&self, x: u32) -> u32 {
+        self.inner.lock().find(x)
+    }
+
+    fn union(&self, x: u32, y: u32) -> bool {
+        self.inner.lock().union(x, y)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    fn counters(&self) -> DsuCounters {
+        self.inner.lock().counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wraps_and_unwraps() {
+        let mut seq = DsuSeq::new(3);
+        seq.union(0, 1);
+        let locked = LockedDsu::from_seq(seq);
+        assert!(locked.same_set(0, 1));
+        assert!(locked.union(1, 2));
+        let mut seq = locked.into_seq();
+        assert!(seq.same_set(0, 2));
+        assert_eq!(seq.counters().unions, 2);
+    }
+
+    #[test]
+    fn concurrent_unions_produce_single_set() {
+        let n = 1_000;
+        let d = Arc::new(LockedDsu::new(n));
+        let threads = 4;
+        crossbeam::thread::scope(|s| {
+            for t in 0..threads {
+                let d = Arc::clone(&d);
+                s.spawn(move |_| {
+                    // Each thread links a strided chain; together they chain
+                    // every element to element 0.
+                    let mut i = t;
+                    while i + threads < n {
+                        d.union(i as u32, (i + threads) as u32);
+                        i += threads;
+                    }
+                    d.union(0, t as u32);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(d.num_sets(), 1);
+        let root = d.find(0);
+        for x in 0..n as u32 {
+            assert_eq!(d.find(x), root);
+        }
+    }
+}

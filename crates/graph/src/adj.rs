@@ -1,0 +1,264 @@
+//! A mutable adjacency-map graph for dynamic workloads.
+//!
+//! [`crate::CsrGraph`] is immutable by design (the SCAN kernels want frozen,
+//! sorted arrays); `AdjGraph` is its editable counterpart used by the
+//! incremental clustering extension: ordered per-vertex maps, O(log d)
+//! edge insertion/removal, cheap conversion to/from CSR. The closed-
+//! neighborhood convention (implicit self-loop of weight 1) is preserved:
+//! [`AdjGraph::degree`] counts the vertex itself and [`AdjGraph::norm_sq`]
+//! includes the self term, so similarity code sees the same numbers either
+//! way.
+
+use std::collections::BTreeMap;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::{GraphError, VertexId, Weight};
+
+/// An editable undirected weighted graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdjGraph {
+    /// Per-vertex neighbor → weight (self-loop NOT stored; it is implicit).
+    adj: Vec<BTreeMap<VertexId, Weight>>,
+    num_edges: u64,
+}
+
+impl AdjGraph {
+    /// An edgeless graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        AdjGraph { adj: vec![BTreeMap::new(); n], num_edges: 0 }
+    }
+
+    /// Imports a CSR graph.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let mut out = AdjGraph::new(g.num_vertices());
+        for (u, v, w) in g.edges() {
+            out.adj[u as usize].insert(v, w);
+            out.adj[v as usize].insert(u, w);
+        }
+        out.num_edges = g.num_edges();
+        out
+    }
+
+    /// Freezes into a CSR graph.
+    pub fn to_csr(&self) -> CsrGraph {
+        let mut b = GraphBuilder::with_capacity(self.adj.len(), self.num_edges as usize);
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for (&v, &w) in nbrs {
+                if v as usize > u {
+                    b.add_edge(u as VertexId, v, w);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges (self-loops excluded).
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Appends an isolated vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.adj.push(BTreeMap::new());
+        (self.adj.len() - 1) as VertexId
+    }
+
+    /// Inserts (or reweights) the undirected edge `(u, v)`; returns the
+    /// previous weight if the edge existed. Self-loops are rejected.
+    pub fn insert_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        w: Weight,
+    ) -> Result<Option<Weight>, GraphError> {
+        let n = self.adj.len() as u64;
+        if (u as u64) >= n || (v as u64) >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: u.max(v) as u64, num_vertices: n });
+        }
+        if u == v {
+            return Err(GraphError::InvalidWeight { u, v, weight: w });
+        }
+        if !w.is_finite() || w <= 0.0 {
+            return Err(GraphError::InvalidWeight { u, v, weight: w });
+        }
+        let prev = self.adj[u as usize].insert(v, w);
+        self.adj[v as usize].insert(u, w);
+        if prev.is_none() {
+            self.num_edges += 1;
+        }
+        Ok(prev)
+    }
+
+    /// Removes the edge `(u, v)`; returns its weight if present.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Option<Weight> {
+        if u as usize >= self.adj.len() || v as usize >= self.adj.len() || u == v {
+            return None;
+        }
+        let w = self.adj[u as usize].remove(&v)?;
+        self.adj[v as usize].remove(&u);
+        self.num_edges -= 1;
+        Some(w)
+    }
+
+    /// Weight of `(u, v)`; `Some(1.0)` for `u == v` (the implicit
+    /// self-loop), `None` for absent edges or out-of-range vertices.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        if u as usize >= self.adj.len() || v as usize >= self.adj.len() {
+            return None;
+        }
+        if u == v {
+            return Some(CsrGraph::SELF_LOOP_WEIGHT);
+        }
+        self.adj[u as usize].get(&v).copied()
+    }
+
+    /// Closed degree `|Γ(v)|` (counts `v` itself).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len() + 1
+    }
+
+    /// Iterator over open-neighborhood `(neighbor, weight)` pairs in id
+    /// order (self excluded).
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.adj[v as usize].iter().map(|(&q, &w)| (q, w))
+    }
+
+    /// `l_v = 1 + Σ w²` — the Lemma-5 norm with the implicit self-loop.
+    pub fn norm_sq(&self, v: VertexId) -> Weight {
+        1.0 + self.adj[v as usize].values().map(|w| w * w).sum::<Weight>()
+    }
+
+    /// Weighted structural similarity over the dynamic representation,
+    /// identical in value to the CSR kernel's σ (closed neighborhoods):
+    /// iterates the smaller neighborhood, probes the larger.
+    pub fn sigma(&self, u: VertexId, v: VertexId) -> f64 {
+        if u == v {
+            return 1.0;
+        }
+        let (small, large) = if self.adj[u as usize].len() <= self.adj[v as usize].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let large_map = &self.adj[large as usize];
+        let mut num = 0.0;
+        // Common plain neighbors.
+        for (&r, &w_s) in &self.adj[small as usize] {
+            if r == large {
+                continue; // handled by the self-loop terms below
+            }
+            if let Some(&w_l) = large_map.get(&r) {
+                num += w_s * w_l;
+            }
+        }
+        // Self-loop terms: r = u contributes w_uu·w_vu, r = v contributes
+        // w_uv·w_vv — both present iff (u, v) is an edge.
+        if let Some(&w_uv) = self.adj[u as usize].get(&v) {
+            num += 2.0 * w_uv * 1.0;
+        }
+        num / (self.norm_sq(u) * self.norm_sq(v)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{erdos_renyi, WeightModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Naive reference σ over the CSR representation (closed
+    /// neighborhoods), independent of both implementations under test.
+    fn sigma_reference(g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
+        let mut num = 0.0;
+        for (r, wu) in g.neighbors(u) {
+            if let Some(wv) = g.edge_weight(v, r) {
+                num += wu * wv;
+            }
+        }
+        let l = |x: VertexId| g.neighbors(x).map(|(_, w)| w * w).sum::<f64>();
+        num / (l(u) * l(v)).sqrt()
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut g = AdjGraph::new(4);
+        assert_eq!(g.insert_edge(0, 1, 0.5).unwrap(), None);
+        assert_eq!(g.insert_edge(1, 0, 0.8).unwrap(), Some(0.5)); // reweight
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(0.8));
+        assert_eq!(g.remove_edge(0, 1), Some(0.8));
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.remove_edge(0, 1), None);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut g = AdjGraph::new(2);
+        assert!(g.insert_edge(0, 0, 1.0).is_err());
+        assert!(g.insert_edge(0, 5, 1.0).is_err());
+        assert!(g.insert_edge(0, 1, -1.0).is_err());
+        assert!(g.insert_edge(0, 1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_graph() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let csr = erdos_renyi(&mut rng, 120, 700, WeightModel::uniform_default());
+        let adj = AdjGraph::from_csr(&csr);
+        assert_eq!(adj.num_edges(), csr.num_edges());
+        assert_eq!(adj.to_csr(), csr);
+    }
+
+    #[test]
+    fn sigma_matches_csr_kernel() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let csr = erdos_renyi(&mut rng, 80, 500, WeightModel::uniform_default());
+        let adj = AdjGraph::from_csr(&csr);
+        for u in csr.vertices() {
+            for &v in csr.neighbor_ids(u) {
+                let a = adj.sigma(u, v);
+                let b = sigma_reference(&csr, u, v);
+                assert!((a - b).abs() < 1e-12, "σ({u},{v}): adj {a} vs csr {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_and_norms_include_self() {
+        let mut g = AdjGraph::new(3);
+        g.insert_edge(0, 1, 2.0).unwrap();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 1);
+        assert!((g.norm_sq(0) - 5.0).abs() < 1e-12); // 1 + 4
+        assert!((g.norm_sq(2) - 1.0).abs() < 1e-12);
+        assert_eq!(g.edge_weight(2, 2), Some(1.0));
+    }
+
+    #[test]
+    fn add_vertex_grows_graph() {
+        let mut g = AdjGraph::new(1);
+        let v = g.add_vertex();
+        assert_eq!(v, 1);
+        g.insert_edge(0, v, 1.0).unwrap();
+        assert_eq!(g.to_csr().num_vertices(), 2);
+    }
+
+    #[test]
+    fn sigma_of_adjacent_vs_non_adjacent() {
+        let mut g = AdjGraph::new(3);
+        g.insert_edge(0, 1, 1.0).unwrap();
+        g.insert_edge(1, 2, 1.0).unwrap();
+        // 0 and 2 share only vertex 1.
+        let s = g.sigma(0, 2);
+        // num = w_01·w_21 = 1; l_0 = 2, l_2 = 2 → 0.5.
+        assert!((s - 0.5).abs() < 1e-12, "σ(0,2) = {s}");
+        assert_eq!(g.sigma(1, 1), 1.0);
+    }
+}

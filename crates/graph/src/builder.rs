@@ -1,0 +1,252 @@
+//! Edge-at-a-time graph construction.
+
+use crate::csr::CsrGraph;
+use crate::types::{GraphError, VertexId, Weight};
+
+/// Builds a [`CsrGraph`] from an unordered stream of undirected edges.
+///
+/// The builder:
+/// * symmetrizes — `add_edge(u, v, w)` creates both arcs;
+/// * deduplicates — parallel edges keep the **maximum** weight (deterministic
+///   and independent of insertion order);
+/// * drops explicit self-loops from the input (the canonical unit self-loop
+///   is inserted for every vertex at build time);
+/// * sorts every adjacency list by neighbor id.
+///
+/// ```
+/// use anyscan_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 0.4);
+/// b.add_edge(1, 0, 0.9); // duplicate: max weight wins
+/// let g = b.build();
+/// assert_eq!(g.edge_weight(0, 1), Some(0.9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    /// One (u, v, w) record per *directed* arc accumulated so far.
+    arcs: Vec<(VertexId, VertexId, Weight)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph over vertex ids `0..num_vertices`.
+    pub fn new(num_vertices: usize) -> Self {
+        assert!(
+            num_vertices <= u32::MAX as usize,
+            "vertex ids are u32; {num_vertices} vertices requested"
+        );
+        GraphBuilder { num_vertices, arcs: Vec::new() }
+    }
+
+    /// Pre-reserves room for `edges` undirected edges.
+    pub fn with_capacity(num_vertices: usize, edges: usize) -> Self {
+        let mut b = Self::new(num_vertices);
+        b.arcs.reserve(edges * 2);
+        b
+    }
+
+    /// Number of vertices the graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Adds an undirected edge, panicking on invalid input.
+    /// Use [`GraphBuilder::try_add_edge`] for fallible insertion.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        self.try_add_edge(u, v, w).expect("invalid edge");
+    }
+
+    /// Adds an undirected unit-weight edge.
+    pub fn add_unweighted_edge(&mut self, u: VertexId, v: VertexId) {
+        self.add_edge(u, v, 1.0);
+    }
+
+    /// Fallible edge insertion; self-loops are accepted and ignored.
+    pub fn try_add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), GraphError> {
+        let n = self.num_vertices as u64;
+        if (u as u64) >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: u as u64, num_vertices: n });
+        }
+        if (v as u64) >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: v as u64, num_vertices: n });
+        }
+        if !w.is_finite() || w <= 0.0 {
+            return Err(GraphError::InvalidWeight { u, v, weight: w });
+        }
+        if u == v {
+            return Ok(()); // canonical self-loop added in build()
+        }
+        self.arcs.push((u, v, w));
+        self.arcs.push((v, u, w));
+        Ok(())
+    }
+
+    /// Number of arcs (2× accepted edges) accumulated so far, before dedup.
+    pub fn pending_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Consumes the builder and produces the CSR graph.
+    pub fn build(mut self) -> CsrGraph {
+        let n = self.num_vertices;
+        // Append the canonical self-loops so the counting sort below places
+        // them alongside ordinary arcs.
+        self.arcs.reserve(n);
+        for v in 0..n as VertexId {
+            self.arcs.push((v, v, CsrGraph::SELF_LOOP_WEIGHT));
+        }
+
+        // Counting sort by source vertex: O(arcs + n), cache-friendlier than
+        // a comparison sort on the tuples for large graphs.
+        let mut counts = vec![0usize; n + 1];
+        for &(u, _, _) in &self.arcs {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut by_src: Vec<(VertexId, Weight)> = vec![(0, 0.0); self.arcs.len()];
+        {
+            let mut cursor = counts.clone();
+            for &(u, v, w) in &self.arcs {
+                let slot = cursor[u as usize];
+                by_src[slot] = (v, w);
+                cursor[u as usize] += 1;
+            }
+        }
+        drop(self.arcs);
+
+        // Per-vertex: sort by neighbor id, deduplicate keeping max weight.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors: Vec<VertexId> = Vec::with_capacity(by_src.len());
+        let mut weights: Vec<Weight> = Vec::with_capacity(by_src.len());
+        offsets.push(0);
+        for v in 0..n {
+            let slice = &mut by_src[counts[v]..counts[v + 1]];
+            slice.sort_unstable_by_key(|&(id, _)| id);
+            let mut i = 0;
+            while i < slice.len() {
+                let id = slice[i].0;
+                let mut w = slice[i].1;
+                let mut j = i + 1;
+                while j < slice.len() && slice[j].0 == id {
+                    if slice[j].1 > w {
+                        w = slice[j].1;
+                    }
+                    j += 1;
+                }
+                neighbors.push(id);
+                weights.push(w);
+                i = j;
+            }
+            offsets.push(neighbors.len());
+        }
+
+        let num_edges = (neighbors.len() - n) as u64 / 2;
+        let g = CsrGraph::from_parts(offsets, neighbors, weights, num_edges);
+        debug_assert!(g.check_invariants().is_ok(), "builder produced invalid CSR");
+        g
+    }
+
+    /// Convenience: builds a graph directly from an edge list.
+    pub fn from_edges(
+        num_vertices: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> Result<CsrGraph, GraphError> {
+        let mut b = GraphBuilder::new(num_vertices);
+        for (u, v, w) in edges {
+            b.try_add_edge(u, v, w)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Convenience: builds an unweighted (all weights 1.0) graph.
+    pub fn from_unweighted_edges(
+        num_vertices: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> Result<CsrGraph, GraphError> {
+        GraphBuilder::from_edges(num_vertices, edges.into_iter().map(|(u, v)| (u, v, 1.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetrizes_and_sorts() {
+        let g = GraphBuilder::from_edges(4, vec![(2, 0, 1.0), (3, 1, 0.5), (1, 0, 2.0)]).unwrap();
+        assert_eq!(g.neighbor_ids(0), &[0, 1, 2]);
+        assert_eq!(g.edge_weight(1, 3), Some(0.5));
+        assert_eq!(g.edge_weight(3, 1), Some(0.5));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn duplicate_edges_keep_max_weight_regardless_of_order() {
+        let a = GraphBuilder::from_edges(2, vec![(0, 1, 0.3), (0, 1, 0.8)]).unwrap();
+        let b = GraphBuilder::from_edges(2, vec![(1, 0, 0.8), (0, 1, 0.3)]).unwrap();
+        assert_eq!(a.edge_weight(0, 1), Some(0.8));
+        assert_eq!(a, b);
+        assert_eq!(a.num_edges(), 1);
+    }
+
+    #[test]
+    fn input_self_loops_ignored() {
+        let g = GraphBuilder::from_edges(2, vec![(0, 0, 5.0), (0, 1, 1.0)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        // The canonical self-loop weight wins, not the supplied 5.0.
+        assert_eq!(g.edge_weight(0, 0), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertices() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.try_add_edge(0, 2, 1.0),
+            Err(GraphError::VertexOutOfRange { vertex: 2, .. })
+        ));
+        assert!(matches!(
+            b.try_add_edge(7, 0, 1.0),
+            Err(GraphError::VertexOutOfRange { vertex: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut b = GraphBuilder::new(2);
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(b.try_add_edge(0, 1, w), Err(GraphError::InvalidWeight { .. })));
+        }
+    }
+
+    #[test]
+    fn unweighted_convenience() {
+        let g = GraphBuilder::from_unweighted_edges(3, vec![(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn build_is_deterministic_under_permutation() {
+        let edges = vec![(0, 1, 1.0), (1, 2, 0.5), (2, 3, 2.0), (3, 0, 0.25), (0, 2, 0.75)];
+        let g1 = GraphBuilder::from_edges(4, edges.clone()).unwrap();
+        let mut rev = edges;
+        rev.reverse();
+        let g2 = GraphBuilder::from_edges(4, rev).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn large_star_graph() {
+        let n = 10_000u32;
+        let mut b = GraphBuilder::with_capacity(n as usize, n as usize - 1);
+        for v in 1..n {
+            b.add_edge(0, v, 1.0);
+        }
+        let g = b.build();
+        assert_eq!(g.degree(0), n as usize);
+        assert_eq!(g.num_edges(), n as u64 - 1);
+        g.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,319 @@
+//! Immutable compressed-sparse-row graph.
+
+use crate::types::{EdgeId, VertexId, Weight};
+
+/// An undirected weighted graph in compressed-sparse-row form with **closed**
+/// neighborhoods: every vertex's adjacency list contains the vertex itself
+/// with [`CsrGraph::SELF_LOOP_WEIGHT`].
+///
+/// SCAN defines the structural neighborhood `Γ(v) = {u | (v,u) ∈ E} ∪ {v}`;
+/// materializing the self-loop turns every structural-similarity evaluation
+/// into a plain sorted merge-join over two adjacency slices, with no special
+/// cases. [`CsrGraph::degree`] therefore counts the vertex itself, matching
+/// `|Γ(v)|` in the SCAN literature, while [`CsrGraph::open_degree`] gives the
+/// conventional graph degree.
+///
+/// Adjacency lists are sorted by neighbor id and deduplicated. Per-vertex
+/// Lemma-5 quantities (`l_p = Σ w², w_p = max w`) are precomputed at build
+/// time so the O(1) similarity filter never touches the edge arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` delimits v's slice of `neighbors`/`weights`.
+    offsets: Vec<EdgeId>,
+    /// Flat adjacency array (includes the self-loop), sorted per vertex.
+    neighbors: Vec<VertexId>,
+    /// Weight of the corresponding arc in `neighbors`.
+    weights: Vec<Weight>,
+    /// Lemma 5: `l_p = Σ_{r∈N_p} w_pr²` (includes the self-loop).
+    norm_sq: Vec<Weight>,
+    /// Lemma 5: `w_p = max_{r∈N_p} w_pr` (includes the self-loop).
+    max_weight: Vec<Weight>,
+    /// Number of undirected edges, *excluding* self-loops.
+    num_edges: u64,
+}
+
+impl CsrGraph {
+    /// Weight assigned to the materialized self-loop of every vertex.
+    ///
+    /// With unit edge weights this makes Definition 1 reduce exactly to
+    /// SCAN's unweighted cosine similarity over closed neighborhoods.
+    pub const SELF_LOOP_WEIGHT: Weight = 1.0;
+
+    /// Assembles a graph from raw CSR arrays. Callers must guarantee the CSR
+    /// invariants (sorted, deduplicated, symmetric, self-loops present);
+    /// [`crate::GraphBuilder`] is the supported way to construct graphs.
+    pub(crate) fn from_parts(
+        offsets: Vec<EdgeId>,
+        neighbors: Vec<VertexId>,
+        weights: Vec<Weight>,
+        num_edges: u64,
+    ) -> Self {
+        debug_assert_eq!(neighbors.len(), weights.len());
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), neighbors.len());
+        let n = offsets.len().saturating_sub(1);
+        let mut norm_sq = Vec::with_capacity(n);
+        let mut max_weight = Vec::with_capacity(n);
+        for v in 0..n {
+            let (mut l, mut m) = (0.0, 0.0);
+            for &w in &weights[offsets[v]..offsets[v + 1]] {
+                l += w * w;
+                if w > m {
+                    m = w;
+                }
+            }
+            norm_sq.push(l);
+            max_weight.push(m);
+        }
+        CsrGraph { offsets, neighbors, weights, norm_sq, max_weight, num_edges }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges, excluding the materialized self-loops.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Closed degree `|Γ(v)|` (counts `v` itself).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Conventional (open) degree: number of distinct neighbors `≠ v`.
+    #[inline]
+    pub fn open_degree(&self, v: VertexId) -> usize {
+        self.degree(v) - 1
+    }
+
+    /// Iterator over `(neighbor, weight)` pairs of the closed neighborhood,
+    /// in increasing neighbor order (includes `(v, SELF_LOOP_WEIGHT)`).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let v = v as usize;
+        let range = self.offsets[v]..self.offsets[v + 1];
+        self.neighbors[range.clone()].iter().copied().zip(self.weights[range].iter().copied())
+    }
+
+    /// The sorted closed-neighborhood id slice of `v`.
+    #[inline]
+    pub fn neighbor_ids(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Weights aligned with [`CsrGraph::neighbor_ids`].
+    #[inline]
+    pub fn neighbor_weights(&self, v: VertexId) -> &[Weight] {
+        let v = v as usize;
+        &self.weights[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// `l_v = Σ_{r∈Γ(v)} w_vr²` — the squared neighborhood norm of Lemma 5.
+    #[inline]
+    pub fn norm_sq(&self, v: VertexId) -> Weight {
+        self.norm_sq[v as usize]
+    }
+
+    /// `w_v = max_{r∈Γ(v)} w_vr` — the maximum incident weight of Lemma 5.
+    #[inline]
+    pub fn max_weight(&self, v: VertexId) -> Weight {
+        self.max_weight[v as usize]
+    }
+
+    /// True if `u` and `v` are adjacent (`u == v` counts: closed neighborhood).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbor_ids(u).binary_search(&v).is_ok()
+    }
+
+    /// Weight of the arc `(u,v)` if present.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        let u_usize = u as usize;
+        let slice = &self.neighbors[self.offsets[u_usize]..self.offsets[u_usize + 1]];
+        slice
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.weights[self.offsets[u_usize] + i])
+    }
+
+    /// Iterator over all vertex ids.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over each undirected edge `(u, v, w)` exactly once
+    /// (`u < v`; self-loops are skipped).
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u).filter(move |&(v, _)| u < v).map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    /// Average open degree `2|E| / |V|` — the `d̄` column of Tables I/II.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            return 0.0;
+        }
+        2.0 * self.num_edges as f64 / self.num_vertices() as f64
+    }
+
+    /// Raw CSR views for zero-copy serialization.
+    pub(crate) fn raw_parts(&self) -> (&[EdgeId], &[VertexId], &[Weight], u64) {
+        (&self.offsets, &self.neighbors, &self.weights, self.num_edges)
+    }
+
+    /// Total number of stored arcs, including self-loops (2|E| + |V|).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Range of global arc indices owned by `v` (aligned with
+    /// [`CsrGraph::neighbor_ids`]); lets callers maintain per-arc side
+    /// tables (e.g. pSCAN's similarity verdict cache).
+    #[inline]
+    pub fn arc_range(&self, v: VertexId) -> std::ops::Range<EdgeId> {
+        let v = v as usize;
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// Validates every CSR invariant; used by tests and the binary loader.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        if self.offsets[0] != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        for v in 0..n {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(format!("offsets not monotone at {v}"));
+            }
+            let ids = self.neighbor_ids(v as VertexId);
+            if ids.binary_search(&(v as VertexId)).is_err() {
+                return Err(format!("vertex {v} lacks its self-loop"));
+            }
+            for w in ids.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("adjacency of {v} not strictly sorted"));
+                }
+            }
+            for (u, w) in self.neighbors(v as VertexId) {
+                if u as usize >= n {
+                    return Err(format!("neighbor {u} of {v} out of range"));
+                }
+                if w <= 0.0 || !w.is_finite() {
+                    return Err(format!("weight of ({v},{u}) invalid: {w}"));
+                }
+                if u as usize != v {
+                    match self.edge_weight(u, v as VertexId) {
+                        Some(back) if back == w => {}
+                        Some(_) => return Err(format!("asymmetric weight on ({v},{u})")),
+                        None => return Err(format!("missing reverse arc ({u},{v})")),
+                    }
+                }
+            }
+        }
+        let arcs_excl_self = self.num_arcs() - n;
+        if arcs_excl_self as u64 != 2 * self.num_edges {
+            return Err(format!(
+                "edge count mismatch: {} arcs (excl. self) vs num_edges={}",
+                arcs_excl_self, self.num_edges
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn triangle() -> super::CsrGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(2, 0, 0.5);
+        b.build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 3); // closed degree: self + 2 neighbors
+        assert_eq!(g.open_degree(0), 2);
+        assert_eq!(g.num_arcs(), 9); // 2*3 arcs + 3 self-loops
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_present_with_unit_weight() {
+        let g = triangle();
+        for v in 0..3 {
+            assert_eq!(g.edge_weight(v, v), Some(super::CsrGraph::SELF_LOOP_WEIGHT));
+        }
+    }
+
+    #[test]
+    fn neighbors_sorted_and_weighted() {
+        let g = triangle();
+        let n: Vec<_> = g.neighbors(1).collect();
+        assert_eq!(n, vec![(0, 1.0), (1, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn edge_weight_lookup() {
+        let g = triangle();
+        assert_eq!(g.edge_weight(0, 2), Some(0.5));
+        assert_eq!(g.edge_weight(2, 0), Some(0.5));
+        assert_eq!(g.edge_weight(0, 0), Some(1.0));
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert_eq!(g.edge_weight(0, 3), None);
+    }
+
+    #[test]
+    fn norms_include_self_loop() {
+        let g = triangle();
+        // l_1 = 1 (self) + 1 (to 0) + 4 (to 2)
+        assert!((g.norm_sq(1) - 6.0).abs() < 1e-12);
+        assert!((g.max_weight(1) - 2.0).abs() < 1e-12);
+        // Vertex with only weak edges: self-loop dominates max.
+        assert!((g.max_weight(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = triangle();
+        let mut e: Vec<_> = g.edges().collect();
+        e.sort_by_key(|&(u, v, _)| (u, v));
+        assert_eq!(e, vec![(0, 1, 1.0), (0, 2, 0.5), (1, 2, 2.0)]);
+    }
+
+    #[test]
+    fn invariants_hold() {
+        triangle().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+
+        let g = GraphBuilder::new(5).build(); // 5 isolated vertices
+        assert_eq!(g.num_edges(), 0);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 1); // just the self-loop
+        }
+        g.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,167 @@
+//! Classic random-graph models: Barabási–Albert preferential attachment and
+//! the Watts–Strogatz small world. Useful as additional workloads for the
+//! examples and for stress-testing the algorithms on degree-skewed and
+//! high-clustering regimes beyond the paper's dataset grid.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::gen::weights::WeightModel;
+use crate::types::VertexId;
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `m` existing vertices chosen proportionally
+/// to their degree (implemented with the standard repeated-endpoint trick).
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    m: usize,
+    weights: WeightModel,
+) -> CsrGraph {
+    assert!(m >= 1, "attachment count must be >= 1");
+    if n <= m + 1 {
+        // Too small for the process: return a clique.
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                b.add_edge(u, v, weights.draw(rng, false));
+            }
+        }
+        return b.build();
+    }
+    let mut b = GraphBuilder::with_capacity(n, n * m);
+    // `endpoints` holds each edge endpoint once: sampling uniformly from it
+    // IS degree-proportional sampling.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    // Seed clique over m+1 vertices.
+    for u in 0..=(m as VertexId) {
+        for v in (u + 1)..=(m as VertexId) {
+            b.add_edge(u, v, weights.draw(rng, false));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m as VertexId + 1)..n as VertexId {
+        let mut targets = Vec::with_capacity(m);
+        let mut guard = 0;
+        while targets.len() < m && guard < 50 * m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+        }
+        for &t in &targets {
+            b.add_edge(v, t, weights.draw(rng, false));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: a ring lattice where every vertex connects to
+/// its `k/2` nearest neighbors on each side, with each lattice edge rewired
+/// to a random endpoint with probability `beta`.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+    beta: f64,
+    weights: WeightModel,
+) -> CsrGraph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
+    assert!((0.0..=1.0).contains(&beta));
+    assert!(n > k, "need n > k");
+    let mut b = GraphBuilder::with_capacity(n, n * k / 2);
+    let mut present = std::collections::HashSet::new();
+    for u in 0..n as VertexId {
+        for offset in 1..=(k / 2) as VertexId {
+            let mut v = (u + offset) % n as VertexId;
+            if rng.gen::<f64>() < beta {
+                // Rewire the far endpoint to a fresh random vertex.
+                let mut guard = 0;
+                loop {
+                    let cand = rng.gen_range(0..n as VertexId);
+                    if cand != u && !present.contains(&(u.min(cand), u.max(cand))) {
+                        v = cand;
+                        break;
+                    }
+                    guard += 1;
+                    if guard > 50 {
+                        break; // keep the lattice edge
+                    }
+                }
+            }
+            if u != v && present.insert((u.min(v), u.max(v))) {
+                b.add_edge(u, v, weights.draw(rng, false));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::graph_stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ba_degree_distribution_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let g = barabasi_albert(&mut rng, 3_000, 4, WeightModel::Unit);
+        g.check_invariants().unwrap();
+        // ~ n*m edges.
+        assert!(g.num_edges() as f64 > 0.9 * 3_000.0 * 4.0);
+        let mut degs: Vec<usize> = g.vertices().map(|v| g.open_degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        // Hubs exist: the max degree far exceeds the mean.
+        let mean = 2.0 * g.num_edges() as f64 / 3_000.0;
+        assert!(degs[0] as f64 > 5.0 * mean, "max {} vs mean {mean}", degs[0]);
+    }
+
+    #[test]
+    fn ba_small_n_degenerates_to_clique() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let g = barabasi_albert(&mut rng, 4, 5, WeightModel::Unit);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn ws_zero_beta_is_a_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let g = watts_strogatz(&mut rng, 100, 6, 0.0, WeightModel::Unit);
+        g.check_invariants().unwrap();
+        assert_eq!(g.num_edges(), 100 * 3);
+        for v in g.vertices() {
+            assert_eq!(g.open_degree(v), 6);
+        }
+        // Ring lattice k=6 has clustering 0.6.
+        let c = graph_stats(&g).average_clustering_coefficient;
+        assert!((c - 0.6).abs() < 1e-9, "c = {c}");
+    }
+
+    #[test]
+    fn ws_rewiring_lowers_clustering() {
+        let c_at = |beta: f64| {
+            let mut rng = StdRng::seed_from_u64(63);
+            let g = watts_strogatz(&mut rng, 500, 8, beta, WeightModel::Unit);
+            graph_stats(&g).average_clustering_coefficient
+        };
+        let (c0, c_half, c1) = (c_at(0.0), c_at(0.5), c_at(1.0));
+        assert!(c0 > c_half && c_half > c1, "{c0} > {c_half} > {c1} violated");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = barabasi_albert(&mut StdRng::seed_from_u64(64), 300, 3, WeightModel::uniform_default());
+        let b = barabasi_albert(&mut StdRng::seed_from_u64(64), 300, 3, WeightModel::uniform_default());
+        assert_eq!(a, b);
+        let a = watts_strogatz(&mut StdRng::seed_from_u64(65), 300, 4, 0.2, WeightModel::Unit);
+        let b = watts_strogatz(&mut StdRng::seed_from_u64(65), 300, 4, 0.2, WeightModel::Unit);
+        assert_eq!(a, b);
+    }
+}

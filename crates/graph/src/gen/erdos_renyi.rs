@@ -1,0 +1,76 @@
+//! Erdős–Rényi `G(n, m)` random graphs.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::gen::weights::WeightModel;
+use crate::types::VertexId;
+
+/// Generates a `G(n, m)` graph with exactly `m` distinct edges (capped at
+/// `n·(n-1)/2`), weighted per `weights`.
+pub fn erdos_renyi<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    m: usize,
+    weights: WeightModel,
+) -> CsrGraph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(max_edges);
+    let mut seen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            let w = weights.draw(rng, false);
+            b.add_edge(u, v, w);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = erdos_renyi(&mut rng, 500, 2000, WeightModel::Unit);
+        assert_eq!(g.num_vertices(), 500);
+        assert_eq!(g.num_edges(), 2000);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn caps_at_complete_graph() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = erdos_renyi(&mut rng, 10, 1_000, WeightModel::Unit);
+        assert_eq!(g.num_edges(), 45);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g1 = erdos_renyi(&mut StdRng::seed_from_u64(7), 100, 300, WeightModel::uniform_default());
+        let g2 = erdos_renyi(&mut StdRng::seed_from_u64(7), 100, 300, WeightModel::uniform_default());
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = erdos_renyi(&mut rng, 0, 10, WeightModel::Unit);
+        assert_eq!(g.num_vertices(), 0);
+        let g = erdos_renyi(&mut rng, 1, 10, WeightModel::Unit);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! R-MAT (recursive matrix) Kronecker-style generator.
+//!
+//! The paper's GR05 (`kron_g500-logn21`) is a Graph500 Kronecker graph; R-MAT
+//! with the Graph500 probabilities (a=0.57, b=0.19, c=0.19, d=0.05) is the
+//! standard procedural stand-in and reproduces its skewed degree
+//! distribution.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::gen::weights::WeightModel;
+use crate::types::VertexId;
+
+/// R-MAT parameters. The graph has `2^scale` vertices and
+/// `edge_factor · 2^scale` sampled arcs (duplicates collapse, so the final
+/// undirected edge count is somewhat lower, as in Graph500).
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    pub scale: u32,
+    pub edge_factor: usize,
+    /// Quadrant probabilities; must sum to 1.
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub weights: WeightModel,
+}
+
+impl RmatParams {
+    /// Graph500 reference probabilities.
+    pub fn graph500(scale: u32, edge_factor: usize) -> Self {
+        RmatParams {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            weights: WeightModel::uniform_default(),
+        }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT graph.
+pub fn rmat<R: Rng + ?Sized>(rng: &mut R, params: &RmatParams) -> CsrGraph {
+    assert!(params.scale <= 31, "scale too large for u32 vertex ids");
+    let d = params.d();
+    assert!(
+        params.a >= 0.0 && params.b >= 0.0 && params.c >= 0.0 && d >= -1e-9,
+        "quadrant probabilities must be non-negative and sum to <= 1"
+    );
+    let n = 1usize << params.scale;
+    let target_arcs = params.edge_factor * n;
+    let mut b = GraphBuilder::with_capacity(n, target_arcs);
+    // Graph500 noise: perturb quadrant probabilities per level to avoid the
+    // perfectly self-similar artifacts of vanilla R-MAT.
+    for _ in 0..target_arcs {
+        let (mut x, mut y) = (0usize, 0usize);
+        for _ in 0..params.scale {
+            let (mut pa, mut pb, mut pc) = (params.a, params.b, params.c);
+            let noise = 0.1;
+            pa *= 1.0 + noise * (rng.gen::<f64>() - 0.5);
+            pb *= 1.0 + noise * (rng.gen::<f64>() - 0.5);
+            pc *= 1.0 + noise * (rng.gen::<f64>() - 0.5);
+            let pd = (1.0 - params.a - params.b - params.c).max(0.0)
+                * (1.0 + noise * (rng.gen::<f64>() - 0.5));
+            let z = pa + pb + pc + pd;
+            let r: f64 = rng.gen::<f64>() * z;
+            x <<= 1;
+            y <<= 1;
+            if r < pa {
+                // top-left: no bits set
+            } else if r < pa + pb {
+                y |= 1;
+            } else if r < pa + pb + pc {
+                x |= 1;
+            } else {
+                x |= 1;
+                y |= 1;
+            }
+        }
+        if x != y {
+            let w = params.weights.draw(rng, false);
+            b.add_edge(x as VertexId, y as VertexId, w);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = rmat(&mut rng, &RmatParams::graph500(8, 8));
+        assert_eq!(g.num_vertices(), 256);
+        g.check_invariants().unwrap();
+        // Duplicates collapse, so undirected edges < sampled arcs.
+        assert!(g.num_edges() <= 8 * 256);
+        assert!(g.num_edges() > 256, "suspiciously sparse: {}", g.num_edges());
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = rmat(&mut rng, &RmatParams::graph500(10, 16));
+        let mut degrees: Vec<usize> = g.vertices().map(|v| g.open_degree(v)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top = degrees[..degrees.len() / 100].iter().sum::<usize>() as f64;
+        let total = degrees.iter().sum::<usize>() as f64;
+        // Top 1% of vertices should hold far more than 1% of degree mass.
+        assert!(top / total > 0.05, "top share only {}", top / total);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = RmatParams::graph500(7, 4);
+        let a = rmat(&mut StdRng::seed_from_u64(3), &p);
+        let b = rmat(&mut StdRng::seed_from_u64(3), &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale too large")]
+    fn rejects_oversized_scale() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rmat(&mut rng, &RmatParams::graph500(40, 1));
+    }
+}

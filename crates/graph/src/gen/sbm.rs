@@ -1,0 +1,208 @@
+//! Planted-partition (symmetric stochastic block model) graphs with
+//! ground-truth community labels.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::gen::weights::WeightModel;
+use crate::types::VertexId;
+
+/// Parameters of the planted-partition model: `num_communities` equal-sized
+/// blocks over `n` vertices; each intra-block pair is an edge with
+/// probability `p_in`, each inter-block pair with probability `p_out`.
+#[derive(Debug, Clone, Copy)]
+pub struct PlantedPartitionParams {
+    pub n: usize,
+    pub num_communities: usize,
+    pub p_in: f64,
+    pub p_out: f64,
+    pub weights: WeightModel,
+}
+
+impl PlantedPartitionParams {
+    /// A well-separated default useful in tests and examples.
+    pub fn well_separated(n: usize, num_communities: usize) -> Self {
+        PlantedPartitionParams {
+            n,
+            num_communities,
+            p_in: 0.3,
+            p_out: 0.005,
+            weights: WeightModel::CommunityCorrelated,
+        }
+    }
+}
+
+/// Generates the graph and its planted labels (`labels[v]` = community of v).
+pub fn planted_partition<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &PlantedPartitionParams,
+) -> (CsrGraph, Vec<u32>) {
+    let PlantedPartitionParams { n, num_communities, p_in, p_out, weights } = *params;
+    assert!(num_communities >= 1);
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let labels: Vec<u32> = (0..n).map(|v| (v * num_communities / n.max(1)) as u32).collect();
+
+    let mut b = GraphBuilder::new(n);
+    // Geometric skipping over the strictly-upper-triangular pair index:
+    // visits only O(#edges) pairs instead of O(n²).
+    let emit = |rng: &mut R, b: &mut GraphBuilder, p: f64, same: bool| {
+        if p <= 0.0 || n < 2 {
+            return;
+        }
+        let total = n as u64 * (n as u64 - 1) / 2;
+        let mut idx: u64 = 0;
+        loop {
+            // Skip ~Geometric(p) pairs.
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let skip = if p >= 1.0 { 0 } else { (u.ln() / (1.0 - p).ln()).floor() as u64 };
+            idx = match idx.checked_add(skip) {
+                Some(i) => i,
+                None => break,
+            };
+            if idx >= total {
+                break;
+            }
+            let (x, y) = unrank_pair(idx, n as u64);
+            let intra = labels[x as usize] == labels[y as usize];
+            if intra == same {
+                let w = weights.draw(rng, intra);
+                b.add_edge(x as VertexId, y as VertexId, w);
+            }
+            idx += 1;
+        }
+    };
+    emit(rng, &mut b, p_in, true);
+    emit(rng, &mut b, p_out, false);
+    (b.build(), labels)
+}
+
+/// Maps a linear index over `{(x,y) : 0 <= x < y < n}` (ordered by `x`, then
+/// `y`) back to the pair.
+fn unrank_pair(idx: u64, n: u64) -> (u64, u64) {
+    // Row x owns (n-1-x) pairs. Solve the triangular prefix by the quadratic
+    // formula, then fix up rounding.
+    let total = n * (n - 1) / 2;
+    debug_assert!(idx < total);
+    let rem = total - idx; // pairs from idx to the end
+    // Find smallest x with suffix(x) >= rem, where suffix(x) = (n-x)(n-x-1)/2.
+    let mut x = n - 2 - ((((8 * rem) as f64 + 1.0).sqrt() as u64).saturating_sub(1) / 2).min(n - 2);
+    loop {
+        let suffix = (n - x) * (n - x - 1) / 2;
+        if suffix < rem {
+            x -= 1;
+        } else if x < n - 2 && (n - x - 1) * (n - x - 2) / 2 >= rem {
+            x += 1;
+        } else {
+            break;
+        }
+    }
+    let before = total - (n - x) * (n - x - 1) / 2;
+    let y = x + 1 + (idx - before);
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unrank_is_a_bijection() {
+        for n in [2u64, 3, 5, 17] {
+            let total = n * (n - 1) / 2;
+            let mut seen = std::collections::HashSet::new();
+            for idx in 0..total {
+                let (x, y) = unrank_pair(idx, n);
+                assert!(x < y && y < n, "bad pair ({x},{y}) at idx {idx}, n={n}");
+                assert!(seen.insert((x, y)));
+            }
+            assert_eq!(seen.len() as u64, total);
+        }
+    }
+
+    #[test]
+    fn unrank_is_ordered() {
+        let n = 6;
+        let mut prev = (0, 0);
+        for idx in 0..(n * (n - 1) / 2) {
+            let p = unrank_pair(idx, n);
+            if idx > 0 {
+                assert!(p > prev, "pairs must increase lexicographically");
+            }
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn intra_density_dominates() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let params = PlantedPartitionParams {
+            n: 600,
+            num_communities: 3,
+            p_in: 0.2,
+            p_out: 0.01,
+            weights: WeightModel::Unit,
+        };
+        let (g, labels) = planted_partition(&mut rng, &params);
+        g.check_invariants().unwrap();
+        let (mut intra, mut inter) = (0u64, 0u64);
+        for (u, v, _) in g.edges() {
+            if labels[u as usize] == labels[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        // Expected intra ≈ 3 * C(200,2) * 0.2 ≈ 11_940; inter ≈ 0.01 * 120_000 = 1_200.
+        assert!(intra > 10_000 && intra < 14_000, "intra {intra}");
+        assert!(inter > 800 && inter < 1_700, "inter {inter}");
+    }
+
+    #[test]
+    fn labels_are_balanced_blocks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (_, labels) = planted_partition(
+            &mut rng,
+            &PlantedPartitionParams {
+                n: 100,
+                num_communities: 4,
+                p_in: 0.0,
+                p_out: 0.0,
+                weights: WeightModel::Unit,
+            },
+        );
+        for c in 0..4u32 {
+            assert_eq!(labels.iter().filter(|&&l| l == c).count(), 25);
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, _) = planted_partition(
+            &mut rng,
+            &PlantedPartitionParams {
+                n: 30,
+                num_communities: 3,
+                p_in: 1.0,
+                p_out: 0.0,
+                weights: WeightModel::Unit,
+            },
+        );
+        // Three disjoint 10-cliques.
+        assert_eq!(g.num_edges(), 3 * 45);
+        let (_, k) = crate::traversal::connected_components(&g);
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = PlantedPartitionParams::well_separated(200, 4);
+        let a = planted_partition(&mut StdRng::seed_from_u64(5), &p);
+        let b = planted_partition(&mut StdRng::seed_from_u64(5), &p);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

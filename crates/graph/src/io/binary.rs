@@ -1,0 +1,175 @@
+//! Compact binary CSR serialization.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   "ASCN"            4 bytes
+//! version u32               currently 1
+//! n       u64               number of vertices
+//! arcs    u64               length of the neighbor/weight arrays
+//! edges   u64               undirected edge count (excl. self-loops)
+//! offsets (n+1) × u64
+//! neighbors arcs × u32
+//! weights  arcs × f64
+//! ```
+//!
+//! Generated benchmark graphs are cached in this format so repeated
+//! experiment runs skip regeneration.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::csr::CsrGraph;
+use crate::types::{GraphError, VertexId};
+
+const MAGIC: &[u8; 4] = b"ASCN";
+const VERSION: u32 = 1;
+
+/// Serializes a graph to the binary CSR format.
+pub fn write_binary<W: Write>(g: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
+    let (offsets, neighbors, weights, num_edges) = g.raw_parts();
+    let mut buf = BytesMut::with_capacity(
+        4 + 4 + 24 + offsets.len() * 8 + neighbors.len() * 4 + weights.len() * 8,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le((offsets.len() - 1) as u64);
+    buf.put_u64_le(neighbors.len() as u64);
+    buf.put_u64_le(num_edges);
+    for &o in offsets {
+        buf.put_u64_le(o as u64);
+    }
+    for &v in neighbors {
+        buf.put_u32_le(v);
+    }
+    for &w in weights {
+        buf.put_f64_le(w);
+    }
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserializes a graph written by [`write_binary`], re-validating all CSR
+/// invariants (the file may come from an untrusted build cache).
+pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+
+    let need = |buf: &Bytes, n: usize| -> Result<(), GraphError> {
+        if buf.remaining() < n {
+            Err(GraphError::Format("truncated file".into()))
+        } else {
+            Ok(())
+        }
+    };
+
+    need(&buf, 8)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::Format(format!("bad magic {magic:?}")));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(GraphError::Format(format!("unsupported version {version}")));
+    }
+    need(&buf, 24)?;
+    let n = buf.get_u64_le() as usize;
+    let arcs = buf.get_u64_le() as usize;
+    let num_edges = buf.get_u64_le();
+
+    need(&buf, (n + 1) * 8)?;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(buf.get_u64_le() as usize);
+    }
+    need(&buf, arcs * 4)?;
+    let mut neighbors: Vec<VertexId> = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        neighbors.push(buf.get_u32_le());
+    }
+    need(&buf, arcs * 8)?;
+    let mut weights = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        weights.push(buf.get_f64_le());
+    }
+    if *offsets.last().unwrap_or(&0) != arcs {
+        return Err(GraphError::Format("offset/arc mismatch".into()));
+    }
+    // Bounds-check offsets *before* constructing the graph: `from_parts`
+    // slices the weight array by them to precompute the Lemma-5 norms, so a
+    // corrupted offset would otherwise panic instead of erroring.
+    if offsets.first() != Some(&0) {
+        return Err(GraphError::Format("offsets must start at 0".into()));
+    }
+    for w in offsets.windows(2) {
+        if w[0] > w[1] || w[1] > arcs {
+            return Err(GraphError::Format("non-monotone or out-of-range offset".into()));
+        }
+    }
+    let g = CsrGraph::from_parts(offsets, neighbors, weights, num_edges);
+    g.check_invariants().map_err(GraphError::Format)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> CsrGraph {
+        GraphBuilder::from_edges(
+            6,
+            vec![(0, 1, 0.5), (1, 2, 1.5), (2, 3, 1.0), (4, 5, 0.25), (0, 5, 3.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_binary(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_boundary() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        for cut in [3, 7, 20, buf.len() / 2, buf.len() - 1] {
+            let err = read_binary(&buf[..cut]).unwrap_err();
+            assert!(matches!(err, GraphError::Format(_)), "cut at {cut} not detected");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_payload() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Flip a neighbor id deep in the payload to break symmetry.
+        let idx = buf.len() - 9 * 8 - 2; // somewhere in the neighbors block
+        buf[idx] ^= 0xFF;
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = GraphBuilder::new(0).build();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Plain-text edge lists.
+//!
+//! The reader accepts the format used by the SNAP datasets the paper
+//! evaluates on: one `u v [w]` triple per line, whitespace separated,
+//! `#`-prefixed comment lines ignored. A missing weight defaults to 1.0
+//! (the datasets of Table I are unweighted; the paper assigns weights
+//! separately, as does [`crate::gen::weights`]).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::{GraphError, VertexId};
+
+/// Reads an edge list. `num_vertices` is inferred as `max id + 1` unless a
+/// larger hint is supplied.
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    num_vertices_hint: Option<usize>,
+) -> Result<CsrGraph, GraphError> {
+    let mut edges: Vec<(VertexId, VertexId, f64)> = Vec::new();
+    let mut max_id: u64 = 0;
+    let buf = BufReader::new(reader);
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx as u64 + 1;
+        let line = line?;
+        let body = line.trim();
+        if body.is_empty() || body.starts_with('#') || body.starts_with('%') {
+            continue;
+        }
+        let mut it = body.split_whitespace();
+        let u: u64 = parse_field(it.next(), line_no, "source vertex")?;
+        let v: u64 = parse_field(it.next(), line_no, "target vertex")?;
+        let w: f64 = match it.next() {
+            Some(tok) => tok.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("bad weight {tok:?}"),
+            })?,
+            None => 1.0,
+        };
+        if u > u32::MAX as u64 || v > u32::MAX as u64 {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "vertex id exceeds u32".into(),
+            });
+        }
+        max_id = max_id.max(u).max(v);
+        edges.push((u as VertexId, v as VertexId, w));
+    }
+    let inferred = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = num_vertices_hint.map_or(inferred, |h| h.max(inferred));
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v, w) in edges {
+        if u != v {
+            b.try_add_edge(u, v, w)?;
+        }
+    }
+    Ok(b.build())
+}
+
+fn parse_field(tok: Option<&str>, line: u64, what: &str) -> Result<u64, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("bad {what} {tok:?}"),
+    })
+}
+
+/// Writes the graph as a `u v w` edge list (each undirected edge once,
+/// self-loops omitted), preceded by a stats comment header.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "# vertices {} edges {}", g.num_vertices(), g.num_edges())?;
+    for (u, v, w) in g.edges() {
+        writeln!(out, "{u} {v} {w}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_weights_and_defaults() {
+        let text = "# a comment\n0 1\n1 2 0.5\n\n% another comment\n2 0 2.0\n";
+        let g = read_edge_list(text.as_bytes(), None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(1, 2), Some(0.5));
+        assert_eq!(g.edge_weight(2, 0), Some(2.0));
+    }
+
+    #[test]
+    fn hint_extends_vertex_count() {
+        let g = read_edge_list("0 1\n".as_bytes(), Some(10)).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn self_loops_in_input_are_dropped() {
+        let g = read_edge_list("0 0 3.0\n0 1\n".as_bytes(), None).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let err = read_edge_list("0 1\nx 2\n".as_bytes(), None).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other}"),
+        }
+        let err = read_edge_list("0\n".as_bytes(), None).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = read_edge_list("0 1 heavy\n".as_bytes(), None).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::GraphBuilder::from_edges(
+            5,
+            vec![(0, 1, 0.25), (1, 2, 1.0), (3, 4, 2.5), (0, 4, 0.125)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), Some(5)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list("# nothing\n".as_bytes(), None).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

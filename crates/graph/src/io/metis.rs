@@ -1,0 +1,218 @@
+//! METIS graph-file format.
+//!
+//! The de-facto interchange format of the graph-partitioning world (and of
+//! many clustering toolkits). Layout:
+//!
+//! ```text
+//! % comment lines
+//! <n> <m> [fmt]          # header: vertices, edges, optional format code
+//! <v1> [w1] <v2> [w2] …  # one line per vertex, neighbors 1-indexed;
+//!                        # with fmt=001 each neighbor carries a weight
+//! ```
+//!
+//! We support fmt `0`/absent (unweighted) and `001` (edge weights). Vertex
+//! weights (`01x`/`1xx`) are rejected explicitly rather than misparsed.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::{GraphError, VertexId};
+
+/// Reads a METIS file.
+pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+
+    // Header: first non-comment line.
+    let (header_line_no, header) = loop {
+        match lines.next() {
+            Some((idx, line)) => {
+                let line = line?;
+                let body = line.trim();
+                if body.is_empty() || body.starts_with('%') {
+                    continue;
+                }
+                break (idx as u64 + 1, body.to_string());
+            }
+            None => {
+                return Err(GraphError::Parse { line: 0, message: "missing METIS header".into() })
+            }
+        }
+    };
+    let mut it = header.split_whitespace();
+    let n: usize = parse(it.next(), header_line_no, "vertex count")?;
+    let m: u64 = parse(it.next(), header_line_no, "edge count")?;
+    let fmt = it.next().unwrap_or("0");
+    let weighted = match fmt {
+        "0" | "00" | "000" => false,
+        "1" | "01" | "001" => true,
+        other => {
+            return Err(GraphError::Parse {
+                line: header_line_no,
+                message: format!("unsupported METIS fmt {other:?} (vertex weights not supported)"),
+            })
+        }
+    };
+
+    let mut b = GraphBuilder::with_capacity(n, m as usize);
+    let mut vertex: VertexId = 0;
+    for (idx, line) in lines {
+        let line_no = idx as u64 + 1;
+        let line = line?;
+        let body = line.trim();
+        if body.starts_with('%') {
+            continue;
+        }
+        if vertex as usize >= n {
+            if body.is_empty() {
+                continue;
+            }
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("more than {n} vertex lines"),
+            });
+        }
+        let mut toks = body.split_whitespace();
+        loop {
+            let Some(tok) = toks.next() else { break };
+            let neighbor: u64 = tok.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("bad neighbor id {tok:?}"),
+            })?;
+            if neighbor == 0 || neighbor > n as u64 {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("neighbor {neighbor} out of 1..={n}"),
+                });
+            }
+            let w = if weighted {
+                let wt = toks.next().ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    message: "missing edge weight".into(),
+                })?;
+                wt.parse().map_err(|_| GraphError::Parse {
+                    line: line_no,
+                    message: format!("bad edge weight {wt:?}"),
+                })?
+            } else {
+                1.0
+            };
+            let q = (neighbor - 1) as VertexId;
+            // Each edge appears in both endpoint lines; the builder
+            // deduplicates (max weight wins, so symmetric inputs are exact).
+            if q != vertex {
+                b.try_add_edge(vertex, q, w)?;
+            }
+        }
+        vertex += 1;
+    }
+    if (vertex as usize) < n {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("expected {n} vertex lines, found {vertex}"),
+        });
+    }
+    let g = b.build();
+    if g.num_edges() != m {
+        return Err(GraphError::Parse {
+            line: header_line_no,
+            message: format!("header declares {m} edges, file encodes {}", g.num_edges()),
+        });
+    }
+    Ok(g)
+}
+
+/// Writes a METIS file (always fmt `001`, weighted).
+pub fn write_metis<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "% written by anyscan-graph")?;
+    writeln!(out, "{} {} 001", g.num_vertices(), g.num_edges())?;
+    for v in g.vertices() {
+        let mut first = true;
+        for (q, w) in g.neighbors(v) {
+            if q == v {
+                continue;
+            }
+            if !first {
+                write!(out, " ")?;
+            }
+            write!(out, "{} {}", q + 1, w)?;
+            first = false;
+        }
+        writeln!(out)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(tok: Option<&str>, line: u64, what: &str) -> Result<T, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    tok.parse().map_err(|_| GraphError::Parse { line, message: format!("bad {what} {tok:?}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn reads_unweighted() {
+        // Triangle 1-2-3 plus pendant 4 on 1 (METIS ids are 1-based).
+        let text = "% tiny graph\n4 4\n2 3 4\n1 3\n1 2\n1\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.edge_weight(0, 3), Some(1.0));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reads_weighted() {
+        let text = "3 2 001\n2 0.5\n1 0.5 3 2.0\n2 2.0\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(0.5));
+        assert_eq!(g.edge_weight(1, 2), Some(2.0));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = GraphBuilder::from_edges(
+            5,
+            vec![(0, 1, 0.25), (1, 2, 1.0), (3, 4, 2.5), (0, 4, 0.125)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn error_cases() {
+        // Missing header.
+        assert!(read_metis("% nothing\n".as_bytes()).is_err());
+        // Vertex-weight formats rejected.
+        assert!(read_metis("2 1 011\n2 1\n1 1\n".as_bytes()).is_err());
+        // Neighbor out of range.
+        assert!(read_metis("2 1\n3\n1\n".as_bytes()).is_err());
+        // Neighbor id 0 (must be 1-based).
+        assert!(read_metis("2 1\n0\n1\n".as_bytes()).is_err());
+        // Too few vertex lines.
+        assert!(read_metis("3 1\n2\n1\n".as_bytes()).is_err());
+        // Edge count mismatch.
+        assert!(read_metis("2 5\n2\n1\n".as_bytes()).is_err());
+        // Missing weight in weighted format.
+        assert!(read_metis("2 1 001\n2\n1 1.0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = read_metis("0 0\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        assert_eq!(read_metis(buf.as_slice()).unwrap(), g);
+    }
+}

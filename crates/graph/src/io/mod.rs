@@ -1,0 +1,10 @@
+//! Graph serialization: text edge lists (SNAP-compatible) and a compact
+//! binary CSR format for fast reload of generated benchmark graphs.
+
+pub mod binary;
+pub mod edge_list;
+pub mod metis;
+
+pub use binary::{read_binary, write_binary};
+pub use edge_list::{read_edge_list, write_edge_list};
+pub use metis::{read_metis, write_metis};

@@ -1,0 +1,157 @@
+//! k-core decomposition (Matula–Beck peeling).
+//!
+//! Core numbers are a cheap structural companion to SCAN output: they bound
+//! which vertices can ever be SCAN cores at a given μ (a SCAN core needs
+//! μ−1 neighbors, so its open degree — and in dense regions its core
+//! number — must be at least μ−1), and the examples use them to pick
+//! interesting ε ranges.
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Computes the core number of every vertex (open-degree based) with the
+/// linear-time bucket peeling algorithm.
+pub fn core_numbers(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<u32> = (0..n as VertexId).map(|v| g.open_degree(v) as u32).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket sort vertices by degree.
+    let mut bin_starts = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bin_starts[d as usize + 1] += 1;
+    }
+    for i in 0..=max_degree {
+        bin_starts[i + 1] += bin_starts[i];
+    }
+    let mut position = vec![0usize; n];
+    let mut ordered = vec![0 as VertexId; n];
+    {
+        let mut cursor = bin_starts.clone();
+        for v in 0..n as VertexId {
+            let d = degree[v as usize] as usize;
+            position[v as usize] = cursor[d];
+            ordered[cursor[d]] = v;
+            cursor[d] += 1;
+        }
+    }
+
+    // Peel in non-decreasing degree order, demoting neighbors in place.
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = ordered[i];
+        core[v as usize] = degree[v as usize];
+        for &u in g.neighbor_ids(v) {
+            if u == v || degree[u as usize] <= degree[v as usize] {
+                continue;
+            }
+            // Swap u to the front of its bucket, then shrink its degree.
+            let du = degree[u as usize] as usize;
+            let pu = position[u as usize];
+            let pw = bin_starts[du];
+            let w = ordered[pw];
+            if u != w {
+                ordered.swap(pu, pw);
+                position[u as usize] = pw;
+                position[w as usize] = pu;
+            }
+            bin_starts[du] += 1;
+            degree[u as usize] -= 1;
+        }
+    }
+    core
+}
+
+/// The degeneracy of the graph (the maximum core number).
+pub fn degeneracy(g: &CsrGraph) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+/// Vertices of the `k`-core (core number ≥ k).
+pub fn k_core_vertices(g: &CsrGraph, k: u32) -> Vec<VertexId> {
+    core_numbers(g)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c >= k)
+        .map(|(v, _)| v as VertexId)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn clique_core_numbers() {
+        let mut b = GraphBuilder::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        let g = b.build();
+        assert_eq!(core_numbers(&g), vec![4; 5]);
+        assert_eq!(degeneracy(&g), 4);
+    }
+
+    #[test]
+    fn path_core_numbers() {
+        let g = GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(core_numbers(&g), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn clique_with_pendants() {
+        // Triangle {0,1,2}, pendants 3 (on 0) and 4 (on 3): core numbers
+        // 2,2,2,1,1.
+        let g = GraphBuilder::from_unweighted_edges(
+            5,
+            vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)],
+        )
+        .unwrap();
+        assert_eq!(core_numbers(&g), vec![2, 2, 2, 1, 1]);
+        assert_eq!(k_core_vertices(&g, 2), vec![0, 1, 2]);
+        assert_eq!(k_core_vertices(&g, 3), Vec::<VertexId>::new());
+    }
+
+    #[test]
+    fn isolated_vertices_are_zero_core() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(core_numbers(&g), vec![0, 0, 0]);
+        assert_eq!(degeneracy(&g), 0);
+    }
+
+    #[test]
+    fn matches_naive_peeling_on_random_graph() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let g = crate::gen::erdos_renyi(&mut rng, 200, 800, crate::gen::WeightModel::Unit);
+        let fast = core_numbers(&g);
+        // Naive: repeatedly remove min-degree vertex.
+        let n = g.num_vertices();
+        let mut deg: Vec<i64> = (0..n as u32).map(|v| g.open_degree(v) as i64).collect();
+        let mut removed = vec![false; n];
+        let mut naive = vec![0u32; n];
+        let mut current_core = 0i64;
+        for _ in 0..n {
+            let v = (0..n)
+                .filter(|&v| !removed[v])
+                .min_by_key(|&v| deg[v])
+                .unwrap();
+            current_core = current_core.max(deg[v]);
+            naive[v] = current_core as u32;
+            removed[v] = true;
+            for &u in g.neighbor_ids(v as u32) {
+                if u as usize != v && !removed[u as usize] {
+                    deg[u as usize] -= 1;
+                }
+            }
+        }
+        assert_eq!(fast, naive);
+    }
+}

@@ -1,0 +1,233 @@
+//! Exact graph statistics: the `d̄` and `c` columns of Tables I and II.
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Summary statistics of a graph, mirroring the dataset tables of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub num_vertices: usize,
+    pub num_edges: u64,
+    /// Average open degree `2|E|/|V|` (`d̄`).
+    pub average_degree: f64,
+    /// Average local clustering coefficient (`c`), Watts–Strogatz style:
+    /// mean over vertices of `2·tri(v) / (d(v)·(d(v)-1))`, with degree-<2
+    /// vertices contributing 0 (the convention used by SNAP, whose numbers
+    /// Table I quotes).
+    pub average_clustering_coefficient: f64,
+    /// Global clustering coefficient (transitivity): `3·triangles / wedges`.
+    pub global_clustering_coefficient: f64,
+    /// Total number of triangles in the graph.
+    pub triangles: u64,
+    pub max_degree: usize,
+    pub min_degree: usize,
+}
+
+/// Computes all statistics in one pass of exact triangle counting.
+pub fn graph_stats(g: &CsrGraph) -> GraphStats {
+    let n = g.num_vertices();
+    let tri = triangles_per_vertex(g);
+    let mut total_tri = 0u64;
+    let mut sum_local = 0.0f64;
+    let mut wedges = 0u64;
+    let mut max_degree = 0usize;
+    let mut min_degree = usize::MAX;
+    for v in g.vertices() {
+        let d = g.open_degree(v);
+        max_degree = max_degree.max(d);
+        min_degree = min_degree.min(d);
+        total_tri += tri[v as usize] as u64;
+        if d >= 2 {
+            let w = (d * (d - 1) / 2) as u64;
+            wedges += w;
+            sum_local += tri[v as usize] as f64 / w as f64;
+        }
+    }
+    if n == 0 {
+        min_degree = 0;
+    }
+    // Each triangle was counted once per corner.
+    let triangles = total_tri / 3;
+    GraphStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        average_degree: g.average_degree(),
+        average_clustering_coefficient: if n == 0 { 0.0 } else { sum_local / n as f64 },
+        global_clustering_coefficient: if wedges == 0 {
+            0.0
+        } else {
+            total_tri as f64 / wedges as f64
+        },
+        triangles,
+        max_degree,
+        min_degree,
+    }
+}
+
+/// Exact per-vertex triangle counts via sorted adjacency intersection.
+///
+/// For every edge `(u,v)` with `u < v` the intersection
+/// `|N(u) ∩ N(v)|` (self-loops excluded) counts triangles through that edge;
+/// accumulating it on `u`, `v` *and* each common neighbor yields per-corner
+/// counts in one sweep. Runs in `O(Σ_(u,v)∈E min(d_u, d_v))`.
+pub fn triangles_per_vertex(g: &CsrGraph) -> Vec<u32> {
+    let mut tri = vec![0u32; g.num_vertices()];
+    for u in g.vertices() {
+        let nu = g.neighbor_ids(u);
+        for &v in nu {
+            if v <= u {
+                continue;
+            }
+            let nv = g.neighbor_ids(v);
+            // Merge-intersect, only counting common neighbors w > v so each
+            // triangle {u<v<w} is visited exactly once.
+            let (mut i, mut j) = (0, 0);
+            while i < nu.len() && j < nv.len() {
+                let (a, b) = (nu[i], nv[j]);
+                if a == b {
+                    if a > v {
+                        tri[u as usize] += 1;
+                        tri[v as usize] += 1;
+                        tri[a as usize] += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                } else if a < b {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+    }
+    tri
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with open degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in g.vertices() {
+        let d = g.open_degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Local clustering coefficient of a single vertex.
+pub fn local_clustering_coefficient(g: &CsrGraph, v: VertexId) -> f64 {
+    let d = g.open_degree(v);
+    if d < 2 {
+        return 0.0;
+    }
+    let mut t = 0u64;
+    let nv = g.neighbor_ids(v);
+    for &u in nv {
+        if u == v {
+            continue;
+        }
+        let nu = g.neighbor_ids(u);
+        let (mut i, mut j) = (0, 0);
+        while i < nv.len() && j < nu.len() {
+            let (a, b) = (nv[i], nu[j]);
+            if a == b {
+                if a != v && a != u && a > u {
+                    t += 1;
+                }
+                i += 1;
+                j += 1;
+            } else if a < b {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    2.0 * t as f64 / (d * (d - 1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn k4() -> CsrGraph {
+        GraphBuilder::from_unweighted_edges(
+            4,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn complete_graph_statistics() {
+        let s = graph_stats(&k4());
+        assert_eq!(s.triangles, 4);
+        assert!((s.average_clustering_coefficient - 1.0).abs() < 1e-12);
+        assert!((s.global_clustering_coefficient - 1.0).abs() < 1e-12);
+        assert!((s.average_degree - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.min_degree, 3);
+    }
+
+    #[test]
+    fn triangle_free_graph() {
+        // 4-cycle: no triangles, clustering 0.
+        let g = GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)])
+            .unwrap();
+        let s = graph_stats(&g);
+        assert_eq!(s.triangles, 0);
+        assert_eq!(s.average_clustering_coefficient, 0.0);
+        assert_eq!(s.global_clustering_coefficient, 0.0);
+    }
+
+    #[test]
+    fn per_vertex_triangles() {
+        // Triangle 0-1-2 plus pendant 3 on vertex 0.
+        let g = GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (1, 2), (2, 0), (0, 3)])
+            .unwrap();
+        assert_eq!(triangles_per_vertex(&g), vec![1, 1, 1, 0]);
+        let s = graph_stats(&g);
+        assert_eq!(s.triangles, 1);
+        // local c: v0 has d=3, 1 triangle => 1/3; v1,v2 have d=2 => 1.0; v3 => 0.
+        let expected = (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0;
+        assert!((s.average_clustering_coefficient - expected).abs() < 1e-12);
+        assert!((local_clustering_coefficient(&g, 0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((local_clustering_coefficient(&g, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(local_clustering_coefficient(&g, 3), 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (1, 2), (2, 0), (0, 3)])
+            .unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 1, 2, 1]); // one deg-1, two deg-2, one deg-3
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        let s = graph_stats(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.triangles, 0);
+        assert_eq!(s.min_degree, 0);
+    }
+
+    #[test]
+    fn stats_match_on_two_triangles_sharing_a_vertex() {
+        // Bowtie: triangles {0,1,2} and {2,3,4}.
+        let g = GraphBuilder::from_unweighted_edges(
+            5,
+            vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)],
+        )
+        .unwrap();
+        let s = graph_stats(&g);
+        assert_eq!(s.triangles, 2);
+        assert_eq!(triangles_per_vertex(&g), vec![1, 1, 2, 1, 1]);
+        // global: 3*2 / wedges; wedges = C(2,2)*4 + C(4,2) = 4 + 6 = 10
+        assert!((s.global_clustering_coefficient - 6.0 / 10.0).abs() < 1e-12);
+    }
+}

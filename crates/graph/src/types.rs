@@ -1,0 +1,83 @@
+//! Fundamental identifier and error types shared across the workspace.
+
+use std::fmt;
+
+/// Vertex identifier.
+///
+/// Graphs in this workspace are laptop-scale reproductions of the paper's
+/// multi-million-vertex datasets, so 32 bits are ample; the narrower id also
+/// halves the memory traffic of the adjacency arrays, which dominate the
+/// working set of every SCAN-family algorithm.
+pub type VertexId = u32;
+
+/// Index into the flat CSR edge arrays (an *arc*: each undirected edge is
+/// stored once per endpoint).
+pub type EdgeId = usize;
+
+/// Edge weight. The paper's weighted structural similarity (Definition 1)
+/// is evaluated in `f64` to keep the ε comparisons stable.
+pub type Weight = f64;
+
+/// Errors produced while constructing or loading graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge referenced a vertex id `>= num_vertices`.
+    VertexOutOfRange { vertex: u64, num_vertices: u64 },
+    /// An edge weight was non-finite or not strictly positive.
+    InvalidWeight { u: VertexId, v: VertexId, weight: Weight },
+    /// A text input line could not be parsed.
+    Parse { line: u64, message: String },
+    /// Underlying I/O failure.
+    Io(String),
+    /// A binary file had a bad magic number or truncated payload.
+    Format(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex id {vertex} out of range (graph has {num_vertices} vertices)")
+            }
+            GraphError::InvalidWeight { u, v, weight } => {
+                write!(f, "edge ({u},{v}) has invalid weight {weight}; weights must be finite and > 0")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Format(e) => write!(f, "format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+
+        let e = GraphError::InvalidWeight { u: 1, v: 2, weight: -0.5 };
+        assert!(e.to_string().contains("(1,2)"));
+
+        let e = GraphError::Parse { line: 17, message: "bad token".into() };
+        assert!(e.to_string().contains("line 17"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

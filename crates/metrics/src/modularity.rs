@@ -1,0 +1,121 @@
+//! Newman–Girvan modularity of a labeling.
+//!
+//! SCAN-family results are often sanity-checked against modularity-based
+//! methods (the paper's related-work §V); this implementation scores any
+//! labeling over a weighted edge list without needing a graph type:
+//!
+//! `Q = Σ_c ( w_in(c)/W  −  (deg(c)/2W)² )`
+//!
+//! where `W` is the total edge weight, `w_in(c)` the intra-cluster weight
+//! and `deg(c)` the weighted degree mass of cluster `c`. Noise/singleton
+//! labels participate as their own (usually worthless) clusters, so callers
+//! typically pass labels with noise folded into one special cluster or
+//! filtered out.
+
+use std::collections::HashMap;
+
+/// Computes modularity from an iterator of undirected weighted edges
+/// (`(u, v, w)`, each edge once; self-loops ignored) and per-vertex labels.
+/// Returns 0 for an empty edge set.
+pub fn modularity(
+    edges: impl IntoIterator<Item = (u32, u32, f64)>,
+    labels: &[u32],
+) -> f64 {
+    let mut total = 0.0f64;
+    let mut intra: HashMap<u32, f64> = HashMap::new();
+    let mut degree: HashMap<u32, f64> = HashMap::new();
+    for (u, v, w) in edges {
+        if u == v {
+            continue;
+        }
+        let (lu, lv) = (labels[u as usize], labels[v as usize]);
+        total += w;
+        *degree.entry(lu).or_insert(0.0) += w;
+        *degree.entry(lv).or_insert(0.0) += w;
+        if lu == lv {
+            *intra.entry(lu).or_insert(0.0) += w;
+        }
+    }
+    if total == 0.0 {
+        return 0.0;
+    }
+    let two_w = 2.0 * total;
+    degree
+        .iter()
+        .map(|(c, &d)| {
+            let win = intra.get(c).copied().unwrap_or(0.0);
+            win / total - (d / two_w) * (d / two_w)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques_edges() -> Vec<(u32, u32, f64)> {
+        let mut e = Vec::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    e.push((base + i, base + j, 1.0));
+                }
+            }
+        }
+        e.push((3, 4, 1.0)); // bridge
+        e
+    }
+
+    #[test]
+    fn separated_cliques_score_high() {
+        let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let q = modularity(two_cliques_edges(), &labels);
+        assert!(q > 0.4, "q = {q}");
+    }
+
+    #[test]
+    fn single_cluster_scores_zero() {
+        let labels = vec![0; 8];
+        let q = modularity(two_cliques_edges(), &labels);
+        assert!(q.abs() < 1e-12, "q = {q}");
+    }
+
+    #[test]
+    fn adversarial_split_scores_negative() {
+        // Put each clique's vertices in alternating clusters.
+        let labels = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let q = modularity(two_cliques_edges(), &labels);
+        assert!(q < 0.0, "q = {q}");
+    }
+
+    #[test]
+    fn weights_matter() {
+        // Heavy intra, light bridge: higher q than uniform.
+        let mut e = two_cliques_edges();
+        for (u, v, w) in e.iter_mut() {
+            *w = if (*u < 4) == (*v < 4) { 2.0 } else { 0.1 };
+        }
+        let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let q_weighted = modularity(e, &labels);
+        let q_uniform = modularity(two_cliques_edges(), &labels);
+        assert!(q_weighted > q_uniform);
+    }
+
+    #[test]
+    fn empty_and_self_loops() {
+        assert_eq!(modularity(Vec::new(), &[]), 0.0);
+        let q = modularity(vec![(0u32, 0u32, 5.0)], &[0]);
+        assert_eq!(q, 0.0);
+    }
+
+    #[test]
+    fn hand_computed_value() {
+        // Triangle + isolated edge, all unit: W = 4.
+        // Clusters: {0,1,2} (the triangle), {3,4} (the edge).
+        let edges = vec![(0u32, 1u32, 1.0), (1, 2, 1.0), (2, 0, 1.0), (3, 4, 1.0)];
+        let labels = vec![0, 0, 0, 1, 1];
+        // Q = (3/4 - (6/8)^2) + (1/4 - (2/8)^2) = 0.75-0.5625 + 0.25-0.0625 = 0.375
+        let q = modularity(edges, &labels);
+        assert!((q - 0.375).abs() < 1e-12, "q = {q}");
+    }
+}

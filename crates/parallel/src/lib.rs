@@ -1,0 +1,267 @@
+//! Dynamic-scheduled shared-memory parallelism.
+//!
+//! The paper parallelizes each block phase of anySCAN with
+//! `#pragma omp parallel for schedule(dynamic)` (Fig. 4): workers repeatedly
+//! claim small chunks of the iteration space from a shared counter, which
+//! load-balances the wildly varying neighborhood sizes of real graphs. This
+//! crate reimplements exactly that primitive on crossbeam scoped threads:
+//!
+//! * [`parallel_for_dynamic`] — run a body over `0..n` in dynamically
+//!   claimed chunks;
+//! * [`parallel_map_dynamic`] — same, collecting one output per index into a
+//!   `Vec<T>` without locks (each claimed chunk owns a disjoint slice of the
+//!   output);
+//! * [`parallel_reduce_dynamic`] — same, folding into one accumulator per
+//!   worker, returned for the caller to merge.
+//!
+//! With `threads <= 1` every function degrades to a plain sequential loop
+//! with zero synchronization, so single-thread measurements of the parallel
+//! driver are honest (the paper notes its 1-thread and sequential versions
+//! coincide).
+//!
+//! Threads are spawned per call (scoped, borrowing the closure environment);
+//! at the paper's block sizes (α = β = 8192…32768) the spawn cost is
+//! amortized to noise, and the `parallel_for` Criterion bench quantifies it.
+
+use std::mem::MaybeUninit;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default number of indices a worker claims at a time. OpenMP's
+/// `schedule(dynamic)` default chunk is 1; we default a little coarser to
+/// keep counter traffic negligible while still balancing skewed work.
+pub const DEFAULT_CHUNK: usize = 16;
+
+/// Returns the number of worker threads to actually use for `requested`
+/// threads over `n` items (never more threads than items, at least 1).
+pub fn effective_threads(requested: usize, n: usize) -> usize {
+    requested.max(1).min(n.max(1))
+}
+
+/// Runs `body` over every chunk of `0..n`, claimed dynamically by
+/// `threads` workers. `body` receives half-open index ranges.
+pub fn parallel_for_dynamic<F>(threads: usize, n: usize, chunk: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let chunk = chunk.max(1);
+    let threads = effective_threads(threads, n);
+    if n == 0 {
+        return;
+    }
+    if threads == 1 {
+        body(0..n);
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                body(start..end);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Maps `f` over `0..n` with dynamic scheduling, returning the outputs in
+/// index order. Lock-free: each claimed chunk writes a disjoint slice of the
+/// output buffer.
+pub fn parallel_map_dynamic<T, F>(threads: usize, n: usize, chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(threads, n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: `MaybeUninit` needs no initialization; every slot is written
+    // exactly once below before the conversion (chunk claims partition 0..n).
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(n);
+    }
+    let base = SendPtr(out.as_mut_ptr());
+    let cursor = AtomicUsize::new(0);
+    let chunk = chunk.max(1);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| {
+                let base = &base;
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        // SAFETY: `i` is claimed by exactly one worker, so
+                        // this write is unaliased.
+                        unsafe {
+                            base.0.add(i).write(MaybeUninit::new(f(i)));
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    // SAFETY: all n slots were initialized (the chunk claims cover 0..n and
+    // scope join guarantees every worker finished).
+    unsafe {
+        let mut out = std::mem::ManuallyDrop::new(out);
+        Vec::from_raw_parts(out.as_mut_ptr() as *mut T, n, out.capacity())
+    }
+}
+
+/// Folds `0..n` into per-worker accumulators with dynamic scheduling and
+/// returns them (callers merge; order is unspecified).
+pub fn parallel_reduce_dynamic<A, I, F>(
+    threads: usize,
+    n: usize,
+    chunk: usize,
+    init: I,
+    body: F,
+) -> Vec<A>
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize) + Sync,
+{
+    let threads = effective_threads(threads, n);
+    if threads == 1 {
+        let mut acc = init();
+        for i in 0..n {
+            body(&mut acc, i);
+        }
+        return vec![acc];
+    }
+    let cursor = AtomicUsize::new(0);
+    let chunk = chunk.max(1);
+    let mut accs: Vec<A> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|_| {
+                    let mut acc = init();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for i in start..end {
+                            body(&mut acc, i);
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            accs.push(h.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("scope failed");
+    accs
+}
+
+/// A raw pointer that asserts cross-thread shareability for the disjoint
+/// writes in [`parallel_map_dynamic`].
+struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only used for writes to indices each worker claims
+// exclusively via the shared atomic cursor.
+unsafe impl<T> Sync for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn effective_thread_clamping() {
+        assert_eq!(effective_threads(0, 10), 1);
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(4, 100), 4);
+        assert_eq!(effective_threads(4, 0), 1);
+    }
+
+    #[test]
+    fn for_covers_every_index_exactly_once() {
+        for threads in [1usize, 2, 4, 7] {
+            for n in [0usize, 1, 5, 1000, 1001] {
+                let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                parallel_for_dynamic(threads, n, 3, |range| {
+                    for i in range {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "threads={threads} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1usize, 2, 4] {
+            for n in [0usize, 1, 17, 4096] {
+                let out = parallel_map_dynamic(threads, n, 5, |i| i * i);
+                assert_eq!(out.len(), n);
+                for (i, v) in out.iter().enumerate() {
+                    assert_eq!(*v, i * i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_handles_non_copy_types_and_drops() {
+        let out = parallel_map_dynamic(4, 100, 7, |i| vec![i; 3]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v, &vec![i; 3]);
+        }
+        drop(out); // must not double-free
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        for threads in [1usize, 2, 4] {
+            let accs =
+                parallel_reduce_dynamic(threads, 1000, 8, || 0u64, |acc, i| *acc += i as u64);
+            let total: u64 = accs.into_iter().sum();
+            assert_eq!(total, 999 * 1000 / 2);
+        }
+    }
+
+    #[test]
+    fn chunks_are_claimed_incrementally() {
+        let claims = AtomicU64::new(0);
+        parallel_for_dynamic(4, 1024, 4, |range| {
+            claims.fetch_add(1, Ordering::Relaxed);
+            for i in range {
+                std::hint::black_box(i);
+            }
+        });
+        assert_eq!(claims.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        // With 1 thread the body must run on the calling thread (no spawn).
+        let caller = std::thread::current().id();
+        parallel_for_dynamic(1, 10, 2, |_| {
+            assert_eq!(std::thread::current().id(), caller);
+        });
+    }
+}

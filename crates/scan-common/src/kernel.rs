@@ -1,0 +1,465 @@
+//! The weighted structural-similarity kernel (Definition 1) and its
+//! optimizations (Section III-D), instrumented for the work-efficiency
+//! figures.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use anyscan_graph::{CsrGraph, VertexId};
+
+use crate::params::ScanParams;
+
+/// Snapshot of the kernel's evaluation counters.
+///
+/// `sigma_evals` is the quantity plotted on the left of Fig. 7 (the number of
+/// structural-similarity calculations an algorithm performs); SCAN++'s
+/// *similarity sharing* evaluations are tracked separately (`shared_evals`),
+/// as the figure stacks them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Merge-join σ evaluations actually entered (full or early-stopped).
+    pub sigma_evals: u64,
+    /// Pairs dismissed by the O(1) Lemma-5 filter without a merge-join.
+    pub lemma5_filtered: u64,
+    /// SCAN++-style similarity-sharing evaluations (two-hop inference).
+    pub shared_evals: u64,
+}
+
+impl SimStats {
+    /// Total pairs decided by any means.
+    pub fn total_decided(&self) -> u64 {
+        self.sigma_evals + self.lemma5_filtered + self.shared_evals
+    }
+}
+
+/// Outcome of an ε-similarity decision, distinguishing how it was reached
+/// (used by tests asserting the optimizations fire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpsDecision {
+    /// Lemma-5 filter proved σ < ε in O(1).
+    FilteredOut,
+    /// Merge-join concluded σ ≥ ε (possibly early-accepted).
+    Similar,
+    /// Merge-join concluded σ < ε.
+    Dissimilar,
+}
+
+/// The structural-similarity kernel: every σ evaluation in the workspace
+/// funnels through one of these methods, so the instrumentation is complete
+/// by construction.
+///
+/// The kernel is `Sync`; counters are relaxed atomics so the parallel block
+/// phases can share one kernel without locks.
+#[derive(Debug)]
+pub struct Kernel<'g> {
+    graph: &'g CsrGraph,
+    params: ScanParams,
+    /// Lemma-5 O(1) prefilter + early accept inside the merge-join
+    /// (Section III-D). Disabled for the plain SCAN baseline and the
+    /// filter ablation.
+    optimizations: bool,
+    sigma_evals: AtomicU64,
+    lemma5_filtered: AtomicU64,
+    shared_evals: AtomicU64,
+}
+
+impl<'g> Kernel<'g> {
+    /// Kernel with the paper's optimizations enabled (the default for
+    /// anySCAN, SCAN-B and pSCAN).
+    pub fn new(graph: &'g CsrGraph, params: ScanParams) -> Self {
+        Self::with_optimizations(graph, params, true)
+    }
+
+    /// Kernel with the Section III-D optimizations toggled explicitly.
+    pub fn with_optimizations(graph: &'g CsrGraph, params: ScanParams, optimizations: bool) -> Self {
+        Kernel {
+            graph,
+            params,
+            optimizations,
+            sigma_evals: AtomicU64::new(0),
+            lemma5_filtered: AtomicU64::new(0),
+            shared_evals: AtomicU64::new(0),
+        }
+    }
+
+    /// The graph this kernel evaluates on.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    /// The (ε, μ) parameters.
+    pub fn params(&self) -> ScanParams {
+        self.params
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            sigma_evals: self.sigma_evals.load(Ordering::Relaxed),
+            lemma5_filtered: self.lemma5_filtered.load(Ordering::Relaxed),
+            shared_evals: self.shared_evals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records a SCAN++ similarity-sharing evaluation (called by that
+    /// baseline; kept here so all counters live in one place).
+    pub fn record_shared_eval(&self) {
+        self.shared_evals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Exact weighted structural similarity
+    /// `σ(u,v) = Σ_{r∈Γ(u)∩Γ(v)} w_ur·w_vr / sqrt(l_u·l_v)` (Definition 1).
+    /// Always runs the full merge-join (no early stop) and counts one
+    /// evaluation.
+    pub fn sigma(&self, u: VertexId, v: VertexId) -> f64 {
+        self.sigma_evals.fetch_add(1, Ordering::Relaxed);
+        sigma_raw(self.graph, u, v)
+    }
+
+    /// Decides `σ(u,v) ≥ ε`, applying (when enabled) the Lemma-5 O(1)
+    /// prefilter, early accept once the accumulating numerator crosses the
+    /// threshold, and early reject once it provably cannot reach it.
+    pub fn eps_decision(&self, u: VertexId, v: VertexId) -> EpsDecision {
+        let g = self.graph;
+        let lu = g.norm_sq(u);
+        let lv = g.norm_sq(v);
+        let threshold = self.params.epsilon * (lu * lv).sqrt();
+
+        if self.optimizations {
+            // Lemma 5: σ̂(u,v) = min(|Γ_u|,|Γ_v|)·max(w_u,w_v); if
+            // σ̂² < ε²·l_u·l_v then σ < ε without touching the edge arrays.
+            let min_deg = g.degree(u).min(g.degree(v)) as f64;
+            let max_w = g.max_weight(u).max(g.max_weight(v));
+            let sigma_hat = min_deg * max_w;
+            if sigma_hat * sigma_hat < self.params.epsilon * self.params.epsilon * lu * lv {
+                self.lemma5_filtered.fetch_add(1, Ordering::Relaxed);
+                return EpsDecision::FilteredOut;
+            }
+        }
+
+        self.sigma_evals.fetch_add(1, Ordering::Relaxed);
+        let nu = g.neighbor_ids(u);
+        let wu = g.neighbor_weights(u);
+        let nv = g.neighbor_ids(v);
+        let wv = g.neighbor_weights(v);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut num = 0.0f64;
+        if self.optimizations {
+            // Early accept / early reject: track the best the remaining
+            // suffixes could still contribute.
+            let max_w = g.max_weight(u) * g.max_weight(v);
+            loop {
+                if num >= threshold {
+                    return EpsDecision::Similar;
+                }
+                if i >= nu.len() || j >= nv.len() {
+                    break;
+                }
+                let remaining = (nu.len() - i).min(nv.len() - j) as f64;
+                if num + remaining * max_w < threshold {
+                    return EpsDecision::Dissimilar;
+                }
+                let (a, b) = (nu[i], nv[j]);
+                if a == b {
+                    num += wu[i] * wv[j];
+                    i += 1;
+                    j += 1;
+                } else if a < b {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+        } else {
+            while i < nu.len() && j < nv.len() {
+                let (a, b) = (nu[i], nv[j]);
+                if a == b {
+                    num += wu[i] * wv[j];
+                    i += 1;
+                    j += 1;
+                } else if a < b {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        if num >= threshold {
+            EpsDecision::Similar
+        } else {
+            EpsDecision::Dissimilar
+        }
+    }
+
+    /// Boolean form of [`Kernel::eps_decision`].
+    pub fn is_eps_neighbor(&self, u: VertexId, v: VertexId) -> bool {
+        matches!(self.eps_decision(u, v), EpsDecision::Similar)
+    }
+
+    /// Range query: the full structural neighborhood
+    /// `N^ε_p = {q ∈ Γ(p) | σ(p,q) ≥ ε}` (includes `p` itself, since
+    /// σ(p,p) = 1). This is the neighborhood query of anySCAN's Step 1.
+    pub fn eps_neighborhood(&self, p: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        for &q in self.graph.neighbor_ids(p) {
+            if q == p || self.is_eps_neighbor(p, q) {
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    /// Early-exit core check (Steps 2/3 of anySCAN).
+    ///
+    /// If `known` already-confirmed ε-neighbors (including `p` itself — the
+    /// paper's `nei(p)`, which starts at 1) reach μ, the answer is yes with
+    /// no similarity work at all. Otherwise the neighborhood is rescanned
+    /// from scratch (a partial `known` cannot safely seed a rescan: the scan
+    /// would recount the same neighbors), stopping as soon as μ ε-neighbors
+    /// are confirmed or provably unreachable.
+    pub fn core_check_early_exit(&self, p: VertexId, known: usize) -> bool {
+        if known >= self.params.mu {
+            return true;
+        }
+        self.core_check_with_skip(p, 1, |_| false)
+    }
+
+    /// Core check that *does* exploit partial knowledge: `confirmed` counts
+    /// ε-neighbors already established (including `p` itself), and `skip`
+    /// must return true exactly for the neighbors whose ε-relation to `p` is
+    /// already decided (so the scan neither revisits nor recounts them).
+    ///
+    /// anySCAN uses this with `confirmed = 1 + |SN_p|` and `skip` matching
+    /// the representatives of the super-nodes containing `p`: membership of
+    /// `p` in `sn(c)` certifies σ(p,c) ≥ ε, bought during Step 1.
+    pub fn core_check_with_skip(
+        &self,
+        p: VertexId,
+        confirmed: usize,
+        skip: impl Fn(VertexId) -> bool,
+    ) -> bool {
+        let mu = self.params.mu;
+        let mut count = confirmed.max(1);
+        if count >= mu {
+            return true;
+        }
+        let ids = self.graph.neighbor_ids(p);
+        let mut remaining = ids.iter().filter(|&&q| q != p && !skip(q)).count();
+        for &q in ids {
+            if q == p || skip(q) {
+                continue;
+            }
+            if count + remaining < mu {
+                return false;
+            }
+            remaining -= 1;
+            if self.is_eps_neighbor(p, q) {
+                count += 1;
+                if count >= mu {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether `p` is a core (Definition 3), evaluating the neighborhood
+    /// exhaustively (no early exit). Mostly useful in tests and the naive
+    /// baseline.
+    pub fn is_core_exhaustive(&self, p: VertexId) -> bool {
+        self.eps_neighborhood(p).len() >= self.params.mu
+    }
+}
+
+/// Uninstrumented exact similarity; the reference implementation used by
+/// property tests and by callers outside any experiment accounting.
+pub fn sigma_raw(g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
+    let nu = g.neighbor_ids(u);
+    let wu = g.neighbor_weights(u);
+    let nv = g.neighbor_ids(v);
+    let wv = g.neighbor_weights(v);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut num = 0.0f64;
+    while i < nu.len() && j < nv.len() {
+        let (a, b) = (nu[i], nv[j]);
+        if a == b {
+            num += wu[i] * wv[j];
+            i += 1;
+            j += 1;
+        } else if a < b {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    num / (g.norm_sq(u) * g.norm_sq(v)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan_graph::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn unweighted_clique_plus_pendant() -> CsrGraph {
+        // K4 over {0,1,2,3} plus pendant 4 attached to 0.
+        GraphBuilder::from_unweighted_edges(
+            5,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unweighted_sigma_matches_scan_formula() {
+        // SCAN: σ(u,v) = |Γ(u) ∩ Γ(v)| / sqrt(|Γ(u)|·|Γ(v)|) with closed
+        // neighborhoods.
+        let g = unweighted_clique_plus_pendant();
+        // Γ(1) = {0,1,2,3}, Γ(2) = {0,1,2,3}: σ = 4/4 = 1.
+        assert!((sigma_raw(&g, 1, 2) - 1.0).abs() < 1e-12);
+        // Γ(0) = {0,1,2,3,4}, Γ(4) = {0,4}: common {0,4}, σ = 2/sqrt(10).
+        assert!((sigma_raw(&g, 0, 4) - 2.0 / 10.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let g = unweighted_clique_plus_pendant();
+        for v in 0..5 {
+            assert!((sigma_raw(&g, v, v) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_sigma_hand_computed() {
+        // Path 0 -(2.0)- 1 -(0.5)- 2, all with unit self-loops.
+        let g = GraphBuilder::from_edges(3, vec![(0, 1, 2.0), (1, 2, 0.5)]).unwrap();
+        // Γ(0)={0(1),1(2)}, Γ(1)={0(2),1(1),2(0.5)}.
+        // common: 0 → w_00·w_10 = 1·2 = 2; 1 → w_01·w_11 = 2·1 = 2. num=4.
+        // l_0 = 1+4 = 5; l_1 = 4+1+0.25 = 5.25. σ = 4/sqrt(26.25).
+        let expect = 4.0 / (5.0f64 * 5.25).sqrt();
+        assert!((sigma_raw(&g, 0, 1) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eps_decision_agrees_with_exact_sigma() {
+        let g = unweighted_clique_plus_pendant();
+        let params = ScanParams::new(0.6, 2);
+        let k_opt = Kernel::new(&g, params);
+        let k_plain = Kernel::with_optimizations(&g, params, false);
+        for u in 0..5u32 {
+            for &v in g.neighbor_ids(u) {
+                let exact = sigma_raw(&g, u, v) >= 0.6;
+                assert_eq!(k_opt.is_eps_neighbor(u, v), exact, "opt ({u},{v})");
+                assert_eq!(k_plain.is_eps_neighbor(u, v), exact, "plain ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma5_filter_fires_and_is_sound() {
+        // High ε over a weak, long-degree-mismatch edge should be filtered.
+        let mut b = GraphBuilder::new(12);
+        for v in 1..11 {
+            b.add_edge(0, v, 1.0);
+        }
+        b.add_edge(0, 11, 0.05); // weak pendant
+        let g = b.build();
+        let k = Kernel::new(&g, ScanParams::new(0.9, 2));
+        let d = k.eps_decision(0, 11);
+        // Whether filtered or merge-joined, it must be "not similar"...
+        assert_ne!(d, EpsDecision::Similar);
+        // ...and the exact value confirms.
+        assert!(sigma_raw(&g, 0, 11) < 0.9);
+    }
+
+    #[test]
+    fn counters_track_each_path() {
+        let g = unweighted_clique_plus_pendant();
+        let k = Kernel::new(&g, ScanParams::new(0.5, 2));
+        let _ = k.sigma(0, 1);
+        let _ = k.eps_decision(1, 2);
+        k.record_shared_eval();
+        let s = k.stats();
+        assert_eq!(s.sigma_evals, 2);
+        assert_eq!(s.shared_evals, 1);
+        assert_eq!(s.total_decided(), 3 + s.lemma5_filtered - s.lemma5_filtered);
+    }
+
+    #[test]
+    fn eps_neighborhood_includes_self() {
+        let g = unweighted_clique_plus_pendant();
+        let k = Kernel::new(&g, ScanParams::new(0.99, 2));
+        let n0 = k.eps_neighborhood(0);
+        assert!(n0.contains(&0));
+        // Clique members 1,2,3 have σ(i,j)=1 among themselves.
+        let n1 = k.eps_neighborhood(1);
+        assert!(n1.contains(&2) && n1.contains(&3));
+    }
+
+    #[test]
+    fn core_check_early_exit_matches_exhaustive() {
+        let g = unweighted_clique_plus_pendant();
+        for eps in [0.3, 0.5, 0.7, 0.9] {
+            for mu in 1..6 {
+                let k = Kernel::new(&g, ScanParams::new(eps, mu));
+                for v in 0..5u32 {
+                    assert_eq!(
+                        k.core_check_early_exit(v, 0),
+                        k.is_core_exhaustive(v),
+                        "eps={eps} mu={mu} v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn core_check_uses_known_count() {
+        let g = unweighted_clique_plus_pendant();
+        let k = Kernel::new(&g, ScanParams::new(0.5, 4));
+        // With enough already-known ε-neighbors, no scanning is needed.
+        assert!(k.core_check_early_exit(4, 10));
+    }
+
+    proptest! {
+        /// σ is symmetric, in [0,1], and the optimized ε-decision always
+        /// agrees with the exact value, on random weighted graphs.
+        #[test]
+        fn sigma_properties_on_random_graphs(
+            edges in proptest::collection::vec((0u32..12, 0u32..12, 0.05f64..1.0), 1..60),
+            eps in 0.05f64..0.95,
+        ) {
+            let g = GraphBuilder::from_edges(12, edges).unwrap();
+            let params = ScanParams::new(eps, 2);
+            let k = Kernel::new(&g, params);
+            for u in 0..12u32 {
+                for &v in g.neighbor_ids(u) {
+                    let s_uv = sigma_raw(&g, u, v);
+                    let s_vu = sigma_raw(&g, v, u);
+                    prop_assert!((s_uv - s_vu).abs() < 1e-9, "asymmetric σ({u},{v})");
+                    prop_assert!((0.0..=1.0 + 1e-9).contains(&s_uv));
+                    // Guard the threshold comparison against float ties.
+                    if (s_uv - eps).abs() > 1e-9 {
+                        prop_assert_eq!(
+                            k.is_eps_neighbor(u, v),
+                            s_uv >= eps,
+                            "decision mismatch at ({}, {}), σ={}", u, v, s_uv
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Cauchy–Schwarz: σ ≤ 1 even under adversarial weights.
+        #[test]
+        fn sigma_never_exceeds_one(
+            w1 in 0.05f64..1.0, w2 in 0.05f64..1.0, w3 in 0.05f64..1.0,
+        ) {
+            let g = GraphBuilder::from_edges(3, vec![(0,1,w1),(1,2,w2),(0,2,w3)]).unwrap();
+            for u in 0..3u32 {
+                for v in 0..3u32 {
+                    prop_assert!(sigma_raw(&g, u, v) <= 1.0 + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Machinery shared by every SCAN-family algorithm in this workspace.
+//!
+//! * [`ScanParams`] — the (ε, μ) parameter pair of SCAN (Definition 2/3).
+//! * [`kernel::Kernel`] — the weighted structural-similarity kernel
+//!   (Definition 1) with Lemma-5 filtering, early accept/reject, range
+//!   queries and early-exit core checks, all instrumented with the counters
+//!   Figures 7 and 12 report.
+//! * [`result::Clustering`] — the common output type: per-vertex cluster
+//!   labels and roles (core / border / hub / outlier).
+//! * [`verify::assert_scan_equivalent`] — the formal notion of "two runs
+//!   produce the same SCAN result" used by the exactness test-suite
+//!   (identical cores, identical core partition, consistent borders — the
+//!   paper notes shared borders may legitimately differ, Lemma 4).
+
+pub mod index;
+pub mod kernel;
+pub mod params;
+pub mod result;
+pub mod verify;
+
+pub use index::NeighborIndex;
+pub use kernel::{Kernel, SimStats};
+pub use params::ScanParams;
+pub use result::{Clustering, Role, RoleCounts, NOISE, UNCLASSIFIED};

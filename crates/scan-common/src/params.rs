@@ -1,0 +1,70 @@
+//! SCAN parameters.
+
+/// The (ε, μ) parameter pair shared by SCAN, SCAN-B, pSCAN, SCAN++ and
+/// anySCAN.
+///
+/// * `epsilon` — similarity threshold of the structural neighborhood
+///   (Definition 2), in `(0, 1]`.
+/// * `mu` — minimum size of a structural neighborhood for its center to be
+///   a core (Definition 3). Counts the vertex itself (closed neighborhood),
+///   as in the original SCAN.
+///
+/// The paper's default is ε = 0.5, μ = 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanParams {
+    pub epsilon: f64,
+    pub mu: usize,
+}
+
+impl ScanParams {
+    /// Creates a parameter pair, panicking on out-of-domain values.
+    pub fn new(epsilon: f64, mu: usize) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0 && epsilon.is_finite(),
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        assert!(mu >= 1, "mu must be at least 1");
+        ScanParams { epsilon, mu }
+    }
+
+    /// The paper's defaults (ε = 0.5, μ = 5).
+    pub fn paper_defaults() -> Self {
+        ScanParams::new(0.5, 5)
+    }
+}
+
+impl Default for ScanParams {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = ScanParams::default();
+        assert_eq!(p.epsilon, 0.5);
+        assert_eq!(p.mu, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_zero_epsilon() {
+        let _ = ScanParams::new(0.0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_epsilon_above_one() {
+        let _ = ScanParams::new(1.5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu")]
+    fn rejects_zero_mu() {
+        let _ = ScanParams::new(0.5, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! The formal notion of SCAN-result equivalence used by the test suite.
+//!
+//! Lemma 4 of the paper states anySCAN's final result is *identical* to
+//! SCAN's, with one caveat: "a shared-border vertex may be assigned to
+//! different clusters according to the examining order of vertices" — true
+//! of SCAN itself. Two results are therefore equivalent iff:
+//!
+//! 1. they agree on which vertices are cores;
+//! 2. the partitions of the *core* vertices into clusters are identical;
+//! 3. every border vertex is attached to a cluster of one of its core
+//!    ε-neighbors (and both results agree on who is a border);
+//! 4. they agree on which vertices are noise.
+//!
+//! Hub/outlier roles follow deterministically from the labels, so 1–4 pin
+//! them too (up to the same shared-border caveat).
+
+use std::collections::HashMap;
+
+use anyscan_graph::{CsrGraph, VertexId};
+
+use crate::kernel::sigma_raw;
+use crate::params::ScanParams;
+use crate::result::{Clustering, Role, NOISE};
+
+/// Checks the four equivalence conditions; returns a human-readable reason
+/// on the first violation.
+pub fn check_scan_equivalent(
+    g: &CsrGraph,
+    params: ScanParams,
+    a: &Clustering,
+    b: &Clustering,
+) -> Result<(), String> {
+    if a.len() != b.len() || a.len() != g.num_vertices() {
+        return Err(format!(
+            "size mismatch: graph {}, a {}, b {}",
+            g.num_vertices(),
+            a.len(),
+            b.len()
+        ));
+    }
+
+    // 1. Same cores.
+    for v in 0..g.num_vertices() as VertexId {
+        let ca = a.roles[v as usize] == Role::Core;
+        let cb = b.roles[v as usize] == Role::Core;
+        if ca != cb {
+            return Err(format!("core disagreement at vertex {v}: a={ca}, b={cb}"));
+        }
+    }
+
+    // 2. Same partition of the cores: the label-pair bijection must hold.
+    let mut ab: HashMap<u32, u32> = HashMap::new();
+    let mut ba: HashMap<u32, u32> = HashMap::new();
+    for v in 0..g.num_vertices() as VertexId {
+        if a.roles[v as usize] != Role::Core {
+            continue;
+        }
+        let (la, lb) = (a.labels[v as usize], b.labels[v as usize]);
+        if la == NOISE || lb == NOISE {
+            return Err(format!("core vertex {v} labeled noise (a={la}, b={lb})"));
+        }
+        if *ab.entry(la).or_insert(lb) != lb || *ba.entry(lb).or_insert(la) != la {
+            return Err(format!("core partition mismatch at vertex {v}"));
+        }
+    }
+
+    // 3 & 4. Border/noise agreement, and border attachments must be
+    // justified by some core ε-neighbor in *both* results.
+    for v in 0..g.num_vertices() as VertexId {
+        if a.roles[v as usize] == Role::Core {
+            continue;
+        }
+        let noise_a = a.labels[v as usize] == NOISE;
+        let noise_b = b.labels[v as usize] == NOISE;
+        if noise_a != noise_b {
+            return Err(format!("noise disagreement at vertex {v}: a={noise_a}, b={noise_b}"));
+        }
+        if noise_a {
+            continue;
+        }
+        for (c, label) in [(a, a.labels[v as usize]), (b, b.labels[v as usize])] {
+            let justified = g.neighbor_ids(v).iter().any(|&q| {
+                q != v
+                    && c.roles[q as usize] == Role::Core
+                    && c.labels[q as usize] == label
+                    && sigma_raw(g, v, q) >= params.epsilon - 1e-12
+            });
+            if !justified {
+                return Err(format!(
+                    "border vertex {v} attached to cluster {label} without a core ε-neighbor there"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Panicking wrapper for tests.
+pub fn assert_scan_equivalent(g: &CsrGraph, params: ScanParams, a: &Clustering, b: &Clustering) {
+    if let Err(e) = check_scan_equivalent(g, params, a, b) {
+        panic!("SCAN results differ: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan_graph::GraphBuilder;
+
+    /// Two triangles joined by a path through vertex 4 (the border).
+    fn two_triangles() -> CsrGraph {
+        GraphBuilder::from_unweighted_edges(
+            7,
+            vec![(0, 1), (1, 2), (2, 0), (2, 4), (4, 5), (5, 6), (6, 3), (3, 5), (6, 5)],
+        )
+        .unwrap()
+    }
+
+    fn mk(labels: Vec<u32>, roles: Vec<Role>) -> Clustering {
+        Clustering { labels, roles }
+    }
+
+    #[test]
+    fn identical_results_pass() {
+        let g = two_triangles();
+        let p = ScanParams::new(0.5, 3);
+        let c = mk(
+            vec![0, 0, 0, 1, NOISE, 1, 1],
+            vec![Role::Core, Role::Core, Role::Core, Role::Core, Role::Outlier, Role::Core, Role::Core],
+        );
+        check_scan_equivalent(&g, p, &c, &c).unwrap();
+    }
+
+    #[test]
+    fn relabeled_results_pass() {
+        let g = two_triangles();
+        let p = ScanParams::new(0.5, 3);
+        let a = mk(
+            vec![0, 0, 0, 1, NOISE, 1, 1],
+            vec![Role::Core; 7].into_iter().enumerate().map(|(i, r)| if i == 4 { Role::Outlier } else { r }).collect(),
+        );
+        let mut b = a.clone();
+        for l in b.labels.iter_mut() {
+            if *l != NOISE {
+                *l = 10 - *l; // bijective relabeling
+            }
+        }
+        check_scan_equivalent(&g, p, &a, &b).unwrap();
+    }
+
+    #[test]
+    fn core_disagreement_fails() {
+        let g = two_triangles();
+        let p = ScanParams::new(0.5, 3);
+        let a = mk(
+            vec![0, 0, 0, 1, NOISE, 1, 1],
+            vec![Role::Core, Role::Core, Role::Core, Role::Core, Role::Outlier, Role::Core, Role::Core],
+        );
+        let mut b = a.clone();
+        b.roles[0] = Role::Border;
+        let err = check_scan_equivalent(&g, p, &a, &b).unwrap_err();
+        assert!(err.contains("core disagreement"));
+    }
+
+    #[test]
+    fn merged_clusters_fail() {
+        let g = two_triangles();
+        let p = ScanParams::new(0.5, 3);
+        let a = mk(
+            vec![0, 0, 0, 1, NOISE, 1, 1],
+            vec![Role::Core, Role::Core, Role::Core, Role::Core, Role::Outlier, Role::Core, Role::Core],
+        );
+        let mut b = a.clone();
+        for l in b.labels.iter_mut() {
+            if *l != NOISE {
+                *l = 0; // collapse both clusters
+            }
+        }
+        let err = check_scan_equivalent(&g, p, &a, &b).unwrap_err();
+        assert!(err.contains("partition mismatch"), "{err}");
+    }
+
+    #[test]
+    fn unjustified_border_fails() {
+        let g = two_triangles();
+        let p = ScanParams::new(0.5, 3);
+        // Pretend 4 is a border of cluster 0 although σ(4, ·) < ε there.
+        let a = mk(
+            vec![0, 0, 0, 1, NOISE, 1, 1],
+            vec![Role::Core, Role::Core, Role::Core, Role::Core, Role::Outlier, Role::Core, Role::Core],
+        );
+        let mut b = a.clone();
+        b.labels[4] = 0;
+        b.roles[4] = Role::Border;
+        // Noise/border disagreement triggers first.
+        assert!(check_scan_equivalent(&g, p, &a, &b).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a small weighted graph, cluster it with anySCAN, and
+//! inspect clusters, borders, hubs and outliers.
+//!
+//! Run with: `cargo run --release -p anyscan --example quickstart`
+
+use anyscan::{anyscan, AnyScan, AnyScanConfig};
+use anyscan_graph::GraphBuilder;
+use anyscan_scan_common::{Role, ScanParams, NOISE};
+
+fn main() {
+    // Two tightly-knit groups (4-cliques) joined through vertex 8, plus a
+    // loner (vertex 9). Edge weights express interaction strength.
+    let mut b = GraphBuilder::new(10);
+    for group in [[0u32, 1, 2, 3], [4, 5, 6, 7]] {
+        for (i, &u) in group.iter().enumerate() {
+            for &v in &group[i + 1..] {
+                b.add_edge(u, v, 0.9);
+            }
+        }
+    }
+    b.add_edge(3, 8, 0.6); // 8 bridges both groups weakly
+    b.add_edge(4, 8, 0.6);
+    let g = b.build();
+
+    // SCAN parameters: σ threshold ε and core threshold μ.
+    let params = ScanParams::new(0.6, 3);
+
+    // One-shot batch API.
+    let out = anyscan(&g, params);
+    println!("clusters found: {}", out.clustering.num_clusters());
+    println!("similarity evaluations: {}", out.stats.sigma_evals);
+    for v in 0..g.num_vertices() as u32 {
+        let label = out.clustering.labels[v as usize];
+        let role = out.clustering.roles[v as usize];
+        let shown = if label == NOISE { "-".to_string() } else { format!("{label}") };
+        println!("  vertex {v}: cluster {shown:>2}  role {role:?}");
+    }
+
+    // Vertex 8 touches both clusters without belonging to either: a hub.
+    assert_eq!(out.clustering.roles[8], Role::Hub);
+    // Vertex 9 is isolated: an outlier.
+    assert_eq!(out.clustering.roles[9], Role::Outlier);
+
+    // The same run, driven step by step (the anytime API).
+    let mut algo = AnyScan::new(&g, AnyScanConfig::new(params));
+    while algo.phase() != anyscan::Phase::Done {
+        let progress = algo.step();
+        println!(
+            "step {:>2}: phase {:?}, {} vertices, cumulative {:?}",
+            progress.index, progress.phase, progress.block_len, progress.cumulative
+        );
+    }
+    assert_eq!(algo.result().num_clusters(), 2);
+    println!("done: {} super-nodes, unions {:?}", algo.num_supernodes(), algo.union_breakdown());
+}

@@ -1,0 +1,122 @@
+//! End-to-end runs over every generator the workspace ships, checking the
+//! whole pipeline: generate → cluster → evaluate → compare.
+
+use anyscan::anyscan;
+use anyscan_baselines::scan;
+use anyscan_graph::gen::{
+    erdos_renyi, lfr, planted_partition, rmat, Dataset, DatasetId, LfrParams,
+    PlantedPartitionParams, RmatParams, WeightModel,
+};
+use anyscan_graph::stats::graph_stats;
+use anyscan_metrics::{adjusted_rand_index, nmi, pair_f1, purity};
+use anyscan_scan_common::ScanParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn planted_partition_communities_are_recovered() {
+    let mut rng = StdRng::seed_from_u64(400);
+    let (g, planted) = planted_partition(
+        &mut rng,
+        &PlantedPartitionParams {
+            n: 600,
+            num_communities: 6,
+            p_in: 0.5,
+            p_out: 0.002,
+            weights: WeightModel::CommunityCorrelated,
+        },
+    );
+    let out = anyscan(&g, ScanParams::new(0.4, 5));
+    assert_eq!(out.clustering.num_clusters(), 6);
+    let found = out.clustering.labels_with_noise_cluster();
+    assert!(nmi(&found, &planted) > 0.95, "NMI {}", nmi(&found, &planted));
+    assert!(adjusted_rand_index(&found, &planted) > 0.9);
+    assert!(purity(&found, &planted) > 0.95);
+    assert!(pair_f1(&found, &planted) > 0.9);
+}
+
+#[test]
+fn lfr_ground_truth_is_substantially_recovered() {
+    // LFR with mixing 0.2 and strong local structure: SCAN should align
+    // with the planted communities reasonably well (SCAN clusters are finer
+    // than LFR communities, so purity is the right headline metric).
+    let mut rng = StdRng::seed_from_u64(401);
+    let mut p = LfrParams::paper_defaults(2_000, 20.0);
+    p.mixing = 0.2;
+    p.triangle_closure = 0.8;
+    p.weights = WeightModel::CommunityCorrelated;
+    let (g, planted) = lfr(&mut rng, &p);
+    let out = anyscan(&g, ScanParams::new(0.4, 4));
+    assert!(out.clustering.num_clusters() > 0);
+    let found = out.clustering.labels_with_noise_cluster();
+    assert!(
+        purity(&found, &planted) > 0.75,
+        "purity {} too low",
+        purity(&found, &planted)
+    );
+}
+
+#[test]
+fn every_dataset_in_the_registry_generates_and_clusters() {
+    // Small scale: this is a smoke test of the full registry.
+    for d in Dataset::all() {
+        let (g, labels) = d.generate_scaled(0.05, 11);
+        g.check_invariants().unwrap();
+        assert!(g.num_vertices() > 0, "{:?} generated an empty graph", d.id);
+        if let Some(l) = &labels {
+            assert_eq!(l.len(), g.num_vertices());
+        }
+        let out = anyscan(&g, ScanParams::paper_defaults());
+        assert_eq!(out.clustering.len(), g.num_vertices());
+    }
+}
+
+#[test]
+fn serialization_roundtrip_preserves_clustering() {
+    let mut rng = StdRng::seed_from_u64(402);
+    let g = erdos_renyi(&mut rng, 300, 2_000, WeightModel::uniform_default());
+    let params = ScanParams::new(0.4, 4);
+    let direct = anyscan(&g, params);
+
+    // Text roundtrip.
+    let mut text = Vec::new();
+    anyscan_graph::io::write_edge_list(&g, &mut text).unwrap();
+    let g2 = anyscan_graph::io::read_edge_list(text.as_slice(), Some(g.num_vertices())).unwrap();
+    assert_eq!(g, g2);
+    // Binary roundtrip.
+    let mut bin = Vec::new();
+    anyscan_graph::io::write_binary(&g, &mut bin).unwrap();
+    let g3 = anyscan_graph::io::read_binary(bin.as_slice()).unwrap();
+    assert_eq!(g, g3);
+
+    let reloaded = anyscan(&g3, params);
+    assert_eq!(direct.clustering, reloaded.clustering);
+}
+
+#[test]
+fn stats_runtime_invariants_hold_on_generated_graphs() {
+    let mut rng = StdRng::seed_from_u64(403);
+    let g = rmat(&mut rng, &RmatParams::graph500(10, 8));
+    let s = graph_stats(&g);
+    assert_eq!(s.num_vertices, 1024);
+    assert!(s.average_degree > 0.0);
+    assert!(s.average_clustering_coefficient >= 0.0 && s.average_clustering_coefficient <= 1.0);
+    assert!(s.global_clustering_coefficient >= 0.0 && s.global_clustering_coefficient <= 1.0);
+    assert!(s.max_degree >= s.min_degree);
+}
+
+#[test]
+fn scan_on_dataset_analogue_matches_anyscan() {
+    let d = Dataset::get(DatasetId::Gr02);
+    let (g, _) = d.generate_scaled(0.1, 5);
+    let params = ScanParams::paper_defaults();
+    let truth = scan(&g, params);
+    let ours = anyscan(&g, params);
+    anyscan_scan_common::verify::assert_scan_equivalent(
+        &g,
+        params,
+        &truth.clustering,
+        &ours.clustering,
+    );
+    assert!(ours.stats.sigma_evals <= truth.stats.sigma_evals);
+}

@@ -1,0 +1,92 @@
+//! Cross-algorithm exactness: SCAN, SCAN-B, pSCAN, SCAN++ and anySCAN must
+//! produce SCAN-equivalent results over a grid of generators and parameters.
+
+use anyscan::anyscan;
+use anyscan_baselines::{pscan, scan, scan_b, scanpp};
+use anyscan_graph::gen::{
+    erdos_renyi, lfr, planted_partition, rmat, LfrParams, PlantedPartitionParams, RmatParams,
+    WeightModel,
+};
+use anyscan_graph::CsrGraph;
+use anyscan_scan_common::{Clustering, ScanParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_all(g: &CsrGraph, params: ScanParams) {
+    let truth = scan(g, params).clustering;
+    let runs: Vec<(&str, Clustering)> = vec![
+        ("SCAN-B", scan_b(g, params).clustering),
+        ("pSCAN", pscan(g, params).clustering),
+        ("SCAN++", scanpp(g, params).clustering),
+        ("anySCAN", anyscan(g, params).clustering),
+    ];
+    for (name, c) in runs {
+        if let Err(e) = anyscan_scan_common::verify::check_scan_equivalent(g, params, &truth, &c) {
+            panic!("{name} diverged (eps={}, mu={}): {e}", params.epsilon, params.mu);
+        }
+    }
+}
+
+#[test]
+fn grid_over_erdos_renyi() {
+    let mut rng = StdRng::seed_from_u64(100);
+    for (n, m) in [(60usize, 200usize), (200, 1_500), (400, 6_000)] {
+        let g = erdos_renyi(&mut rng, n, m, WeightModel::uniform_default());
+        for eps in [0.25, 0.5, 0.75] {
+            for mu in [2usize, 5] {
+                check_all(&g, ScanParams::new(eps, mu));
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_over_planted_partitions() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for (p_in, p_out) in [(0.5, 0.002), (0.3, 0.02), (0.15, 0.05)] {
+        let (g, _) = planted_partition(
+            &mut rng,
+            &PlantedPartitionParams {
+                n: 400,
+                num_communities: 8,
+                p_in,
+                p_out,
+                weights: WeightModel::CommunityCorrelated,
+            },
+        );
+        for eps in [0.3, 0.5, 0.7] {
+            check_all(&g, ScanParams::new(eps, 4));
+        }
+    }
+}
+
+#[test]
+fn grid_over_lfr() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let (g, _) = lfr(&mut rng, &LfrParams::paper_defaults(1_500, 20.0));
+    for eps in [0.35, 0.5, 0.65] {
+        for mu in [3usize, 8] {
+            check_all(&g, ScanParams::new(eps, mu));
+        }
+    }
+}
+
+#[test]
+fn rmat_power_law_graph() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let g = rmat(&mut rng, &RmatParams::graph500(9, 12));
+    for eps in [0.3, 0.5] {
+        check_all(&g, ScanParams::new(eps, 5));
+    }
+}
+
+#[test]
+fn unit_weights_reduce_to_original_scan() {
+    // With unit weights, Definition 1 must behave exactly like unweighted
+    // SCAN: cross-check the whole family on an unweighted graph.
+    let mut rng = StdRng::seed_from_u64(104);
+    let g = erdos_renyi(&mut rng, 300, 2_500, WeightModel::Unit);
+    for eps in [0.4, 0.6, 0.8] {
+        check_all(&g, ScanParams::new(eps, 4));
+    }
+}

@@ -1,0 +1,118 @@
+//! Failure-injection and robustness tests across crate boundaries: corrupt
+//! inputs, degenerate graphs, hostile parameters.
+
+use anyscan::{anyscan, AnyScan, AnyScanConfig};
+use anyscan_baselines::scan;
+use anyscan_graph::gen::{erdos_renyi, WeightModel};
+use anyscan_graph::io::{read_binary, read_edge_list, write_binary};
+use anyscan_graph::{GraphBuilder, GraphError};
+use anyscan_scan_common::verify::assert_scan_equivalent;
+use anyscan_scan_common::{Role, ScanParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn corrupt_binary_files_are_rejected_not_crashed() {
+    let mut rng = StdRng::seed_from_u64(500);
+    let g = erdos_renyi(&mut rng, 100, 400, WeightModel::Unit);
+    let mut buf = Vec::new();
+    write_binary(&g, &mut buf).unwrap();
+    // Bit-flip every 97th byte in turn: each corruption must yield Err or a
+    // graph that still satisfies all invariants — never a panic.
+    for i in (0..buf.len()).step_by(97) {
+        let mut bad = buf.clone();
+        bad[i] ^= 0x5A;
+        if let Ok(g2) = read_binary(bad.as_slice()) {
+            g2.check_invariants().unwrap();
+        }
+    }
+}
+
+#[test]
+fn malformed_edge_lists_error_cleanly() {
+    for bad in ["1 2 3 4 5\nx\n", "-1 2\n", "999999999999999 0\n", "0 1 nanana\n"] {
+        let r = read_edge_list(bad.as_bytes(), None);
+        assert!(matches!(r, Err(GraphError::Parse { .. })), "input {bad:?} not rejected");
+    }
+}
+
+#[test]
+fn extreme_parameters_do_not_break_anything() {
+    let mut rng = StdRng::seed_from_u64(501);
+    let g = erdos_renyi(&mut rng, 150, 900, WeightModel::uniform_default());
+    for params in [
+        ScanParams::new(1.0, 1),          // only self-similar neighbors
+        ScanParams::new(1e-9, 1),         // everything similar
+        ScanParams::new(0.5, 10_000),     // mu beyond any degree
+        ScanParams::new(0.999999, 2),
+    ] {
+        let truth = scan(&g, params);
+        let ours = anyscan(&g, params);
+        assert_scan_equivalent(&g, params, &truth.clustering, &ours.clustering);
+    }
+}
+
+#[test]
+fn mu_larger_than_every_degree_yields_pure_noise() {
+    let mut rng = StdRng::seed_from_u64(502);
+    let g = erdos_renyi(&mut rng, 100, 300, WeightModel::Unit);
+    let out = anyscan(&g, ScanParams::new(0.5, 1_000));
+    assert_eq!(out.clustering.num_clusters(), 0);
+    assert!(out
+        .clustering
+        .roles
+        .iter()
+        .all(|&r| matches!(r, Role::Outlier | Role::Hub)));
+    // Work efficiency in the degenerate case: the degree shortcut should
+    // avoid every similarity evaluation.
+    assert_eq!(out.stats.sigma_evals, 0, "|Γ| < μ must short-circuit all queries");
+}
+
+#[test]
+fn disconnected_components_cluster_independently() {
+    // Two cliques with no connection at all.
+    let mut b = GraphBuilder::new(10);
+    for base in [0u32, 5] {
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                b.add_edge(base + i, base + j, 1.0);
+            }
+        }
+    }
+    let g = b.build();
+    let out = anyscan(&g, ScanParams::new(0.5, 3));
+    assert_eq!(out.clustering.num_clusters(), 2);
+    assert_ne!(out.clustering.labels[0], out.clustering.labels[5]);
+}
+
+#[test]
+fn zero_step_runs_and_immediate_result_queries() {
+    let g = GraphBuilder::new(3).build();
+    let config = AnyScanConfig::default();
+    let mut algo = AnyScan::new(&g, config);
+    // Snapshot before any step: everything unclassified... isolated
+    // vertices have |Γ| = 1 < μ and are simply untouched so far.
+    let snap = algo.snapshot();
+    assert_eq!(snap.role_counts().unclassified, 3);
+    let result = algo.run();
+    assert_eq!(result.role_counts().outliers, 3);
+}
+
+#[test]
+#[should_panic(expected = "requires a finished run")]
+fn result_before_done_panics() {
+    let mut rng = StdRng::seed_from_u64(503);
+    let g = erdos_renyi(&mut rng, 200, 1_000, WeightModel::Unit);
+    let algo = AnyScan::new(&g, AnyScanConfig::default().with_block_size(16));
+    let _ = algo.result();
+}
+
+#[test]
+fn self_loops_and_duplicate_edges_in_input_are_normalized() {
+    let text = "0 1 0.5\n1 0 0.9\n0 0 7.0\n1 2 1.0\n";
+    let g = read_edge_list(text.as_bytes(), None).unwrap();
+    assert_eq!(g.num_edges(), 2);
+    assert_eq!(g.edge_weight(0, 1), Some(0.9)); // max weight wins
+    let out = anyscan(&g, ScanParams::new(0.5, 2));
+    assert_eq!(out.clustering.len(), 3);
+}
