@@ -25,7 +25,9 @@ pub struct EdgeCache {
 impl EdgeCache {
     /// All-unknown cache for `g`.
     pub fn new(g: &CsrGraph) -> Self {
-        EdgeCache { verdicts: vec![Verdict::Unknown; g.num_arcs()] }
+        EdgeCache {
+            verdicts: vec![Verdict::Unknown; g.num_arcs()],
+        }
     }
 
     /// Cached verdict of the arc `(u, v)`; `Unknown` if never evaluated or
@@ -49,8 +51,11 @@ impl EdgeCache {
         if cached != Verdict::Unknown {
             return cached;
         }
-        let verdict =
-            if kernel.is_eps_neighbor(u, v) { Verdict::Similar } else { Verdict::Dissimilar };
+        let verdict = if kernel.is_eps_neighbor(u, v) {
+            Verdict::Similar
+        } else {
+            Verdict::Dissimilar
+        };
         self.verdicts[off_u + iu] = verdict;
         if let Ok(iv) = g.neighbor_ids(v).binary_search(&u) {
             self.verdicts[Self::global_offset(g, v) + iv] = verdict;
@@ -60,7 +65,11 @@ impl EdgeCache {
 
     /// Records an externally computed verdict for both arc directions.
     pub fn record(&mut self, g: &CsrGraph, u: VertexId, v: VertexId, similar: bool) {
-        let verdict = if similar { Verdict::Similar } else { Verdict::Dissimilar };
+        let verdict = if similar {
+            Verdict::Similar
+        } else {
+            Verdict::Dissimilar
+        };
         if let Ok(iu) = g.neighbor_ids(u).binary_search(&v) {
             self.verdicts[Self::global_offset(g, u) + iu] = verdict;
         }
@@ -71,7 +80,10 @@ impl EdgeCache {
 
     /// Number of arcs whose verdict is known.
     pub fn decided_arcs(&self) -> usize {
-        self.verdicts.iter().filter(|&&v| v != Verdict::Unknown).count()
+        self.verdicts
+            .iter()
+            .filter(|&&v| v != Verdict::Unknown)
+            .count()
     }
 
     #[inline]

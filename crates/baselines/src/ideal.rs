@@ -7,7 +7,7 @@
 //! curve is the ceiling any real SCAN parallelization could reach.
 
 use anyscan_graph::{CsrGraph, VertexId};
-use anyscan_parallel::{parallel_reduce_dynamic, DEFAULT_CHUNK};
+use anyscan_parallel::parallel_reduce_adaptive;
 use anyscan_scan_common::kernel::sigma_raw;
 use anyscan_scan_common::ScanParams;
 
@@ -25,10 +25,9 @@ pub struct IdealReport {
 /// dynamic scheduling, and nothing else.
 pub fn ideal_parallel(g: &CsrGraph, params: ScanParams, threads: usize) -> IdealReport {
     let n = g.num_vertices();
-    let accs = parallel_reduce_dynamic(
+    let accs = parallel_reduce_adaptive(
         threads,
         n,
-        DEFAULT_CHUNK,
         || (0u64, 0u64),
         |acc, u| {
             let u = u as VertexId;
@@ -43,9 +42,13 @@ pub fn ideal_parallel(g: &CsrGraph, params: ScanParams, threads: usize) -> Ideal
             }
         },
     );
-    let (evaluations, similar_edges) =
-        accs.into_iter().fold((0, 0), |(a, b), (x, y)| (a + x, b + y));
-    IdealReport { evaluations, similar_edges }
+    let (evaluations, similar_edges) = accs
+        .into_iter()
+        .fold((0, 0), |(a, b), (x, y)| (a + x, b + y));
+    IdealReport {
+        evaluations,
+        similar_edges,
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,10 @@ pub struct AlgoOutput {
 impl AlgoOutput {
     /// Bundles a clustering with its counter snapshots.
     pub fn new(clustering: Clustering, stats: SimStats, union_ops: u64) -> Self {
-        AlgoOutput { clustering, stats, union_ops }
+        AlgoOutput {
+            clustering,
+            stats,
+            union_ops,
+        }
     }
 }

@@ -198,7 +198,11 @@ mod tests {
         edges.push((2, 4, 1.0));
         let g = GraphBuilder::from_edges(8, edges).unwrap();
         let out = scan(&g, ScanParams::new(0.4, 3));
-        assert_eq!(out.clustering.num_clusters(), 1, "low ε should merge via the bridge");
+        assert_eq!(
+            out.clustering.num_clusters(),
+            1,
+            "low ε should merge via the bridge"
+        );
     }
 
     #[test]

@@ -169,6 +169,7 @@ pub fn scanpp(g: &CsrGraph, params: ScanParams) -> AlgoOutput {
         sigma_evals: true_evals,
         lemma5_filtered: final_stats.lemma5_filtered.max(filtered_after_pivots),
         shared_evals: final_stats.sigma_evals - true_evals,
+        cache_hits: 0,
     };
     AlgoOutput::new(clustering, stats, dsu.counters().unions)
 }
@@ -199,10 +200,7 @@ mod tests {
     #[test]
     fn pivot_structure_reduces_true_evaluations() {
         let mut rng = StdRng::seed_from_u64(32);
-        let (g, _) = planted_partition(
-            &mut rng,
-            &PlantedPartitionParams::well_separated(500, 5),
-        );
+        let (g, _) = planted_partition(&mut rng, &PlantedPartitionParams::well_separated(500, 5));
         let params = ScanParams::paper_defaults();
         let s = scan(&g, params);
         let spp = scanpp(&g, params);

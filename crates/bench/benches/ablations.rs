@@ -17,7 +17,9 @@ fn bench_ablations(c: &mut Criterion) {
     let base = AnyScanConfig::new(params).with_auto_block_size(g.num_vertices());
 
     let mut group = c.benchmark_group("ablations");
-    group.sample_size(15).measurement_time(std::time::Duration::from_secs(3));
+    group
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(3));
 
     let run = |config: AnyScanConfig| {
         let mut algo = AnyScan::new(&g, config);

@@ -22,7 +22,9 @@ fn bench_algorithms(c: &mut Criterion) {
         },
     );
     let mut group = c.benchmark_group("algorithms");
-    group.sample_size(15).measurement_time(std::time::Duration::from_secs(3));
+    group
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(3));
     for algo in Algo::ALL {
         for eps in [0.3, 0.5] {
             group.bench_function(format!("{}/eps{eps}", algo.name()), |b| {

@@ -26,13 +26,19 @@ fn bench_steps(c: &mut Criterion) {
     let config = AnyScanConfig::new(params).with_auto_block_size(g.num_vertices());
 
     let mut group = c.benchmark_group("anyscan_steps");
-    group.sample_size(15).measurement_time(std::time::Duration::from_secs(3));
+    group
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(3));
     group.bench_function("construct", |b| b.iter(|| AnyScan::new(&g, config).phase()));
     group.bench_function("through_step1", |b| {
         b.iter(|| run_until(&g, config, Phase::MergeStrong))
     });
-    group.bench_function("through_step2", |b| b.iter(|| run_until(&g, config, Phase::MergeWeak)));
-    group.bench_function("through_step3", |b| b.iter(|| run_until(&g, config, Phase::Borders)));
+    group.bench_function("through_step2", |b| {
+        b.iter(|| run_until(&g, config, Phase::MergeWeak))
+    });
+    group.bench_function("through_step3", |b| {
+        b.iter(|| run_until(&g, config, Phase::Borders))
+    });
     group.bench_function("full_run", |b| {
         b.iter(|| {
             let mut algo = AnyScan::new(&g, config);

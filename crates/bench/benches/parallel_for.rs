@@ -1,10 +1,16 @@
-//! Overhead of the dynamic-scheduled parallel-for (thread spawn + chunk
-//! claiming) relative to a plain sequential loop — the cost the paper
-//! amortizes with block sizes α = β ≥ 8192.
+//! Overhead of the dynamic-scheduled parallel-for (worker-pool dispatch +
+//! chunk claiming) relative to a plain sequential loop and to the
+//! spawn-threads-per-call strategy it replaced, plus the effect of the
+//! symmetric edge-decision cache on repeated ε-decisions.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use anyscan_parallel::{parallel_for_dynamic, parallel_reduce_dynamic};
+use anyscan_graph::gen::{erdos_renyi, WeightModel};
+use anyscan_parallel::{parallel_for_adaptive, parallel_for_dynamic, parallel_reduce_dynamic};
+use anyscan_scan_common::{Kernel, ScanParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn work(i: usize) -> u64 {
     // A few hundred ns of arithmetic, like a small merge-join.
@@ -13,6 +19,34 @@ fn work(i: usize) -> u64 {
         acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
     }
     acc
+}
+
+/// The strategy the pool replaced: spawn `threads` scoped OS threads per
+/// call, all claiming fixed chunks from a shared cursor.
+fn spawn_per_call_for(
+    threads: usize,
+    n: usize,
+    chunk: usize,
+    body: impl Fn(std::ops::Range<usize>) + Sync,
+) {
+    if threads <= 1 || n == 0 {
+        if n > 0 {
+            body(0..n);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                body(start..(start + chunk).min(n));
+            });
+        }
+    });
 }
 
 fn bench_parallel_for(c: &mut Criterion) {
@@ -31,13 +65,8 @@ fn bench_parallel_for(c: &mut Criterion) {
         for threads in [1usize, 2, 4] {
             group.bench_function(format!("dynamic_t{threads}/n{n}"), |b| {
                 b.iter(|| {
-                    let accs = parallel_reduce_dynamic(
-                        threads,
-                        n,
-                        16,
-                        || 0u64,
-                        |acc, i| *acc ^= work(i),
-                    );
+                    let accs =
+                        parallel_reduce_dynamic(threads, n, 16, || 0u64, |acc, i| *acc ^= work(i));
                     black_box(accs.into_iter().fold(0, |a, b| a ^ b))
                 })
             });
@@ -55,9 +84,90 @@ fn bench_parallel_for(c: &mut Criterion) {
                 })
             });
         }
+        group.bench_function(format!("adaptive_t2/n{n}"), |b| {
+            b.iter(|| {
+                parallel_for_adaptive(2, n, |range| {
+                    let mut acc = 0u64;
+                    for i in range {
+                        acc ^= work(i);
+                    }
+                    black_box(acc);
+                })
+            })
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_for);
+/// Pool dispatch vs per-call thread spawning, at the small block sizes
+/// anySCAN actually issues (one parallel region per phase per α/β block).
+fn bench_pool_vs_spawn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_vs_spawn");
+    group.sample_size(20);
+    for &n in &[256usize, 4_096] {
+        for threads in [2usize, 4] {
+            group.bench_function(format!("pool_t{threads}/n{n}"), |b| {
+                b.iter(|| {
+                    parallel_for_dynamic(threads, n, 16, |range| {
+                        let mut acc = 0u64;
+                        for i in range {
+                            acc ^= work(i);
+                        }
+                        black_box(acc);
+                    })
+                })
+            });
+            group.bench_function(format!("spawn_t{threads}/n{n}"), |b| {
+                b.iter(|| {
+                    spawn_per_call_for(threads, n, 16, |range| {
+                        let mut acc = 0u64;
+                        for i in range {
+                            acc ^= work(i);
+                        }
+                        black_box(acc);
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Repeated ε-decisions over every arc with and without the symmetric
+/// edge-decision cache — the second sweep models Step 2/3 revisiting edges
+/// Step 1 already decided.
+fn bench_edge_cache(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let g = erdos_renyi(&mut rng, 2_000, 24_000, WeightModel::uniform_default());
+    let params = ScanParams::paper_defaults();
+
+    let mut group = c.benchmark_group("edge_cache");
+    group.sample_size(10);
+    for (label, cached) in [("off", false), ("on", true)] {
+        group.bench_function(format!("two_sweeps_{label}"), |b| {
+            b.iter(|| {
+                let k = Kernel::new(&g, params).with_edge_cache(cached);
+                let mut similar = 0u64;
+                for _sweep in 0..2 {
+                    for u in g.vertices() {
+                        for &v in g.neighbor_ids(u) {
+                            if v != u && k.is_eps_neighbor(u, v) {
+                                similar += 1;
+                            }
+                        }
+                    }
+                }
+                black_box(similar)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_for,
+    bench_pool_vs_spawn,
+    bench_edge_cache
+);
 criterion_main!(benches);

@@ -11,7 +11,9 @@ use anyscan_scan_common::{Kernel, ScanParams};
 
 fn bench_similarity(c: &mut Criterion) {
     let mut group = c.benchmark_group("similarity");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
 
     for &avg_deg in &[8usize, 32, 128] {
         let n = 2_000;

@@ -19,7 +19,13 @@ pub enum Algo {
 
 impl Algo {
     /// Everything the paper benchmarks head-to-head.
-    pub const ALL: [Algo; 5] = [Algo::Scan, Algo::ScanB, Algo::PScan, Algo::ScanPP, Algo::AnyScan];
+    pub const ALL: [Algo; 5] = [
+        Algo::Scan,
+        Algo::ScanB,
+        Algo::PScan,
+        Algo::ScanPP,
+        Algo::AnyScan,
+    ];
 
     /// Display name as used in the paper's figures.
     pub fn name(self) -> &'static str {
@@ -68,7 +74,13 @@ pub fn run_algo(algo: Algo, g: &CsrGraph, params: ScanParams) -> RunOutcome {
             (out.clustering, out.stats, out.unions.total())
         }
     };
-    RunOutcome { algo, elapsed: start.elapsed(), clustering, stats, union_ops }
+    RunOutcome {
+        algo,
+        elapsed: start.elapsed(),
+        clustering,
+        stats,
+        union_ops,
+    }
 }
 
 #[cfg(test)]

@@ -30,8 +30,16 @@ fn main() {
     let args = HarnessArgs::parse();
     let params = ScanParams::paper_defaults();
     let variants: &[Variant] = &[
-        Variant { name: "baseline", threads: 1, tweak: |_| {} },
-        Variant { name: "no-lemma5", threads: 1, tweak: |c| c.optimizations = false },
+        Variant {
+            name: "baseline",
+            threads: 1,
+            tweak: |_| {},
+        },
+        Variant {
+            name: "no-lemma5",
+            threads: 1,
+            tweak: |c| c.optimizations = false,
+        },
         Variant {
             name: "no-sorting",
             threads: 1,
@@ -40,22 +48,47 @@ fn main() {
                 c.sort_step3 = false;
             },
         },
-        Variant { name: "skip-step2", threads: 1, tweak: |c| c.skip_step2 = true },
-        Variant { name: "no-roles", threads: 1, tweak: |c| c.resolve_roles = false },
-        Variant { name: "atomic-dsu(4t)", threads: 4, tweak: |_| {} },
-        Variant { name: "locked-dsu(4t)", threads: 4, tweak: |c| c.dsu = DsuKind::Locked },
+        Variant {
+            name: "skip-step2",
+            threads: 1,
+            tweak: |c| c.skip_step2 = true,
+        },
+        Variant {
+            name: "no-roles",
+            threads: 1,
+            tweak: |c| c.resolve_roles = false,
+        },
+        Variant {
+            name: "atomic-dsu(4t)",
+            threads: 4,
+            tweak: |_| {},
+        },
+        Variant {
+            name: "locked-dsu(4t)",
+            threads: 4,
+            tweak: |c| c.dsu = DsuKind::Locked,
+        },
     ];
 
     for id in [DatasetId::Gr01, DatasetId::Gr02] {
         let d = Dataset::get(id);
         let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
-        println!("\n== Ablations on {} (|V|={}, |E|={}) ==\n", id.short(), g.num_vertices(), g.num_edges());
+        println!(
+            "\n== Ablations on {} (|V|={}, |E|={}) ==\n",
+            id.short(),
+            g.num_vertices(),
+            g.num_edges()
+        );
         let mut t = Table::new(&[
-            "variant", "runtime-s", "sigma-evals", "filtered", "unions", "clusters",
+            "variant",
+            "runtime-s",
+            "sigma-evals",
+            "filtered",
+            "unions",
+            "clusters",
         ]);
         for v in variants {
-            let mut config =
-                AnyScanConfig::new(params).with_auto_block_size(g.num_vertices());
+            let mut config = AnyScanConfig::new(params).with_auto_block_size(g.num_vertices());
             config.threads = v.threads;
             (v.tweak)(&mut config);
             let (elapsed, (clusters, stats, unions)) = time(|| {

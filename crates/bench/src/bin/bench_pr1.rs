@@ -1,0 +1,156 @@
+//! PR 1 perf trajectory: end-to-end anySCAN wall time on the GR01/GR02
+//! analogues at 1/2/4 threads, emitted as machine-readable JSON
+//! (`BENCH_pr1.json`) so successive PRs can compare like against like.
+//!
+//! ```text
+//! bench_pr1 [--scale f] [--seed u] [--reps n] [--out path] [--baseline path]
+//! ```
+//!
+//! `--baseline` embeds a previously written JSON verbatim under `"baseline"`
+//! — run the binary once before a perf change, then again after with the
+//! first file as baseline, and the output carries both measurements.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use anyscan::{AnyScan, AnyScanConfig};
+use anyscan_bench::load_dataset;
+use anyscan_bench::timing::median_of;
+use anyscan_graph::gen::{Dataset, DatasetId};
+use anyscan_scan_common::ScanParams;
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    reps: usize,
+    out: String,
+    baseline: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: 1.0,
+            seed: 7,
+            reps: 3,
+            out: "BENCH_pr1.json".into(),
+            baseline: None,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut out = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--scale" => out.scale = val().parse().expect("--scale f64"),
+            "--seed" => out.seed = val().parse().expect("--seed u64"),
+            "--reps" => out.reps = val().parse().expect("--reps usize"),
+            "--out" => out.out = val(),
+            "--baseline" => out.baseline = Some(val()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    out
+}
+
+/// One timed configuration: median end-to-end wall time over `reps` runs.
+fn run_case(
+    g: &anyscan_graph::CsrGraph,
+    params: ScanParams,
+    threads: usize,
+    edge_cache: bool,
+    reps: usize,
+) -> (Duration, usize) {
+    let config = AnyScanConfig::new(params)
+        .with_auto_block_size(g.num_vertices())
+        .with_threads(threads)
+        .with_edge_cache(edge_cache);
+    let (t, clusters) = median_of(reps, || AnyScan::new(g, config).run().num_clusters());
+    (t, clusters)
+}
+
+fn main() {
+    let args = parse_args();
+    let params = ScanParams::paper_defaults();
+    let threads_sweep = [1usize, 2, 4];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_pr1\",");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"end-to-end anySCAN wall time (median of {} runs), paper params (eps={}, mu={})\",",
+        args.reps, params.epsilon, params.mu
+    );
+    let _ = writeln!(
+        json,
+        "  \"env\": {{ \"cpus\": {}, \"scale\": {}, \"seed\": {} }},",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        args.scale,
+        args.seed
+    );
+    json.push_str("  \"datasets\": [\n");
+
+    for (di, id) in [DatasetId::Gr01, DatasetId::Gr02].into_iter().enumerate() {
+        let d = Dataset::get(id);
+        let (g, _) = load_dataset(&d, args.scale, args.seed);
+        eprintln!(
+            "{}: |V|={} |E|={} (scale {})",
+            id.short(),
+            g.num_vertices(),
+            g.num_edges(),
+            args.scale
+        );
+        let _ = writeln!(
+            json,
+            "    {{ \"id\": \"{}\", \"vertices\": {}, \"edges\": {}, \"runs\": [",
+            id.short(),
+            g.num_vertices(),
+            g.num_edges()
+        );
+        let mut first = true;
+        for &threads in &threads_sweep {
+            for cache in [true, false] {
+                let (t, clusters) = run_case(&g, params, threads, cache, args.reps);
+                eprintln!(
+                    "  threads={threads} edge_cache={cache}: {:.3}s ({clusters} clusters)",
+                    t.as_secs_f64()
+                );
+                let _ = writeln!(
+                    json,
+                    "      {}{{ \"threads\": {}, \"edge_cache\": {}, \"seconds\": {:.6}, \"clusters\": {} }}",
+                    if first { "" } else { ", " },
+                    threads,
+                    cache,
+                    t.as_secs_f64(),
+                    clusters
+                );
+                first = false;
+            }
+        }
+        let _ = writeln!(json, "    ] }}{}", if di == 0 { "," } else { "" });
+    }
+    json.push_str("  ]");
+
+    match &args.baseline {
+        Some(path) => {
+            let base = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+            json.push_str(",\n  \"baseline\": ");
+            // Indent the embedded document to keep the output readable.
+            let indented: Vec<String> = base.trim_end().lines().map(|l| format!("  {l}")).collect();
+            json.push_str(indented.join("\n").trim_start());
+            json.push('\n');
+        }
+        None => json.push('\n'),
+    }
+    json.push_str("}\n");
+
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    eprintln!("wrote {}", args.out);
+}

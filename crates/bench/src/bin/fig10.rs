@@ -16,10 +16,17 @@ use anyscan_scan_common::ScanParams;
 fn main() {
     let args = HarnessArgs::parse();
     let params = ScanParams::paper_defaults();
-    let ids = [DatasetId::Gr01, DatasetId::Gr02, DatasetId::Gr03, DatasetId::Gr04];
+    let ids = [
+        DatasetId::Gr01,
+        DatasetId::Gr02,
+        DatasetId::Gr03,
+        DatasetId::Gr04,
+    ];
     println!(
         "available CPUs: {}\n",
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     );
     for id in ids {
         let d = Dataset::get(id);
@@ -28,11 +35,16 @@ fn main() {
         // (α = β = 32768 vs 8192 in the paper).
         let block = (g.num_vertices() / 32).clamp(32, 32_768);
 
-        println!("== Fig. 10 (left): {} cumulative-s at sampled iterations ==\n", id.short());
+        println!(
+            "== Fig. 10 (left): {} cumulative-s at sampled iterations ==\n",
+            id.short()
+        );
         let mut rows: Vec<Vec<String>> = Vec::new();
         let mut final_times = Vec::new();
         for &threads in &args.threads {
-            let config = AnyScanConfig::new(params).with_block_size(block).with_threads(threads);
+            let config = AnyScanConfig::new(params)
+                .with_block_size(block)
+                .with_threads(threads);
             let mut algo = AnyScan::new(&g, config);
             let mut samples = Vec::new();
             while algo.phase() != Phase::Done {
@@ -49,13 +61,18 @@ fn main() {
             }
             rows.push(row);
         }
-        let mut t = Table::new(&["config", "it-1/6", "it-2/6", "it-3/6", "it-4/6", "it-5/6", "final"]);
+        let mut t = Table::new(&[
+            "config", "it-1/6", "it-2/6", "it-3/6", "it-4/6", "it-5/6", "final",
+        ]);
         for row in rows {
             t.row(row);
         }
         t.print();
 
-        println!("\n== Fig. 10 (right): {} final runtime and speedup vs 1 thread ==\n", id.short());
+        println!(
+            "\n== Fig. 10 (right): {} final runtime and speedup vs 1 thread ==\n",
+            id.short()
+        );
         let base = final_times[0];
         let mut t = Table::new(&["threads", "runtime-s", "speedup"]);
         for (i, &threads) in args.threads.iter().enumerate() {

@@ -5,16 +5,21 @@
 //! parallelization. (Single-CPU container: see the note in fig10.)
 
 use anyscan::{AnyScan, AnyScanConfig};
+use anyscan_baselines::ideal_parallel;
 use anyscan_bench::table::secs;
 use anyscan_bench::{load_dataset, time, HarnessArgs, Table};
-use anyscan_baselines::ideal_parallel;
 use anyscan_graph::gen::{Dataset, DatasetId};
 use anyscan_scan_common::ScanParams;
 
 fn main() {
     let args = HarnessArgs::parse();
     let params = ScanParams::paper_defaults();
-    let ids = [DatasetId::Gr01, DatasetId::Gr02, DatasetId::Gr03, DatasetId::Gr04];
+    let ids = [
+        DatasetId::Gr01,
+        DatasetId::Gr02,
+        DatasetId::Gr03,
+        DatasetId::Gr04,
+    ];
     for id in ids {
         let d = Dataset::get(id);
         let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
@@ -23,10 +28,16 @@ fn main() {
         let mut any_base = None;
         let mut ideal_base = None;
         let mut t = Table::new(&[
-            "threads", "anySCAN-s", "anySCAN-speedup", "ideal-s", "ideal-speedup",
+            "threads",
+            "anySCAN-s",
+            "anySCAN-speedup",
+            "ideal-s",
+            "ideal-speedup",
         ]);
         for &threads in &args.threads {
-            let config = AnyScanConfig::new(params).with_block_size(block).with_threads(threads);
+            let config = AnyScanConfig::new(params)
+                .with_block_size(block)
+                .with_threads(threads);
             let (any_t, _) = time(|| AnyScan::new(&g, config).run());
             let (ideal_t, _) = time(|| ideal_parallel(&g, params, threads));
             let ab = *any_base.get_or_insert(any_t);

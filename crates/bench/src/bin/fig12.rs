@@ -13,10 +13,21 @@ use anyscan_scan_common::ScanParams;
 fn main() {
     let args = HarnessArgs::parse();
     let params = ScanParams::paper_defaults();
-    let ids = [DatasetId::Gr01, DatasetId::Gr02, DatasetId::Gr03, DatasetId::Gr04];
+    let ids = [
+        DatasetId::Gr01,
+        DatasetId::Gr02,
+        DatasetId::Gr03,
+        DatasetId::Gr04,
+    ];
     println!("== Fig. 12: Union operations (eps=0.5, mu=5) ==\n");
     let mut t = Table::new(&[
-        "dataset", "|V|", "pSCAN", "anySCAN-total", "step1(seq)", "step2(crit)", "step3(crit)",
+        "dataset",
+        "|V|",
+        "pSCAN",
+        "anySCAN-total",
+        "step1(seq)",
+        "step2(crit)",
+        "step3(crit)",
     ]);
     for id in ids {
         let d = Dataset::get(id);
@@ -26,8 +37,7 @@ fn main() {
         // of the graph (α = 8192 on their smallest, 107 K-vertex dataset):
         // large blocks create the super-node overlap that moves most unions
         // into the sequential part of Step 1.
-        let config =
-            AnyScanConfig::new(params).with_block_size((g.num_vertices() / 8).max(64));
+        let config = AnyScanConfig::new(params).with_block_size((g.num_vertices() / 8).max(64));
         let mut algo = AnyScan::new(&g, config);
         let _ = algo.run();
         let u = algo.union_breakdown();

@@ -10,7 +10,9 @@ use anyscan_graph::gen::{Dataset, DatasetId};
 use anyscan_scan_common::ScanParams;
 
 fn run(g: &anyscan_graph::CsrGraph, params: ScanParams, block: usize, threads: usize) -> f64 {
-    let config = AnyScanConfig::new(params).with_block_size(block).with_threads(threads);
+    let config = AnyScanConfig::new(params)
+        .with_block_size(block)
+        .with_threads(threads);
     let (t, _) = time(|| AnyScan::new(g, config).run());
     t.as_secs_f64()
 }

@@ -18,7 +18,9 @@ fn speedups(
     threads
         .iter()
         .map(|&th| {
-            let config = AnyScanConfig::new(params).with_block_size(block).with_threads(th);
+            let config = AnyScanConfig::new(params)
+                .with_block_size(block)
+                .with_threads(th);
             let (t, _) = time(|| AnyScan::new(g, config).run());
             let b = *base.get_or_insert(t.as_secs_f64());
             (th, b / t.as_secs_f64())
@@ -31,7 +33,10 @@ fn main() {
     let params = ScanParams::paper_defaults();
     for (title, sweep) in [
         ("vs average degree (LFR01-05)", Dataset::lfr_degree_sweep()),
-        ("vs clustering coefficient (LFR11-15)", Dataset::lfr_clustering_sweep()),
+        (
+            "vs clustering coefficient (LFR11-15)",
+            Dataset::lfr_clustering_sweep(),
+        ),
     ] {
         println!("\n== Fig. 14: speedup {title} ==\n");
         let header: Vec<String> = std::iter::once("dataset".to_string())

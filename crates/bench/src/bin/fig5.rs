@@ -18,7 +18,12 @@ use anyscan_scan_common::ScanParams;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let ids = [DatasetId::Gr01, DatasetId::Gr02, DatasetId::Gr03, DatasetId::Gr04];
+    let ids = [
+        DatasetId::Gr01,
+        DatasetId::Gr02,
+        DatasetId::Gr03,
+        DatasetId::Gr04,
+    ];
     for eps in [0.5, 0.6] {
         for id in ids {
             let d = Dataset::get(id);
@@ -51,8 +56,7 @@ fn main() {
 
             // anySCAN's anytime curve.
             let truth_labels = truth.clustering.labels_with_noise_cluster();
-            let config =
-                AnyScanConfig::new(params).with_auto_block_size(g.num_vertices());
+            let config = AnyScanConfig::new(params).with_auto_block_size(g.num_vertices());
             let curve = anytime_curve(&g, config, &truth_labels, 14);
             let mut t = Table::new(&["iter", "phase", "cumulative-s", "NMI"]);
             for p in &curve {

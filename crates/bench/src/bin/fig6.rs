@@ -15,8 +15,16 @@ use anyscan_scan_common::ScanParams;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let eps_sweep: &[f64] = if args.quick { &[0.2, 0.5, 0.8] } else { &[0.2, 0.35, 0.5, 0.65, 0.8] };
-    let mu_sweep: &[usize] = if args.quick { &[2, 10] } else { &[2, 5, 10, 15] };
+    let eps_sweep: &[f64] = if args.quick {
+        &[0.2, 0.5, 0.8]
+    } else {
+        &[0.2, 0.35, 0.5, 0.65, 0.8]
+    };
+    let mu_sweep: &[usize] = if args.quick {
+        &[2, 10]
+    } else {
+        &[2, 5, 10, 15]
+    };
 
     for d in Dataset::real_graphs() {
         let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);
@@ -35,7 +43,10 @@ fn main() {
         }
         t.print();
 
-        println!("\n== Fig. 6 (bottom): {} runtime-s vs mu (eps=0.5) ==", d.id.short());
+        println!(
+            "\n== Fig. 6 (bottom): {} runtime-s vs mu (eps=0.5) ==",
+            d.id.short()
+        );
         let mut t = Table::new(&["mu", "SCAN", "SCAN-B", "pSCAN", "SCAN++", "anySCAN"]);
         for &mu in mu_sweep {
             let params = ScanParams::new(0.5, mu);

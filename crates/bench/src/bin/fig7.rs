@@ -17,7 +17,14 @@ fn main() {
     let params = ScanParams::paper_defaults();
     println!("== Fig. 7 (left): similarity evaluations (eps=0.5, mu=5) ==\n");
     let mut evals = Table::new(&[
-        "dataset", "2|E|", "SCAN", "SCAN-B", "pSCAN", "SCANpp-true", "SCANpp-shared", "anySCAN",
+        "dataset",
+        "2|E|",
+        "SCAN",
+        "SCAN-B",
+        "pSCAN",
+        "SCANpp-true",
+        "SCANpp-shared",
+        "anySCAN",
     ]);
     let mut roles = Table::new(&["dataset", "cores", "borders", "hubs+outliers", "clusters"]);
     for d in Dataset::real_graphs() {

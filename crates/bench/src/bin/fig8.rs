@@ -26,29 +26,39 @@ fn main() {
     println!("== Fig. 8 (left): anytime NMI vs time for eps sweep (GR01, mu=5) ==");
     for eps in [0.2, 0.35, 0.5, 0.65, 0.8] {
         let params = ScanParams::new(eps, 5);
-        let truth = run_algo(Algo::Scan, &g, params).clustering.labels_with_noise_cluster();
+        let truth = run_algo(Algo::Scan, &g, params)
+            .clustering
+            .labels_with_noise_cluster();
         let config = AnyScanConfig::new(params).with_auto_block_size(n);
         let curve = anytime_curve(&g, config, &truth, 8);
-        let series: Vec<String> =
-            curve.iter().map(|p| format!("({}, {:.3})", secs(p.cumulative), p.nmi)).collect();
+        let series: Vec<String> = curve
+            .iter()
+            .map(|p| format!("({}, {:.3})", secs(p.cumulative), p.nmi))
+            .collect();
         println!("eps={eps}: {}", series.join(" "));
     }
 
     println!("\n== Fig. 8 (left): anytime NMI vs time for mu sweep (GR01, eps=0.5) ==");
     for mu in [2usize, 5, 10, 15] {
         let params = ScanParams::new(0.5, mu);
-        let truth = run_algo(Algo::Scan, &g, params).clustering.labels_with_noise_cluster();
+        let truth = run_algo(Algo::Scan, &g, params)
+            .clustering
+            .labels_with_noise_cluster();
         let config = AnyScanConfig::new(params).with_auto_block_size(n);
         let curve = anytime_curve(&g, config, &truth, 8);
-        let series: Vec<String> =
-            curve.iter().map(|p| format!("({}, {:.3})", secs(p.cumulative), p.nmi)).collect();
+        let series: Vec<String> = curve
+            .iter()
+            .map(|p| format!("({}, {:.3})", secs(p.cumulative), p.nmi))
+            .collect();
         println!("mu={mu}: {}", series.join(" "));
     }
 
     println!("\n== Fig. 8 (right): final runtime-s vs block size alpha=beta (GR01) ==\n");
     // Paper ratios 256/107k … 8192/107k ≈ 0.24 % … 7.6 %, mapped to |V|.
-    let blocks: Vec<usize> =
-        [0.0024, 0.019, 0.076, 0.3].iter().map(|r| ((n as f64 * r) as usize).max(8)).collect();
+    let blocks: Vec<usize> = [0.0024, 0.019, 0.076, 0.3]
+        .iter()
+        .map(|r| ((n as f64 * r) as usize).max(8))
+        .collect();
     let header: Vec<String> = std::iter::once("params".to_string())
         .chain(blocks.iter().map(|b| format!("alpha={b}")))
         .collect();

@@ -16,7 +16,14 @@ fn main() {
         args.effective_scale()
     );
     let mut t = Table::new(&[
-        "Id", "Graph", "Vertices", "Edges", "avg-deg", "clust-c", "paper-deg", "paper-c",
+        "Id",
+        "Graph",
+        "Vertices",
+        "Edges",
+        "avg-deg",
+        "clust-c",
+        "paper-deg",
+        "paper-c",
     ]);
     for d in Dataset::real_graphs() {
         let (g, _) = load_dataset(&d, args.effective_scale(), args.seed);

@@ -10,8 +10,19 @@ use anyscan_graph::stats::graph_stats;
 
 fn main() {
     let args = HarnessArgs::parse();
-    println!("== Table II: LFR benchmark graphs (scale {}) ==\n", args.effective_scale());
-    let mut t = Table::new(&["Id", "Vertices", "Edges", "avg-deg", "clust-c", "paper-deg", "paper-c"]);
+    println!(
+        "== Table II: LFR benchmark graphs (scale {}) ==\n",
+        args.effective_scale()
+    );
+    let mut t = Table::new(&[
+        "Id",
+        "Vertices",
+        "Edges",
+        "avg-deg",
+        "clust-c",
+        "paper-deg",
+        "paper-c",
+    ]);
     for d in Dataset::lfr_graphs() {
         let (g, labels) = load_dataset(&d, args.effective_scale(), args.seed);
         assert!(labels.is_some(), "LFR datasets carry ground-truth labels");

@@ -23,7 +23,9 @@ pub fn load_dataset(d: &Dataset, scale: f64, seed: u64) -> (CsrGraph, Option<Vec
 
     if let Ok(file) = fs::File::open(&graph_path) {
         if let Ok(g) = read_binary(std::io::BufReader::new(file)) {
-            let labels = fs::read(&label_path).ok().and_then(|raw| decode_labels(&raw, g.num_vertices()));
+            let labels = fs::read(&label_path)
+                .ok()
+                .and_then(|raw| decode_labels(&raw, g.num_vertices()));
             return (g, labels);
         }
         // Corrupt cache entry: fall through and regenerate.
@@ -59,7 +61,11 @@ fn decode_labels(raw: &[u8], n: usize) -> Option<Vec<u32>> {
     if raw.len() != n * 4 {
         return None;
     }
-    Some(raw.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+    Some(
+        raw.chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect(),
+    )
 }
 
 #[cfg(test)]

@@ -19,7 +19,12 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { scale: 1.0, seed: 7, threads: vec![1, 2, 4, 8, 16], quick: false }
+        HarnessArgs {
+            scale: 1.0,
+            seed: 7,
+            threads: vec![1, 2, 4, 8, 16],
+            quick: false,
+        }
     }
 }
 
@@ -42,7 +47,11 @@ impl HarnessArgs {
                     let raw: String = it.next().unwrap_or_else(|| usage("--threads needs a list"));
                     out.threads = raw
                         .split(',')
-                        .map(|t| t.trim().parse().unwrap_or_else(|_| usage("bad thread count")))
+                        .map(|t| {
+                            t.trim()
+                                .parse()
+                                .unwrap_or_else(|_| usage("bad thread count"))
+                        })
                         .collect();
                     if out.threads.is_empty() {
                         usage("--threads list is empty");
@@ -65,19 +74,14 @@ impl HarnessArgs {
     }
 }
 
-fn expect_value<T: std::str::FromStr>(
-    it: &mut impl Iterator<Item = String>,
-    flag: &str,
-) -> T {
+fn expect_value<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
     it.next()
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
 }
 
 fn usage(reason: &str) -> ! {
-    eprintln!(
-        "{reason}\n\nusage: <experiment> [--scale F] [--seed N] [--threads a,b,c] [--quick]"
-    );
+    eprintln!("{reason}\n\nusage: <experiment> [--scale F] [--seed N] [--threads a,b,c] [--quick]");
     std::process::exit(2)
 }
 

@@ -26,8 +26,10 @@ impl Options {
                 i += 1;
                 continue;
             }
-            let value =
-                argv.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?
+                .clone();
             out.values.insert(key.to_string(), value);
             i += 2;
         }
@@ -36,15 +38,21 @@ impl Options {
 
     /// A required typed option.
     pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
-        let raw = self.values.get(key).ok_or_else(|| format!("missing --{key}"))?;
-        raw.parse().map_err(|_| format!("bad value for --{key}: {raw:?}"))
+        let raw = self
+            .values
+            .get(key)
+            .ok_or_else(|| format!("missing --{key}"))?;
+        raw.parse()
+            .map_err(|_| format!("bad value for --{key}: {raw:?}"))
     }
 
     /// An optional typed option with a default.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.values.get(key) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| format!("bad value for --{key}: {raw:?}")),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: {raw:?}")),
         }
     }
 
@@ -59,7 +67,11 @@ impl Options {
             None => Ok(None),
             Some(raw) => raw
                 .split(',')
-                .map(|t| t.trim().parse().map_err(|_| format!("bad list item {t:?} in --{key}")))
+                .map(|t| {
+                    t.trim()
+                        .parse()
+                        .map_err(|_| format!("bad list item {t:?} in --{key}"))
+                })
                 .collect::<Result<Vec<T>, String>>()
                 .map(Some),
         }

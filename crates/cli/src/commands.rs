@@ -80,10 +80,19 @@ pub fn stats(opts: &Options) -> CmdResult {
     println!("vertices                {}", s.num_vertices);
     println!("edges                   {}", s.num_edges);
     println!("average degree          {:.3}", s.average_degree);
-    println!("min / max degree        {} / {}", s.min_degree, s.max_degree);
+    println!(
+        "min / max degree        {} / {}",
+        s.min_degree, s.max_degree
+    );
     println!("triangles               {}", s.triangles);
-    println!("avg clustering coeff    {:.4}", s.average_clustering_coefficient);
-    println!("global clustering coeff {:.4}", s.global_clustering_coefficient);
+    println!(
+        "avg clustering coeff    {:.4}",
+        s.average_clustering_coefficient
+    );
+    println!(
+        "global clustering coeff {:.4}",
+        s.global_clustering_coefficient
+    );
     let (_, components) = anyscan_graph::traversal::connected_components(&g);
     println!("connected components    {components}");
     Ok(())
@@ -135,7 +144,11 @@ pub fn generate(opts: &Options) -> CmdResult {
     } else {
         write_edge_list(&g, BufWriter::new(file)).map_err(|e| e.to_string())?;
     }
-    println!("wrote {} vertices, {} edges to {out}", g.num_vertices(), g.num_edges());
+    println!(
+        "wrote {} vertices, {} edges to {out}",
+        g.num_vertices(),
+        g.num_edges()
+    );
     Ok(())
 }
 
@@ -159,13 +172,19 @@ pub fn cluster(opts: &Options) -> CmdResult {
         }
         "scan++" | "scanpp" => {
             let out = scanpp(&g, params);
-            (out.clustering, out.stats.sigma_evals + out.stats.shared_evals)
+            (
+                out.clustering,
+                out.stats.sigma_evals + out.stats.shared_evals,
+            )
         }
         "anyscan" => {
             let mut config = AnyScanConfig::new(params)
                 .with_auto_block_size(g.num_vertices())
                 .with_threads(opts.get_or("threads", 1)?);
-            if let Some(b) = opts.get_list::<usize>("block")?.and_then(|v| v.first().copied()) {
+            if let Some(b) = opts
+                .get_list::<usize>("block")?
+                .and_then(|v| v.first().copied())
+            {
                 config = config.with_block_size(b);
             }
             config.optimizations = !opts.switch("no-opt");
@@ -197,7 +216,11 @@ fn write_labels(path: &str, c: &Clustering) -> CmdResult {
     let mut w = BufWriter::new(file);
     writeln!(w, "# vertex cluster role").map_err(|e| e.to_string())?;
     for (v, (&l, &r)) in c.labels.iter().zip(&c.roles).enumerate() {
-        let label = if l == NOISE { "-".to_string() } else { l.to_string() };
+        let label = if l == NOISE {
+            "-".to_string()
+        } else {
+            l.to_string()
+        };
         writeln!(w, "{v} {label} {r:?}").map_err(|e| e.to_string())?;
     }
     Ok(())
@@ -217,7 +240,10 @@ pub fn explore(opts: &Options) -> CmdResult {
         ex.num_edges(),
         start.elapsed()
     );
-    println!("{:>6} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9}", "eps", "mu", "clusters", "cores", "borders", "noise", "largest");
+    println!(
+        "{:>6} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "eps", "mu", "clusters", "cores", "borders", "noise", "largest"
+    );
     for &mu in &mu_grid {
         for &eps in &eps_grid {
             let p = ex.summarize(ScanParams::new(eps, mu));
@@ -251,8 +277,10 @@ pub fn hierarchy(opts: &Options) -> CmdResult {
         println!("{e:>6} {c:>9}");
     }
     // Show the top of the dendrogram.
-    println!("
-first merges (highest ε):");
+    println!(
+        "
+first merges (highest ε):"
+    );
     for m in h.merges().iter().take(opts.get_or("top", 10)?) {
         println!("  eps={:.4}: {} -- {}", m.epsilon, m.u, m.v);
     }
@@ -268,7 +296,11 @@ pub fn interactive(opts: &Options) -> CmdResult {
         .with_threads(opts.get_or("threads", 1)?);
     let mut algo = AnyScan::new(&g, config);
     let mut next = checkpoint;
-    println!("clustering {} vertices / {} edges; checkpoint every {checkpoint:?}", g.num_vertices(), g.num_edges());
+    println!(
+        "clustering {} vertices / {} edges; checkpoint every {checkpoint:?}",
+        g.num_vertices(),
+        g.num_edges()
+    );
     while algo.phase() != Phase::Done {
         algo.step();
         if algo.cumulative_time() >= next || algo.phase() == Phase::Done {
@@ -293,7 +325,10 @@ pub fn interactive(opts: &Options) -> CmdResult {
         algo.union_breakdown()
     );
     // Sanity: the batch entry point agrees.
-    debug_assert_eq!(anyscan(&g, params).clustering.num_clusters(), result.num_clusters());
+    debug_assert_eq!(
+        anyscan(&g, params).clustering.num_clusters(),
+        result.num_clusters()
+    );
     Ok(())
 }
 
@@ -312,14 +347,11 @@ mod tests {
 
     #[test]
     fn scan_params_validation() {
-        let o = Options::parse(&["--eps".into(), "1.5".into(), "--mu".into(), "5".into()])
-            .unwrap();
+        let o = Options::parse(&["--eps".into(), "1.5".into(), "--mu".into(), "5".into()]).unwrap();
         assert!(scan_params(&o).is_err());
-        let o = Options::parse(&["--eps".into(), "0.5".into(), "--mu".into(), "0".into()])
-            .unwrap();
+        let o = Options::parse(&["--eps".into(), "0.5".into(), "--mu".into(), "0".into()]).unwrap();
         assert!(scan_params(&o).is_err());
-        let o = Options::parse(&["--eps".into(), "0.5".into(), "--mu".into(), "3".into()])
-            .unwrap();
+        let o = Options::parse(&["--eps".into(), "0.5".into(), "--mu".into(), "3".into()]).unwrap();
         assert!(scan_params(&o).is_ok());
     }
 }

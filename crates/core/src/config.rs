@@ -43,6 +43,11 @@ pub struct AnyScanConfig {
     pub skip_step2: bool,
     /// Shared DSU implementation for the parallel merges.
     pub dsu: DsuKind,
+    /// Lock-free symmetric edge-decision cache: remember each edge's
+    /// ε-verdict (one tri-state atomic per CSR arc, O(E) memory) so no
+    /// undirected edge is merge-joined twice across steps or directions.
+    /// Ablation lever; exactness holds either way.
+    pub edge_cache: bool,
     /// Run the finishing pass that decides the core/border role of vertices
     /// the pruning never examined. Cluster labels are final either way; with
     /// this off the run is cheaper but roles of some clustered vertices stay
@@ -65,6 +70,7 @@ impl AnyScanConfig {
             sort_step3: true,
             skip_step2: false,
             dsu: DsuKind::Atomic,
+            edge_cache: true,
             resolve_roles: true,
         }
     }
@@ -101,6 +107,12 @@ impl AnyScanConfig {
         self.seed = seed;
         self
     }
+
+    /// Builder-style edge-decision-cache toggle.
+    pub fn with_edge_cache(mut self, enabled: bool) -> Self {
+        self.edge_cache = enabled;
+        self
+    }
 }
 
 impl Default for AnyScanConfig {
@@ -125,7 +137,10 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = AnyScanConfig::default().with_block_size(256).with_threads(4).with_seed(9);
+        let c = AnyScanConfig::default()
+            .with_block_size(256)
+            .with_threads(4)
+            .with_seed(9);
         assert_eq!((c.alpha, c.beta, c.threads, c.seed), (256, 256, 4, 9));
     }
 

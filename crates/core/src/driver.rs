@@ -178,7 +178,8 @@ impl<'g> AnyScan<'g> {
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
         let n = g.num_vertices();
-        let kernel = Kernel::with_optimizations(g, config.params, config.optimizations);
+        let kernel = Kernel::with_optimizations(g, config.params, config.optimizations)
+            .with_edge_cache(config.edge_cache);
         let mut draw_order: Vec<VertexId> = (0..n as VertexId).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         draw_order.shuffle(&mut rng);
@@ -345,7 +346,11 @@ impl<'g> AnyScan<'g> {
     /// The final clustering, with hubs and outliers classified. Panics if
     /// the run has not finished; use [`AnyScan::snapshot`] mid-run.
     pub fn result(&self) -> Clustering {
-        assert_eq!(self.phase, Phase::Done, "result() requires a finished run; use snapshot()");
+        assert_eq!(
+            self.phase,
+            Phase::Done,
+            "result() requires a finished run; use snapshot()"
+        );
         build_snapshot(self, true)
     }
 

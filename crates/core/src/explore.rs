@@ -23,7 +23,7 @@
 
 use anyscan_dsu::DsuSeq;
 use anyscan_graph::{CsrGraph, VertexId};
-use anyscan_parallel::{parallel_map_dynamic, DEFAULT_CHUNK};
+use anyscan_parallel::parallel_map_adaptive;
 use anyscan_scan_common::kernel::sigma_raw;
 use anyscan_scan_common::{Clustering, Role, ScanParams, NOISE};
 
@@ -54,7 +54,7 @@ impl<'g> EpsilonExplorer<'g> {
     pub fn new(graph: &'g CsrGraph, threads: usize) -> Self {
         let n = graph.num_vertices();
         let per_vertex: Vec<Vec<(VertexId, VertexId, f64)>> =
-            parallel_map_dynamic(threads, n, DEFAULT_CHUNK, |u| {
+            parallel_map_adaptive(threads, n, |u| {
                 let u = u as VertexId;
                 graph
                     .neighbor_ids(u)
@@ -63,7 +63,10 @@ impl<'g> EpsilonExplorer<'g> {
                     .map(|&v| (u, v, sigma_raw(graph, u, v)))
                     .collect()
             });
-        EpsilonExplorer { graph, sigmas: per_vertex.into_iter().flatten().collect() }
+        EpsilonExplorer {
+            graph,
+            sigmas: per_vertex.into_iter().flatten().collect(),
+        }
     }
 
     /// Number of cached edge similarities.
@@ -126,12 +129,17 @@ impl<'g> EpsilonExplorer<'g> {
 
     /// Sweeps an ε grid at fixed μ, returning one summary per point.
     pub fn sweep(&self, epsilons: &[f64], mu: usize) -> Vec<SweepPoint> {
-        epsilons.iter().map(|&eps| self.summarize(ScanParams::new(eps, mu))).collect()
+        epsilons
+            .iter()
+            .map(|&eps| self.summarize(ScanParams::new(eps, mu)))
+            .collect()
     }
 
     /// Sweeps a μ grid at fixed ε.
     pub fn sweep_mu(&self, epsilon: f64, mus: &[usize]) -> Vec<SweepPoint> {
-        mus.iter().map(|&mu| self.summarize(ScanParams::new(epsilon, mu))).collect()
+        mus.iter()
+            .map(|&mu| self.summarize(ScanParams::new(epsilon, mu)))
+            .collect()
     }
 
     /// Suggests an ε for the given μ: the midpoint of the widest interval
@@ -142,10 +150,13 @@ impl<'g> EpsilonExplorer<'g> {
     /// Returns `None` when no ε yields ≥ 2 clusters.
     pub fn suggest_epsilon(&self, mu: usize, grid_size: usize) -> Option<f64> {
         let grid_size = grid_size.max(2);
-        let grid: Vec<f64> =
-            (1..=grid_size).map(|i| i as f64 / (grid_size as f64 + 1.0)).collect();
-        let counts: Vec<usize> =
-            grid.iter().map(|&e| self.summarize(ScanParams::new(e, mu)).clusters).collect();
+        let grid: Vec<f64> = (1..=grid_size)
+            .map(|i| i as f64 / (grid_size as f64 + 1.0))
+            .collect();
+        let counts: Vec<usize> = grid
+            .iter()
+            .map(|&e| self.summarize(ScanParams::new(e, mu)).clusters)
+            .collect();
         let mut best: Option<(usize, usize, usize)> = None; // (len, start, end)
         let mut start = 0;
         for i in 1..=grid.len() {
@@ -153,7 +164,7 @@ impl<'g> EpsilonExplorer<'g> {
             if run_breaks {
                 if counts[start] >= 2 {
                     let len = i - start;
-                    if best.map_or(true, |(l, _, _)| len > l) {
+                    if best.is_none_or(|(l, _, _)| len > l) {
                         best = Some((len, start, i - 1));
                     }
                 }
@@ -251,11 +262,17 @@ mod tests {
     fn suggested_epsilon_separates_the_triangles() {
         let g = two_triangles();
         let ex = EpsilonExplorer::new(&g, 1);
-        let eps = ex.suggest_epsilon(3, 20).expect("a 2-cluster plateau exists");
+        let eps = ex
+            .suggest_epsilon(3, 20)
+            .expect("a 2-cluster plateau exists");
         // The 2-cluster plateau is the widest; the suggestion must land in
         // it and actually produce the two triangles.
         let p = ex.summarize(ScanParams::new(eps, 3));
-        assert_eq!(p.clusters, 2, "suggested eps {eps} gives {} clusters", p.clusters);
+        assert_eq!(
+            p.clusters, 2,
+            "suggested eps {eps} gives {} clusters",
+            p.clusters
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use anyscan_dsu::DsuSeq;
 use anyscan_graph::{CsrGraph, VertexId};
-use anyscan_parallel::{parallel_map_dynamic, DEFAULT_CHUNK};
+use anyscan_parallel::parallel_map_adaptive;
 use anyscan_scan_common::kernel::sigma_raw;
 use anyscan_scan_common::{Clustering, Role, NOISE};
 
@@ -57,7 +57,7 @@ impl<'g> EpsilonHierarchy<'g> {
 
         // σ for every edge, grouped by the lower endpoint.
         let per_vertex: Vec<Vec<(VertexId, VertexId, f64)>> =
-            parallel_map_dynamic(threads, n, DEFAULT_CHUNK, |u| {
+            parallel_map_adaptive(threads, n, |u| {
                 let u = u as VertexId;
                 graph
                     .neighbor_ids(u)
@@ -103,7 +103,13 @@ impl<'g> EpsilonHierarchy<'g> {
             .collect();
         merges.sort_unstable_by(|a, b| b.epsilon.partial_cmp(&a.epsilon).expect("finite ε"));
 
-        EpsilonHierarchy { graph, mu, core_threshold, edge_sigmas, merges }
+        EpsilonHierarchy {
+            graph,
+            mu,
+            core_threshold,
+            edge_sigmas,
+            merges,
+        }
     }
 
     /// The μ this hierarchy was built for.

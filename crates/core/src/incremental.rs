@@ -72,8 +72,12 @@ impl DynamicScan {
             recomputations: 0,
         };
         for u in 0..ds.graph.num_vertices() as VertexId {
-            let nbrs: Vec<VertexId> =
-                ds.graph.neighbors(u).map(|(q, _)| q).filter(|&q| q > u).collect();
+            let nbrs: Vec<VertexId> = ds
+                .graph
+                .neighbors(u)
+                .map(|(q, _)| q)
+                .filter(|&q| q > u)
+                .collect();
             for v in nbrs {
                 let s = ds.graph.sigma(u, v);
                 ds.recomputations += 1;
@@ -267,7 +271,10 @@ mod tests {
         // deg(0) + deg(1) edges refresh — far below |E|.
         let bound = (ds.graph().degree(0) + ds.graph().degree(1)) as u64;
         assert!(delta <= bound, "recomputed {delta} > {bound}");
-        assert!(delta * 20 < csr.num_edges(), "not incremental: {delta} vs |E|");
+        assert!(
+            delta * 20 < csr.num_edges(),
+            "not incremental: {delta} vs |E|"
+        );
     }
 
     #[test]

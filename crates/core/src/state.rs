@@ -48,7 +48,10 @@ impl VertexState {
     /// established).
     #[inline]
     pub fn is_known_core(self) -> bool {
-        matches!(self, VertexState::UnprocessedCore | VertexState::ProcessedCore)
+        matches!(
+            self,
+            VertexState::UnprocessedCore | VertexState::ProcessedCore
+        )
     }
 
     /// True once the vertex can never become a core.
@@ -96,7 +99,11 @@ pub struct StateTable {
 impl StateTable {
     /// All vertices start `Untouched`.
     pub fn new(n: usize) -> Self {
-        StateTable { cells: (0..n).map(|_| AtomicU8::new(VertexState::Untouched as u8)).collect() }
+        StateTable {
+            cells: (0..n)
+                .map(|_| AtomicU8::new(VertexState::Untouched as u8))
+                .collect(),
+        }
     }
 
     /// Number of vertices tracked.
@@ -149,7 +156,10 @@ impl StateTable {
 
     /// Number of vertices currently in `state` (linear scan; diagnostics).
     pub fn count(&self, state: VertexState) -> usize {
-        self.cells.iter().filter(|c| c.load(Ordering::Relaxed) == state as u8).count()
+        self.cells
+            .iter()
+            .filter(|c| c.load(Ordering::Relaxed) == state as u8)
+            .count()
     }
 }
 

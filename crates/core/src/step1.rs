@@ -9,7 +9,7 @@
 use std::sync::atomic::Ordering;
 
 use anyscan_graph::VertexId;
-use anyscan_parallel::{parallel_for_dynamic, parallel_map_dynamic};
+use anyscan_parallel::{parallel_for_adaptive, parallel_map_with};
 
 use crate::driver::AnyScan;
 use crate::state::VertexState;
@@ -43,26 +43,28 @@ impl AnyScan<'_> {
         }
 
         // Phase A: independent range queries; each vertex marks only itself.
+        // Each worker reuses one scratch buffer for the range query and the
+        // retained copy is allocated at exact size (no growth reallocs).
         let kernel = &self.kernel;
         let states = &self.states;
         let block_ref = &block;
         let buffers: Vec<Vec<VertexId>> =
-            parallel_map_dynamic(threads, block.len(), 4, |i| {
+            parallel_map_with(threads, block.len(), Vec::new, |scratch, i| {
                 let p = block_ref[i];
-                let neigh = kernel.eps_neighborhood(p);
-                let next = if neigh.len() >= mu {
+                kernel.eps_neighborhood_into(p, scratch);
+                let next = if scratch.len() >= mu {
                     VertexState::ProcessedCore
                 } else {
                     VertexState::ProcessedNoise
                 };
                 states.transition(p, next);
-                neigh
+                scratch.as_slice().to_vec()
             });
 
         // Phase B: neighbor state marking + atomic nei counting.
         let nei = &self.nei;
         let buffers_ref = &buffers;
-        parallel_for_dynamic(threads, block.len(), 4, |range| {
+        parallel_for_adaptive(threads, block.len(), |range| {
             for i in range {
                 let p = block_ref[i];
                 let p_core = states.get(p) == VertexState::ProcessedCore;
@@ -85,9 +87,7 @@ impl AnyScan<'_> {
                     }
                     // nei ≥ μ certifies a core without any σ evaluation
                     // (Fig. 3: unprocessed-border → unprocessed-core).
-                    if new_nei as usize >= mu
-                        && states.get(q) == VertexState::UnprocessedBorder
-                    {
+                    if new_nei as usize >= mu && states.get(q) == VertexState::UnprocessedBorder {
                         states.transition(q, VertexState::UnprocessedCore);
                     }
                 }

@@ -8,7 +8,7 @@
 
 use anyscan_dsu::SharedDsu;
 use anyscan_graph::VertexId;
-use anyscan_parallel::{parallel_for_dynamic, parallel_map_dynamic};
+use anyscan_parallel::{parallel_for_adaptive, parallel_map_adaptive};
 
 use crate::driver::AnyScan;
 use crate::state::VertexState;
@@ -47,7 +47,7 @@ impl AnyScan<'_> {
         // Phase A: prune + early-exit core check; each vertex touches only
         // its own state.
         let block_ref = &block;
-        let merges: Vec<bool> = parallel_map_dynamic(threads, block.len(), 4, |i| {
+        let merges: Vec<bool> = parallel_map_adaptive(threads, block.len(), |i| {
             let p = block_ref[i];
             let sns = this.sn.of(p);
             // Prune: all containing super-nodes already share a cluster —
@@ -60,7 +60,7 @@ impl AnyScan<'_> {
         });
 
         // Phase B: Lemma-2 unions for confirmed cores.
-        parallel_for_dynamic(threads, block.len(), 4, |range| {
+        parallel_for_adaptive(threads, block.len(), |range| {
             for i in range {
                 if !merges[i] {
                     continue;
@@ -101,13 +101,16 @@ impl AnyScan<'_> {
                 self.sn.of(p).iter().map(|&s| self.sn.node(s).rep).collect();
             reps.sort_unstable();
             reps.dedup();
-            self.kernel.core_check_with_skip(p, 1 + reps.len(), |q| {
-                reps.binary_search(&q).is_ok()
-            })
+            self.kernel
+                .core_check_with_skip(p, 1 + reps.len(), |q| reps.binary_search(&q).is_ok())
         };
         self.states.transition(
             p,
-            if is_core { VertexState::UnprocessedCore } else { VertexState::ProcessedBorder },
+            if is_core {
+                VertexState::UnprocessedCore
+            } else {
+                VertexState::ProcessedBorder
+            },
         );
         is_core
     }

@@ -10,7 +10,7 @@
 
 use anyscan_dsu::SharedDsu;
 use anyscan_graph::VertexId;
-use anyscan_parallel::{parallel_for_dynamic, parallel_map_dynamic};
+use anyscan_parallel::{parallel_for_adaptive, parallel_map_adaptive};
 
 use crate::driver::AnyScan;
 use crate::state::VertexState;
@@ -53,7 +53,7 @@ impl AnyScan<'_> {
 
         // Phase A: prune + core check.
         let block_ref = &block;
-        let merges: Vec<bool> = parallel_map_dynamic(threads, block.len(), 4, |i| {
+        let merges: Vec<bool> = parallel_map_adaptive(threads, block.len(), |i| {
             let p = block_ref[i];
             let Some(my_root) = this.vertex_root(p) else {
                 // Every T member belongs to ≥ 1 super-node (invariant).
@@ -82,7 +82,7 @@ impl AnyScan<'_> {
         });
 
         // Phase B: σ across straddling core–core edges; union on ≥ ε.
-        parallel_for_dynamic(threads, block.len(), 4, |range| {
+        parallel_for_adaptive(threads, block.len(), |range| {
             for i in range {
                 if !merges[i] {
                     continue;

@@ -12,7 +12,7 @@
 //! converges.
 
 use anyscan_graph::VertexId;
-use anyscan_parallel::{parallel_for_dynamic, parallel_map_dynamic};
+use anyscan_parallel::{parallel_for_adaptive, parallel_map_adaptive};
 
 use crate::driver::AnyScan;
 use crate::state::VertexState;
@@ -57,7 +57,7 @@ impl AnyScan<'_> {
         // Phase A: find an adopting core per noise vertex (parallel).
         let block_ref = &block;
         let aux_ref = &aux;
-        let adoptions: Vec<Option<u32>> = parallel_map_dynamic(threads, block.len(), 4, |i| {
+        let adoptions: Vec<Option<u32>> = parallel_map_adaptive(threads, block.len(), |i| {
             let p = block_ref[i];
             match aux_ref[i] {
                 Some(noise_idx) => {
@@ -77,8 +77,8 @@ impl AnyScan<'_> {
                             continue;
                         }
                         let qs = this.states.get(q);
-                        let could_adopt = qs.is_known_core()
-                            || qs == VertexState::UnprocessedBorder;
+                        let could_adopt =
+                            qs.is_known_core() || qs == VertexState::UnprocessedBorder;
                         if !could_adopt {
                             continue;
                         }
@@ -111,7 +111,9 @@ impl AnyScan<'_> {
     pub(crate) fn init_resolve_roles(&mut self) {
         let n = self.kernel.graph().num_vertices() as VertexId;
         self.work = if self.config.resolve_roles {
-            (0..n).filter(|&v| self.states.get(v) == VertexState::UnprocessedBorder).collect()
+            (0..n)
+                .filter(|&v| self.states.get(v) == VertexState::UnprocessedBorder)
+                .collect()
         } else {
             Vec::new()
         };
@@ -130,7 +132,7 @@ impl AnyScan<'_> {
         let block: Vec<VertexId> = self.work[start..end].to_vec();
         let this: &AnyScan<'_> = &*self;
         let block_ref = &block;
-        parallel_for_dynamic(self.config.threads, block.len(), 4, |range| {
+        parallel_for_adaptive(self.config.threads, block.len(), |range| {
             for i in range {
                 let _ = this.decide_core(block_ref[i]);
             }

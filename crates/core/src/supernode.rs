@@ -25,7 +25,10 @@ pub struct SuperNodes {
 impl SuperNodes {
     /// Empty registry over `n` vertices.
     pub fn new(n: usize) -> Self {
-        SuperNodes { nodes: Vec::new(), memberships: vec![Vec::new(); n] }
+        SuperNodes {
+            nodes: Vec::new(),
+            memberships: vec![Vec::new(); n],
+        }
     }
 
     /// Registers a super-node and its memberships; returns its id.

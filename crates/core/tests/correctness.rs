@@ -104,7 +104,9 @@ fn every_seed_gives_the_same_result() {
     let params = ScanParams::new(0.45, 4);
     let truth = scan(&g, params);
     for seed in [0u64, 1, 99, 0xDEAD_BEEF] {
-        let config = AnyScanConfig::new(params).with_seed(seed).with_block_size(128);
+        let config = AnyScanConfig::new(params)
+            .with_seed(seed)
+            .with_block_size(128);
         let result = AnyScan::new(&g, config).run();
         assert_scan_equivalent(&g, params, &truth.clustering, &result);
     }
@@ -150,7 +152,9 @@ fn parallel_equals_sequential() {
     let params = ScanParams::paper_defaults();
     let truth = scan(&g, params);
     for threads in [1usize, 2, 4, 8] {
-        let config = AnyScanConfig::new(params).with_threads(threads).with_block_size(300);
+        let config = AnyScanConfig::new(params)
+            .with_threads(threads)
+            .with_block_size(300);
         let result = AnyScan::new(&g, config).run();
         assert_scan_equivalent(&g, params, &truth.clustering, &result);
     }
@@ -239,7 +243,10 @@ fn work_efficiency_beats_scan() {
     let params = ScanParams::new(0.4, 5);
     let s = scan(&g, params);
     let a = anyscan(&g, params);
-    assert!(a.clustering.num_clusters() >= 8, "workload must actually cluster");
+    assert!(
+        a.clustering.num_clusters() >= 8,
+        "workload must actually cluster"
+    );
     assert!(
         a.stats.sigma_evals < s.stats.sigma_evals,
         "anySCAN must evaluate fewer σ than SCAN: {} vs {}",
@@ -271,7 +278,13 @@ fn union_counts_are_tiny_and_mostly_in_step1() {
         g.num_vertices()
     );
     // The paper reports most unions happen in (sequential) Step 1.
-    assert!(u.step1 >= u.step2 + u.step3, "step1={} step2={} step3={}", u.step1, u.step2, u.step3);
+    assert!(
+        u.step1 >= u.step2 + u.step3,
+        "step1={} step2={} step3={}",
+        u.step1,
+        u.step2,
+        u.step3
+    );
 }
 
 #[test]
@@ -290,13 +303,22 @@ fn degenerate_graphs() {
     let g = GraphBuilder::from_unweighted_edges(2, vec![(0, 1)]).unwrap();
     let truth = scan(&g, ScanParams::new(0.5, 2));
     let ours = anyscan(&g, ScanParams::new(0.5, 2));
-    assert_scan_equivalent(&g, ScanParams::new(0.5, 2), &truth.clustering, &ours.clustering);
+    assert_scan_equivalent(
+        &g,
+        ScanParams::new(0.5, 2),
+        &truth.clustering,
+        &ours.clustering,
+    );
 }
 
 #[test]
 fn mu_one_and_low_epsilon_edge_cases() {
     let g = two_cliques_bridge();
-    for params in [ScanParams::new(0.01, 1), ScanParams::new(1.0, 2), ScanParams::new(0.999, 1)] {
+    for params in [
+        ScanParams::new(0.01, 1),
+        ScanParams::new(1.0, 2),
+        ScanParams::new(0.999, 1),
+    ] {
         let truth = scan(&g, params);
         let ours = anyscan(&g, params);
         assert_scan_equivalent(&g, params, &truth.clustering, &ours.clustering);

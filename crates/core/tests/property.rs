@@ -38,18 +38,22 @@ proptest! {
         block in 1usize..64,
         seed in 0u64..1000,
         threads in 1usize..4,
+        cache in 0usize..2,
     ) {
         let params = ScanParams::new(eps, mu);
+        let edge_cache = cache == 1;
         let truth = scan(&g, params).clustering;
         let config = AnyScanConfig::new(params)
             .with_block_size(block)
             .with_seed(seed)
-            .with_threads(threads);
+            .with_threads(threads)
+            .with_edge_cache(edge_cache);
         let ours = AnyScan::new(&g, config).run();
         if let Err(e) = check_scan_equivalent(&g, params, &truth, &ours) {
             prop_assert!(
                 false,
-                "divergence (eps={eps}, mu={mu}, block={block}, seed={seed}, threads={threads}): {e}"
+                "divergence (eps={eps}, mu={mu}, block={block}, seed={seed}, \
+                 threads={threads}, cache={edge_cache}): {e}"
             );
         }
     }

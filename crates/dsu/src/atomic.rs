@@ -53,7 +53,9 @@ impl AtomicDsu {
 
     /// Number of distinct sets (linear scan; call it outside hot loops).
     pub fn num_sets(&self) -> usize {
-        (0..self.parent.len() as u32).filter(|&x| self.parent[x as usize].load(Ordering::Acquire) == x).count()
+        (0..self.parent.len() as u32)
+            .filter(|&x| self.parent[x as usize].load(Ordering::Acquire) == x)
+            .count()
     }
 
     /// Canonical labeling: each element mapped to the smallest member of its
@@ -108,7 +110,11 @@ impl SharedDsu for AtomicDsu {
             let ry = self.rank[y as usize].load(Ordering::Relaxed);
             // Link the lower-rank root under the higher-rank one; tie-break
             // by id so both sides attempt the same orientation.
-            let (lo, hi, r_lo, r_hi) = if (rx, x) < (ry, y) { (x, y, rx, ry) } else { (y, x, ry, rx) };
+            let (lo, hi, r_lo, r_hi) = if (rx, x) < (ry, y) {
+                (x, y, rx, ry)
+            } else {
+                (y, x, ry, rx)
+            };
             match self.parent[lo as usize].compare_exchange(
                 lo,
                 hi,
@@ -203,8 +209,9 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let n = 2_000u32;
         let mut rng = StdRng::seed_from_u64(99);
-        let ops: Vec<(u32, u32)> =
-            (0..5_000).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+        let ops: Vec<(u32, u32)> = (0..5_000)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
 
         let mut seq = DsuSeq::new(n as usize);
         for &(a, b) in &ops {
@@ -241,7 +248,10 @@ mod tests {
             let mut seq_labels = seq.labeling();
             let atomic_labels = d.labeling();
             seq_labels.iter_mut().for_each(|_| {}); // same canonical form already
-            assert_eq!(atomic_labels, seq_labels, "partition mismatch at {threads} threads");
+            assert_eq!(
+                atomic_labels, seq_labels,
+                "partition mismatch at {threads} threads"
+            );
         }
     }
 

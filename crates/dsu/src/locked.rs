@@ -20,12 +20,16 @@ pub struct LockedDsu {
 impl LockedDsu {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        LockedDsu { inner: Mutex::new(DsuSeq::new(n)) }
+        LockedDsu {
+            inner: Mutex::new(DsuSeq::new(n)),
+        }
     }
 
     /// Wraps an existing sequential structure (preserving its counters).
     pub fn from_seq(seq: DsuSeq) -> Self {
-        LockedDsu { inner: Mutex::new(seq) }
+        LockedDsu {
+            inner: Mutex::new(seq),
+        }
     }
 
     /// Unwraps back into the sequential structure.

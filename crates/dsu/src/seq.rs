@@ -126,7 +126,9 @@ impl DsuSeq {
                 smallest[r] = x;
             }
         }
-        (0..n as u32).map(|x| smallest[self.find_immutable(x) as usize]).collect()
+        (0..n as u32)
+            .map(|x| smallest[self.find_immutable(x) as usize])
+            .collect()
     }
 }
 

@@ -26,7 +26,10 @@ pub struct AdjGraph {
 impl AdjGraph {
     /// An edgeless graph over `n` vertices.
     pub fn new(n: usize) -> Self {
-        AdjGraph { adj: vec![BTreeMap::new(); n], num_edges: 0 }
+        AdjGraph {
+            adj: vec![BTreeMap::new(); n],
+            num_edges: 0,
+        }
     }
 
     /// Imports a CSR graph.
@@ -79,7 +82,10 @@ impl AdjGraph {
     ) -> Result<Option<Weight>, GraphError> {
         let n = self.adj.len() as u64;
         if (u as u64) >= n || (v as u64) >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: u.max(v) as u64, num_vertices: n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u.max(v) as u64,
+                num_vertices: n,
+            });
         }
         if u == v {
             return Err(GraphError::InvalidWeight { u, v, weight: w });

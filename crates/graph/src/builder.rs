@@ -35,7 +35,10 @@ impl GraphBuilder {
             num_vertices <= u32::MAX as usize,
             "vertex ids are u32; {num_vertices} vertices requested"
         );
-        GraphBuilder { num_vertices, arcs: Vec::new() }
+        GraphBuilder {
+            num_vertices,
+            arcs: Vec::new(),
+        }
     }
 
     /// Pre-reserves room for `edges` undirected edges.
@@ -65,10 +68,16 @@ impl GraphBuilder {
     pub fn try_add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), GraphError> {
         let n = self.num_vertices as u64;
         if (u as u64) >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: u as u64, num_vertices: n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u as u64,
+                num_vertices: n,
+            });
         }
         if (v as u64) >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: v as u64, num_vertices: n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v as u64,
+                num_vertices: n,
+            });
         }
         if !w.is_finite() || w <= 0.0 {
             return Err(GraphError::InvalidWeight { u, v, weight: w });
@@ -216,7 +225,10 @@ mod tests {
     fn rejects_bad_weights() {
         let mut b = GraphBuilder::new(2);
         for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
-            assert!(matches!(b.try_add_edge(0, 1, w), Err(GraphError::InvalidWeight { .. })));
+            assert!(matches!(
+                b.try_add_edge(0, 1, w),
+                Err(GraphError::InvalidWeight { .. })
+            ));
         }
     }
 
@@ -229,7 +241,13 @@ mod tests {
 
     #[test]
     fn build_is_deterministic_under_permutation() {
-        let edges = vec![(0, 1, 1.0), (1, 2, 0.5), (2, 3, 2.0), (3, 0, 0.25), (0, 2, 0.75)];
+        let edges = vec![
+            (0, 1, 1.0),
+            (1, 2, 0.5),
+            (2, 3, 2.0),
+            (3, 0, 0.25),
+            (0, 2, 0.75),
+        ];
         let g1 = GraphBuilder::from_edges(4, edges.clone()).unwrap();
         let mut rev = edges;
         rev.reverse();

@@ -64,7 +64,14 @@ impl CsrGraph {
             norm_sq.push(l);
             max_weight.push(m);
         }
-        CsrGraph { offsets, neighbors, weights, norm_sq, max_weight, num_edges }
+        CsrGraph {
+            offsets,
+            neighbors,
+            weights,
+            norm_sq,
+            max_weight,
+            num_edges,
+        }
     }
 
     /// Number of vertices.
@@ -98,7 +105,10 @@ impl CsrGraph {
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let v = v as usize;
         let range = self.offsets[v]..self.offsets[v + 1];
-        self.neighbors[range.clone()].iter().copied().zip(self.weights[range].iter().copied())
+        self.neighbors[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[range].iter().copied())
     }
 
     /// The sorted closed-neighborhood id slice of `v`.
@@ -152,7 +162,9 @@ impl CsrGraph {
     /// (`u < v`; self-loops are skipped).
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
         self.vertices().flat_map(move |u| {
-            self.neighbors(u).filter(move |&(v, _)| u < v).map(move |(v, w)| (u, v, w))
+            self.neighbors(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| (u, v, w))
         })
     }
 
@@ -166,7 +178,12 @@ impl CsrGraph {
 
     /// Raw CSR views for zero-copy serialization.
     pub(crate) fn raw_parts(&self) -> (&[EdgeId], &[VertexId], &[Weight], u64) {
-        (&self.offsets, &self.neighbors, &self.weights, self.num_edges)
+        (
+            &self.offsets,
+            &self.neighbors,
+            &self.weights,
+            self.num_edges,
+        )
     }
 
     /// Total number of stored arcs, including self-loops (2|E| + |V|).

@@ -120,7 +120,11 @@ mod tests {
         degs.sort_unstable_by(|a, b| b.cmp(a));
         // Hubs exist: the max degree far exceeds the mean.
         let mean = 2.0 * g.num_edges() as f64 / 3_000.0;
-        assert!(degs[0] as f64 > 5.0 * mean, "max {} vs mean {mean}", degs[0]);
+        assert!(
+            degs[0] as f64 > 5.0 * mean,
+            "max {} vs mean {mean}",
+            degs[0]
+        );
     }
 
     #[test]
@@ -152,16 +156,41 @@ mod tests {
             graph_stats(&g).average_clustering_coefficient
         };
         let (c0, c_half, c1) = (c_at(0.0), c_at(0.5), c_at(1.0));
-        assert!(c0 > c_half && c_half > c1, "{c0} > {c_half} > {c1} violated");
+        assert!(
+            c0 > c_half && c_half > c1,
+            "{c0} > {c_half} > {c1} violated"
+        );
     }
 
     #[test]
     fn deterministic() {
-        let a = barabasi_albert(&mut StdRng::seed_from_u64(64), 300, 3, WeightModel::uniform_default());
-        let b = barabasi_albert(&mut StdRng::seed_from_u64(64), 300, 3, WeightModel::uniform_default());
+        let a = barabasi_albert(
+            &mut StdRng::seed_from_u64(64),
+            300,
+            3,
+            WeightModel::uniform_default(),
+        );
+        let b = barabasi_albert(
+            &mut StdRng::seed_from_u64(64),
+            300,
+            3,
+            WeightModel::uniform_default(),
+        );
         assert_eq!(a, b);
-        let a = watts_strogatz(&mut StdRng::seed_from_u64(65), 300, 4, 0.2, WeightModel::Unit);
-        let b = watts_strogatz(&mut StdRng::seed_from_u64(65), 300, 4, 0.2, WeightModel::Unit);
+        let a = watts_strogatz(
+            &mut StdRng::seed_from_u64(65),
+            300,
+            4,
+            0.2,
+            WeightModel::Unit,
+        );
+        let b = watts_strogatz(
+            &mut StdRng::seed_from_u64(65),
+            300,
+            4,
+            0.2,
+            WeightModel::Unit,
+        );
         assert_eq!(a, b);
     }
 }

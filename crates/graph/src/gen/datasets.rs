@@ -116,13 +116,25 @@ impl Dataset {
 
     /// The five real-graph analogues of Table I.
     pub fn real_graphs() -> Vec<Dataset> {
-        let ids = [DatasetId::Gr01, DatasetId::Gr02, DatasetId::Gr03, DatasetId::Gr04, DatasetId::Gr05];
-        Self::all().into_iter().filter(|d| ids.contains(&d.id)).collect()
+        let ids = [
+            DatasetId::Gr01,
+            DatasetId::Gr02,
+            DatasetId::Gr03,
+            DatasetId::Gr04,
+            DatasetId::Gr05,
+        ];
+        Self::all()
+            .into_iter()
+            .filter(|d| ids.contains(&d.id))
+            .collect()
     }
 
     /// The ten LFR graphs of Table II.
     pub fn lfr_graphs() -> Vec<Dataset> {
-        Self::all().into_iter().filter(|d| matches!(d.id, DatasetId::Lfr(_))).collect()
+        Self::all()
+            .into_iter()
+            .filter(|d| matches!(d.id, DatasetId::Lfr(_)))
+            .collect()
     }
 
     /// LFR01–05 (degree sweep).
@@ -132,7 +144,10 @@ impl Dataset {
 
     /// LFR11–15 (clustering-coefficient sweep).
     pub fn lfr_clustering_sweep() -> Vec<Dataset> {
-        [11, 12, 13, 14, 15].iter().map(|&k| Self::get(DatasetId::Lfr(k))).collect()
+        [11, 12, 13, 14, 15]
+            .iter()
+            .map(|&k| Self::get(DatasetId::Lfr(k)))
+            .collect()
     }
 
     /// Everything in Tables I and II.
@@ -177,10 +192,62 @@ impl Dataset {
             // Table I analogues. `d̄` is kept (capped at 64 for GR01 so the
             // laptop-scale graph is not a near-clique), `c` is targeted by
             // calibration.
-            g(DatasetId::Gr01, 107_614, 13_673_453, 127.06, 0.4901, 4_000, 64.0, 0.49, 0.25, 256, 120, 420),
-            g(DatasetId::Gr02, 4_847_571, 68_993_773, 14.23, 0.2742, 20_000, 14.2, 0.27, 0.30, 100, 30, 160),
-            g(DatasetId::Gr03, 1_632_803, 30_622_564, 18.75, 0.1094, 12_000, 18.7, 0.11, 0.35, 100, 40, 200),
-            g(DatasetId::Gr04, 3_072_441, 117_185_083, 38.14, 0.1666, 10_000, 38.1, 0.17, 0.30, 150, 60, 300),
+            g(
+                DatasetId::Gr01,
+                107_614,
+                13_673_453,
+                127.06,
+                0.4901,
+                4_000,
+                64.0,
+                0.49,
+                0.25,
+                256,
+                120,
+                420,
+            ),
+            g(
+                DatasetId::Gr02,
+                4_847_571,
+                68_993_773,
+                14.23,
+                0.2742,
+                20_000,
+                14.2,
+                0.27,
+                0.30,
+                100,
+                30,
+                160,
+            ),
+            g(
+                DatasetId::Gr03,
+                1_632_803,
+                30_622_564,
+                18.75,
+                0.1094,
+                12_000,
+                18.7,
+                0.11,
+                0.35,
+                100,
+                40,
+                200,
+            ),
+            g(
+                DatasetId::Gr04,
+                3_072_441,
+                117_185_083,
+                38.14,
+                0.1666,
+                10_000,
+                38.1,
+                0.17,
+                0.30,
+                150,
+                60,
+                300,
+            ),
             Dataset {
                 id: DatasetId::Gr05,
                 paper: PaperStats {
@@ -189,7 +256,10 @@ impl Dataset {
                     average_degree: 86.82,
                     clustering_coefficient: 0.1649,
                 },
-                kind: Kind::Rmat { base_scale: 13, edge_factor: 44 },
+                kind: Kind::Rmat {
+                    base_scale: 13,
+                    edge_factor: 44,
+                },
             },
             // Table II: degree sweep at c ≈ 0.40 ...
             lfr_row(1, 22_283_773, 44.567, 0.4017, 44.567, 0.40),
@@ -257,7 +327,10 @@ impl Dataset {
                 let (g, labels) = lfr(&mut rng, &tuned);
                 (g, Some(labels))
             }
-            Kind::Rmat { base_scale, edge_factor } => {
+            Kind::Rmat {
+                base_scale,
+                edge_factor,
+            } => {
                 let extra = scale.log2().round() as i32;
                 let s = (base_scale as i32 + extra).clamp(6, 28) as u32;
                 let params = RmatParams {

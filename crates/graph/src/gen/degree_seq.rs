@@ -15,9 +15,19 @@ pub struct PowerLaw {
 impl PowerLaw {
     /// Creates a sampler; requires `1 <= min <= max` and `exponent > 1`.
     pub fn new(min: u32, max: u32, exponent: f64) -> Self {
-        assert!(min >= 1 && min <= max, "need 1 <= min <= max, got [{min},{max}]");
-        assert!(exponent > 1.0, "power-law exponent must exceed 1, got {exponent}");
-        PowerLaw { min: min as f64, max: max as f64 + 1.0, exponent }
+        assert!(
+            min >= 1 && min <= max,
+            "need 1 <= min <= max, got [{min},{max}]"
+        );
+        assert!(
+            exponent > 1.0,
+            "power-law exponent must exceed 1, got {exponent}"
+        );
+        PowerLaw {
+            min: min as f64,
+            max: max as f64 + 1.0,
+            exponent,
+        }
     }
 
     /// Draws one sample.
@@ -81,7 +91,13 @@ pub fn degree_sequence<R: Rng + ?Sized>(
     let low = PowerLaw::new(floor, max_degree, exponent);
     let high = PowerLaw::new((floor + 1).min(max_degree), max_degree, exponent);
     let mut seq: Vec<u32> = (0..n)
-        .map(|_| if rng.gen::<f64>() < frac { high.sample(rng) } else { low.sample(rng) })
+        .map(|_| {
+            if rng.gen::<f64>() < frac {
+                high.sample(rng)
+            } else {
+                low.sample(rng)
+            }
+        })
         .collect();
     // Nudge the realized mean onto the target by resampling the tails.
     let target_total = (target_mean * n as f64).round() as i64;
@@ -163,17 +179,27 @@ mod tests {
         let pl = PowerLaw::new(1, 100, 2.5);
         let samples: Vec<u32> = (0..20_000).map(|_| pl.sample(&mut rng)).collect();
         let small = samples.iter().filter(|&&x| x <= 3).count();
-        assert!(small > samples.len() / 2, "only {small} of {} samples <= 3", samples.len());
+        assert!(
+            small > samples.len() / 2,
+            "only {small} of {} samples <= 3",
+            samples.len()
+        );
     }
 
     #[test]
     fn analytic_mean_matches_empirical() {
         let mut rng = StdRng::seed_from_u64(3);
         let pl = PowerLaw::new(5, 100, 2.2);
-        let m_emp: f64 =
-            (0..200_000).map(|_| pl.sample(&mut rng) as f64).sum::<f64>() / 200_000.0;
+        let m_emp: f64 = (0..200_000)
+            .map(|_| pl.sample(&mut rng) as f64)
+            .sum::<f64>()
+            / 200_000.0;
         // Continuous-relaxation mean vs discrete sampling: allow a few percent.
-        assert!((m_emp - pl.mean()).abs() / pl.mean() < 0.06, "emp {m_emp} vs {}", pl.mean());
+        assert!(
+            (m_emp - pl.mean()).abs() / pl.mean() < 0.06,
+            "emp {m_emp} vs {}",
+            pl.mean()
+        );
     }
 
     #[test]

@@ -60,8 +60,18 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let g1 = erdos_renyi(&mut StdRng::seed_from_u64(7), 100, 300, WeightModel::uniform_default());
-        let g2 = erdos_renyi(&mut StdRng::seed_from_u64(7), 100, 300, WeightModel::uniform_default());
+        let g1 = erdos_renyi(
+            &mut StdRng::seed_from_u64(7),
+            100,
+            300,
+            WeightModel::uniform_default(),
+        );
+        let g2 = erdos_renyi(
+            &mut StdRng::seed_from_u64(7),
+            100,
+            300,
+            WeightModel::uniform_default(),
+        );
         assert_eq!(g1, g2);
     }
 

@@ -108,7 +108,13 @@ pub fn lfr<R: Rng + ?Sized>(rng: &mut R, params: &LfrParams) -> (CsrGraph, Vec<u
 
     // --- Community assignment -------------------------------------------
     let max_comm = params.max_community.min(n as u32).max(params.min_community);
-    let sizes = community_sizes(rng, n, params.min_community, max_comm, params.community_size_exponent);
+    let sizes = community_sizes(
+        rng,
+        n,
+        params.min_community,
+        max_comm,
+        params.community_size_exponent,
+    );
     let num_comms = sizes.len();
     // Target intra-degree per vertex; a vertex cannot have more intra
     // neighbors than its community has other members, so big-degree vertices
@@ -199,8 +205,7 @@ pub fn lfr<R: Rng + ?Sized>(rng: &mut R, params: &LfrParams) -> (CsrGraph, Vec<u
         let locality = if rng.gen::<f64>() < params.dense_fraction {
             0.9 + 0.1 * rng.gen::<f64>()
         } else {
-            (params.triangle_closure
-                + params.locality_spread * (rng.gen::<f64>() * 2.0 - 1.0))
+            (params.triangle_closure + params.locality_spread * (rng.gen::<f64>() * 2.0 - 1.0))
                 .clamp(0.0, 1.0)
         };
         let mut lattice: Vec<u32> = comm
@@ -235,8 +240,11 @@ pub fn lfr<R: Rng + ?Sized>(rng: &mut R, params: &LfrParams) -> (CsrGraph, Vec<u
         }
 
         // Phase 2: uniform random matching of the leftover budget.
-        let mut open: Vec<VertexId> =
-            comm.iter().copied().filter(|&v| remaining[v as usize] > 0).collect();
+        let mut open: Vec<VertexId> = comm
+            .iter()
+            .copied()
+            .filter(|&v| remaining[v as usize] > 0)
+            .collect();
         let mut stall = 0usize;
         while open.len() >= 2 && stall < 12 {
             let v = open[rng.gen_range(0..open.len())];
@@ -282,7 +290,11 @@ pub fn lfr<R: Rng + ?Sized>(rng: &mut R, params: &LfrParams) -> (CsrGraph, Vec<u
         let u = stubs[i];
         let mut matched = false;
         for attempt in 0..8 {
-            let j = if attempt == 0 { i + 1 } else { rng.gen_range(i + 1..stubs.len()) };
+            let j = if attempt == 0 {
+                i + 1
+            } else {
+                rng.gen_range(i + 1..stubs.len())
+            };
             let v = stubs[j];
             if v != u && labels[u as usize] != labels[v as usize] && !edge_set.contains(&key(u, v))
             {
@@ -404,7 +416,10 @@ mod tests {
         g.check_invariants().unwrap();
         let d = g.average_degree();
         // Stub drops cause a small deficit; 10% slack.
-        assert!((d - 16.0).abs() / 16.0 < 0.10, "realized average degree {d}");
+        assert!(
+            (d - 16.0).abs() / 16.0 < 0.10,
+            "realized average degree {d}"
+        );
     }
 
     #[test]
@@ -431,7 +446,10 @@ mod tests {
             .filter(|&(u, v, _)| labels[u as usize] != labels[v as usize])
             .count() as f64;
         let frac_high = inter / g.num_edges() as f64;
-        assert!(frac_high > 0.4, "inter fraction {frac_high} too low for mixing 0.6");
+        assert!(
+            frac_high > 0.4,
+            "inter fraction {frac_high} too low for mixing 0.6"
+        );
     }
 
     #[test]
@@ -443,7 +461,10 @@ mod tests {
         let (g1, _) = lfr(&mut StdRng::seed_from_u64(102), &p);
         let c0 = crate::stats::graph_stats(&g0).average_clustering_coefficient;
         let c1 = crate::stats::graph_stats(&g1).average_clustering_coefficient;
-        assert!(c1 > c0 + 0.05, "closure did not raise clustering: {c0} -> {c1}");
+        assert!(
+            c1 > c0 + 0.05,
+            "closure did not raise clustering: {c0} -> {c1}"
+        );
     }
 
     #[test]

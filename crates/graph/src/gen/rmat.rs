@@ -104,7 +104,11 @@ mod tests {
         g.check_invariants().unwrap();
         // Duplicates collapse, so undirected edges < sampled arcs.
         assert!(g.num_edges() <= 8 * 256);
-        assert!(g.num_edges() > 256, "suspiciously sparse: {}", g.num_edges());
+        assert!(
+            g.num_edges() > 256,
+            "suspiciously sparse: {}",
+            g.num_edges()
+        );
     }
 
     #[test]

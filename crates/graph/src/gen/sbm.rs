@@ -38,10 +38,18 @@ pub fn planted_partition<R: Rng + ?Sized>(
     rng: &mut R,
     params: &PlantedPartitionParams,
 ) -> (CsrGraph, Vec<u32>) {
-    let PlantedPartitionParams { n, num_communities, p_in, p_out, weights } = *params;
+    let PlantedPartitionParams {
+        n,
+        num_communities,
+        p_in,
+        p_out,
+        weights,
+    } = *params;
     assert!(num_communities >= 1);
     assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
-    let labels: Vec<u32> = (0..n).map(|v| (v * num_communities / n.max(1)) as u32).collect();
+    let labels: Vec<u32> = (0..n)
+        .map(|v| (v * num_communities / n.max(1)) as u32)
+        .collect();
 
     let mut b = GraphBuilder::new(n);
     // Geometric skipping over the strictly-upper-triangular pair index:
@@ -55,7 +63,11 @@ pub fn planted_partition<R: Rng + ?Sized>(
         loop {
             // Skip ~Geometric(p) pairs.
             let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-            let skip = if p >= 1.0 { 0 } else { (u.ln() / (1.0 - p).ln()).floor() as u64 };
+            let skip = if p >= 1.0 {
+                0
+            } else {
+                (u.ln() / (1.0 - p).ln()).floor() as u64
+            };
             idx = match idx.checked_add(skip) {
                 Some(i) => i,
                 None => break,
@@ -85,7 +97,7 @@ fn unrank_pair(idx: u64, n: u64) -> (u64, u64) {
     let total = n * (n - 1) / 2;
     debug_assert!(idx < total);
     let rem = total - idx; // pairs from idx to the end
-    // Find smallest x with suffix(x) >= rem, where suffix(x) = (n-x)(n-x-1)/2.
+                           // Find smallest x with suffix(x) >= rem, where suffix(x) = (n-x)(n-x-1)/2.
     let mut x = n - 2 - ((((8 * rem) as f64 + 1.0).sqrt() as u64).saturating_sub(1) / 2).min(n - 2);
     loop {
         let suffix = (n - x) * (n - x - 1) / 2;

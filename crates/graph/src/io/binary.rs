@@ -106,7 +106,9 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphError> {
     }
     for w in offsets.windows(2) {
         if w[0] > w[1] || w[1] > arcs {
-            return Err(GraphError::Format("non-monotone or out-of-range offset".into()));
+            return Err(GraphError::Format(
+                "non-monotone or out-of-range offset".into(),
+            ));
         }
     }
     let g = CsrGraph::from_parts(offsets, neighbors, weights, num_edges);
@@ -122,7 +124,13 @@ mod tests {
     fn sample() -> CsrGraph {
         GraphBuilder::from_edges(
             6,
-            vec![(0, 1, 0.5), (1, 2, 1.5), (2, 3, 1.0), (4, 5, 0.25), (0, 5, 3.0)],
+            vec![
+                (0, 1, 0.5),
+                (1, 2, 1.5),
+                (2, 3, 1.0),
+                (4, 5, 0.25),
+                (0, 5, 3.0),
+            ],
         )
         .unwrap()
     }
@@ -149,7 +157,10 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         for cut in [3, 7, 20, buf.len() / 2, buf.len() - 1] {
             let err = read_binary(&buf[..cut]).unwrap_err();
-            assert!(matches!(err, GraphError::Format(_)), "cut at {cut} not detected");
+            assert!(
+                matches!(err, GraphError::Format(_)),
+                "cut at {cut} not detected"
+            );
         }
     }
 

@@ -47,7 +47,11 @@ pub fn read_edge_list<R: Read>(
         max_id = max_id.max(u).max(v);
         edges.push((u as VertexId, v as VertexId, w));
     }
-    let inferred = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let inferred = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let n = num_vertices_hint.map_or(inferred, |h| h.max(inferred));
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     for (u, v, w) in edges {
@@ -73,7 +77,12 @@ fn parse_field(tok: Option<&str>, line: u64, what: &str) -> Result<u64, GraphErr
 /// self-loops omitted), preceded by a stats comment header.
 pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
     let mut out = BufWriter::new(writer);
-    writeln!(out, "# vertices {} edges {}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        out,
+        "# vertices {} edges {}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v, w) in g.edges() {
         writeln!(out, "{u} {v} {w}")?;
     }

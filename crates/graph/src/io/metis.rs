@@ -36,7 +36,10 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
                 break (idx as u64 + 1, body.to_string());
             }
             None => {
-                return Err(GraphError::Parse { line: 0, message: "missing METIS header".into() })
+                return Err(GraphError::Parse {
+                    line: 0,
+                    message: "missing METIS header".into(),
+                })
             }
         }
     };
@@ -74,8 +77,7 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
             });
         }
         let mut toks = body.split_whitespace();
-        loop {
-            let Some(tok) = toks.next() else { break };
+        while let Some(tok) = toks.next() {
             let neighbor: u64 = tok.parse().map_err(|_| GraphError::Parse {
                 line: line_no,
                 message: format!("bad neighbor id {tok:?}"),
@@ -147,8 +149,14 @@ pub fn write_metis<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> 
 }
 
 fn parse<T: std::str::FromStr>(tok: Option<&str>, line: u64, what: &str) -> Result<T, GraphError> {
-    let tok = tok.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
-    tok.parse().map_err(|_| GraphError::Parse { line, message: format!("bad {what} {tok:?}") })
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("bad {what} {tok:?}"),
+    })
 }
 
 #[cfg(test)]

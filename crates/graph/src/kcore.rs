@@ -16,7 +16,9 @@ pub fn core_numbers(g: &CsrGraph) -> Vec<u32> {
     if n == 0 {
         return Vec::new();
     }
-    let mut degree: Vec<u32> = (0..n as VertexId).map(|v| g.open_degree(v) as u32).collect();
+    let mut degree: Vec<u32> = (0..n as VertexId)
+        .map(|v| g.open_degree(v) as u32)
+        .collect();
     let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
 
     // Bucket sort vertices by degree.
@@ -108,11 +110,9 @@ mod tests {
     fn clique_with_pendants() {
         // Triangle {0,1,2}, pendants 3 (on 0) and 4 (on 3): core numbers
         // 2,2,2,1,1.
-        let g = GraphBuilder::from_unweighted_edges(
-            5,
-            vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)],
-        )
-        .unwrap();
+        let g =
+            GraphBuilder::from_unweighted_edges(5, vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)])
+                .unwrap();
         assert_eq!(core_numbers(&g), vec![2, 2, 2, 1, 1]);
         assert_eq!(k_core_vertices(&g, 2), vec![0, 1, 2]);
         assert_eq!(k_core_vertices(&g, 3), Vec::<VertexId>::new());

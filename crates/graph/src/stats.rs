@@ -154,11 +154,8 @@ mod tests {
     use crate::GraphBuilder;
 
     fn k4() -> CsrGraph {
-        GraphBuilder::from_unweighted_edges(
-            4,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
-        .unwrap()
+        GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap()
     }
 
     #[test]
@@ -175,8 +172,8 @@ mod tests {
     #[test]
     fn triangle_free_graph() {
         // 4-cycle: no triangles, clustering 0.
-        let g = GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)])
-            .unwrap();
+        let g =
+            GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         let s = graph_stats(&g);
         assert_eq!(s.triangles, 0);
         assert_eq!(s.average_clustering_coefficient, 0.0);
@@ -186,8 +183,8 @@ mod tests {
     #[test]
     fn per_vertex_triangles() {
         // Triangle 0-1-2 plus pendant 3 on vertex 0.
-        let g = GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (1, 2), (2, 0), (0, 3)])
-            .unwrap();
+        let g =
+            GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap();
         assert_eq!(triangles_per_vertex(&g), vec![1, 1, 1, 0]);
         let s = graph_stats(&g);
         assert_eq!(s.triangles, 1);
@@ -201,8 +198,8 @@ mod tests {
 
     #[test]
     fn degree_histogram_counts() {
-        let g = GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (1, 2), (2, 0), (0, 3)])
-            .unwrap();
+        let g =
+            GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap();
         let h = degree_histogram(&g);
         assert_eq!(h, vec![0, 1, 2, 1]); // one deg-1, two deg-2, one deg-3
     }

@@ -78,7 +78,14 @@ mod tests {
     fn sample() -> CsrGraph {
         GraphBuilder::from_edges(
             6,
-            vec![(0, 1, 1.0), (1, 2, 0.5), (2, 3, 2.0), (3, 4, 1.0), (4, 5, 0.25), (1, 4, 0.75)],
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 0.5),
+                (2, 3, 2.0),
+                (3, 4, 1.0),
+                (4, 5, 0.25),
+                (1, 4, 0.75),
+            ],
         )
         .unwrap()
     }
@@ -117,7 +124,9 @@ mod tests {
         // Statistics are permutation-invariant.
         let (sg, sh) = (graph_stats(&g), graph_stats(&h));
         assert_eq!(sg.triangles, sh.triangles);
-        assert!((sg.average_clustering_coefficient - sh.average_clustering_coefficient).abs() < 1e-12);
+        assert!(
+            (sg.average_clustering_coefficient - sh.average_clustering_coefficient).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -68,8 +68,7 @@ mod tests {
 
     #[test]
     fn components_of_disjoint_paths() {
-        let g =
-            GraphBuilder::from_unweighted_edges(6, vec![(0, 1), (1, 2), (3, 4)]).unwrap();
+        let g = GraphBuilder::from_unweighted_edges(6, vec![(0, 1), (1, 2), (3, 4)]).unwrap();
         let (comp, k) = connected_components(&g);
         assert_eq!(k, 3);
         assert_eq!(comp[0], comp[1]);

@@ -24,7 +24,11 @@ pub enum GraphError {
     /// An edge referenced a vertex id `>= num_vertices`.
     VertexOutOfRange { vertex: u64, num_vertices: u64 },
     /// An edge weight was non-finite or not strictly positive.
-    InvalidWeight { u: VertexId, v: VertexId, weight: Weight },
+    InvalidWeight {
+        u: VertexId,
+        v: VertexId,
+        weight: Weight,
+    },
     /// A text input line could not be parsed.
     Parse { line: u64, message: String },
     /// Underlying I/O failure.
@@ -36,13 +40,24 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => {
-                write!(f, "vertex id {vertex} out of range (graph has {num_vertices} vertices)")
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "vertex id {vertex} out of range (graph has {num_vertices} vertices)"
+                )
             }
             GraphError::InvalidWeight { u, v, weight } => {
-                write!(f, "edge ({u},{v}) has invalid weight {weight}; weights must be finite and > 0")
+                write!(
+                    f,
+                    "edge ({u},{v}) has invalid weight {weight}; weights must be finite and > 0"
+                )
             }
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::Format(e) => write!(f, "format error: {e}"),
         }
@@ -63,14 +78,24 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 4 };
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("4"));
 
-        let e = GraphError::InvalidWeight { u: 1, v: 2, weight: -0.5 };
+        let e = GraphError::InvalidWeight {
+            u: 1,
+            v: 2,
+            weight: -0.5,
+        };
         assert!(e.to_string().contains("(1,2)"));
 
-        let e = GraphError::Parse { line: 17, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 17,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 17"));
     }
 

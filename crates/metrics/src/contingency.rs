@@ -39,7 +39,14 @@ impl ContingencyTable {
             row_sums[r] += 1;
             col_sums[c] += 1;
         }
-        ContingencyTable { cells, rows, cols, row_sums, col_sums, total: a.len() as u64 }
+        ContingencyTable {
+            cells,
+            rows,
+            cols,
+            row_sums,
+            col_sums,
+            total: a.len() as u64,
+        }
     }
 
     /// Number of distinct labels in the first partition.
@@ -74,9 +81,11 @@ impl ContingencyTable {
 
     /// Iterator over non-empty cells `(row, col, count)`.
     pub fn cells(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
-        self.cells.iter().enumerate().filter(|&(_, &c)| c > 0).map(move |(idx, &c)| {
-            (idx / self.cols, idx % self.cols, c)
-        })
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(move |(idx, &c)| (idx / self.cols, idx % self.cols, c))
     }
 
     /// Shannon entropy (nats) of the first partition's marginal.

@@ -17,10 +17,7 @@ use std::collections::HashMap;
 /// Computes modularity from an iterator of undirected weighted edges
 /// (`(u, v, w)`, each edge once; self-loops ignored) and per-vertex labels.
 /// Returns 0 for an empty edge set.
-pub fn modularity(
-    edges: impl IntoIterator<Item = (u32, u32, f64)>,
-    labels: &[u32],
-) -> f64 {
+pub fn modularity(edges: impl IntoIterator<Item = (u32, u32, f64)>, labels: &[u32]) -> f64 {
     let mut total = 0.0f64;
     let mut intra: HashMap<u32, f64> = HashMap::new();
     let mut degree: HashMap<u32, f64> = HashMap::new();

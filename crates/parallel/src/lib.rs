@@ -1,72 +1,428 @@
-//! Dynamic-scheduled shared-memory parallelism.
+//! Dynamic-scheduled shared-memory parallelism on a persistent worker pool.
 //!
 //! The paper parallelizes each block phase of anySCAN with
 //! `#pragma omp parallel for schedule(dynamic)` (Fig. 4): workers repeatedly
-//! claim small chunks of the iteration space from a shared counter, which
+//! claim chunks of the iteration space from a shared counter, which
 //! load-balances the wildly varying neighborhood sizes of real graphs. This
-//! crate reimplements exactly that primitive on crossbeam scoped threads:
+//! crate reimplements that primitive on a **process-wide pool of long-lived
+//! parked workers** (like an OpenMP runtime's thread team), so the per-block
+//! cost of going parallel is a mutex hand-off instead of `threads - 1` OS
+//! thread spawns. anySCAN runs hundreds of α/β blocks per clustering; with
+//! per-call spawning the spawn cost recurs on every one of them.
 //!
-//! * [`parallel_for_dynamic`] — run a body over `0..n` in dynamically
-//!   claimed chunks;
-//! * [`parallel_map_dynamic`] — same, collecting one output per index into a
-//!   `Vec<T>` without locks (each claimed chunk owns a disjoint slice of the
-//!   output);
-//! * [`parallel_reduce_dynamic`] — same, folding into one accumulator per
-//!   worker, returned for the caller to merge.
+//! * [`parallel_for_dynamic`] — run a body over `0..n` in fixed-size
+//!   dynamically claimed chunks (the literal OpenMP
+//!   `schedule(dynamic, chunk)` analogue);
+//! * [`parallel_for_adaptive`] — same with guided chunk sizing: each claim
+//!   takes `remaining / (2 · threads)` indices (clamped), so early chunks
+//!   are large (low counter traffic) and late chunks small (load balance);
+//! * [`parallel_map_dynamic`] / [`parallel_map_adaptive`] — collect one
+//!   output per index into a `Vec<T>` without locks (each claimed chunk owns
+//!   a disjoint slice of the output);
+//! * [`parallel_map_with`] — map with a per-worker scratch value threaded
+//!   through every call on that worker (at most one `init()` per worker per
+//!   call site — reuses allocations such as ε-neighborhood buffers);
+//! * [`parallel_reduce_dynamic`] / [`parallel_reduce_adaptive`] — fold into
+//!   one accumulator per worker, returned for the caller to merge.
 //!
-//! With `threads <= 1` every function degrades to a plain sequential loop
-//! with zero synchronization, so single-thread measurements of the parallel
-//! driver are honest (the paper notes its 1-thread and sequential versions
-//! coincide).
+//! With `threads <= 1` every entry point degrades to a plain sequential loop
+//! on the calling thread with zero synchronization, so single-thread
+//! measurements of the parallel driver are honest (the paper notes its
+//! 1-thread and sequential versions coincide).
 //!
-//! Threads are spawned per call (scoped, borrowing the closure environment);
-//! at the paper's block sizes (α = β = 8192…32768) the spawn cost is
-//! amortized to noise, and the `parallel_for` Criterion bench quantifies it.
+//! # Pool semantics
+//!
+//! The global pool ([`WorkerPool::global`]) grows on demand and parks its
+//! workers on a condvar between jobs; threads are reused across calls and
+//! live for the process. Jobs are serialized through the pool (one parallel
+//! region at a time, as in OpenMP without nesting); a body that itself calls
+//! a `parallel_*` entry point runs that nested call inline on its own thread
+//! rather than deadlocking. A panic in any worker is caught, the job is
+//! drained, and the panic resumes on the submitting thread — same observable
+//! behavior as the scoped-thread implementation this replaces.
 
+use std::any::Any;
+use std::cell::Cell;
 use std::mem::MaybeUninit;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
 
-/// Default number of indices a worker claims at a time. OpenMP's
-/// `schedule(dynamic)` default chunk is 1; we default a little coarser to
-/// keep counter traffic negligible while still balancing skewed work.
+/// Default number of indices a worker claims at a time in the fixed-chunk
+/// entry points. OpenMP's `schedule(dynamic)` default chunk is 1; we default
+/// a little coarser to keep counter traffic negligible while still balancing
+/// skewed work. The `*_adaptive` entry points ignore this and size chunks
+/// from the remaining work instead.
 pub const DEFAULT_CHUNK: usize = 16;
+
+/// Smallest chunk the adaptive policy hands out: bounds cursor traffic on
+/// the tail without hurting balance (a σ evaluation dwarfs one CAS).
+pub const ADAPTIVE_MIN_CHUNK: usize = 4;
+
+/// Largest chunk the adaptive policy hands out: bounds the imbalance any
+/// single straggler chunk can cause at the start of a large job.
+pub const ADAPTIVE_MAX_CHUNK: usize = 4096;
+
+/// Hard cap on pool workers (requested thread counts clamp to this + 1).
+const MAX_WORKERS: usize = 128;
+
+/// How a job's iteration space is carved into claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkPolicy {
+    /// Every claim takes exactly this many indices (OpenMP
+    /// `schedule(dynamic, chunk)`).
+    Fixed(usize),
+    /// Guided sizing: each claim takes `remaining / (2 · participants)`
+    /// indices, clamped to `[ADAPTIVE_MIN_CHUNK, ADAPTIVE_MAX_CHUNK]`
+    /// (OpenMP `schedule(guided)` with a minimum chunk).
+    Adaptive,
+}
 
 /// Returns the number of worker threads to actually use for `requested`
 /// threads over `n` items (never more threads than items, at least 1).
 pub fn effective_threads(requested: usize, n: usize) -> usize {
-    requested.max(1).min(n.max(1))
+    requested.max(1).min(n.max(1)).min(MAX_WORKERS + 1)
 }
 
-/// Runs `body` over every chunk of `0..n`, claimed dynamically by
-/// `threads` workers. `body` receives half-open index ranges.
+thread_local! {
+    /// True while this thread is executing a pool job (worker or submitter).
+    /// Nested submissions from such a thread run inline instead of waiting
+    /// on the (already busy) pool — OpenMP's "nested parallelism off".
+    static IN_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Locks ignoring poisoning: a panicking job is already captured and
+/// re-raised by the dispatch protocol, so guard state stays consistent.
+fn lock_pool<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One published parallel region. Lives on the submitter's stack; workers
+/// reach it through a raw pointer that the `pending` refcount keeps valid
+/// (the submitter does not return before `pending` hits zero).
+struct Job {
+    n: usize,
+    /// Fixed claim size; 0 selects the adaptive policy.
+    fixed_chunk: usize,
+    /// Total participants (pool workers + the submitter).
+    participants: usize,
+    cursor: AtomicUsize,
+    pending: AtomicUsize,
+    /// Type- and lifetime-erased `&dyn Fn(slot, range)`; see `Job` safety
+    /// note above.
+    body: *const (dyn Fn(usize, Range<usize>) + Sync),
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: `body` points at a `Sync` closure that outlives the job (enforced
+// by the submitter blocking on `pending`), and all mutable state is atomic
+// or mutex-guarded.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims the next chunk, or `None` when the space is exhausted.
+    fn claim(&self) -> Option<Range<usize>> {
+        if self.fixed_chunk > 0 {
+            let start = self.cursor.fetch_add(self.fixed_chunk, Ordering::Relaxed);
+            if start >= self.n {
+                return None;
+            }
+            return Some(start..(start + self.fixed_chunk).min(self.n));
+        }
+        // Guided: size each claim from what is left so chunks shrink as the
+        // job drains. CAS (not fetch_add) because the size depends on the
+        // observed cursor.
+        let mut cur = self.cursor.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.n {
+                return None;
+            }
+            let remaining = self.n - cur;
+            let size = (remaining / (2 * self.participants))
+                .clamp(ADAPTIVE_MIN_CHUNK, ADAPTIVE_MAX_CHUNK)
+                .min(remaining);
+            match self.cursor.compare_exchange_weak(
+                cur,
+                cur + size,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(cur..cur + size),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Runs the claim loop as participant `slot`, capturing (not unwinding)
+    /// any body panic so the dispatch protocol always completes.
+    fn execute(&self, slot: usize) {
+        // SAFETY: the submitter keeps the closure alive until `pending`
+        // reaches zero, which cannot happen before this call returns.
+        let body = unsafe { &*self.body };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            while let Some(range) = self.claim() {
+                body(slot, range);
+            }
+        }));
+        if let Err(payload) = result {
+            // Fast-forward the cursor so co-workers stop claiming, then
+            // record the first panic for the submitter to re-raise.
+            self.cursor.store(self.n, Ordering::Relaxed);
+            let mut slot = lock_pool(&self.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+}
+
+/// Dispatch state shared between the submitter and all pool workers.
+struct DispatchState {
+    /// Bumped once per published job; workers use it to recognize work they
+    /// have not seen yet (each worker processes each epoch at most once).
+    epoch: u64,
+    job: *const Job,
+    /// Workers that have joined the current epoch (also assigns slots).
+    joined: usize,
+    /// Workers allowed to join the current epoch.
+    worker_participants: usize,
+    shutdown: bool,
+}
+
+// SAFETY: the raw job pointer is only dereferenced by epoch-gated joiners
+// counted in `pending` (see `Job`).
+unsafe impl Send for DispatchState {}
+
+struct PoolShared {
+    state: Mutex<DispatchState>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// The submitter parks here until `pending` drains.
+    done_cv: Condvar,
+}
+
+/// A persistent team of parked worker threads executing dynamically
+/// scheduled jobs. Most callers want [`WorkerPool::global`]; standalone
+/// pools exist for tests ([`Drop`] shuts the workers down).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    /// Serializes jobs: one parallel region at a time.
+    submit: Mutex<()>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    spawned: AtomicUsize,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new()
+    }
+}
+
+impl WorkerPool {
+    /// Creates an empty pool; workers are spawned lazily on first use.
+    pub fn new() -> Self {
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(DispatchState {
+                    epoch: 0,
+                    job: std::ptr::null(),
+                    joined: 0,
+                    worker_participants: 0,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            submit: Mutex::new(()),
+            workers: Mutex::new(Vec::new()),
+            spawned: AtomicUsize::new(0),
+        }
+    }
+
+    /// The process-wide pool used by every `parallel_*` free function.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(WorkerPool::new)
+    }
+
+    /// Worker threads spawned so far (grows on demand, never shrinks).
+    pub fn spawned_workers(&self) -> usize {
+        self.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Runs `body` over every chunk of `0..n` with `threads` participants
+    /// (the calling thread is one of them and receives slot 0; pool workers
+    /// get slots `1..threads`). Panics in `body` resume on the caller.
+    pub fn run<F>(&self, threads: usize, n: usize, policy: ChunkPolicy, body: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let t = effective_threads(threads, n);
+        if t == 1 || IN_JOB.with(Cell::get) {
+            body(0, 0..n);
+            return;
+        }
+        self.run_team(t, n, policy, &body);
+    }
+
+    fn run_team(
+        &self,
+        t: usize,
+        n: usize,
+        policy: ChunkPolicy,
+        body: &(dyn Fn(usize, Range<usize>) + Sync),
+    ) {
+        let workers = t - 1;
+        self.ensure_workers(workers);
+        // SAFETY: pure lifetime erasure on a fat pointer (the struct field's
+        // `dyn` defaults to `'static`); the dispatch protocol guarantees no
+        // dereference survives this stack frame.
+        let body_ptr: *const (dyn Fn(usize, Range<usize>) + Sync) =
+            unsafe { std::mem::transmute(body as *const (dyn Fn(usize, Range<usize>) + Sync)) };
+        let job = Job {
+            n,
+            fixed_chunk: match policy {
+                ChunkPolicy::Fixed(c) => c.max(1),
+                ChunkPolicy::Adaptive => 0,
+            },
+            participants: t,
+            cursor: AtomicUsize::new(0),
+            pending: AtomicUsize::new(t),
+            body: body_ptr,
+            panic: Mutex::new(None),
+        };
+
+        let _submit = lock_pool(&self.submit);
+        {
+            let mut st = lock_pool(&self.shared.state);
+            st.epoch += 1;
+            st.job = &job as *const Job;
+            st.joined = 0;
+            st.worker_participants = workers;
+            self.shared.work_cv.notify_all();
+        }
+
+        // The submitter is participant 0 and works too (panics captured).
+        IN_JOB.with(|f| f.set(true));
+        job.execute(0);
+        IN_JOB.with(|f| f.set(false));
+
+        // Wait until every participant has finished; only then may `job`
+        // (and the borrowed closure) leave scope.
+        if job.pending.fetch_sub(1, Ordering::AcqRel) != 1 {
+            let mut st = lock_pool(&self.shared.state);
+            while job.pending.load(Ordering::Acquire) > 0 {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            drop(st);
+        }
+
+        let payload = lock_pool(&job.panic).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Grows the pool to at least `needed` workers.
+    fn ensure_workers(&self, needed: usize) {
+        if self.spawned.load(Ordering::Acquire) >= needed {
+            return;
+        }
+        let mut handles = lock_pool(&self.workers);
+        while handles.len() < needed.min(MAX_WORKERS) {
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("anyscan-pool-{}", handles.len()))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn pool worker");
+            handles.push(handle);
+            self.spawned.fetch_add(1, Ordering::Release);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock_pool(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in lock_pool(&self.workers).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    // A pool worker is always "inside a job" for nesting purposes.
+    IN_JOB.with(|f| f.set(true));
+    let mut last_epoch = 0u64;
+    loop {
+        let (job_ptr, slot);
+        {
+            let mut st = lock_pool(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != last_epoch {
+                    last_epoch = st.epoch;
+                    if st.joined < st.worker_participants {
+                        slot = 1 + st.joined;
+                        st.joined += 1;
+                        job_ptr = st.job;
+                        break;
+                    }
+                    // Epoch observed but full — skip it and park again.
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        // SAFETY: we joined this epoch under the lock, so we are one of the
+        // `pending` participants the submitter is blocked on; the job (and
+        // its closure) stay alive until our decrement below.
+        let job = unsafe { &*job_ptr };
+        job.execute(slot);
+        if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last one out: wake the submitter. Lock the state mutex so the
+            // notify cannot race between its pending-check and its wait.
+            let _st = lock_pool(&shared.state);
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Runs `body` over every chunk of `0..n`, claimed dynamically in fixed
+/// `chunk`-sized pieces by `threads` workers of the global pool. `body`
+/// receives half-open index ranges.
 pub fn parallel_for_dynamic<F>(threads: usize, n: usize, chunk: usize, body: F)
 where
     F: Fn(Range<usize>) + Sync,
 {
-    let chunk = chunk.max(1);
-    let threads = effective_threads(threads, n);
-    if n == 0 {
-        return;
-    }
-    if threads == 1 {
-        body(0..n);
-        return;
-    }
-    let cursor = AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                body(start..end);
-            });
-        }
-    })
-    .expect("worker thread panicked");
+    WorkerPool::global().run(threads, n, ChunkPolicy::Fixed(chunk), |_, range| {
+        body(range)
+    });
+}
+
+/// [`parallel_for_dynamic`] with guided (adaptive) chunk sizing: no chunk
+/// parameter to tune — claims start at `n / (2 · threads)` indices and
+/// shrink with the remaining work.
+pub fn parallel_for_adaptive<F>(threads: usize, n: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    WorkerPool::global().run(threads, n, ChunkPolicy::Adaptive, |_, range| body(range));
 }
 
 /// Maps `f` over `0..n` with dynamic scheduling, returning the outputs in
@@ -77,44 +433,76 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = effective_threads(threads, n);
-    if threads == 1 {
-        return (0..n).map(f).collect();
+    map_impl(threads, n, ChunkPolicy::Fixed(chunk), |_, i| f(i))
+}
+
+/// [`parallel_map_dynamic`] with guided (adaptive) chunk sizing.
+pub fn parallel_map_adaptive<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    map_impl(threads, n, ChunkPolicy::Adaptive, |_, i| f(i))
+}
+
+/// Maps `f` over `0..n` (adaptive scheduling) with a per-worker scratch
+/// value: `init` runs at most once per participating worker and the same
+/// `&mut S` is passed to every `f` call on that worker — the buffer-reuse
+/// hook for allocation-heavy bodies such as ε-neighborhood queries.
+pub fn parallel_map_with<T, S, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let t = effective_threads(threads, n);
+    if t == 1 {
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+    // One scratch per slot; the mutex is uncontended (slots are exclusive)
+    // and exists only to move `S` across the thread boundary safely.
+    let scratches: Vec<Mutex<Option<S>>> = (0..t).map(|_| Mutex::new(None)).collect();
+    let out = map_impl(threads, n, ChunkPolicy::Adaptive, |slot, i| {
+        let mut guard = lock_pool(&scratches[slot]);
+        let scratch = guard.get_or_insert_with(&init);
+        f(scratch, i)
+    });
+    out
+}
+
+fn map_impl<T, F>(threads: usize, n: usize, policy: ChunkPolicy, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let t = effective_threads(threads, n);
+    if t == 1 {
+        return (0..n).map(|i| f(0, i)).collect();
     }
     let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
     // SAFETY: `MaybeUninit` needs no initialization; every slot is written
-    // exactly once below before the conversion (chunk claims partition 0..n).
+    // exactly once below before the conversion (chunk claims partition 0..n;
+    // a body panic aborts the conversion by unwinding out of `run`, leaking
+    // written elements but never reading uninitialized ones).
     #[allow(clippy::uninit_vec)]
     unsafe {
         out.set_len(n);
     }
     let base = SendPtr(out.as_mut_ptr());
-    let cursor = AtomicUsize::new(0);
-    let chunk = chunk.max(1);
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| {
-                let base = &base;
-                loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + chunk).min(n);
-                    for i in start..end {
-                        // SAFETY: `i` is claimed by exactly one worker, so
-                        // this write is unaliased.
-                        unsafe {
-                            base.0.add(i).write(MaybeUninit::new(f(i)));
-                        }
-                    }
-                }
-            });
+    WorkerPool::global().run(threads, n, policy, |slot, range| {
+        let base = &base;
+        for i in range {
+            // SAFETY: `i` is claimed by exactly one participant, so this
+            // write is unaliased.
+            unsafe {
+                base.0.add(i).write(MaybeUninit::new(f(slot, i)));
+            }
         }
-    })
-    .expect("worker thread panicked");
+    });
     // SAFETY: all n slots were initialized (the chunk claims cover 0..n and
-    // scope join guarantees every worker finished).
+    // `run` returns only after every participant finished).
     unsafe {
         let mut out = std::mem::ManuallyDrop::new(out);
         Vec::from_raw_parts(out.as_mut_ptr() as *mut T, n, out.capacity())
@@ -135,42 +523,45 @@ where
     I: Fn() -> A + Sync,
     F: Fn(&mut A, usize) + Sync,
 {
-    let threads = effective_threads(threads, n);
-    if threads == 1 {
+    reduce_impl(threads, n, ChunkPolicy::Fixed(chunk), init, body)
+}
+
+/// [`parallel_reduce_dynamic`] with guided (adaptive) chunk sizing.
+pub fn parallel_reduce_adaptive<A, I, F>(threads: usize, n: usize, init: I, body: F) -> Vec<A>
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize) + Sync,
+{
+    reduce_impl(threads, n, ChunkPolicy::Adaptive, init, body)
+}
+
+fn reduce_impl<A, I, F>(threads: usize, n: usize, policy: ChunkPolicy, init: I, body: F) -> Vec<A>
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize) + Sync,
+{
+    let t = effective_threads(threads, n);
+    if t == 1 {
         let mut acc = init();
         for i in 0..n {
             body(&mut acc, i);
         }
         return vec![acc];
     }
-    let cursor = AtomicUsize::new(0);
-    let chunk = chunk.max(1);
-    let mut accs: Vec<A> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|_| {
-                    let mut acc = init();
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + chunk).min(n);
-                        for i in start..end {
-                            body(&mut acc, i);
-                        }
-                    }
-                    acc
-                })
-            })
-            .collect();
-        for h in handles {
-            accs.push(h.join().expect("worker thread panicked"));
+    // One accumulator per slot; mutexes are uncontended (slots exclusive).
+    let accs: Vec<Mutex<Option<A>>> = (0..t).map(|_| Mutex::new(None)).collect();
+    WorkerPool::global().run(threads, n, policy, |slot, range| {
+        let mut guard = lock_pool(&accs[slot]);
+        let acc = guard.get_or_insert_with(&init);
+        for i in range {
+            body(acc, i);
         }
-    })
-    .expect("scope failed");
-    accs
+    });
+    accs.into_iter()
+        .filter_map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .collect()
 }
 
 /// A raw pointer that asserts cross-thread shareability for the disjoint
@@ -184,7 +575,10 @@ unsafe impl<T> Send for SendPtr<T> {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
     use std::sync::atomic::AtomicU64;
+    use std::thread::ThreadId;
 
     #[test]
     fn effective_thread_clamping() {
@@ -213,6 +607,49 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_covers_every_index_exactly_once() {
+        for threads in [1usize, 2, 4, 7] {
+            for n in [0usize, 1, 5, 1000, 1001, 50_000] {
+                let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                parallel_for_adaptive(threads, n, |range| {
+                    for i in range {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "threads={threads} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_chunks_start_guided_and_stay_bounded() {
+        let n = 10_000usize;
+        let threads = 4usize;
+        let claims: Mutex<Vec<Range<usize>>> = Mutex::new(Vec::new());
+        parallel_for_adaptive(threads, n, |range| {
+            claims.lock().unwrap().push(range);
+        });
+        let claims = claims.into_inner().unwrap();
+        let total: usize = claims.iter().map(|r| r.len()).sum();
+        assert_eq!(total, n);
+        // The claim that started at index 0 observed the full remaining
+        // space, so its size is exactly n / (2 * threads) (within clamps).
+        let first = claims.iter().find(|r| r.start == 0).expect("claim at 0");
+        assert_eq!(
+            first.len(),
+            (n / (2 * threads)).clamp(ADAPTIVE_MIN_CHUNK, ADAPTIVE_MAX_CHUNK)
+        );
+        // Guided sizing must beat fixed-minimum chunking on claim count.
+        assert!(claims.len() <= n / ADAPTIVE_MIN_CHUNK);
+        for r in &claims {
+            assert!(!r.is_empty() && r.len() <= ADAPTIVE_MAX_CHUNK);
+        }
+    }
+
+    #[test]
     fn map_preserves_index_order() {
         for threads in [1usize, 2, 4] {
             for n in [0usize, 1, 17, 4096] {
@@ -235,12 +672,54 @@ mod tests {
     }
 
     #[test]
+    fn map_adaptive_matches_sequential() {
+        for threads in [2usize, 4] {
+            let out = parallel_map_adaptive(threads, 5000, |i| i as u64 + 1);
+            assert_eq!(out, (1..=5000u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_with_reuses_scratch_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let threads = 4usize;
+        let n = 10_000usize;
+        let out = parallel_map_with(
+            threads,
+            n,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |scratch, i| {
+                scratch.clear();
+                scratch.extend(0..i % 5);
+                scratch.len() + i
+            },
+        );
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i % 5 + i);
+        }
+        // At most one scratch per participant, never one per index.
+        assert!(inits.load(Ordering::Relaxed) <= effective_threads(threads, n));
+    }
+
+    #[test]
     fn reduce_sums_correctly() {
         for threads in [1usize, 2, 4] {
             let accs =
                 parallel_reduce_dynamic(threads, 1000, 8, || 0u64, |acc, i| *acc += i as u64);
             let total: u64 = accs.into_iter().sum();
             assert_eq!(total, 999 * 1000 / 2);
+        }
+    }
+
+    #[test]
+    fn reduce_adaptive_sums_correctly() {
+        for threads in [1usize, 2, 4] {
+            let accs = parallel_reduce_adaptive(threads, 12345, || 0u64, |acc, i| *acc += i as u64);
+            let total: u64 = accs.into_iter().sum();
+            assert_eq!(total, 12344 * 12345 / 2);
         }
     }
 
@@ -263,5 +742,135 @@ mod tests {
         parallel_for_dynamic(1, 10, 2, |_| {
             assert_eq!(std::thread::current().id(), caller);
         });
+    }
+
+    /// Thread ids touched by one pool job on `pool`, excluding the caller.
+    fn worker_ids_of_run(pool: &WorkerPool, threads: usize) -> HashSet<ThreadId> {
+        let ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        pool.run(threads, 100_000, ChunkPolicy::Fixed(8), |_, range| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            for i in range {
+                std::hint::black_box(i);
+            }
+        });
+        let caller = std::thread::current().id();
+        let mut ids = ids.into_inner().unwrap();
+        ids.remove(&caller);
+        ids
+    }
+
+    #[test]
+    fn pool_reuses_threads_across_calls() {
+        let pool = WorkerPool::new();
+        let first = worker_ids_of_run(&pool, 4);
+        assert_eq!(pool.spawned_workers(), 3);
+        for _ in 0..5 {
+            let again = worker_ids_of_run(&pool, 4);
+            // Long-lived team: later calls run on the same OS threads, and
+            // the pool never re-spawns for an unchanged thread count.
+            assert!(
+                again.is_subset(&first),
+                "fresh thread appeared in a later call"
+            );
+            assert_eq!(pool.spawned_workers(), 3);
+        }
+    }
+
+    #[test]
+    fn pool_grows_on_demand_only() {
+        let pool = WorkerPool::new();
+        pool.run(2, 1000, ChunkPolicy::Adaptive, |_, _| {});
+        assert_eq!(pool.spawned_workers(), 1);
+        pool.run(5, 1000, ChunkPolicy::Adaptive, |_, _| {});
+        assert_eq!(pool.spawned_workers(), 4);
+        pool.run(3, 1000, ChunkPolicy::Adaptive, |_, _| {});
+        assert_eq!(pool.spawned_workers(), 4);
+    }
+
+    #[test]
+    fn panic_in_worker_propagates_and_pool_survives() {
+        let pool = WorkerPool::new();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, 1000, ChunkPolicy::Fixed(1), |_, range| {
+                if range.contains(&500) {
+                    panic!("boom at 500");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must reach the submitter");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("boom at 500"), "unexpected payload: {msg:?}");
+
+        // The team must still be dispatchable after a panicked job.
+        let hits = AtomicUsize::new(0);
+        pool.run(4, 1000, ChunkPolicy::Fixed(8), |_, range| {
+            hits.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn panic_in_submitter_slot_propagates() {
+        // Slot 0 is the calling thread; a panic there must also be captured
+        // after the workers drain, then resumed.
+        let pool = WorkerPool::new();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, 10, ChunkPolicy::Fixed(1), |slot, _| {
+                if slot == 0 {
+                    panic!("submitter boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        pool.run(2, 10, ChunkPolicy::Fixed(1), |_, _| {});
+    }
+
+    #[test]
+    fn nested_calls_run_inline_without_deadlock() {
+        let hits = AtomicUsize::new(0);
+        parallel_for_dynamic(2, 8, 1, |outer| {
+            for _ in outer {
+                parallel_for_adaptive(2, 4, |inner| {
+                    hits.fetch_add(inner.len(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn slots_are_unique_and_dense() {
+        let pool = WorkerPool::new();
+        let seen: Mutex<HashSet<usize>> = Mutex::new(HashSet::new());
+        pool.run(4, 100_000, ChunkPolicy::Fixed(4), |slot, range| {
+            seen.lock().unwrap().insert(slot);
+            for i in range {
+                std::hint::black_box(i);
+            }
+        });
+        let seen = seen.into_inner().unwrap();
+        // Every observed slot is in 0..threads and slot 0 (the submitter)
+        // always participates.
+        assert!(seen.contains(&0));
+        assert!(seen.iter().all(|&s| s < 4), "slots: {seen:?}");
+    }
+
+    proptest! {
+        #[test]
+        fn adaptive_partitions_any_space(threads in 1usize..9, n in 0usize..3000) {
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            parallel_for_adaptive(threads, n, |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+
+        #[test]
+        fn map_agrees_with_sequential(threads in 1usize..9, n in 0usize..2000) {
+            let out = parallel_map_adaptive(threads, n, |i| 3 * i + 1);
+            prop_assert_eq!(out, (0..n).map(|i| 3 * i + 1).collect::<Vec<_>>());
+        }
     }
 }

@@ -1,0 +1,166 @@
+//! Lock-free symmetric edge-decision cache.
+//!
+//! anySCAN's block phases may decide the same edge several times: a core
+//! check of `u` scans the arc `(u, v)`, a later core check of `v` scans the
+//! mirror `(v, u)`, and Step 3's weak-merge pass revisits core–core edges
+//! already traversed in Step 1. The weighted σ of Definition 1 is exactly
+//! direction-symmetric (the merge-join visits the common neighbors in the
+//! same ascending order from both sides, so even the floating-point result
+//! is bit-identical), so a verdict reached once holds for both directions
+//! forever.
+//!
+//! This cache keeps one tri-state [`AtomicU8`] per CSR arc — `Unknown`,
+//! `Similar`, or `Dissimilar` — aligned with the graph's arc arrays, the
+//! concurrent analogue of the sequential per-arc cache pSCAN uses. All
+//! accesses are relaxed single-byte atomics: a racing duplicate evaluation
+//! writes the same verdict (σ is deterministic), so the worst case is
+//! harmlessly repeated work, never a wrong answer. Memory cost is
+//! `num_arcs()` bytes (2|E| plus self-loops).
+//!
+//! Pairs that are not adjacent bypass the cache entirely: SCAN only ever
+//! compares neighbors, and the arc arrays have no slot for strangers.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use anyscan_graph::{CsrGraph, VertexId};
+
+const UNKNOWN: u8 = 0;
+const SIMILAR: u8 = 1;
+const DISSIMILAR: u8 = 2;
+
+/// One tri-state verdict slot per CSR arc; see the module docs.
+#[derive(Debug)]
+pub struct AtomicEdgeCache {
+    slots: Vec<AtomicU8>,
+}
+
+impl AtomicEdgeCache {
+    /// All-unknown cache sized for `g`.
+    pub fn new(g: &CsrGraph) -> Self {
+        let mut slots = Vec::with_capacity(g.num_arcs());
+        slots.resize_with(g.num_arcs(), || AtomicU8::new(UNKNOWN));
+        AtomicEdgeCache { slots }
+    }
+
+    /// Global slot index of the arc `(u, v)`, or `None` if `v ∉ Γ(u)`.
+    #[inline]
+    pub fn arc_index(g: &CsrGraph, u: VertexId, v: VertexId) -> Option<usize> {
+        g.neighbor_ids(u)
+            .binary_search(&v)
+            .ok()
+            .map(|local| g.arc_range(u).start + local)
+    }
+
+    /// Cached verdict at a slot returned by [`AtomicEdgeCache::arc_index`]:
+    /// `Some(similar)` once decided, `None` while unknown.
+    #[inline]
+    pub fn get(&self, arc: usize) -> Option<bool> {
+        match self.slots[arc].load(Ordering::Relaxed) {
+            SIMILAR => Some(true),
+            DISSIMILAR => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Records `similar` on the arc slot `arc` = `(u, v)` **and** its mirror
+    /// `(v, u)`, making the verdict visible to queries from either endpoint.
+    #[inline]
+    pub fn store_symmetric(
+        &self,
+        g: &CsrGraph,
+        u: VertexId,
+        v: VertexId,
+        arc: usize,
+        similar: bool,
+    ) {
+        let verdict = if similar { SIMILAR } else { DISSIMILAR };
+        self.slots[arc].store(verdict, Ordering::Relaxed);
+        if u != v {
+            if let Some(mirror) = Self::arc_index(g, v, u) {
+                self.slots[mirror].store(verdict, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of arcs with a known verdict (diagnostics / tests).
+    pub fn decided_arcs(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed) != UNKNOWN)
+            .count()
+    }
+
+    /// Total arc slots (= `g.num_arcs()` of the graph it was built for).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when built for an edgeless graph.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan_graph::GraphBuilder;
+
+    fn triangle() -> CsrGraph {
+        GraphBuilder::from_unweighted_edges(3, vec![(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn starts_unknown_and_sized_to_arcs() {
+        let g = triangle();
+        let c = AtomicEdgeCache::new(&g);
+        assert_eq!(c.len(), g.num_arcs());
+        assert_eq!(c.decided_arcs(), 0);
+        let arc = AtomicEdgeCache::arc_index(&g, 0, 1).unwrap();
+        assert_eq!(c.get(arc), None);
+    }
+
+    #[test]
+    fn store_is_visible_from_both_directions() {
+        let g = triangle();
+        let c = AtomicEdgeCache::new(&g);
+        let uv = AtomicEdgeCache::arc_index(&g, 0, 1).unwrap();
+        let vu = AtomicEdgeCache::arc_index(&g, 1, 0).unwrap();
+        c.store_symmetric(&g, 0, 1, uv, true);
+        assert_eq!(c.get(uv), Some(true));
+        assert_eq!(c.get(vu), Some(true));
+        assert_eq!(c.decided_arcs(), 2);
+
+        let wz = AtomicEdgeCache::arc_index(&g, 1, 2).unwrap();
+        c.store_symmetric(&g, 1, 2, wz, false);
+        assert_eq!(
+            c.get(AtomicEdgeCache::arc_index(&g, 2, 1).unwrap()),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn non_adjacent_pairs_have_no_arc() {
+        let g = GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (2, 3)]).unwrap();
+        assert_eq!(AtomicEdgeCache::arc_index(&g, 0, 2), None);
+        assert!(AtomicEdgeCache::arc_index(&g, 0, 1).is_some());
+    }
+
+    #[test]
+    fn concurrent_writers_agree() {
+        let g = triangle();
+        let c = AtomicEdgeCache::new(&g);
+        let uv = AtomicEdgeCache::arc_index(&g, 0, 1).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.store_symmetric(&g, 0, 1, uv, true);
+                        assert_eq!(c.get(uv), Some(true));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(uv), Some(true));
+    }
+}

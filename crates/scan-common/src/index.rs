@@ -42,7 +42,11 @@ impl NeighborIndex {
     /// Exact weighted structural similarity via hash probing:
     /// iterates the smaller closed neighborhood, probes the larger.
     pub fn sigma(&self, g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
-        let (small, large) = if g.degree(u) <= g.degree(v) { (u, v) } else { (v, u) };
+        let (small, large) = if g.degree(u) <= g.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         let probe = &self.maps[large as usize];
         let mut num = 0.0;
         for (r, w_small) in g.neighbors(small) {

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use anyscan_graph::{CsrGraph, VertexId};
 
+use crate::atomic_cache::AtomicEdgeCache;
 use crate::params::ScanParams;
 
 /// Snapshot of the kernel's evaluation counters.
@@ -22,12 +23,15 @@ pub struct SimStats {
     pub lemma5_filtered: u64,
     /// SCAN++-style similarity-sharing evaluations (two-hop inference).
     pub shared_evals: u64,
+    /// Decisions answered by the symmetric edge-decision cache without any
+    /// similarity work (zero unless the kernel was built with the cache).
+    pub cache_hits: u64,
 }
 
 impl SimStats {
     /// Total pairs decided by any means.
     pub fn total_decided(&self) -> u64 {
-        self.sigma_evals + self.lemma5_filtered + self.shared_evals
+        self.sigma_evals + self.lemma5_filtered + self.shared_evals + self.cache_hits
     }
 }
 
@@ -57,9 +61,13 @@ pub struct Kernel<'g> {
     /// (Section III-D). Disabled for the plain SCAN baseline and the
     /// filter ablation.
     optimizations: bool,
+    /// Symmetric per-arc verdict cache (see [`AtomicEdgeCache`]); `None`
+    /// disables caching (the ablation and the memory-frugal path).
+    cache: Option<AtomicEdgeCache>,
     sigma_evals: AtomicU64,
     lemma5_filtered: AtomicU64,
     shared_evals: AtomicU64,
+    cache_hits: AtomicU64,
 }
 
 impl<'g> Kernel<'g> {
@@ -70,15 +78,36 @@ impl<'g> Kernel<'g> {
     }
 
     /// Kernel with the Section III-D optimizations toggled explicitly.
-    pub fn with_optimizations(graph: &'g CsrGraph, params: ScanParams, optimizations: bool) -> Self {
+    pub fn with_optimizations(
+        graph: &'g CsrGraph,
+        params: ScanParams,
+        optimizations: bool,
+    ) -> Self {
         Kernel {
             graph,
             params,
             optimizations,
+            cache: None,
             sigma_evals: AtomicU64::new(0),
             lemma5_filtered: AtomicU64::new(0),
             shared_evals: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
         }
+    }
+
+    /// Builder-style toggle for the lock-free symmetric edge-decision cache
+    /// (O(`num_arcs`) bytes). With it on, every [`Kernel::eps_decision`] on
+    /// an adjacent pair is answered from the cache when the verdict is
+    /// already known — from either direction — and recorded otherwise.
+    /// Results are unchanged either way; only the work counters differ.
+    pub fn with_edge_cache(mut self, enabled: bool) -> Self {
+        self.cache = enabled.then(|| AtomicEdgeCache::new(self.graph));
+        self
+    }
+
+    /// The edge-decision cache, when enabled.
+    pub fn edge_cache(&self) -> Option<&AtomicEdgeCache> {
+        self.cache.as_ref()
     }
 
     /// The graph this kernel evaluates on.
@@ -97,6 +126,7 @@ impl<'g> Kernel<'g> {
             sigma_evals: self.sigma_evals.load(Ordering::Relaxed),
             lemma5_filtered: self.lemma5_filtered.load(Ordering::Relaxed),
             shared_evals: self.shared_evals.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -118,7 +148,44 @@ impl<'g> Kernel<'g> {
     /// Decides `σ(u,v) ≥ ε`, applying (when enabled) the Lemma-5 O(1)
     /// prefilter, early accept once the accumulating numerator crosses the
     /// threshold, and early reject once it provably cannot reach it.
+    ///
+    /// With the edge-decision cache enabled and `v ∈ Γ(u)`, a previously
+    /// reached verdict — from either direction — is returned without any
+    /// similarity work (counted in `cache_hits`). A cached dissimilar
+    /// verdict is reported as [`EpsDecision::Dissimilar`] even if the
+    /// original decision was [`EpsDecision::FilteredOut`]; callers only
+    /// branch on similar-vs-not, so results are unaffected.
+    #[inline]
     pub fn eps_decision(&self, u: VertexId, v: VertexId) -> EpsDecision {
+        let Some(cache) = &self.cache else {
+            return self.eps_decision_uncached(u, v);
+        };
+        let Some(arc) = AtomicEdgeCache::arc_index(self.graph, u, v) else {
+            // Non-adjacent pair: no arc slot; decide directly.
+            return self.eps_decision_uncached(u, v);
+        };
+        if let Some(similar) = cache.get(arc) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return if similar {
+                EpsDecision::Similar
+            } else {
+                EpsDecision::Dissimilar
+            };
+        }
+        let decision = self.eps_decision_uncached(u, v);
+        cache.store_symmetric(
+            self.graph,
+            u,
+            v,
+            arc,
+            matches!(decision, EpsDecision::Similar),
+        );
+        decision
+    }
+
+    /// The Section III-D decision procedure itself, never touching the
+    /// edge-decision cache.
+    fn eps_decision_uncached(&self, u: VertexId, v: VertexId) -> EpsDecision {
         let g = self.graph;
         let lu = g.norm_sq(u);
         let lv = g.norm_sq(v);
@@ -200,12 +267,20 @@ impl<'g> Kernel<'g> {
     /// σ(p,p) = 1). This is the neighborhood query of anySCAN's Step 1.
     pub fn eps_neighborhood(&self, p: VertexId) -> Vec<VertexId> {
         let mut out = Vec::new();
+        self.eps_neighborhood_into(p, &mut out);
+        out
+    }
+
+    /// [`Kernel::eps_neighborhood`] into a caller-owned buffer (cleared
+    /// first). Lets hot parallel loops reuse one scratch vector per worker
+    /// instead of allocating per queried vertex.
+    pub fn eps_neighborhood_into(&self, p: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
         for &q in self.graph.neighbor_ids(p) {
             if q == p || self.is_eps_neighbor(p, q) {
                 out.push(q);
             }
         }
-        out
     }
 
     /// Early-exit core check (Steps 2/3 of anySCAN).
@@ -381,7 +456,16 @@ mod tests {
         let s = k.stats();
         assert_eq!(s.sigma_evals, 2);
         assert_eq!(s.shared_evals, 1);
-        assert_eq!(s.total_decided(), 3 + s.lemma5_filtered - s.lemma5_filtered);
+        // Neither call above can trip the Lemma-5 prefilter, and a kernel
+        // without the edge cache never records hits; total_decided must be
+        // the exact sum of the four work counters.
+        assert_eq!(s.lemma5_filtered, 0);
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(
+            s.total_decided(),
+            s.sigma_evals + s.lemma5_filtered + s.shared_evals + s.cache_hits
+        );
+        assert_eq!(s.total_decided(), 3);
     }
 
     #[test]
@@ -420,6 +504,50 @@ mod tests {
         assert!(k.core_check_early_exit(4, 10));
     }
 
+    #[test]
+    fn edge_cache_hits_on_repeat_and_mirror_queries() {
+        let g = unweighted_clique_plus_pendant();
+        let k = Kernel::new(&g, ScanParams::new(0.5, 2)).with_edge_cache(true);
+        let first = k.eps_decision(0, 1);
+        assert_eq!(k.stats().cache_hits, 0);
+        // Same direction again: answered from the cache.
+        assert_eq!(k.eps_decision(0, 1), first);
+        // Mirror direction: the symmetric store makes this a hit too.
+        assert_eq!(k.eps_decision(1, 0), first);
+        let s = k.stats();
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.sigma_evals + s.lemma5_filtered, 1);
+    }
+
+    #[test]
+    fn edge_cache_reports_filtered_pairs_as_dissimilar() {
+        // Lemma-5 filters the weak pendant edge; the cached verdict loses
+        // the FilteredOut/Dissimilar distinction but never the boolean.
+        let mut b = GraphBuilder::new(12);
+        for v in 1..11 {
+            b.add_edge(0, v, 1.0);
+        }
+        b.add_edge(0, 11, 0.05);
+        let g = b.build();
+        let k = Kernel::new(&g, ScanParams::new(0.9, 2)).with_edge_cache(true);
+        assert_eq!(k.eps_decision(0, 11), EpsDecision::FilteredOut);
+        assert_eq!(k.eps_decision(0, 11), EpsDecision::Dissimilar);
+        assert_eq!(k.eps_decision(11, 0), EpsDecision::Dissimilar);
+        assert_eq!(k.stats().cache_hits, 2);
+        assert_eq!(k.stats().lemma5_filtered, 1);
+    }
+
+    #[test]
+    fn edge_cache_disabled_never_counts_hits() {
+        let g = unweighted_clique_plus_pendant();
+        let k = Kernel::new(&g, ScanParams::new(0.5, 2)).with_edge_cache(false);
+        assert!(k.edge_cache().is_none());
+        let _ = k.eps_decision(0, 1);
+        let _ = k.eps_decision(0, 1);
+        assert_eq!(k.stats().cache_hits, 0);
+        assert_eq!(k.stats().sigma_evals, 2);
+    }
+
     proptest! {
         /// σ is symmetric, in [0,1], and the optimized ε-decision always
         /// agrees with the exact value, on random weighted graphs.
@@ -447,6 +575,41 @@ mod tests {
                     }
                 }
             }
+        }
+
+        /// The cached ε-decision agrees with the exact σ from both edge
+        /// directions and on repeat queries, and every decision past the
+        /// first per undirected edge is a cache hit.
+        #[test]
+        fn cached_eps_decision_agrees_with_sigma_raw(
+            edges in proptest::collection::vec((0u32..14, 0u32..14, 0.05f64..1.0), 1..70),
+            eps in 0.05f64..0.95,
+        ) {
+            let g = GraphBuilder::from_edges(14, edges).unwrap();
+            let k = Kernel::new(&g, ScanParams::new(eps, 2)).with_edge_cache(true);
+            for _pass in 0..2 {
+                for u in g.vertices() {
+                    for &v in g.neighbor_ids(u) {
+                        if v == u {
+                            continue;
+                        }
+                        let exact = sigma_raw(&g, u, v);
+                        // Skip float ties: FilteredOut/Dissimilar vs Similar
+                        // could legitimately flip within rounding noise.
+                        if (exact - eps).abs() <= 1e-9 {
+                            continue;
+                        }
+                        prop_assert_eq!(
+                            matches!(k.eps_decision(u, v), EpsDecision::Similar),
+                            exact >= eps,
+                            "cached decision mismatch at ({}, {}), σ={}", u, v, exact
+                        );
+                    }
+                }
+            }
+            // Per undirected edge: ≤ 1 real decision; everything else hits.
+            let s = k.stats();
+            prop_assert!(s.sigma_evals + s.lemma5_filtered <= g.num_edges());
         }
 
         /// Cauchy–Schwarz: σ ≤ 1 even under adversarial weights.

@@ -5,6 +5,9 @@
 //!   (Definition 1) with Lemma-5 filtering, early accept/reject, range
 //!   queries and early-exit core checks, all instrumented with the counters
 //!   Figures 7 and 12 report.
+//! * [`atomic_cache::AtomicEdgeCache`] — lock-free symmetric per-arc
+//!   verdict cache the kernel can consult so no undirected edge is
+//!   merge-joined twice across steps or directions.
 //! * [`result::Clustering`] — the common output type: per-vertex cluster
 //!   labels and roles (core / border / hub / outlier).
 //! * [`verify::assert_scan_equivalent`] — the formal notion of "two runs
@@ -12,12 +15,14 @@
 //!   (identical cores, identical core partition, consistent borders — the
 //!   paper notes shared borders may legitimately differ, Lemma 4).
 
+pub mod atomic_cache;
 pub mod index;
 pub mod kernel;
 pub mod params;
 pub mod result;
 pub mod verify;
 
+pub use atomic_cache::AtomicEdgeCache;
 pub use index::NeighborIndex;
 pub use kernel::{Kernel, SimStats};
 pub use params::ScanParams;

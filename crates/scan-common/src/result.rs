@@ -39,7 +39,10 @@ pub struct Clustering {
 impl Clustering {
     /// An all-unclassified result over `n` vertices.
     pub fn unclassified(n: usize) -> Self {
-        Clustering { labels: vec![UNCLASSIFIED; n], roles: vec![Role::Unclassified; n] }
+        Clustering {
+            labels: vec![UNCLASSIFIED; n],
+            roles: vec![Role::Unclassified; n],
+        }
     }
 
     /// Number of vertices.
@@ -119,7 +122,13 @@ impl Clustering {
             .map_or(0, |&m| m + 1);
         self.labels
             .iter()
-            .map(|&l| if l == NOISE || l == UNCLASSIFIED { special } else { l })
+            .map(|&l| {
+                if l == NOISE || l == UNCLASSIFIED {
+                    special
+                } else {
+                    l
+                }
+            })
             .collect()
     }
 
@@ -227,14 +236,19 @@ mod tests {
     fn hub_outlier_classification() {
         // Path: cluster A = {0,1}, cluster B = {3,4}; vertex 2 bridges both
         // (hub); vertex 5 dangles off 4... attach to nothing -> outlier.
-        let g = GraphBuilder::from_unweighted_edges(
-            6,
-            vec![(0, 1), (1, 2), (2, 3), (3, 4), (5, 5)],
-        )
-        .unwrap();
+        let g =
+            GraphBuilder::from_unweighted_edges(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (5, 5)])
+                .unwrap();
         let mut c = Clustering {
             labels: vec![0, 0, NOISE, 1, 1, NOISE],
-            roles: vec![Role::Core, Role::Core, Role::Outlier, Role::Core, Role::Core, Role::Outlier],
+            roles: vec![
+                Role::Core,
+                Role::Core,
+                Role::Outlier,
+                Role::Core,
+                Role::Core,
+                Role::Outlier,
+            ],
         };
         c.classify_noise(&g);
         assert_eq!(c.roles[2], Role::Hub);

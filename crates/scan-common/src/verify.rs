@@ -73,7 +73,9 @@ pub fn check_scan_equivalent(
         let noise_a = a.labels[v as usize] == NOISE;
         let noise_b = b.labels[v as usize] == NOISE;
         if noise_a != noise_b {
-            return Err(format!("noise disagreement at vertex {v}: a={noise_a}, b={noise_b}"));
+            return Err(format!(
+                "noise disagreement at vertex {v}: a={noise_a}, b={noise_b}"
+            ));
         }
         if noise_a {
             continue;
@@ -111,7 +113,17 @@ mod tests {
     fn two_triangles() -> CsrGraph {
         GraphBuilder::from_unweighted_edges(
             7,
-            vec![(0, 1), (1, 2), (2, 0), (2, 4), (4, 5), (5, 6), (6, 3), (3, 5), (6, 5)],
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 3),
+                (3, 5),
+                (6, 5),
+            ],
         )
         .unwrap()
     }
@@ -126,7 +138,15 @@ mod tests {
         let p = ScanParams::new(0.5, 3);
         let c = mk(
             vec![0, 0, 0, 1, NOISE, 1, 1],
-            vec![Role::Core, Role::Core, Role::Core, Role::Core, Role::Outlier, Role::Core, Role::Core],
+            vec![
+                Role::Core,
+                Role::Core,
+                Role::Core,
+                Role::Core,
+                Role::Outlier,
+                Role::Core,
+                Role::Core,
+            ],
         );
         check_scan_equivalent(&g, p, &c, &c).unwrap();
     }
@@ -137,7 +157,11 @@ mod tests {
         let p = ScanParams::new(0.5, 3);
         let a = mk(
             vec![0, 0, 0, 1, NOISE, 1, 1],
-            vec![Role::Core; 7].into_iter().enumerate().map(|(i, r)| if i == 4 { Role::Outlier } else { r }).collect(),
+            vec![Role::Core; 7]
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| if i == 4 { Role::Outlier } else { r })
+                .collect(),
         );
         let mut b = a.clone();
         for l in b.labels.iter_mut() {
@@ -154,7 +178,15 @@ mod tests {
         let p = ScanParams::new(0.5, 3);
         let a = mk(
             vec![0, 0, 0, 1, NOISE, 1, 1],
-            vec![Role::Core, Role::Core, Role::Core, Role::Core, Role::Outlier, Role::Core, Role::Core],
+            vec![
+                Role::Core,
+                Role::Core,
+                Role::Core,
+                Role::Core,
+                Role::Outlier,
+                Role::Core,
+                Role::Core,
+            ],
         );
         let mut b = a.clone();
         b.roles[0] = Role::Border;
@@ -168,7 +200,15 @@ mod tests {
         let p = ScanParams::new(0.5, 3);
         let a = mk(
             vec![0, 0, 0, 1, NOISE, 1, 1],
-            vec![Role::Core, Role::Core, Role::Core, Role::Core, Role::Outlier, Role::Core, Role::Core],
+            vec![
+                Role::Core,
+                Role::Core,
+                Role::Core,
+                Role::Core,
+                Role::Outlier,
+                Role::Core,
+                Role::Core,
+            ],
         );
         let mut b = a.clone();
         for l in b.labels.iter_mut() {
@@ -187,7 +227,15 @@ mod tests {
         // Pretend 4 is a border of cluster 0 although σ(4, ·) < ε there.
         let a = mk(
             vec![0, 0, 0, 1, NOISE, 1, 1],
-            vec![Role::Core, Role::Core, Role::Core, Role::Core, Role::Outlier, Role::Core, Role::Core],
+            vec![
+                Role::Core,
+                Role::Core,
+                Role::Core,
+                Role::Core,
+                Role::Outlier,
+                Role::Core,
+                Role::Core,
+            ],
         );
         let mut b = a.clone();
         b.labels[4] = 0;

@@ -35,13 +35,25 @@ fn main() {
     // Race the five algorithms.
     let t0 = Instant::now();
     let truth = scan(&g, params);
-    println!("SCAN     {:>9.3?}  ({} σ evals)", t0.elapsed(), truth.stats.sigma_evals);
+    println!(
+        "SCAN     {:>9.3?}  ({} σ evals)",
+        t0.elapsed(),
+        truth.stats.sigma_evals
+    );
     let t0 = Instant::now();
     let b = scan_b(&g, params);
-    println!("SCAN-B   {:>9.3?}  ({} σ evals)", t0.elapsed(), b.stats.sigma_evals);
+    println!(
+        "SCAN-B   {:>9.3?}  ({} σ evals)",
+        t0.elapsed(),
+        b.stats.sigma_evals
+    );
     let t0 = Instant::now();
     let p = pscan(&g, params);
-    println!("pSCAN    {:>9.3?}  ({} σ evals)", t0.elapsed(), p.stats.sigma_evals);
+    println!(
+        "pSCAN    {:>9.3?}  ({} σ evals)",
+        t0.elapsed(),
+        p.stats.sigma_evals
+    );
     let t0 = Instant::now();
     let spp = scanpp(&g, params);
     println!(
@@ -52,7 +64,11 @@ fn main() {
     );
     let t0 = Instant::now();
     let any = anyscan(&g, params);
-    println!("anySCAN  {:>9.3?}  ({} σ evals)", t0.elapsed(), any.stats.sigma_evals);
+    println!(
+        "anySCAN  {:>9.3?}  ({} σ evals)",
+        t0.elapsed(),
+        any.stats.sigma_evals
+    );
 
     // They must all be the same clustering (Lemma 4 / exactness of pSCAN &
     // SCAN++).

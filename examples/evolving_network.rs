@@ -26,7 +26,11 @@ fn main() {
             weights: WeightModel::CommunityCorrelated,
         },
     );
-    println!("initial network: {} vertices, {} edges", csr.num_vertices(), csr.num_edges());
+    println!(
+        "initial network: {} vertices, {} edges",
+        csr.num_vertices(),
+        csr.num_edges()
+    );
 
     // 1. Pick ε with the hierarchy (one similarity pass, every ε answered).
     let h = EpsilonHierarchy::build(&csr, 5, 1);

@@ -14,7 +14,11 @@ use anyscan_scan_common::ScanParams;
 fn main() {
     // A soc-LiveJournal-like graph (Table I analogue).
     let (g, _) = Dataset::get(DatasetId::Gr02).generate_scaled(0.5, 7);
-    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let params = ScanParams::paper_defaults();
     let config = AnyScanConfig::new(params).with_auto_block_size(g.num_vertices());

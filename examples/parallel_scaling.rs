@@ -15,17 +15,25 @@ use anyscan_graph::gen::{Dataset, DatasetId};
 use anyscan_scan_common::ScanParams;
 
 fn main() {
-    let cpus = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     println!("hardware CPUs visible: {cpus}");
 
     let (g, _) = Dataset::get(DatasetId::Gr01).generate(7);
-    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
     let params = ScanParams::paper_defaults();
     let block = (g.num_vertices() / 16).max(64); // parallel regime: big blocks
 
     let mut base = None;
     for threads in [1usize, 2, 4, 8, 16] {
-        let config = AnyScanConfig::new(params).with_block_size(block).with_threads(threads);
+        let config = AnyScanConfig::new(params)
+            .with_block_size(block)
+            .with_threads(threads);
         let mut algo = AnyScan::new(&g, config);
         let start = Instant::now();
         let mut phase_times = Vec::new();
@@ -51,12 +59,21 @@ fn main() {
 
     // DSU ablation: `omp critical`-style mutex vs the lock-free structure.
     println!("\nDSU variant comparison (8 threads):");
-    for (name, kind) in [("lock-free (AtomicDsu)", DsuKind::Atomic), ("mutex (LockedDsu)", DsuKind::Locked)] {
-        let mut config = AnyScanConfig::new(params).with_block_size(block).with_threads(8);
+    for (name, kind) in [
+        ("lock-free (AtomicDsu)", DsuKind::Atomic),
+        ("mutex (LockedDsu)", DsuKind::Locked),
+    ] {
+        let mut config = AnyScanConfig::new(params)
+            .with_block_size(block)
+            .with_threads(8);
         config.dsu = kind;
         let start = Instant::now();
         let mut algo = AnyScan::new(&g, config);
         let _ = algo.run();
-        println!("  {name}: {:?} (unions {:?})", start.elapsed(), algo.union_breakdown());
+        println!(
+            "  {name}: {:?} (unions {:?})",
+            start.elapsed(),
+            algo.union_breakdown()
+        );
     }
 }

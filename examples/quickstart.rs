@@ -32,7 +32,11 @@ fn main() {
     for v in 0..g.num_vertices() as u32 {
         let label = out.clustering.labels[v as usize];
         let role = out.clustering.roles[v as usize];
-        let shown = if label == NOISE { "-".to_string() } else { format!("{label}") };
+        let shown = if label == NOISE {
+            "-".to_string()
+        } else {
+            format!("{label}")
+        };
         println!("  vertex {v}: cluster {shown:>2}  role {role:?}");
     }
 
@@ -51,5 +55,9 @@ fn main() {
         );
     }
     assert_eq!(algo.result().num_clusters(), 2);
-    println!("done: {} super-nodes, unions {:?}", algo.num_supernodes(), algo.union_breakdown());
+    println!(
+        "done: {} super-nodes, unions {:?}",
+        algo.num_supernodes(),
+        algo.union_breakdown()
+    );
 }

@@ -29,7 +29,12 @@ fn interrupted_at_every_phase_yields_a_usable_result() {
     // full labeling (no panics, labels for all vertices) and its NMI must
     // grow as later phases are reached.
     let mut scores = Vec::new();
-    for stop_phase in [Phase::MergeStrong, Phase::MergeWeak, Phase::Borders, Phase::Done] {
+    for stop_phase in [
+        Phase::MergeStrong,
+        Phase::MergeWeak,
+        Phase::Borders,
+        Phase::Done,
+    ] {
         let mut algo = AnyScan::new(&g, config);
         while algo.phase() != stop_phase && algo.phase() != Phase::Done {
             algo.step();
@@ -45,7 +50,10 @@ fn interrupted_at_every_phase_yields_a_usable_result() {
     // Shared borders may legitimately sit in different (equally justified)
     // clusters than SCAN put them (Lemma 4's caveat), which costs a little
     // NMI; structural equivalence is asserted by the exactness suite.
-    assert!(scores.last().unwrap() > &0.99, "final must match SCAN: {scores:?}");
+    assert!(
+        scores.last().unwrap() > &0.99,
+        "final must match SCAN: {scores:?}"
+    );
 }
 
 #[test]
@@ -62,7 +70,11 @@ fn snapshot_is_pure_and_stable() {
     let s1 = algo.snapshot();
     let s2 = algo.snapshot();
     assert_eq!(s1, s2);
-    assert_eq!(algo.stats().sigma_evals, evals_before, "snapshot must do no similarity work");
+    assert_eq!(
+        algo.stats().sigma_evals,
+        evals_before,
+        "snapshot must do no similarity work"
+    );
 }
 
 #[test]
@@ -82,13 +94,18 @@ fn early_snapshots_leave_untouched_vertices_unclassified() {
 #[test]
 fn step_after_done_is_a_noop() {
     let g = workload();
-    let config = AnyScanConfig::new(ScanParams::new(0.45, 5)).with_auto_block_size(g.num_vertices());
+    let config =
+        AnyScanConfig::new(ScanParams::new(0.45, 5)).with_auto_block_size(g.num_vertices());
     let mut algo = AnyScan::new(&g, config);
     let result = algo.run();
     let iterations = algo.iterations().len();
     let rec = algo.step();
     assert_eq!(rec.block_len, 0);
-    assert_eq!(algo.iterations().len(), iterations, "no-op steps must not pollute the log");
+    assert_eq!(
+        algo.iterations().len(),
+        iterations,
+        "no-op steps must not pollute the log"
+    );
     assert_eq!(algo.result(), result);
 }
 
@@ -113,7 +130,10 @@ fn iteration_records_are_consistent() {
             Phase::ResolveRoles => 4,
             Phase::Done => 5,
         };
-        assert!(rank >= last_phase_rank, "phase went backwards at iteration {i}");
+        assert!(
+            rank >= last_phase_rank,
+            "phase went backwards at iteration {i}"
+        );
         last_phase_rank = rank;
         if i > 0 {
             assert!(r.cumulative >= recs[i - 1].cumulative);

@@ -29,7 +29,11 @@ fn planted_partition_communities_are_recovered() {
     let out = anyscan(&g, ScanParams::new(0.4, 5));
     assert_eq!(out.clustering.num_clusters(), 6);
     let found = out.clustering.labels_with_noise_cluster();
-    assert!(nmi(&found, &planted) > 0.95, "NMI {}", nmi(&found, &planted));
+    assert!(
+        nmi(&found, &planted) > 0.95,
+        "NMI {}",
+        nmi(&found, &planted)
+    );
     assert!(adjusted_rand_index(&found, &planted) > 0.9);
     assert!(purity(&found, &planted) > 0.95);
     assert!(pair_f1(&found, &planted) > 0.9);

@@ -22,7 +22,10 @@ fn check_all(g: &CsrGraph, params: ScanParams) {
     ];
     for (name, c) in runs {
         if let Err(e) = anyscan_scan_common::verify::check_scan_equivalent(g, params, &truth, &c) {
-            panic!("{name} diverged (eps={}, mu={}): {e}", params.epsilon, params.mu);
+            panic!(
+                "{name} diverged (eps={}, mu={}): {e}",
+                params.epsilon, params.mu
+            );
         }
     }
 }

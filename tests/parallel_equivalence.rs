@@ -41,7 +41,9 @@ fn thread_sweep_with_locked_dsu() {
     let params = ScanParams::new(0.4, 5);
     let truth = scan(&g, params).clustering;
     for threads in [2usize, 4, 8] {
-        let mut config = AnyScanConfig::new(params).with_threads(threads).with_block_size(128);
+        let mut config = AnyScanConfig::new(params)
+            .with_threads(threads)
+            .with_block_size(128);
         config.dsu = DsuKind::Locked;
         let result = AnyScan::new(&g, config).run();
         assert_scan_equivalent(&g, params, &truth, &result);
@@ -57,7 +59,9 @@ fn tiny_blocks_with_many_threads() {
     let (g, _) = lfr(&mut rng, &LfrParams::paper_defaults(600, 14.0));
     let params = ScanParams::new(0.4, 4);
     let truth = scan(&g, params).clustering;
-    let config = AnyScanConfig::new(params).with_threads(16).with_block_size(4);
+    let config = AnyScanConfig::new(params)
+        .with_threads(16)
+        .with_block_size(4);
     let result = AnyScan::new(&g, config).run();
     assert_scan_equivalent(&g, params, &truth, &result);
 }
@@ -86,7 +90,10 @@ fn counters_are_coherent_across_thread_counts() {
     }
     // Same seed → same step-1 draw order → identical super-node structure
     // regardless of thread count.
-    assert_eq!(union_totals[0].0, union_totals[1].0, "super-node count must not depend on threads");
+    assert_eq!(
+        union_totals[0].0, union_totals[1].0,
+        "super-node count must not depend on threads"
+    );
 }
 
 #[test]

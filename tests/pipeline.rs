@@ -30,9 +30,17 @@ fn corrupt_binary_files_are_rejected_not_crashed() {
 
 #[test]
 fn malformed_edge_lists_error_cleanly() {
-    for bad in ["1 2 3 4 5\nx\n", "-1 2\n", "999999999999999 0\n", "0 1 nanana\n"] {
+    for bad in [
+        "1 2 3 4 5\nx\n",
+        "-1 2\n",
+        "999999999999999 0\n",
+        "0 1 nanana\n",
+    ] {
         let r = read_edge_list(bad.as_bytes(), None);
-        assert!(matches!(r, Err(GraphError::Parse { .. })), "input {bad:?} not rejected");
+        assert!(
+            matches!(r, Err(GraphError::Parse { .. })),
+            "input {bad:?} not rejected"
+        );
     }
 }
 
@@ -41,9 +49,9 @@ fn extreme_parameters_do_not_break_anything() {
     let mut rng = StdRng::seed_from_u64(501);
     let g = erdos_renyi(&mut rng, 150, 900, WeightModel::uniform_default());
     for params in [
-        ScanParams::new(1.0, 1),          // only self-similar neighbors
-        ScanParams::new(1e-9, 1),         // everything similar
-        ScanParams::new(0.5, 10_000),     // mu beyond any degree
+        ScanParams::new(1.0, 1),      // only self-similar neighbors
+        ScanParams::new(1e-9, 1),     // everything similar
+        ScanParams::new(0.5, 10_000), // mu beyond any degree
         ScanParams::new(0.999999, 2),
     ] {
         let truth = scan(&g, params);
@@ -65,7 +73,10 @@ fn mu_larger_than_every_degree_yields_pure_noise() {
         .all(|&r| matches!(r, Role::Outlier | Role::Hub)));
     // Work efficiency in the degenerate case: the degree shortcut should
     // avoid every similarity evaluation.
-    assert_eq!(out.stats.sigma_evals, 0, "|Γ| < μ must short-circuit all queries");
+    assert_eq!(
+        out.stats.sigma_evals, 0,
+        "|Γ| < μ must short-circuit all queries"
+    );
 }
 
 #[test]

@@ -1,0 +1,92 @@
+//! Offline drop-in for the subset of `crossbeam` 0.8 this workspace uses:
+//! scoped threads. Since Rust 1.63 the standard library provides
+//! [`std::thread::scope`]; this shim adapts it to crossbeam's call shape
+//! (`scope(|s| ...)` returning a `Result`, spawn closures receiving the
+//! scope).
+//!
+//! One behavioral difference: when a spawned thread panics and its handle is
+//! never joined, the real crossbeam returns `Err` from `scope` while this
+//! shim propagates the panic out of `scope` directly (std semantics). Every
+//! caller in this workspace treats both identically (unwinding the test).
+
+#![allow(clippy::all)]
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to [`scope`] and to each spawn closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // Manual impls: derive would put bounds on the lifetimes' types.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread (join is optional; the scope joins at exit).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, `Err` on panic.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope (for
+        /// nested spawns), matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn join_returns_thread_result() {
+        let out = super::thread::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}
