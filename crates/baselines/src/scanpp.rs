@@ -169,7 +169,7 @@ pub fn scanpp(g: &CsrGraph, params: ScanParams) -> AlgoOutput {
         sigma_evals: true_evals,
         lemma5_filtered: final_stats.lemma5_filtered.max(filtered_after_pivots),
         shared_evals: final_stats.sigma_evals - true_evals,
-        cache_hits: 0,
+        ..final_stats
     };
     AlgoOutput::new(clustering, stats, dsu.counters().unions)
 }

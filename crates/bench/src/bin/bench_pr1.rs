@@ -13,8 +13,10 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use anyscan::{AnyScan, AnyScanConfig};
+use anyscan::telemetry::MetaValue;
+use anyscan::{AnyScan, AnyScanConfig, Telemetry};
 use anyscan_bench::load_dataset;
+use anyscan_bench::meta::meta_object;
 use anyscan_bench::timing::median_of;
 use anyscan_graph::gen::{Dataset, DatasetId};
 use anyscan_scan_common::ScanParams;
@@ -94,6 +96,27 @@ fn main() {
         args.scale,
         args.seed
     );
+    let _ = writeln!(
+        json,
+        "  \"meta\": {},",
+        meta_object(&[
+            (
+                "threads",
+                MetaValue::Str(
+                    threads_sweep
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            ),
+            ("epsilon", MetaValue::F64(params.epsilon)),
+            ("mu", MetaValue::U64(params.mu as u64)),
+            ("scale", MetaValue::F64(args.scale)),
+            ("seed", MetaValue::U64(args.seed)),
+            ("reps", MetaValue::U64(args.reps as u64)),
+        ])
+    );
     json.push_str("  \"datasets\": [\n");
 
     for (di, id) in [DatasetId::Gr01, DatasetId::Gr02].into_iter().enumerate() {
@@ -133,7 +156,32 @@ fn main() {
                 first = false;
             }
         }
-        let _ = writeln!(json, "    ] }}{}", if di == 0 { "," } else { "" });
+        json.push_str("    ],\n");
+        // One traced run at the top thread count: the full telemetry blob
+        // (spans, counters, pool utilization, anytime snapshots) rides along
+        // with the timings so a regression can be diagnosed from the file.
+        let trace_threads = *threads_sweep.last().unwrap();
+        let telemetry = Telemetry::enabled();
+        let config = AnyScanConfig::new(params)
+            .with_auto_block_size(g.num_vertices())
+            .with_threads(trace_threads)
+            .with_edge_cache(true);
+        AnyScan::new(&g, config)
+            .with_telemetry(telemetry.clone())
+            .run();
+        let trace = telemetry.report().expect("enabled").to_json(&[
+            ("vertices", (g.num_vertices() as u64).into()),
+            ("edges", g.num_edges().into()),
+            ("threads", (trace_threads as u64).into()),
+        ]);
+        json.push_str("    \"telemetry\": ");
+        let indented: Vec<String> = trace
+            .trim_end()
+            .lines()
+            .map(|l| format!("    {l}"))
+            .collect();
+        json.push_str(indented.join("\n").trim_start());
+        let _ = writeln!(json, "\n    }}{}", if di == 0 { "," } else { "" });
     }
     json.push_str("  ]");
 

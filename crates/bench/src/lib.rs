@@ -11,6 +11,7 @@ pub mod algos;
 pub mod anytime;
 pub mod cache;
 pub mod cli;
+pub mod meta;
 pub mod table;
 pub mod timing;
 

@@ -1,0 +1,81 @@
+//! Provenance header for bench result JSON.
+//!
+//! Every machine-readable bench output should say *what* was measured:
+//! the commit it ran at, the core count, and the graph/parameter shape.
+//! [`meta_object`] renders that as one JSON object so successive PRs can
+//! compare results like against like (and discard stale baselines when the
+//! SHA differs).
+
+use std::process::Command;
+
+use anyscan::telemetry::{push_json_string, MetaValue};
+
+/// The current git commit SHA, or `"unknown"` outside a work tree (results
+/// must still be writable from an exported tarball).
+pub fn git_sha() -> String {
+    Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Renders `{ "git_sha": …, "cpus": …, <extra…> }` as a JSON object.
+/// `extra` carries the bench's graph params (vertices, eps, mu, …).
+pub fn meta_object(extra: &[(&str, MetaValue)]) -> String {
+    let mut out = String::from("{ ");
+    push_json_string(&mut out, "git_sha");
+    out.push_str(": ");
+    push_json_string(&mut out, &git_sha());
+    out.push_str(", ");
+    push_json_string(&mut out, "cpus");
+    out.push_str(": ");
+    out.push_str(
+        &std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .to_string(),
+    );
+    for (key, value) in extra {
+        out.push_str(", ");
+        push_json_string(&mut out, key);
+        out.push_str(": ");
+        match value {
+            MetaValue::Str(s) => push_json_string(&mut out, s),
+            MetaValue::U64(v) => out.push_str(&v.to_string()),
+            MetaValue::F64(v) => anyscan::telemetry::push_json_f64(&mut out, *v),
+        }
+    }
+    out.push_str(" }");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan::telemetry::json::JsonValue;
+
+    #[test]
+    fn git_sha_is_never_empty() {
+        assert!(!git_sha().is_empty());
+    }
+
+    #[test]
+    fn meta_object_is_valid_json_with_extras() {
+        let json = meta_object(&[
+            ("threads", MetaValue::Str("1,2,4".into())),
+            ("vertices", MetaValue::U64(5000)),
+            ("epsilon", MetaValue::F64(0.6)),
+        ]);
+        let v = JsonValue::parse(&json).expect("meta must parse");
+        assert!(v.get("git_sha").and_then(|s| s.as_str()).is_some());
+        assert!(v.get("cpus").and_then(|c| c.as_u64()).unwrap() >= 1);
+        assert_eq!(v.get("vertices").and_then(|n| n.as_u64()), Some(5000));
+        assert_eq!(v.get("threads").and_then(|t| t.as_str()), Some("1,2,4"));
+        assert_eq!(v.get("epsilon").and_then(|e| e.as_f64()), Some(0.6));
+    }
+}

@@ -94,15 +94,18 @@ commands:
                --out FILE[.bin|.txt]
   cluster      --input FILE | --dataset ID  --eps E --mu M
                [--algo anyscan|scan|scan-b|pscan|scan++] [--threads T]
-               [--block B] [--labels-out FILE] [--no-opt]
+               [--block B] [--labels-out FILE] [--trace-json FILE] [--no-opt]
   explore      --input FILE | --dataset ID  [--eps a,b,c] [--mu a,b,c]
                [--threads T]
   hierarchy    --input FILE | --dataset ID  [--mu M] [--eps a,b,c]
                [--threads T] [--top N]
   interactive  --input FILE | --dataset ID  --eps E --mu M
-               [--checkpoint-ms MS] [--threads T]
+               [--checkpoint-ms MS] [--threads T] [--trace-json FILE]
 
-dataset ids: GR01..GR05, LFR01..LFR05, LFR11..LFR15 (Table I/II analogues)"
+dataset ids: GR01..GR05, LFR01..LFR05, LFR11..LFR15 (Table I/II analogues)
+
+--trace-json writes the run's structured telemetry (spans, counters, pool
+utilization, anytime snapshots; schema checked by anyscan-trace-check)"
     );
 }
 

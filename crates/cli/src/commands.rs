@@ -6,7 +6,8 @@ use std::time::Instant;
 
 use anyscan::explore::EpsilonExplorer;
 use anyscan::hierarchy::EpsilonHierarchy;
-use anyscan::{anyscan, AnyScan, AnyScanConfig, Phase};
+use anyscan::telemetry::MetaValue;
+use anyscan::{anyscan, AnyScan, AnyScanConfig, Phase, Telemetry};
 use anyscan_baselines::{pscan, scan, scan_b, scanpp};
 use anyscan_graph::gen::{
     erdos_renyi, lfr, planted_partition, rmat, Dataset, DatasetId, LfrParams,
@@ -156,31 +157,39 @@ pub fn cluster(opts: &Options) -> CmdResult {
     let g = load_graph(opts)?;
     let params = scan_params(opts)?;
     let algo = opts.get_str("algo").unwrap_or("anyscan");
+    let trace_path = opts.get_str("trace-json");
+    if trace_path.is_some() && algo != "anyscan" {
+        return Err(format!(
+            "--trace-json requires --algo anyscan, got {algo:?}"
+        ));
+    }
     let start = Instant::now();
-    let (clustering, evals): (Clustering, u64) = match algo {
+    let (clustering, evals, cache_hits): (Clustering, u64, u64) = match algo {
         "scan" => {
             let out = scan(&g, params);
-            (out.clustering, out.stats.sigma_evals)
+            (out.clustering, out.stats.sigma_evals, out.stats.cache_hits)
         }
         "scan-b" => {
             let out = scan_b(&g, params);
-            (out.clustering, out.stats.sigma_evals)
+            (out.clustering, out.stats.sigma_evals, out.stats.cache_hits)
         }
         "pscan" => {
             let out = pscan(&g, params);
-            (out.clustering, out.stats.sigma_evals)
+            (out.clustering, out.stats.sigma_evals, out.stats.cache_hits)
         }
         "scan++" | "scanpp" => {
             let out = scanpp(&g, params);
             (
                 out.clustering,
                 out.stats.sigma_evals + out.stats.shared_evals,
+                out.stats.cache_hits,
             )
         }
         "anyscan" => {
+            let threads: usize = opts.get_or("threads", 1)?;
             let mut config = AnyScanConfig::new(params)
                 .with_auto_block_size(g.num_vertices())
-                .with_threads(opts.get_or("threads", 1)?);
+                .with_threads(threads);
             if let Some(b) = opts
                 .get_list::<usize>("block")?
                 .and_then(|v| v.first().copied())
@@ -188,9 +197,17 @@ pub fn cluster(opts: &Options) -> CmdResult {
                 config = config.with_block_size(b);
             }
             config.optimizations = !opts.switch("no-opt");
-            let mut a = AnyScan::new(&g, config);
+            let telemetry = if trace_path.is_some() {
+                Telemetry::enabled()
+            } else {
+                Telemetry::disabled()
+            };
+            let mut a = AnyScan::new(&g, config).with_telemetry(telemetry.clone());
             let c = a.run();
-            (c, a.stats().sigma_evals)
+            if let Some(path) = trace_path {
+                write_trace(path, &telemetry, &g, params, threads)?;
+            }
+            (c, a.stats().sigma_evals, a.stats().cache_hits)
         }
         other => return Err(format!("unknown --algo {other:?}")),
     };
@@ -199,6 +216,7 @@ pub fn cluster(opts: &Options) -> CmdResult {
     println!("algorithm   {algo}");
     println!("runtime     {elapsed:?}");
     println!("sigma evals {evals}");
+    println!("cache hits  {cache_hits}");
     println!("clusters    {}", clustering.num_clusters());
     println!("cores       {}", rc.cores);
     println!("borders     {}", rc.borders);
@@ -208,6 +226,30 @@ pub fn cluster(opts: &Options) -> CmdResult {
         write_labels(path, &clustering)?;
         println!("labels written to {path}");
     }
+    Ok(())
+}
+
+/// Serializes a finished run's telemetry report (schema version 1; see
+/// `anyscan_telemetry::validate`) to `path`.
+fn write_trace(
+    path: &str,
+    telemetry: &Telemetry,
+    g: &CsrGraph,
+    params: ScanParams,
+    threads: usize,
+) -> CmdResult {
+    let report = telemetry
+        .report()
+        .ok_or("internal: telemetry handle was not enabled")?;
+    let meta: Vec<(&str, MetaValue)> = vec![
+        ("vertices", (g.num_vertices() as u64).into()),
+        ("edges", g.num_edges().into()),
+        ("epsilon", params.epsilon.into()),
+        ("mu", (params.mu as u64).into()),
+        ("threads", (threads as u64).into()),
+    ];
+    std::fs::write(path, report.to_json(&meta)).map_err(|e| format!("write {path}: {e}"))?;
+    println!("trace       {path}");
     Ok(())
 }
 
@@ -291,10 +333,17 @@ pub fn interactive(opts: &Options) -> CmdResult {
     let g = load_graph(opts)?;
     let params = scan_params(opts)?;
     let checkpoint = std::time::Duration::from_millis(opts.get_or("checkpoint-ms", 100)?);
+    let threads: usize = opts.get_or("threads", 1)?;
+    let trace_path = opts.get_str("trace-json");
     let config = AnyScanConfig::new(params)
         .with_auto_block_size(g.num_vertices())
-        .with_threads(opts.get_or("threads", 1)?);
-    let mut algo = AnyScan::new(&g, config);
+        .with_threads(threads);
+    let telemetry = if trace_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let mut algo = AnyScan::new(&g, config).with_telemetry(telemetry.clone());
     let mut next = checkpoint;
     println!(
         "clustering {} vertices / {} edges; checkpoint every {checkpoint:?}",
@@ -319,11 +368,15 @@ pub fn interactive(opts: &Options) -> CmdResult {
     }
     let result = algo.result();
     println!(
-        "final: {} clusters, {} σ evaluations, unions {:?}",
+        "final: {} clusters, {} σ evaluations ({} cache hits), unions {:?}",
         result.num_clusters(),
         algo.stats().sigma_evals,
+        algo.stats().cache_hits,
         algo.union_breakdown()
     );
+    if let Some(path) = trace_path {
+        write_trace(path, &telemetry, &g, params, threads)?;
+    }
     // Sanity: the batch entry point agrees.
     debug_assert_eq!(
         anyscan(&g, params).clustering.num_clusters(),

@@ -5,7 +5,9 @@ use std::time::{Duration, Instant};
 
 use anyscan_dsu::{AtomicDsu, DsuSeq, LockedDsu, SharedDsu};
 use anyscan_graph::{CsrGraph, VertexId};
+use anyscan_parallel::WorkerPool;
 use anyscan_scan_common::{Clustering, Kernel, ScanParams, SimStats};
+use anyscan_telemetry::{BlockSnapshot, Counter, PoolUtilization, Recorder, Telemetry};
 
 use crate::config::{AnyScanConfig, DsuKind};
 use crate::snapshot::build_snapshot;
@@ -30,6 +32,21 @@ pub enum Phase {
     ResolveRoles,
     /// Finished; [`AnyScan::result`] is exact.
     Done,
+}
+
+impl Phase {
+    /// Stable lowercase label used for telemetry spans and snapshot phases
+    /// (`anyscan_telemetry::validate::KNOWN_PHASES`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Summarize => "summarize",
+            Phase::MergeStrong => "merge_strong",
+            Phase::MergeWeak => "merge_weak",
+            Phase::Borders => "borders",
+            Phase::ResolveRoles => "resolve_roles",
+            Phase::Done => "done",
+        }
+    }
 }
 
 /// Timing record of one block iteration — the x-axis of Figs. 5 and 10.
@@ -170,6 +187,14 @@ pub struct AnyScan<'g> {
     /// Shared-DSU union count at the moment of conversion (the AtomicDsu
     /// carries Step 1's tally over; deltas are measured from here).
     shared_union_base: u64,
+    /// Telemetry handle (disabled by default; see
+    /// [`AnyScan::with_telemetry`]). The hot-path hooks in steps 1–4 go
+    /// through this — one `Option` branch each when disabled.
+    pub(crate) telemetry: Telemetry,
+    /// Global-pool utilization at the moment telemetry was attached; the
+    /// published pool section is the delta from here, scoping the
+    /// process-wide counters to this run.
+    pool_base: PoolUtilization,
 }
 
 impl<'g> AnyScan<'g> {
@@ -203,7 +228,27 @@ impl<'g> AnyScan<'g> {
             cumulative: Duration::ZERO,
             union_marks: UnionBreakdown::default(),
             shared_union_base: 0,
+            telemetry: Telemetry::disabled(),
+            pool_base: PoolUtilization::default(),
         }
+    }
+
+    /// Attaches a telemetry handle: spans per phase, one
+    /// [`BlockSnapshot`] per block iteration, kernel/pruning counters and
+    /// the pool-utilization delta of this run. Keep a clone of the handle
+    /// to retrieve the [`anyscan_telemetry::Report`] afterwards.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        if telemetry.is_enabled() {
+            self.pool_base = WorkerPool::global().utilization();
+        }
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`AnyScan::with_telemetry`] was used).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The graph being clustered.
@@ -260,6 +305,7 @@ impl<'g> AnyScan<'g> {
     /// Executes one block iteration of the current phase and returns its
     /// timing record. Calling after `Done` is a cheap no-op record.
     pub fn step(&mut self) -> IterationRecord {
+        let entry_phase = self.phase;
         let start = Instant::now();
         let block_len = match self.phase {
             Phase::Summarize => {
@@ -326,7 +372,59 @@ impl<'g> AnyScan<'g> {
         if self.phase != Phase::Done || block_len > 0 {
             self.iterations.push(record);
         }
+        if self.telemetry.is_enabled() && entry_phase != Phase::Done {
+            let elapsed_ns = elapsed.as_nanos() as u64;
+            self.telemetry.record_span(entry_phase.label(), elapsed_ns);
+            self.telemetry.record_block(BlockSnapshot {
+                index: record.index as u64,
+                phase: entry_phase.label(),
+                block_len: block_len as u64,
+                elapsed_ns,
+                cumulative_ns: self.cumulative.as_nanos() as u64,
+                states: self.states.histogram(),
+                supernodes: self.sn.len() as u64,
+                components: self.component_count(),
+                unions: self.union_breakdown().total(),
+            });
+            if self.phase == Phase::Done {
+                self.publish_final_telemetry();
+            }
+        }
         record
+    }
+
+    /// Distinct DSU components among the super-nodes created so far (the
+    /// current cluster count, before border attachment).
+    fn component_count(&self) -> u64 {
+        let mut roots: Vec<u32> = (0..self.sn.len() as u32).map(|s| self.sn_root(s)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        roots.len() as u64
+    }
+
+    /// Publishes the end-of-run aggregates exactly once, on the transition
+    /// to [`Phase::Done`]: kernel counters (absorbed from [`Kernel::stats`]
+    /// at report time instead of double-counting the hot path), the
+    /// per-step union totals and this run's pool-utilization delta.
+    fn publish_final_telemetry(&self) {
+        let t = &self.telemetry;
+        let s = self.kernel.stats();
+        t.add(Counter::SigmaEvals, s.sigma_evals);
+        t.add(Counter::Lemma5Filtered, s.lemma5_filtered);
+        t.add(Counter::SharedEvals, s.shared_evals);
+        t.add(Counter::EdgeCacheHits, s.cache_hits);
+        t.add(Counter::EdgeCacheMisses, s.cache_misses);
+        t.add(Counter::EarlyAccepts, s.early_accepts);
+        t.add(Counter::EarlyRejects, s.early_rejects);
+        let u = self.union_breakdown();
+        t.add(Counter::UnionsStep1, u.step1);
+        t.add(Counter::UnionsStep2, u.step2);
+        t.add(Counter::UnionsStep3, u.step3);
+        t.set_pool(
+            WorkerPool::global()
+                .utilization()
+                .delta_since(&self.pool_base),
+        );
     }
 
     /// Runs to completion and returns the exact result.
@@ -340,6 +438,7 @@ impl<'g> AnyScan<'g> {
     /// Best-so-far clustering at the current instant (Lemma 1: label every
     /// vertex by the cluster of its super-nodes). Cheap: no similarity work.
     pub fn snapshot(&self) -> Clustering {
+        let _span = self.telemetry.span("snapshot");
         build_snapshot(self, false)
     }
 

@@ -26,6 +26,7 @@ use anyscan_graph::{CsrGraph, VertexId};
 use anyscan_parallel::parallel_map_adaptive;
 use anyscan_scan_common::kernel::sigma_raw;
 use anyscan_scan_common::{Clustering, Role, ScanParams, NOISE};
+use anyscan_telemetry::Telemetry;
 
 /// Summary of the clustering at one (ε, μ) grid point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +68,13 @@ impl<'g> EpsilonExplorer<'g> {
             graph,
             sigmas: per_vertex.into_iter().flatten().collect(),
         }
+    }
+
+    /// [`EpsilonExplorer::new`] with the build recorded as an `"explore"`
+    /// span on `telemetry` (free when the handle is disabled).
+    pub fn new_traced(graph: &'g CsrGraph, threads: usize, telemetry: &Telemetry) -> Self {
+        let _span = telemetry.span("explore");
+        Self::new(graph, threads)
     }
 
     /// Number of cached edge similarities.

@@ -24,6 +24,7 @@ use anyscan_graph::{CsrGraph, VertexId};
 use anyscan_parallel::parallel_map_adaptive;
 use anyscan_scan_common::kernel::sigma_raw;
 use anyscan_scan_common::{Clustering, Role, NOISE};
+use anyscan_telemetry::Telemetry;
 
 /// One dendrogram merge event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -110,6 +111,18 @@ impl<'g> EpsilonHierarchy<'g> {
             edge_sigmas,
             merges,
         }
+    }
+
+    /// [`EpsilonHierarchy::build`] with the build recorded as a
+    /// `"hierarchy"` span on `telemetry` (free when the handle is disabled).
+    pub fn build_traced(
+        graph: &'g CsrGraph,
+        mu: usize,
+        threads: usize,
+        telemetry: &Telemetry,
+    ) -> Self {
+        let _span = telemetry.span("hierarchy");
+        Self::build(graph, mu, threads)
     }
 
     /// The μ this hierarchy was built for.

@@ -45,6 +45,7 @@ use std::collections::HashMap;
 use anyscan_dsu::DsuSeq;
 use anyscan_graph::{AdjGraph, CsrGraph, GraphError, VertexId, Weight};
 use anyscan_scan_common::{Clustering, Role, ScanParams, NOISE};
+use anyscan_telemetry::Telemetry;
 
 /// Maintains SCAN clusterings under edge updates.
 #[derive(Debug)]
@@ -85,6 +86,14 @@ impl DynamicScan {
             }
         }
         ds
+    }
+
+    /// [`DynamicScan::new`] with the initial σ build recorded as an
+    /// `"incremental"` span on `telemetry` (free when the handle is
+    /// disabled).
+    pub fn new_traced(graph: AdjGraph, params: ScanParams, telemetry: &Telemetry) -> Self {
+        let _span = telemetry.span("incremental");
+        Self::new(graph, params)
     }
 
     /// Convenience: start from a frozen CSR graph.

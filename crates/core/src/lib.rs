@@ -58,3 +58,8 @@ mod step4;
 pub use config::{AnyScanConfig, DsuKind};
 pub use driver::{anyscan, AnyScan, IterationRecord, Phase, UnionBreakdown};
 pub use state::VertexState;
+
+/// The telemetry facade, re-exported so embedders need not add a separate
+/// dependency to trace a run (see [`AnyScan::with_telemetry`]).
+pub use anyscan_telemetry as telemetry;
+pub use anyscan_telemetry::{BlockSnapshot, Counter, Recorder, Report, Telemetry};

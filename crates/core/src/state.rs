@@ -161,6 +161,17 @@ impl StateTable {
             .filter(|c| c.load(Ordering::Relaxed) == state as u8)
             .count()
     }
+
+    /// Per-state vertex counts in discriminant order, in one linear scan.
+    /// The entries always sum to [`StateTable::len`]; telemetry snapshots
+    /// record this as the anytime progress histogram.
+    pub fn histogram(&self) -> [u64; 7] {
+        let mut h = [0u64; 7];
+        for c in &self.cells {
+            h[c.load(Ordering::Relaxed) as usize] += 1;
+        }
+        h
+    }
 }
 
 /// Pairs where a *requested* transition is legitimately superseded by a
@@ -241,6 +252,25 @@ mod tests {
         assert_eq!(t.count(Untouched), 3);
         // No-op self transition.
         assert_eq!(t.transition(0, ProcessedCore), ProcessedCore);
+    }
+
+    #[test]
+    fn histogram_tracks_counts_and_sums_to_len() {
+        let t = StateTable::new(5);
+        t.transition(0, UnprocessedBorder);
+        t.transition(0, ProcessedCore);
+        t.transition(1, UnprocessedNoise);
+        t.transition(2, UnprocessedNoise);
+        t.transition(2, ProcessedNoise);
+        let h = t.histogram();
+        assert_eq!(h[Untouched as usize], 2);
+        assert_eq!(h[UnprocessedNoise as usize], 1);
+        assert_eq!(h[ProcessedNoise as usize], 1);
+        assert_eq!(h[ProcessedCore as usize], 1);
+        assert_eq!(h.iter().sum::<u64>(), t.len() as u64);
+        for s in VertexState::ALL {
+            assert_eq!(h[s as usize], t.count(s) as u64, "{s:?}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::sync::atomic::Ordering;
 
 use anyscan_graph::VertexId;
 use anyscan_parallel::{parallel_for_adaptive, parallel_map_with};
+use anyscan_telemetry::{Counter, Recorder};
 
 use crate::driver::AnyScan;
 use crate::state::VertexState;
@@ -26,6 +27,7 @@ impl AnyScan<'_> {
         // unprocessed-noise without a range query (Fig. 3's
         // untouched → unprocessed-noise edge) and does not consume a slot.
         let mut block: Vec<VertexId> = Vec::with_capacity(self.config.alpha);
+        let mut shortcut_noise = 0u64;
         while block.len() < self.config.alpha && self.draw_cursor < self.draw_order.len() {
             let v = self.draw_order[self.draw_cursor];
             self.draw_cursor += 1;
@@ -34,9 +36,14 @@ impl AnyScan<'_> {
             }
             if g.degree(v) < mu {
                 self.states.transition(v, VertexState::UnprocessedNoise);
+                shortcut_noise += 1;
                 continue;
             }
             block.push(v);
+        }
+        if shortcut_noise > 0 {
+            self.telemetry
+                .add(Counter::DegreeShortcutNoise, shortcut_noise);
         }
         if block.is_empty() {
             return 0;
@@ -111,6 +118,10 @@ impl AnyScan<'_> {
                 other => unreachable!("examined vertex {p} in state {other:?}"),
             }
         }
+        self.telemetry.add(
+            Counter::SupernodesCreated,
+            self.sn.len() as u64 - first_new as u64,
+        );
         let sn = &self.sn;
         let states = &self.states;
         let dsu = self.dsu_seq.as_mut().expect("step-1 DSU");

@@ -9,6 +9,7 @@
 use anyscan_dsu::SharedDsu;
 use anyscan_graph::VertexId;
 use anyscan_parallel::{parallel_for_adaptive, parallel_map_adaptive};
+use anyscan_telemetry::{Counter, Recorder};
 
 use crate::driver::AnyScan;
 use crate::state::VertexState;
@@ -54,6 +55,7 @@ impl AnyScan<'_> {
             // examining p cannot change the result (paper line 32).
             let root0 = dsu.find(sns[0]);
             if sns[1..].iter().all(|&s| dsu.find(s) == root0) {
+                this.telemetry.add(Counter::Step2Pruned, 1);
                 return false;
             }
             this.decide_core(p)
@@ -92,6 +94,7 @@ impl AnyScan<'_> {
         if state.is_known_non_core() {
             return false;
         }
+        self.telemetry.add(Counter::CoreChecks, 1);
         let mu = self.config.params.mu;
         let nei = self.nei[p as usize].load(std::sync::atomic::Ordering::Relaxed) as usize;
         let is_core = if nei >= mu {

@@ -11,6 +11,7 @@
 use anyscan_dsu::SharedDsu;
 use anyscan_graph::VertexId;
 use anyscan_parallel::{parallel_for_adaptive, parallel_map_adaptive};
+use anyscan_telemetry::{Counter, Recorder};
 
 use crate::driver::AnyScan;
 use crate::state::VertexState;
@@ -76,6 +77,7 @@ impl AnyScan<'_> {
                 }
             }
             if !straddles {
+                this.telemetry.add(Counter::Step3Pruned, 1);
                 return false;
             }
             this.decide_core(p)

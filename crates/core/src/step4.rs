@@ -13,6 +13,7 @@
 
 use anyscan_graph::VertexId;
 use anyscan_parallel::{parallel_for_adaptive, parallel_map_adaptive};
+use anyscan_telemetry::{Counter, Recorder};
 
 use crate::driver::AnyScan;
 use crate::state::VertexState;
@@ -92,18 +93,23 @@ impl AnyScan<'_> {
         });
 
         // Phase B (sequential, cheap): record adoptions.
+        let mut adopted = 0u64;
         for (i, snid) in adoptions.into_iter().enumerate() {
             let p = block[i];
             match snid {
                 Some(snid) => {
                     self.sn.attach(p, snid);
                     self.states.transition(p, VertexState::ProcessedBorder);
+                    adopted += 1;
                 }
                 None => {
                     // True noise; normalize unprocessed-noise to processed.
                     self.states.transition(p, VertexState::ProcessedNoise);
                 }
             }
+        }
+        if adopted > 0 {
+            self.telemetry.add(Counter::BorderAdoptions, adopted);
         }
         block.len()
     }

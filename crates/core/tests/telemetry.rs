@@ -1,0 +1,164 @@
+//! End-to-end telemetry of an anytime run: every block boundary publishes a
+//! consistent [`anyscan::BlockSnapshot`], and the final report round-trips
+//! through the JSON writer, parser and validator that CI gates on.
+
+use anyscan::telemetry::json::JsonValue;
+use anyscan::telemetry::validate::{validate_trace, KNOWN_PHASES};
+use anyscan::{AnyScan, AnyScanConfig, Counter, Phase, Telemetry};
+use anyscan_graph::gen::{erdos_renyi, WeightModel};
+use anyscan_graph::CsrGraph;
+use anyscan_scan_common::ScanParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_graph(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    erdos_renyi(&mut rng, n, m, WeightModel::uniform_default())
+}
+
+fn traced_run(g: &CsrGraph, config: AnyScanConfig) -> (Telemetry, AnyScan<'_>) {
+    let telemetry = Telemetry::enabled();
+    let mut algo = AnyScan::new(g, config).with_telemetry(telemetry.clone());
+    algo.run();
+    (telemetry, algo)
+}
+
+/// The histogram invariant the snapshots exist for: at *every* block
+/// boundary the seven state counts partition the vertex set, untouched
+/// never grows, and the processed population never shrinks.
+#[test]
+fn state_histogram_partitions_v_and_is_monotone() {
+    let g = test_graph(300, 1800, 42);
+    let config = AnyScanConfig::new(ScanParams::new(0.5, 4))
+        .with_block_size(64)
+        .with_threads(2);
+    let (telemetry, algo) = traced_run(&g, config);
+    assert_eq!(algo.phase(), Phase::Done);
+
+    let report = telemetry.report().expect("enabled handle has a report");
+    let snaps = &report.snapshots;
+    assert!(
+        snaps.len() >= algo.iterations().len().min(2),
+        "one snapshot per block iteration expected, got {}",
+        snaps.len()
+    );
+    let n = g.num_vertices() as u64;
+    let mut prev_untouched = n;
+    let mut prev_processed = 0u64;
+    let mut prev_index = None;
+    for s in snaps {
+        assert!(KNOWN_PHASES.contains(&s.phase), "phase {:?}", s.phase);
+        assert_eq!(
+            s.states.iter().sum::<u64>(),
+            n,
+            "histogram must partition |V| at block {}",
+            s.index
+        );
+        let untouched = s.states[0];
+        // Processed states are discriminants 2 (noise), 4 (border), 6 (core).
+        let processed = s.states[2] + s.states[4] + s.states[6];
+        assert!(
+            untouched <= prev_untouched,
+            "untouched grew {prev_untouched} -> {untouched} at block {}",
+            s.index
+        );
+        assert!(
+            processed >= prev_processed,
+            "processed shrank {prev_processed} -> {processed} at block {}",
+            s.index
+        );
+        if let Some(prev) = prev_index {
+            assert!(s.index > prev, "indices must strictly increase");
+        }
+        assert!(s.supernodes >= s.components || s.supernodes == 0);
+        prev_untouched = untouched;
+        prev_processed = processed;
+        prev_index = Some(s.index);
+    }
+    assert_eq!(prev_untouched, 0, "a finished run leaves nothing untouched");
+}
+
+/// Counters must agree with the driver's own public accounting.
+#[test]
+fn final_counters_match_driver_accounting() {
+    let g = test_graph(250, 1500, 7);
+    let config = AnyScanConfig::new(ScanParams::new(0.45, 3))
+        .with_block_size(50)
+        .with_threads(2);
+    let (telemetry, algo) = traced_run(&g, config);
+    let report = telemetry.report().unwrap();
+
+    let stats = algo.stats();
+    assert_eq!(report.counter(Counter::SigmaEvals), stats.sigma_evals);
+    assert_eq!(
+        report.counter(Counter::Lemma5Filtered),
+        stats.lemma5_filtered
+    );
+    assert_eq!(report.counter(Counter::EdgeCacheHits), stats.cache_hits);
+    assert_eq!(report.counter(Counter::EdgeCacheMisses), stats.cache_misses);
+    let unions = algo.union_breakdown();
+    assert_eq!(report.counter(Counter::UnionsStep1), unions.step1);
+    assert_eq!(report.counter(Counter::UnionsStep2), unions.step2);
+    assert_eq!(report.counter(Counter::UnionsStep3), unions.step3);
+    assert_eq!(
+        report.counter(Counter::SupernodesCreated),
+        algo.num_supernodes() as u64
+    );
+    // The anytime phases each contributed at least one span.
+    for name in ["summarize", "merge_strong", "merge_weak", "borders"] {
+        let span = report.span_total(name);
+        assert!(span.is_some(), "missing span {name:?}");
+        assert!(span.unwrap().count >= 1);
+    }
+}
+
+/// A parallel traced run publishes the pool-utilization delta of exactly
+/// this run's jobs.
+#[test]
+fn pool_utilization_is_published_for_parallel_runs() {
+    let g = test_graph(400, 3000, 11);
+    let config = AnyScanConfig::new(ScanParams::new(0.5, 4))
+        .with_block_size(100)
+        .with_threads(3);
+    let (telemetry, _algo) = traced_run(&g, config);
+    let report = telemetry.report().unwrap();
+    let pool = report.pool.as_ref().expect("parallel run records the pool");
+    assert!(pool.jobs > 0, "parallel phases dispatch pool jobs");
+    assert!(!pool.slots.is_empty());
+    assert!(pool.slots.iter().any(|s| s.busy_ns > 0));
+}
+
+/// The report serializes to the schema the checker binary enforces.
+#[test]
+fn report_round_trips_through_the_validator() {
+    let g = test_graph(200, 1200, 13);
+    let config = AnyScanConfig::new(ScanParams::new(0.5, 3))
+        .with_block_size(40)
+        .with_threads(2);
+    let (telemetry, algo) = traced_run(&g, config);
+    let report = telemetry.report().unwrap();
+    let json = report.to_json(&[
+        ("vertices", (g.num_vertices() as u64).into()),
+        ("edges", g.num_edges().into()),
+        ("threads", 2u64.into()),
+    ]);
+    let value = JsonValue::parse(&json).expect("writer emits valid JSON");
+    let summary = validate_trace(&value).expect("trace must validate");
+    assert_eq!(summary.vertices, Some(g.num_vertices() as u64));
+    assert!(summary.snapshots >= algo.iterations().len().min(2));
+    assert!(summary.spans >= 4);
+}
+
+/// A disabled handle records nothing and never allocates a report.
+#[test]
+fn disabled_telemetry_is_silent_and_harmless() {
+    let g = test_graph(150, 800, 17);
+    let config = AnyScanConfig::new(ScanParams::new(0.5, 3)).with_threads(2);
+    let telemetry = Telemetry::disabled();
+    let mut algo = AnyScan::new(&g, config).with_telemetry(telemetry.clone());
+    let clustering = algo.run();
+    assert!(telemetry.report().is_none());
+    // Same result as an un-instrumented run with the same seed.
+    let mut plain = AnyScan::new(&g, config);
+    assert_eq!(plain.run().labels, clustering.labels);
+}

@@ -26,10 +26,21 @@ pub struct SimStats {
     /// Decisions answered by the symmetric edge-decision cache without any
     /// similarity work (zero unless the kernel was built with the cache).
     pub cache_hits: u64,
+    /// Adjacent-pair decisions that consulted the cache, found nothing, and
+    /// had to be computed and stored (zero without the cache).
+    pub cache_misses: u64,
+    /// Merge-joins accepted before exhausting either neighbor list (the
+    /// early-accept optimization fired; subset of `sigma_evals`).
+    pub early_accepts: u64,
+    /// Merge-joins rejected by the remaining-suffix bound (the early-reject
+    /// optimization fired; subset of `sigma_evals`).
+    pub early_rejects: u64,
 }
 
 impl SimStats {
-    /// Total pairs decided by any means.
+    /// Total pairs decided by any means. `cache_misses`, `early_accepts`
+    /// and `early_rejects` classify decisions already counted in the four
+    /// terms below, so they are deliberately not summed here.
     pub fn total_decided(&self) -> u64 {
         self.sigma_evals + self.lemma5_filtered + self.shared_evals + self.cache_hits
     }
@@ -68,6 +79,9 @@ pub struct Kernel<'g> {
     lemma5_filtered: AtomicU64,
     shared_evals: AtomicU64,
     cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    early_accepts: AtomicU64,
+    early_rejects: AtomicU64,
 }
 
 impl<'g> Kernel<'g> {
@@ -92,6 +106,9 @@ impl<'g> Kernel<'g> {
             lemma5_filtered: AtomicU64::new(0),
             shared_evals: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            early_accepts: AtomicU64::new(0),
+            early_rejects: AtomicU64::new(0),
         }
     }
 
@@ -127,6 +144,9 @@ impl<'g> Kernel<'g> {
             lemma5_filtered: self.lemma5_filtered.load(Ordering::Relaxed),
             shared_evals: self.shared_evals.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            early_accepts: self.early_accepts.load(Ordering::Relaxed),
+            early_rejects: self.early_rejects.load(Ordering::Relaxed),
         }
     }
 
@@ -172,6 +192,7 @@ impl<'g> Kernel<'g> {
                 EpsDecision::Dissimilar
             };
         }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let decision = self.eps_decision_uncached(u, v);
         cache.store_symmetric(
             self.graph,
@@ -216,6 +237,9 @@ impl<'g> Kernel<'g> {
             let max_w = g.max_weight(u) * g.max_weight(v);
             loop {
                 if num >= threshold {
+                    if i < nu.len() && j < nv.len() {
+                        self.early_accepts.fetch_add(1, Ordering::Relaxed);
+                    }
                     return EpsDecision::Similar;
                 }
                 if i >= nu.len() || j >= nv.len() {
@@ -223,6 +247,7 @@ impl<'g> Kernel<'g> {
                 }
                 let remaining = (nu.len() - i).min(nv.len() - j) as f64;
                 if num + remaining * max_w < threshold {
+                    self.early_rejects.fetch_add(1, Ordering::Relaxed);
                     return EpsDecision::Dissimilar;
                 }
                 let (a, b) = (nu[i], nv[j]);
@@ -466,6 +491,47 @@ mod tests {
             s.sigma_evals + s.lemma5_filtered + s.shared_evals + s.cache_hits
         );
         assert_eq!(s.total_decided(), 3);
+    }
+
+    #[test]
+    fn cache_misses_complement_hits() {
+        let g = unweighted_clique_plus_pendant();
+        let k = Kernel::new(&g, ScanParams::new(0.5, 2)).with_edge_cache(true);
+        let _ = k.eps_decision(0, 1); // miss: computed + stored
+        let _ = k.eps_decision(0, 1); // hit
+        let _ = k.eps_decision(1, 0); // hit (symmetric)
+        let _ = k.eps_decision(0, 2); // miss
+        let s = k.stats();
+        assert_eq!(s.cache_misses, 2);
+        assert_eq!(s.cache_hits, 2);
+        // A miss always falls through to a real decision.
+        assert_eq!(s.cache_misses, s.sigma_evals + s.lemma5_filtered);
+    }
+
+    #[test]
+    fn early_exit_counters_are_subsets_of_sigma_evals() {
+        // Clique pairs at low ε early-accept (num crosses the threshold with
+        // suffixes left); the weak pendant at high ε early-rejects via the
+        // remaining-suffix bound when it survives the Lemma-5 prefilter.
+        let g = unweighted_clique_plus_pendant();
+        let k = Kernel::new(&g, ScanParams::new(0.3, 2));
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                let _ = k.eps_decision(u, v);
+            }
+        }
+        let s = k.stats();
+        assert!(s.early_accepts > 0, "low ε on a clique must early-accept");
+        assert!(s.early_accepts + s.early_rejects <= s.sigma_evals);
+        // The unoptimized kernel never records either.
+        let plain = Kernel::with_optimizations(&g, ScanParams::new(0.3, 2), false);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                let _ = plain.eps_decision(u, v);
+            }
+        }
+        assert_eq!(plain.stats().early_accepts, 0);
+        assert_eq!(plain.stats().early_rejects, 0);
     }
 
     #[test]

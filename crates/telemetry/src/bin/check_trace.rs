@@ -1,0 +1,57 @@
+//! `anyscan-trace-check` — CI gate for `--trace-json` output.
+//!
+//! Usage: `anyscan-trace-check <trace.json> [<trace.json> ...]`
+//!
+//! Parses each file and validates it against trace schema version 1,
+//! printing a one-line summary per file. Exits non-zero on the first
+//! malformed or invalid trace so the telemetry-smoke job fails loudly.
+
+use anyscan_telemetry::json::JsonValue;
+use anyscan_telemetry::validate::validate_trace;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: anyscan-trace-check <trace.json> [<trace.json> ...]");
+        std::process::exit(2);
+    }
+
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                std::process::exit(1);
+            }
+        };
+        let doc = match JsonValue::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path}: malformed JSON: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_trace(&doc) {
+            Ok(s) => {
+                let vertices = s
+                    .vertices
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "?".to_string());
+                println!(
+                    "{path}: OK — {} spans ({} ns), {} snapshots, {} pool slots, \
+                     |V|={vertices}, sigma_evals={}, cache_hits={}",
+                    s.spans,
+                    s.total_span_ns,
+                    s.snapshots,
+                    s.pool_slots,
+                    s.sigma_evals,
+                    s.cache_hits
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID trace: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -33,8 +33,16 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// 256 cases, overridable by the `PROPTEST_CASES` environment
+        /// variable (same contract as the real crate; CI pins it so test
+        /// time is predictable). An explicit `with_cases` always wins.
         fn default() -> Self {
-            Config { cases: 256 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(256);
+            Config { cases }
         }
     }
 }
@@ -317,6 +325,23 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn config_default_reads_proptest_cases_env() {
+        // Serialized within this one test: set, read, restore.
+        let prev = std::env::var("PROPTEST_CASES").ok();
+        std::env::set_var("PROPTEST_CASES", "64");
+        assert_eq!(crate::test_runner::Config::default().cases, 64);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(crate::test_runner::Config::default().cases, 256);
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(crate::test_runner::Config::default().cases, 256);
+        match prev {
+            Some(v) => std::env::set_var("PROPTEST_CASES", v),
+            None => std::env::remove_var("PROPTEST_CASES"),
+        }
+        assert_eq!(crate::test_runner::Config::with_cases(8).cases, 8);
+    }
 
     #[test]
     fn ranges_and_tuples_generate_in_bounds() {
