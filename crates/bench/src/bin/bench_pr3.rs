@@ -1,0 +1,191 @@
+//! PR 3 perf trajectory: similarity-index build cost and per-query latency
+//! versus full anySCAN runs on the GR01/GR02 analogues, emitted as
+//! machine-readable JSON (`BENCH_pr3.json`).
+//!
+//! ```text
+//! bench_pr3 [--scale f] [--seed u] [--reps n] [--threads t] [--out path]
+//! ```
+//!
+//! The headline number is the *amortized speedup*: for a parameter sweep of
+//! q queries, `q × full-run time` divided by `build time + q × query time`.
+//! The index pays its build once and answers every subsequent (ε, μ) from
+//! precomputed orders, so the ratio grows with q; the JSON records the
+//! per-query latencies, the raw speedup per (ε, μ), and the amortized
+//! figure over the whole sweep.
+
+use std::fmt::Write as _;
+
+use anyscan::telemetry::MetaValue;
+use anyscan::{AnyScan, AnyScanConfig};
+use anyscan_bench::load_dataset;
+use anyscan_bench::meta::meta_object;
+use anyscan_bench::timing::median_of;
+use anyscan_graph::gen::{Dataset, DatasetId};
+use anyscan_index::SimilarityIndex;
+use anyscan_scan_common::ScanParams;
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    reps: usize,
+    threads: usize,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: 1.0,
+            seed: 7,
+            reps: 3,
+            threads: 4,
+            out: "BENCH_pr3.json".into(),
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut out = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--scale" => out.scale = val().parse().expect("--scale f64"),
+            "--seed" => out.seed = val().parse().expect("--seed u64"),
+            "--reps" => out.reps = val().parse().expect("--reps usize"),
+            "--threads" => out.threads = val().parse().expect("--threads usize"),
+            "--out" => out.out = val(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    // The interactive workload: one graph, a parameter exploration — the
+    // `explore` command's default ε grid crossed with two μ values.
+    let sweep: Vec<ScanParams> = [2usize, 5]
+        .into_iter()
+        .flat_map(|m| {
+            [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+                .into_iter()
+                .map(move |e| ScanParams::new(e, m))
+        })
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_pr3\",");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"similarity-index build + per-query latency vs full anySCAN (median of {} runs), {} queries per sweep\",",
+        args.reps,
+        sweep.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"env\": {{ \"cpus\": {}, \"scale\": {}, \"seed\": {} }},",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        args.scale,
+        args.seed
+    );
+    let _ = writeln!(
+        json,
+        "  \"meta\": {},",
+        meta_object(&[
+            ("threads", MetaValue::U64(args.threads as u64)),
+            ("scale", MetaValue::F64(args.scale)),
+            ("seed", MetaValue::U64(args.seed)),
+            ("reps", MetaValue::U64(args.reps as u64)),
+            ("queries", MetaValue::U64(sweep.len() as u64)),
+        ])
+    );
+    json.push_str("  \"datasets\": [\n");
+
+    for (di, id) in [DatasetId::Gr01, DatasetId::Gr02].into_iter().enumerate() {
+        let d = Dataset::get(id);
+        let (g, _) = load_dataset(&d, args.scale, args.seed);
+        eprintln!(
+            "{}: |V|={} |E|={} (scale {})",
+            id.short(),
+            g.num_vertices(),
+            g.num_edges(),
+            args.scale
+        );
+
+        let (build_time, _) = median_of(args.reps, || SimilarityIndex::build(&g, args.threads));
+        let idx = SimilarityIndex::build(&g, args.threads);
+        eprintln!("  index build: {:.3}s", build_time.as_secs_f64());
+
+        let _ = writeln!(
+            json,
+            "    {{ \"id\": \"{}\", \"vertices\": {}, \"edges\": {}, \"build_seconds\": {:.6}, \"queries\": [",
+            id.short(),
+            g.num_vertices(),
+            g.num_edges(),
+            build_time.as_secs_f64()
+        );
+
+        let mut full_total = 0.0;
+        let mut query_total = 0.0;
+        for (qi, &params) in sweep.iter().enumerate() {
+            let config = AnyScanConfig::new(params)
+                .with_auto_block_size(g.num_vertices())
+                .with_threads(args.threads);
+            let (full_t, full_clusters) =
+                median_of(args.reps, || AnyScan::new(&g, config).run().num_clusters());
+            let (query_t, idx_clusters) =
+                median_of(args.reps, || idx.query(&g, params).num_clusters());
+            assert_eq!(
+                full_clusters, idx_clusters,
+                "cluster-count mismatch at (eps={}, mu={})",
+                params.epsilon, params.mu
+            );
+            let full_s = full_t.as_secs_f64();
+            let query_s = query_t.as_secs_f64();
+            full_total += full_s;
+            query_total += query_s;
+            eprintln!(
+                "  eps={} mu={}: full {:.4}s, indexed {:.6}s ({:.0}x raw)",
+                params.epsilon,
+                params.mu,
+                full_s,
+                query_s,
+                full_s / query_s
+            );
+            let _ = writeln!(
+                json,
+                "      {}{{ \"epsilon\": {}, \"mu\": {}, \"clusters\": {}, \"full_seconds\": {:.6}, \"query_seconds\": {:.6}, \"raw_speedup\": {:.2} }}",
+                if qi == 0 { "" } else { ", " },
+                params.epsilon,
+                params.mu,
+                idx_clusters,
+                full_s,
+                query_s,
+                full_s / query_s
+            );
+        }
+        let amortized = full_total / (build_time.as_secs_f64() + query_total);
+        eprintln!(
+            "  sweep of {}: full {:.3}s vs build+queries {:.3}s — {:.1}x amortized",
+            sweep.len(),
+            full_total,
+            build_time.as_secs_f64() + query_total,
+            amortized
+        );
+        json.push_str("    ],\n");
+        let _ = writeln!(
+            json,
+            "    \"full_total_seconds\": {:.6}, \"query_total_seconds\": {:.6}, \"amortized_speedup\": {:.2}",
+            full_total, query_total, amortized
+        );
+        let _ = writeln!(json, "    }}{}", if di == 0 { "," } else { "" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    eprintln!("wrote {}", args.out);
+}

@@ -101,6 +101,11 @@ commands:
                [--threads T] [--top N]
   interactive  --input FILE | --dataset ID  --eps E --mu M
                [--checkpoint-ms MS] [--threads T] [--trace-json FILE]
+               [--index FILE.asix]   (answer from a prebuilt index instantly)
+  index build  --input FILE | --dataset ID  --out FILE.asix
+               [--threads T] [--trace-json FILE]
+  index query  --input FILE | --dataset ID  --index FILE.asix
+               --eps a,b,c --mu a,b,c [--labels-out FILE] [--trace-json FILE]
 
 dataset ids: GR01..GR05, LFR01..LFR05, LFR11..LFR15 (Table I/II analogues)
 

@@ -16,6 +16,8 @@ use anyscan_graph::gen::{
 use anyscan_graph::io::{read_binary, read_edge_list, write_binary, write_edge_list};
 use anyscan_graph::stats::graph_stats;
 use anyscan_graph::CsrGraph;
+use anyscan_index::io::{read_index, write_index};
+use anyscan_index::SimilarityIndex;
 use anyscan_scan_common::{Clustering, ScanParams, NOISE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -238,9 +240,6 @@ fn write_trace(
     params: ScanParams,
     threads: usize,
 ) -> CmdResult {
-    let report = telemetry
-        .report()
-        .ok_or("internal: telemetry handle was not enabled")?;
     let meta: Vec<(&str, MetaValue)> = vec![
         ("vertices", (g.num_vertices() as u64).into()),
         ("edges", g.num_edges().into()),
@@ -248,7 +247,16 @@ fn write_trace(
         ("mu", (params.mu as u64).into()),
         ("threads", (threads as u64).into()),
     ];
-    std::fs::write(path, report.to_json(&meta)).map_err(|e| format!("write {path}: {e}"))?;
+    write_trace_with(path, telemetry, &meta)
+}
+
+/// Lower-level trace writer for commands whose meta is not the standard
+/// (graph, params, threads) triple — index build/query runs.
+fn write_trace_with(path: &str, telemetry: &Telemetry, meta: &[(&str, MetaValue)]) -> CmdResult {
+    let report = telemetry
+        .report()
+        .ok_or("internal: telemetry handle was not enabled")?;
+    std::fs::write(path, report.to_json(meta)).map_err(|e| format!("write {path}: {e}"))?;
     println!("trace       {path}");
     Ok(())
 }
@@ -329,7 +337,164 @@ first merges (highest ε):"
     Ok(())
 }
 
+/// Reads a serialized similarity index (`.asix`) from `path`.
+fn load_index(path: &str) -> Result<SimilarityIndex, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_index(BufReader::new(file)).map_err(|e| format!("read {path}: {e}"))
+}
+
+pub fn index_build(opts: &Options) -> CmdResult {
+    let g = load_graph(opts)?;
+    let threads: usize = opts.get_or("threads", 1)?;
+    let out = opts.get_str("out").ok_or("missing --out FILE")?;
+    let trace_path = opts.get_str("trace-json");
+    let telemetry = if trace_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let start = Instant::now();
+    let idx = SimilarityIndex::build_traced(&g, threads, &telemetry);
+    let build_time = start.elapsed();
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    write_index(&idx, BufWriter::new(file)).map_err(|e| format!("write {out}: {e}"))?;
+    println!("build time  {build_time:?}");
+    println!("vertices    {}", idx.num_vertices());
+    println!("arcs        {}", idx.num_arcs());
+    println!("mu max      {}", idx.mu_max());
+    println!("index       {out}");
+    if let Some(path) = trace_path {
+        let meta: Vec<(&str, MetaValue)> = vec![
+            ("vertices", (g.num_vertices() as u64).into()),
+            ("edges", g.num_edges().into()),
+            ("mu_max", (idx.mu_max() as u64).into()),
+            ("threads", (threads as u64).into()),
+        ];
+        write_trace_with(path, &telemetry, &meta)?;
+    }
+    Ok(())
+}
+
+pub fn index_query(opts: &Options) -> CmdResult {
+    let g = load_graph(opts)?;
+    let idx_path = opts.get_str("index").ok_or("missing --index FILE")?;
+    let idx = load_index(idx_path)?;
+    idx.check_graph(&g)
+        .map_err(|e| format!("--index {idx_path}: {e}"))?;
+    let eps_grid = opts.get_list::<f64>("eps")?.ok_or("missing --eps")?;
+    let mu_grid = opts.get_list::<usize>("mu")?.ok_or("missing --mu")?;
+    for &eps in &eps_grid {
+        if !(eps > 0.0 && eps <= 1.0) {
+            return Err(format!("--eps must be in (0,1], got {eps}"));
+        }
+    }
+    if mu_grid.contains(&0) {
+        return Err("--mu must be >= 1".into());
+    }
+    let trace_path = opts.get_str("trace-json");
+    let telemetry = if trace_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    println!(
+        "{:>6} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "eps", "mu", "clusters", "cores", "borders", "hubs", "outliers", "latency"
+    );
+    let mut queries = 0u64;
+    let mut last: Option<(ScanParams, Clustering)> = None;
+    for &mu in &mu_grid {
+        for &eps in &eps_grid {
+            let params = ScanParams::new(eps, mu);
+            let t0 = Instant::now();
+            let c = idx.query_traced(&g, params, &telemetry);
+            let latency = t0.elapsed();
+            let rc = c.role_counts();
+            println!(
+                "{:>6} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",
+                eps,
+                mu,
+                c.num_clusters(),
+                rc.cores,
+                rc.borders,
+                rc.hubs,
+                rc.outliers,
+                format!("{latency:?}")
+            );
+            queries += 1;
+            last = Some((params, c));
+        }
+    }
+    if let Some(path) = opts.get_str("labels-out") {
+        let (_, c) = last.as_ref().ok_or("no queries ran")?;
+        write_labels(path, c)?;
+        println!("labels written to {path} (last query)");
+    }
+    if let Some(path) = trace_path {
+        let (params, _) = last.as_ref().ok_or("no queries ran")?;
+        let meta: Vec<(&str, MetaValue)> = vec![
+            ("vertices", (g.num_vertices() as u64).into()),
+            ("edges", g.num_edges().into()),
+            ("epsilon", params.epsilon.into()),
+            ("mu", (params.mu as u64).into()),
+            ("queries", queries.into()),
+        ];
+        write_trace_with(path, &telemetry, &meta)?;
+    }
+    Ok(())
+}
+
+/// `interactive --index FILE`: answer the (ε, μ) request straight from a
+/// prebuilt similarity index instead of stepping the anytime driver.
+fn interactive_indexed(opts: &Options, idx_path: &str) -> CmdResult {
+    let g = load_graph(opts)?;
+    let idx = load_index(idx_path)?;
+    idx.check_graph(&g)
+        .map_err(|e| format!("--index {idx_path}: {e}"))?;
+    let params = scan_params(opts)?;
+    let trace_path = opts.get_str("trace-json");
+    let telemetry = if trace_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let t0 = Instant::now();
+    let c = idx.query_traced(&g, params, &telemetry);
+    let latency = t0.elapsed();
+    let rc = c.role_counts();
+    println!(
+        "indexed fast-path: (eps={}, mu={}) answered in {latency:?}",
+        params.epsilon, params.mu
+    );
+    println!(
+        "final: {} clusters, {} cores, {} borders, {} hubs, {} outliers",
+        c.num_clusters(),
+        rc.cores,
+        rc.borders,
+        rc.hubs,
+        rc.outliers
+    );
+    if let Some(path) = trace_path {
+        let meta: Vec<(&str, MetaValue)> = vec![
+            ("vertices", (g.num_vertices() as u64).into()),
+            ("edges", g.num_edges().into()),
+            ("epsilon", params.epsilon.into()),
+            ("mu", (params.mu as u64).into()),
+            ("queries", 1u64.into()),
+        ];
+        write_trace_with(path, &telemetry, &meta)?;
+    }
+    if let Some(path) = opts.get_str("labels-out") {
+        write_labels(path, &c)?;
+        println!("labels written to {path}");
+    }
+    Ok(())
+}
+
 pub fn interactive(opts: &Options) -> CmdResult {
+    if let Some(idx_path) = opts.get_str("index") {
+        return interactive_indexed(opts, idx_path);
+    }
     let g = load_graph(opts)?;
     let params = scan_params(opts)?;
     let checkpoint = std::time::Duration::from_millis(opts.get_or("checkpoint-ms", 100)?);

@@ -6,6 +6,8 @@
 //! anyscan cluster  --input g.bin --algo anyscan --eps 0.5 --mu 5
 //! anyscan explore  --input g.bin --eps 0.2,0.4,0.6,0.8 --mu 5
 //! anyscan interactive --dataset GR02 --eps 0.5 --mu 5 --checkpoint-ms 50
+//! anyscan index build --input g.bin --out g.asix --threads 8
+//! anyscan index query --input g.bin --index g.asix --eps 0.3,0.5 --mu 5
 //! ```
 
 mod args;
@@ -18,6 +20,13 @@ fn main() {
         std::process::exit(2);
     }
     let cmd = argv.remove(0);
+    // `index` takes a subaction (`build` | `query`) before the flags; peel it
+    // off so Options::parse only ever sees `--key value` tokens.
+    let sub = if cmd == "index" && argv.first().is_some_and(|t| !t.starts_with("--")) {
+        Some(argv.remove(0))
+    } else {
+        None
+    };
     let opts = match args::Options::parse(&argv) {
         Ok(o) => o,
         Err(e) => {
@@ -33,6 +42,12 @@ fn main() {
         "explore" => commands::explore(&opts),
         "hierarchy" => commands::hierarchy(&opts),
         "interactive" => commands::interactive(&opts),
+        "index" => match sub.as_deref() {
+            Some("build") => commands::index_build(&opts),
+            Some("query") => commands::index_query(&opts),
+            Some(other) => Err(format!("unknown index subcommand {other:?} (build|query)")),
+            None => Err("index needs a subcommand: build | query".into()),
+        },
         "help" | "--help" | "-h" => {
             args::print_usage();
             return;

@@ -20,8 +20,9 @@ use std::io::{Read, Write};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use super::framing;
 use crate::csr::CsrGraph;
-use crate::types::{GraphError, VertexId};
+use crate::types::GraphError;
 
 const MAGIC: &[u8; 4] = b"ASCN";
 const VERSION: u32 = 1;
@@ -32,20 +33,13 @@ pub fn write_binary<W: Write>(g: &CsrGraph, mut writer: W) -> Result<(), GraphEr
     let mut buf = BytesMut::with_capacity(
         4 + 4 + 24 + offsets.len() * 8 + neighbors.len() * 4 + weights.len() * 8,
     );
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+    framing::put_header(&mut buf, MAGIC, VERSION);
     buf.put_u64_le((offsets.len() - 1) as u64);
     buf.put_u64_le(neighbors.len() as u64);
     buf.put_u64_le(num_edges);
-    for &o in offsets {
-        buf.put_u64_le(o as u64);
-    }
-    for &v in neighbors {
-        buf.put_u32_le(v);
-    }
-    for &w in weights {
-        buf.put_f64_le(w);
-    }
+    framing::put_usize_array(&mut buf, offsets);
+    framing::put_u32_array(&mut buf, neighbors);
+    framing::put_f64_array(&mut buf, weights);
     writer.write_all(&buf)?;
     Ok(())
 }
@@ -57,60 +51,19 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphError> {
     reader.read_to_end(&mut raw)?;
     let mut buf = Bytes::from(raw);
 
-    let need = |buf: &Bytes, n: usize| -> Result<(), GraphError> {
-        if buf.remaining() < n {
-            Err(GraphError::Format("truncated file".into()))
-        } else {
-            Ok(())
-        }
-    };
-
-    need(&buf, 8)?;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(GraphError::Format(format!("bad magic {magic:?}")));
-    }
-    let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(GraphError::Format(format!("unsupported version {version}")));
-    }
-    need(&buf, 24)?;
+    framing::get_header(&mut buf, MAGIC, VERSION)?;
+    framing::need(&buf, 24)?;
     let n = buf.get_u64_le() as usize;
     let arcs = buf.get_u64_le() as usize;
     let num_edges = buf.get_u64_le();
 
-    need(&buf, (n + 1) * 8)?;
-    let mut offsets = Vec::with_capacity(n + 1);
-    for _ in 0..=n {
-        offsets.push(buf.get_u64_le() as usize);
-    }
-    need(&buf, arcs * 4)?;
-    let mut neighbors: Vec<VertexId> = Vec::with_capacity(arcs);
-    for _ in 0..arcs {
-        neighbors.push(buf.get_u32_le());
-    }
-    need(&buf, arcs * 8)?;
-    let mut weights = Vec::with_capacity(arcs);
-    for _ in 0..arcs {
-        weights.push(buf.get_f64_le());
-    }
-    if *offsets.last().unwrap_or(&0) != arcs {
-        return Err(GraphError::Format("offset/arc mismatch".into()));
-    }
+    let offsets = framing::get_usize_array(&mut buf, n + 1)?;
+    let neighbors = framing::get_u32_array(&mut buf, arcs)?;
+    let weights = framing::get_f64_array(&mut buf, arcs)?;
     // Bounds-check offsets *before* constructing the graph: `from_parts`
     // slices the weight array by them to precompute the Lemma-5 norms, so a
     // corrupted offset would otherwise panic instead of erroring.
-    if offsets.first() != Some(&0) {
-        return Err(GraphError::Format("offsets must start at 0".into()));
-    }
-    for w in offsets.windows(2) {
-        if w[0] > w[1] || w[1] > arcs {
-            return Err(GraphError::Format(
-                "non-monotone or out-of-range offset".into(),
-            ));
-        }
-    }
+    framing::check_offsets(&offsets, arcs, "csr")?;
     let g = CsrGraph::from_parts(offsets, neighbors, weights, num_edges);
     g.check_invariants().map_err(GraphError::Format)?;
     Ok(g)

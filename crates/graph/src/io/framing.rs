@@ -1,0 +1,157 @@
+//! Shared framing for the workspace's binary formats.
+//!
+//! Both the CSR graph format (`"ASCN"`, [`super::binary`]) and the
+//! similarity-index format (`"ASIX"`, in `anyscan-index`) are a 4-byte
+//! magic, a little-endian `u32` version, and typed little-endian arrays.
+//! This module holds the header and array plumbing so every format
+//! validates truncation and versioning identically.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::types::GraphError;
+
+/// Errors unless at least `n` bytes remain in `buf`.
+pub fn need(buf: &Bytes, n: usize) -> Result<(), GraphError> {
+    if buf.remaining() < n {
+        Err(GraphError::Format("truncated file".into()))
+    } else {
+        Ok(())
+    }
+}
+
+/// Writes the `magic` + version header.
+pub fn put_header(buf: &mut BytesMut, magic: &[u8; 4], version: u32) {
+    buf.put_slice(magic);
+    buf.put_u32_le(version);
+}
+
+/// Reads and checks the `magic` + version header; errors on a foreign magic
+/// or a version other than `expect_version`.
+pub fn get_header(buf: &mut Bytes, magic: &[u8; 4], expect_version: u32) -> Result<(), GraphError> {
+    need(buf, 8)?;
+    let mut found = [0u8; 4];
+    buf.copy_to_slice(&mut found);
+    if &found != magic {
+        return Err(GraphError::Format(format!("bad magic {found:?}")));
+    }
+    let version = buf.get_u32_le();
+    if version != expect_version {
+        return Err(GraphError::Format(format!("unsupported version {version}")));
+    }
+    Ok(())
+}
+
+/// Writes `values` as little-endian u64s (usizes widen losslessly).
+pub fn put_usize_array(buf: &mut BytesMut, values: &[usize]) {
+    for &v in values {
+        buf.put_u64_le(v as u64);
+    }
+}
+
+/// Reads `len` little-endian u64s as usizes, checking truncation first.
+pub fn get_usize_array(buf: &mut Bytes, len: usize) -> Result<Vec<usize>, GraphError> {
+    need(buf, len * 8)?;
+    Ok((0..len).map(|_| buf.get_u64_le() as usize).collect())
+}
+
+/// Writes `values` as little-endian u32s.
+pub fn put_u32_array(buf: &mut BytesMut, values: &[u32]) {
+    for &v in values {
+        buf.put_u32_le(v);
+    }
+}
+
+/// Reads `len` little-endian u32s, checking truncation first.
+pub fn get_u32_array(buf: &mut Bytes, len: usize) -> Result<Vec<u32>, GraphError> {
+    need(buf, len * 4)?;
+    Ok((0..len).map(|_| buf.get_u32_le()).collect())
+}
+
+/// Writes `values` as little-endian f64s.
+pub fn put_f64_array(buf: &mut BytesMut, values: &[f64]) {
+    for &v in values {
+        buf.put_f64_le(v);
+    }
+}
+
+/// Reads `len` little-endian f64s, checking truncation first.
+pub fn get_f64_array(buf: &mut Bytes, len: usize) -> Result<Vec<f64>, GraphError> {
+    need(buf, len * 8)?;
+    Ok((0..len).map(|_| buf.get_f64_le()).collect())
+}
+
+/// Validates a CSR-style offset array: starts at 0, monotone non-decreasing,
+/// and ends exactly at `total`.
+pub fn check_offsets(offsets: &[usize], total: usize, what: &str) -> Result<(), GraphError> {
+    if offsets.first() != Some(&0) {
+        return Err(GraphError::Format(format!(
+            "{what}: offsets must start at 0"
+        )));
+    }
+    for w in offsets.windows(2) {
+        if w[0] > w[1] || w[1] > total {
+            return Err(GraphError::Format(format!(
+                "{what}: non-monotone or out-of-range offset"
+            )));
+        }
+    }
+    if offsets.last() != Some(&total) {
+        return Err(GraphError::Format(format!(
+            "{what}: offsets end at {:?}, expected {total}",
+            offsets.last()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip_and_rejection() {
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, b"TEST", 3);
+        let raw: Vec<u8> = buf.into();
+
+        let mut b = Bytes::from(raw.clone());
+        get_header(&mut b, b"TEST", 3).unwrap();
+
+        let mut b = Bytes::from(raw.clone());
+        assert!(get_header(&mut b, b"ELSE", 3).is_err());
+
+        let mut b = Bytes::from(raw.clone());
+        assert!(get_header(&mut b, b"TEST", 4).is_err());
+
+        let mut short = Bytes::from(&raw[..2]);
+        assert!(get_header(&mut short, b"TEST", 3).is_err());
+    }
+
+    #[test]
+    fn arrays_roundtrip_and_catch_truncation() {
+        let mut buf = BytesMut::new();
+        put_usize_array(&mut buf, &[0, 3, 7]);
+        put_u32_array(&mut buf, &[1, 2]);
+        put_f64_array(&mut buf, &[0.5, -1.25]);
+        let raw: Vec<u8> = buf.into();
+
+        let mut b = Bytes::from(raw.clone());
+        assert_eq!(get_usize_array(&mut b, 3).unwrap(), vec![0, 3, 7]);
+        assert_eq!(get_u32_array(&mut b, 2).unwrap(), vec![1, 2]);
+        assert_eq!(get_f64_array(&mut b, 2).unwrap(), vec![0.5, -1.25]);
+        assert_eq!(b.remaining(), 0);
+
+        let mut cut = Bytes::from(&raw[..raw.len() - 1]);
+        assert!(get_usize_array(&mut cut, 3).is_ok());
+        assert!(get_u32_array(&mut cut, 2).is_ok());
+        assert!(get_f64_array(&mut cut, 2).is_err());
+    }
+
+    #[test]
+    fn offset_validation() {
+        check_offsets(&[0, 2, 5], 5, "t").unwrap();
+        assert!(check_offsets(&[1, 2, 5], 5, "t").is_err());
+        assert!(check_offsets(&[0, 6, 5], 5, "t").is_err());
+        assert!(check_offsets(&[0, 2, 4], 5, "t").is_err());
+    }
+}

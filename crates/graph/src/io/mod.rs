@@ -3,6 +3,7 @@
 
 pub mod binary;
 pub mod edge_list;
+pub mod framing;
 pub mod metis;
 
 pub use binary::{read_binary, write_binary};

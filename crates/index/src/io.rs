@@ -1,0 +1,230 @@
+//! Binary serialization of the similarity index.
+//!
+//! Sits next to the CSR graph format (`anyscan-graph::io::binary`) and
+//! shares its framing helpers. Layout (little-endian):
+//!
+//! ```text
+//! magic   "ASIX"            4 bytes
+//! version u32               currently 1
+//! n       u64               number of vertices
+//! arcs    u64               neighbor-order entries (= graph num_arcs)
+//! edges   u64               undirected edge count of the indexed graph
+//! mu_max  u64               number of core orders
+//! offsets       (n+1) × u64
+//! nbr           arcs × u32
+//! sig           arcs × f64
+//! co_offsets    (mu_max+1) × u64
+//! co_vertices   arcs × u32
+//! co_thresholds arcs × f64
+//! ```
+//!
+//! `read_index` re-validates every structural invariant (sorted orders,
+//! offset monotonicity, threshold/neighbor-order consistency): index files
+//! live in the same untrusted build cache as the graphs, and a corrupted
+//! order would silently mis-cluster rather than crash.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use anyscan_graph::io::framing;
+use anyscan_graph::types::GraphError;
+
+use crate::SimilarityIndex;
+
+const MAGIC: &[u8; 4] = b"ASIX";
+const VERSION: u32 = 1;
+
+/// Serializes an index to the binary format.
+pub fn write_index<W: Write>(idx: &SimilarityIndex, mut writer: W) -> Result<(), GraphError> {
+    let n = idx.num_vertices();
+    let arcs = idx.num_arcs();
+    let mu_max = idx.mu_max();
+    let mut buf = BytesMut::with_capacity(4 + 4 + 32 + (n + mu_max + 2) * 8 + arcs * 24);
+    framing::put_header(&mut buf, MAGIC, VERSION);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(arcs as u64);
+    buf.put_u64_le(idx.num_edges());
+    buf.put_u64_le(mu_max as u64);
+    framing::put_usize_array(&mut buf, &idx.offsets);
+    framing::put_u32_array(&mut buf, &idx.nbr);
+    framing::put_f64_array(&mut buf, &idx.sig);
+    framing::put_usize_array(&mut buf, &idx.co_offsets);
+    framing::put_u32_array(&mut buf, &idx.co_vertices);
+    framing::put_f64_array(&mut buf, &idx.co_thresholds);
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserializes an index written by [`write_index`], re-validating all
+/// structural invariants.
+pub fn read_index<R: Read>(mut reader: R) -> Result<SimilarityIndex, GraphError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+
+    framing::get_header(&mut buf, MAGIC, VERSION)?;
+    framing::need(&buf, 32)?;
+    let n = buf.get_u64_le() as usize;
+    let arcs = buf.get_u64_le() as usize;
+    let num_edges = buf.get_u64_le();
+    let mu_max = buf.get_u64_le() as usize;
+
+    let offsets = framing::get_usize_array(&mut buf, n + 1)?;
+    let nbr = framing::get_u32_array(&mut buf, arcs)?;
+    let sig = framing::get_f64_array(&mut buf, arcs)?;
+    let co_offsets = framing::get_usize_array(&mut buf, mu_max + 1)?;
+    let co_vertices = framing::get_u32_array(&mut buf, arcs)?;
+    let co_thresholds = framing::get_f64_array(&mut buf, arcs)?;
+
+    framing::check_offsets(&offsets, arcs, "neighbor orders")?;
+    framing::check_offsets(&co_offsets, arcs, "core orders")?;
+
+    let fail = |msg: String| Err(GraphError::Format(msg));
+
+    // Neighbor orders: ids in range, σ finite in [0, 1] and non-increasing,
+    // exactly one self entry per vertex.
+    for v in 0..n {
+        let r = offsets[v]..offsets[v + 1];
+        let mut selfs = 0;
+        for i in r.clone() {
+            if nbr[i] as usize >= n {
+                return fail(format!("vertex {v}: neighbor id {} out of range", nbr[i]));
+            }
+            if !(0.0..=1.0).contains(&sig[i]) {
+                return fail(format!("vertex {v}: σ {} outside [0, 1]", sig[i]));
+            }
+            if i > r.start && sig[i] > sig[i - 1] {
+                return fail(format!("vertex {v}: neighbor order not sorted"));
+            }
+            if nbr[i] as usize == v {
+                selfs += 1;
+            }
+        }
+        if selfs != 1 {
+            return fail(format!("vertex {v}: {selfs} self entries, expected 1"));
+        }
+    }
+
+    // Core orders: each μ-slice holds exactly the vertices of closed degree
+    // ≥ μ (count check), sorted by non-increasing threshold with ascending
+    // ids among ties (which also forbids duplicates), and every threshold
+    // must equal the μ-th largest σ of its vertex's neighbor order.
+    let degree = |v: usize| offsets[v + 1] - offsets[v];
+    for mu in 1..=mu_max {
+        let r = co_offsets[mu - 1]..co_offsets[mu];
+        let expect = (0..n).filter(|&v| degree(v) >= mu).count();
+        if r.len() != expect {
+            return fail(format!(
+                "core order μ={mu}: {} entries, expected {expect}",
+                r.len()
+            ));
+        }
+        for i in r.clone() {
+            let v = co_vertices[i] as usize;
+            if v >= n {
+                return fail(format!("core order μ={mu}: vertex {v} out of range"));
+            }
+            if degree(v) < mu {
+                return fail(format!("core order μ={mu}: vertex {v} has degree < μ"));
+            }
+            if co_thresholds[i].to_bits() != sig[offsets[v] + mu - 1].to_bits() {
+                return fail(format!(
+                    "core order μ={mu}: threshold of vertex {v} disagrees with its neighbor order"
+                ));
+            }
+            if i > r.start {
+                let (pt, pv) = (co_thresholds[i - 1], co_vertices[i - 1]);
+                if co_thresholds[i] > pt || (co_thresholds[i] == pt && co_vertices[i] <= pv) {
+                    return fail(format!("core order μ={mu}: not sorted at position {i}"));
+                }
+            }
+        }
+    }
+
+    Ok(SimilarityIndex {
+        offsets,
+        nbr,
+        sig,
+        co_offsets,
+        co_vertices,
+        co_thresholds,
+        num_edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan_graph::gen::{erdos_renyi, WeightModel};
+    use anyscan_graph::GraphBuilder;
+    use anyscan_scan_common::ScanParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_index() -> (anyscan_graph::CsrGraph, SimilarityIndex) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let g = erdos_renyi(&mut rng, 80, 500, WeightModel::uniform_default());
+        let idx = SimilarityIndex::build(&g, 2);
+        (g, idx)
+    }
+
+    #[test]
+    fn roundtrip_preserves_index_and_queries() {
+        let (g, idx) = sample_index();
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        let idx2 = read_index(buf.as_slice()).unwrap();
+        assert_eq!(idx, idx2);
+        let params = ScanParams::new(0.4, 3);
+        assert_eq!(idx.query(&g, params), idx2.query(&g, params));
+    }
+
+    #[test]
+    fn empty_index_roundtrip() {
+        let g = GraphBuilder::new(0).build();
+        let idx = SimilarityIndex::build(&g, 1);
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        assert_eq!(read_index(buf.as_slice()).unwrap(), idx);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let err = read_index(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Format(_)));
+        let (_, idx) = sample_index();
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        buf[4] = 9; // version byte
+        assert!(read_index(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_boundary() {
+        let (_, idx) = sample_index();
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        for cut in [3, 7, 30, buf.len() / 3, buf.len() / 2, buf.len() - 1] {
+            assert!(read_index(&buf[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_order() {
+        let (_, idx) = sample_index();
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        // Flip a byte inside the neighbor-id block to break the sorted-order
+        // or range invariants.
+        let header = 8 + 32 + (idx.num_vertices() + 1) * 8;
+        let mut broken = buf.clone();
+        broken[header + 1] ^= 0xFF;
+        assert!(read_index(broken.as_slice()).is_err());
+        // And one inside the σ block.
+        let sig_start = header + idx.num_arcs() * 4;
+        let mut broken = buf;
+        broken[sig_start + 7] ^= 0x7F;
+        assert!(read_index(broken.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based cross-validation: for arbitrary random weighted graphs
+//! and parameters, an index `query` must produce a clustering equivalent to
+//! a full anySCAN driver run — same cores, identical core partition, same
+//! border/noise split, justified border attachments (the Lemma 4 notion of
+//! SCAN equivalence) — and identical role-for-role wherever SCAN's own
+//! examining-order caveat does not apply.
+//!
+//! The one legal divergence: a *shared border* (a non-core with similar
+//! core ε-neighbors in two or more clusters) may attach to either cluster,
+//! which in turn may flip the hub/outlier call of adjacent noise vertices.
+//! Everywhere else the comparison is exact.
+
+use std::collections::HashSet;
+
+use anyscan::anyscan;
+use anyscan_graph::{CsrGraph, GraphBuilder, VertexId};
+use anyscan_index::SimilarityIndex;
+use anyscan_scan_common::kernel::sigma_raw;
+use anyscan_scan_common::verify::check_scan_equivalent;
+use anyscan_scan_common::{Clustering, Role, ScanParams};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    // 8..40 vertices, up to ~120 weighted edges (dense enough for clusters).
+    (8usize..40)
+        .prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32, 0.1f64..1.0);
+            (Just(n), proptest::collection::vec(edge, 0..120))
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+}
+
+/// Borders whose similar core ε-neighbors span two or more clusters: the
+/// vertices whose attachment (and whose noise neighbors' hub/outlier call)
+/// is legitimately order-dependent in SCAN.
+fn shared_borders(g: &CsrGraph, params: ScanParams, c: &Clustering) -> HashSet<VertexId> {
+    let mut out = HashSet::new();
+    for v in 0..g.num_vertices() as VertexId {
+        if c.roles[v as usize] != Role::Border {
+            continue;
+        }
+        let mut labels = HashSet::new();
+        for &q in g.neighbor_ids(v) {
+            if q != v && c.roles[q as usize] == Role::Core && sigma_raw(g, v, q) >= params.epsilon {
+                labels.insert(c.labels[q as usize]);
+            }
+        }
+        if labels.len() >= 2 {
+            out.insert(v);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn index_query_matches_driver(
+        g in arb_graph(),
+        eps in 0.1f64..0.95,
+        mu in 1usize..7,
+        threads in 1usize..4,
+    ) {
+        let params = ScanParams::new(eps, mu);
+        let driver = anyscan(&g, params).clustering;
+        let idx = SimilarityIndex::build(&g, threads);
+        let ours = idx.query(&g, params);
+
+        // Lemma 4 equivalence: cores, core partition, border/noise split,
+        // justified attachments.
+        if let Err(e) = check_scan_equivalent(&g, params, &driver, &ours) {
+            prop_assert!(
+                false,
+                "divergence from driver (eps={eps}, mu={mu}, threads={threads}): {e}"
+            );
+        }
+
+        // Role-exactness beyond the caveat: Core and Border always agree;
+        // hub/outlier agrees unless the vertex touches a shared border
+        // (whose attachment may differ between the two runs).
+        let ambiguous = shared_borders(&g, params, &driver);
+        for v in 0..g.num_vertices() as VertexId {
+            let (rd, ri) = (driver.roles[v as usize], ours.roles[v as usize]);
+            match rd {
+                Role::Core | Role::Border => prop_assert_eq!(rd, ri, "role of vertex {}", v),
+                _ => {
+                    let near_shared = g
+                        .neighbor_ids(v)
+                        .iter()
+                        .any(|q| ambiguous.contains(q));
+                    if !near_shared {
+                        prop_assert_eq!(rd, ri, "hub/outlier call of vertex {}", v);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_queries_reuse_one_build(
+        g in arb_graph(),
+        mu in 1usize..7,
+    ) {
+        // One build must answer the whole ε sweep exactly: each query is
+        // checked against an independent driver run at the same parameters.
+        let idx = SimilarityIndex::build(&g, 2);
+        for eps in [0.2, 0.45, 0.7, 0.9] {
+            let params = ScanParams::new(eps, mu);
+            let driver = anyscan(&g, params).clustering;
+            let ours = idx.query(&g, params);
+            if let Err(e) = check_scan_equivalent(&g, params, &driver, &ours) {
+                prop_assert!(false, "divergence at eps={eps}, mu={mu}: {e}");
+            }
+        }
+    }
+}

@@ -6,12 +6,54 @@
 //!
 //! The `similarity` Criterion bench compares this against the merge-join on
 //! several degree regimes; on laptop-scale graphs the merge-join usually
-//! wins until neighborhoods get large and badly size-mismatched, which is
-//! why the kernel keeps the merge-join as its default.
+//! wins until neighborhoods get large and badly size-mismatched. The
+//! crossover is captured by [`HASH_PROBE_MISMATCH_RATIO`] /
+//! [`prefer_hash_probe`], and [`NeighborIndex::sigma_adaptive`] applies it
+//! per pair.
+//!
+//! For bulk evaluation — σ against *every* neighbor of one vertex, the
+//! shape of a similarity-index build — [`NeighborIndex::sigma_row`] stamps
+//! the row vertex's closed neighborhood into a dense [`RowScratch`] once
+//! and scores each neighbor with a single `O(d_v)` pass, which beats both
+//! pairwise strategies (no merge walk over the row side, no hashing).
+//!
+//! All evaluation strategies visit the common neighbors in the same
+//! (ascending id) order, so they accumulate the identical sequence of f64
+//! additions and return **bit-identical** results — callers may mix them
+//! freely without perturbing ε-threshold decisions.
 
 use std::collections::HashMap;
 
 use anyscan_graph::{CsrGraph, VertexId, Weight};
+use anyscan_parallel::parallel_map_adaptive;
+
+use crate::kernel::sigma_raw;
+
+/// Degree-mismatch ratio at which the hash probe overtakes the merge-join.
+///
+/// The merge-join walks both closed neighborhoods: `O(d_small + d_large)`
+/// cheap comparisons. The hash probe walks only the smaller one but pays a
+/// hash lookup per step: `O(d_small)` expensive probes. With a probe costing
+/// roughly an order of magnitude more than a merge step, probing wins once
+/// `d_large ≥ HASH_PROBE_MISMATCH_RATIO · d_small` — i.e. once the saved
+/// `d_large` walk outweighs the per-step overhead. The default of 16 is the
+/// measured crossover region of the `similarity` Criterion bench on the
+/// paper-scale generators (hub-vs-leaf star probes win well before 16×;
+/// balanced pairs never do).
+pub const HASH_PROBE_MISMATCH_RATIO: usize = 16;
+
+/// Whether a σ(u, v) evaluation over closed degrees `deg_u` and `deg_v`
+/// should use the hash probe instead of the merge-join, per
+/// [`HASH_PROBE_MISMATCH_RATIO`].
+#[inline]
+pub fn prefer_hash_probe(deg_u: usize, deg_v: usize) -> bool {
+    let (small, large) = if deg_u <= deg_v {
+        (deg_u, deg_v)
+    } else {
+        (deg_v, deg_u)
+    };
+    large >= small.saturating_mul(HASH_PROBE_MISMATCH_RATIO)
+}
 
 /// Per-vertex hash maps from neighbor id to edge weight.
 #[derive(Debug)]
@@ -20,12 +62,23 @@ pub struct NeighborIndex {
 }
 
 impl NeighborIndex {
-    /// Builds the index for all vertices.
+    /// Builds the index for all vertices on the persistent worker pool,
+    /// using every available hardware thread. Each vertex's map is built
+    /// independently, so the result is identical to a sequential build.
     pub fn new(g: &CsrGraph) -> Self {
-        let maps = g
-            .vertices()
-            .map(|v| g.neighbors(v).collect::<HashMap<VertexId, Weight>>())
-            .collect();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Self::with_threads(g, threads)
+    }
+
+    /// Builds the index with an explicit worker count (`<= 1` runs on the
+    /// calling thread).
+    pub fn with_threads(g: &CsrGraph, threads: usize) -> Self {
+        let maps = parallel_map_adaptive(threads, g.num_vertices(), |v| {
+            g.neighbors(v as VertexId)
+                .collect::<HashMap<VertexId, Weight>>()
+        });
         NeighborIndex { maps }
     }
 
@@ -56,12 +109,117 @@ impl NeighborIndex {
         }
         num / (g.norm_sq(u) * g.norm_sq(v)).sqrt()
     }
+
+    /// Exact σ choosing hash probe vs merge-join per [`prefer_hash_probe`].
+    /// Bit-identical to [`sigma_raw`] either way (see the module docs).
+    pub fn sigma_adaptive(&self, g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
+        if prefer_hash_probe(g.degree(u), g.degree(v)) {
+            self.sigma(g, u, v)
+        } else {
+            sigma_raw(g, u, v)
+        }
+    }
+
+    /// Appends σ(u, v) for every closed neighbor `v > u` of `u` to `out`,
+    /// in adjacency (ascending id) order — the bulk evaluation of the
+    /// similarity-index build, where each undirected edge is scored from
+    /// its lower endpoint.
+    ///
+    /// `u`'s closed neighborhood is stamped into the dense `scratch` once;
+    /// each `v` is then scored with a single pass over its own adjacency,
+    /// `O(d_v)` instead of the merge-join's `O(d_u + d_v)`. Badly
+    /// size-mismatched pairs still divert to the hash probe per
+    /// [`prefer_hash_probe`] (scanning all of a hub's adjacency from a leaf
+    /// row would be worse than probing). Common neighbors are visited in
+    /// ascending id order on every path, and the dense pass's extra `+ 0.0`
+    /// terms cannot perturb a partial sum that is never `-0.0`, so the
+    /// results are bit-identical to [`sigma_raw`].
+    pub fn sigma_row(
+        &self,
+        g: &CsrGraph,
+        u: VertexId,
+        scratch: &mut RowScratch,
+        out: &mut Vec<f64>,
+    ) {
+        assert!(
+            scratch.weight.len() >= g.num_vertices(),
+            "RowScratch sized for {} vertices, graph has {}",
+            scratch.weight.len(),
+            g.num_vertices()
+        );
+        let nu = g.neighbor_ids(u);
+        let wu = g.neighbor_weights(u);
+        let tag = scratch.next_tag();
+        for (i, &r) in nu.iter().enumerate() {
+            scratch.weight[r as usize] = wu[i];
+            scratch.stamp[r as usize] = tag;
+        }
+        let du = nu.len();
+        let norm_u = g.norm_sq(u);
+        for &v in nu.iter().filter(|&&v| v > u) {
+            let nv = g.neighbor_ids(v);
+            let s = if prefer_hash_probe(du, nv.len()) {
+                self.sigma(g, u, v)
+            } else {
+                let wv = g.neighbor_weights(v);
+                let mut num = 0.0f64;
+                // SAFETY: `j < nv.len()` bounds `nv`/`wv` (parallel CSR
+                // slices), and every neighbor id is `< num_vertices()`,
+                // which the assert above bounds against the scratch arrays.
+                unsafe {
+                    for j in 0..nv.len() {
+                        let r = *nv.get_unchecked(j) as usize;
+                        let m = if *scratch.stamp.get_unchecked(r) == tag {
+                            *scratch.weight.get_unchecked(r)
+                        } else {
+                            0.0
+                        };
+                        num += *wv.get_unchecked(j) * m;
+                    }
+                }
+                num / (norm_u * g.norm_sq(v)).sqrt()
+            };
+            out.push(s);
+        }
+    }
+}
+
+/// Reusable dense scratch for [`NeighborIndex::sigma_row`]: one weight and
+/// one stamp slot per vertex. Allocate once per worker and reuse it across
+/// every row evaluated there; stamping makes clearing between rows free.
+#[derive(Debug)]
+pub struct RowScratch {
+    weight: Vec<Weight>,
+    stamp: Vec<u32>,
+    tag: u32,
+}
+
+impl RowScratch {
+    /// A scratch for graphs of up to `n` vertices.
+    pub fn new(n: usize) -> Self {
+        RowScratch {
+            weight: vec![0.0; n],
+            stamp: vec![u32::MAX; n],
+            tag: 0,
+        }
+    }
+
+    /// Claims a fresh tag; on (u32) wrap-around all stamps are cleared so a
+    /// recycled tag can never alias a stale row.
+    fn next_tag(&mut self) -> u32 {
+        if self.tag == u32::MAX {
+            self.stamp.fill(u32::MAX);
+            self.tag = 0;
+        }
+        let t = self.tag;
+        self.tag += 1;
+        t
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernel::sigma_raw;
     use anyscan_graph::gen::{erdos_renyi, WeightModel};
     use anyscan_graph::GraphBuilder;
     use rand::rngs::StdRng;
@@ -83,6 +241,24 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = erdos_renyi(&mut rng, 300, 2_400, WeightModel::uniform_default());
+        let seq = NeighborIndex::with_threads(&g, 1);
+        let par = NeighborIndex::with_threads(&g, 4);
+        assert_eq!(seq.len(), par.len());
+        for u in g.vertices() {
+            for &v in g.neighbor_ids(u) {
+                assert_eq!(
+                    seq.sigma(&g, u, v).to_bits(),
+                    par.sigma(&g, u, v).to_bits(),
+                    "σ({u},{v}) differs between 1- and 4-thread builds"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn handles_size_mismatch() {
         // Star: hub vs leaf neighborhoods are maximally mismatched.
         let mut b = GraphBuilder::new(101);
@@ -94,6 +270,121 @@ mod tests {
         let expect = sigma_raw(&g, 0, 1);
         assert!((idx.sigma(&g, 0, 1) - expect).abs() < 1e-12);
         assert!((idx.sigma(&g, 1, 0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossover_threshold_is_pinned() {
+        // Balanced pairs stay on the merge-join.
+        assert!(!prefer_hash_probe(10, 10));
+        assert!(!prefer_hash_probe(100, 120));
+        // Just below the documented ratio: still merge-join.
+        assert!(!prefer_hash_probe(10, 10 * HASH_PROBE_MISMATCH_RATIO - 1));
+        assert!(!prefer_hash_probe(10 * HASH_PROBE_MISMATCH_RATIO - 1, 10));
+        // At and beyond the ratio: hash probe, from either argument order.
+        assert!(prefer_hash_probe(10, 10 * HASH_PROBE_MISMATCH_RATIO));
+        assert!(prefer_hash_probe(10 * HASH_PROBE_MISMATCH_RATIO, 10));
+        assert!(prefer_hash_probe(2, 1000));
+        // Degenerate degrees never overflow.
+        assert!(prefer_hash_probe(0, 0));
+        assert!(prefer_hash_probe(usize::MAX, 1));
+    }
+
+    #[test]
+    fn sigma_adaptive_is_bit_identical_to_merge_join() {
+        // Star plus a small clique: the hub/leaf pairs cross the ratio, the
+        // clique pairs stay under it, so both paths are exercised.
+        let mut b = GraphBuilder::new(204);
+        for v in 1..200u32 {
+            b.add_edge(0, v, 0.7);
+        }
+        for u in 200..204u32 {
+            for v in (u + 1)..204 {
+                b.add_edge(u, v, 0.9);
+            }
+        }
+        b.add_edge(0, 200, 0.3);
+        let g = b.build();
+        let idx = NeighborIndex::new(&g);
+        let mut probed = 0;
+        for u in g.vertices() {
+            for &v in g.neighbor_ids(u) {
+                if prefer_hash_probe(g.degree(u), g.degree(v)) {
+                    probed += 1;
+                }
+                assert_eq!(
+                    idx.sigma_adaptive(&g, u, v).to_bits(),
+                    sigma_raw(&g, u, v).to_bits(),
+                    "σ({u},{v}) not bit-identical across strategies"
+                );
+            }
+        }
+        assert!(probed > 0, "the hash-probe path was never taken");
+    }
+
+    #[test]
+    fn sigma_row_is_bit_identical_to_merge_join() {
+        // Random graph: dense-pass path. One scratch reused across rows
+        // checks that stamping isolates consecutive rows.
+        let mut rng = StdRng::seed_from_u64(41);
+        let g = erdos_renyi(&mut rng, 180, 1_500, WeightModel::uniform_default());
+        let idx = NeighborIndex::new(&g);
+        let mut scratch = RowScratch::new(g.num_vertices());
+        for u in g.vertices() {
+            let mut row = Vec::new();
+            idx.sigma_row(&g, u, &mut scratch, &mut row);
+            let upper: Vec<_> = g.neighbor_ids(u).iter().filter(|&&v| v > u).collect();
+            assert_eq!(row.len(), upper.len());
+            for (&&v, s) in upper.iter().zip(&row) {
+                assert_eq!(
+                    s.to_bits(),
+                    sigma_raw(&g, u, v).to_bits(),
+                    "σ({u},{v}) row evaluation not bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_row_takes_the_probe_path_for_skewed_pairs() {
+        // Star plus clique (as above): leaf rows meet the hub and divert to
+        // the hash probe; the clique stays on the dense pass.
+        let mut b = GraphBuilder::new(204);
+        for v in 1..200u32 {
+            b.add_edge(0, v, 0.7);
+        }
+        for u in 200..204u32 {
+            for v in (u + 1)..204 {
+                b.add_edge(u, v, 0.9);
+            }
+        }
+        b.add_edge(0, 200, 0.3);
+        let g = b.build();
+        let idx = NeighborIndex::new(&g);
+        let mut scratch = RowScratch::new(g.num_vertices());
+        for u in g.vertices() {
+            let mut row = Vec::new();
+            idx.sigma_row(&g, u, &mut scratch, &mut row);
+            let upper: Vec<_> = g.neighbor_ids(u).iter().filter(|&&v| v > u).collect();
+            for (&&v, s) in upper.iter().zip(&row) {
+                assert_eq!(s.to_bits(), sigma_raw(&g, u, v).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn row_scratch_survives_tag_wraparound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi(&mut rng, 30, 120, WeightModel::uniform_default());
+        let idx = NeighborIndex::new(&g);
+        let mut scratch = RowScratch::new(g.num_vertices());
+        scratch.tag = u32::MAX - 1; // two rows away from wrapping
+        for u in g.vertices() {
+            let mut row = Vec::new();
+            idx.sigma_row(&g, u, &mut scratch, &mut row);
+            for (i, &v) in g.neighbor_ids(u).iter().filter(|&&v| v > u).enumerate() {
+                assert_eq!(row[i].to_bits(), sigma_raw(&g, u, v).to_bits());
+            }
+        }
     }
 
     #[test]

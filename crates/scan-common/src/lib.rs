@@ -23,7 +23,7 @@ pub mod result;
 pub mod verify;
 
 pub use atomic_cache::AtomicEdgeCache;
-pub use index::NeighborIndex;
+pub use index::{prefer_hash_probe, NeighborIndex, RowScratch, HASH_PROBE_MISMATCH_RATIO};
 pub use kernel::{Kernel, SimStats};
 pub use params::ScanParams;
 pub use result::{Clustering, Role, RoleCounts, NOISE, UNCLASSIFIED};

@@ -89,11 +89,20 @@ pub enum Counter {
     UnionsStep2,
     /// Successful `Union` operations during Step 3.
     UnionsStep3,
+    /// σ evaluations performed while building the similarity index (one per
+    /// undirected edge; mirror arcs are copied, not recomputed).
+    IndexSigmaEvals,
+    /// (ε, μ) queries answered from the similarity index.
+    IndexQueries,
+    /// Core vertices found across all index queries.
+    IndexCoresFound,
+    /// Border vertices attached across all index queries.
+    IndexBordersAttached,
 }
 
 impl Counter {
     /// All counters, in storage order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 20] = [
         Counter::SigmaEvals,
         Counter::Lemma5Filtered,
         Counter::SharedEvals,
@@ -110,6 +119,10 @@ impl Counter {
         Counter::UnionsStep1,
         Counter::UnionsStep2,
         Counter::UnionsStep3,
+        Counter::IndexSigmaEvals,
+        Counter::IndexQueries,
+        Counter::IndexCoresFound,
+        Counter::IndexBordersAttached,
     ];
 
     /// Number of counters (array sizing).
@@ -134,6 +147,10 @@ impl Counter {
             Counter::UnionsStep1 => "unions_step1",
             Counter::UnionsStep2 => "unions_step2",
             Counter::UnionsStep3 => "unions_step3",
+            Counter::IndexSigmaEvals => "index_sigma_evals",
+            Counter::IndexQueries => "index_queries",
+            Counter::IndexCoresFound => "index_cores_found",
+            Counter::IndexBordersAttached => "index_borders_attached",
         }
     }
 }
