@@ -95,6 +95,11 @@ commands:
   cluster      --input FILE | --dataset ID  --eps E --mu M
                [--algo anyscan|scan|scan-b|pscan|scan++] [--threads T]
                [--block B] [--labels-out FILE] [--trace-json FILE] [--no-opt]
+               [--deadline-ms MS] [--max-blocks N]
+               [--checkpoint FILE.asck] [--checkpoint-every N]
+  resume       --checkpoint FILE.asck  --input FILE | --dataset ID
+               [--threads T] [--labels-out FILE] [--trace-json FILE]
+               [--deadline-ms MS] [--max-blocks N] [--checkpoint-every N]
   explore      --input FILE | --dataset ID  [--eps a,b,c] [--mu a,b,c]
                [--threads T]
   hierarchy    --input FILE | --dataset ID  [--mu M] [--eps a,b,c]
@@ -102,6 +107,7 @@ commands:
   interactive  --input FILE | --dataset ID  --eps E --mu M
                [--checkpoint-ms MS] [--threads T] [--trace-json FILE]
                [--index FILE.asix]   (answer from a prebuilt index instantly)
+               [--deadline-ms MS] [--max-blocks N] [--checkpoint FILE.asck]
   index build  --input FILE | --dataset ID  --out FILE.asix
                [--threads T] [--trace-json FILE]
   index query  --input FILE | --dataset ID  --index FILE.asix
@@ -110,7 +116,12 @@ commands:
 dataset ids: GR01..GR05, LFR01..LFR05, LFR11..LFR15 (Table I/II analogues)
 
 --trace-json writes the run's structured telemetry (spans, counters, pool
-utilization, anytime snapshots; schema checked by anyscan-trace-check)"
+utilization, anytime snapshots; schema checked by anyscan-trace-check)
+
+execution control: Ctrl-C, --deadline-ms, and --max-blocks all stop a run
+cleanly at the next block boundary with the best-so-far clustering;
+--checkpoint-every N writes a crash-safe .asck checkpoint every N blocks,
+and `resume` continues a run from one (same clustering as uninterrupted)"
     );
 }
 

@@ -2,12 +2,16 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
-use std::time::Instant;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 use anyscan::explore::EpsilonExplorer;
 use anyscan::hierarchy::EpsilonHierarchy;
 use anyscan::telemetry::MetaValue;
-use anyscan::{anyscan, AnyScan, AnyScanConfig, Phase, Telemetry};
+use anyscan::{
+    anyscan, AnyScan, AnyScanConfig, Checkpoint, Counter, PartialResult, Phase, Recorder,
+    RunControl, Telemetry,
+};
 use anyscan_baselines::{pscan, scan, scan_b, scanpp};
 use anyscan_graph::gen::{
     erdos_renyi, lfr, planted_partition, rmat, Dataset, DatasetId, LfrParams,
@@ -75,6 +79,68 @@ fn scan_params(opts: &Options) -> Result<ScanParams, String> {
         return Err("--mu must be >= 1".into());
     }
     Ok(ScanParams::new(eps, mu))
+}
+
+/// Builds the run's cancellation token from `--deadline-ms` / `--max-blocks`
+/// and installs the Ctrl-C handler (cooperative: the driver notices at the
+/// next block boundary).
+fn run_control(opts: &Options) -> Result<RunControl, String> {
+    crate::sigint::install();
+    let mut ctl = RunControl::new().with_interrupt_flag(crate::sigint::flag());
+    if let Some(raw) = opts.get_str("deadline-ms") {
+        let ms: u64 = raw
+            .parse()
+            .map_err(|_| format!("bad value for --deadline-ms: {raw:?}"))?;
+        ctl = ctl.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(raw) = opts.get_str("max-blocks") {
+        let blocks: u64 = raw
+            .parse()
+            .map_err(|_| format!("bad value for --max-blocks: {raw:?}"))?;
+        ctl = ctl.with_max_blocks(blocks);
+    }
+    Ok(ctl)
+}
+
+/// `--checkpoint-every N` + `--checkpoint FILE` pair; `every == 0` disables.
+fn checkpoint_options(opts: &Options) -> Result<(u64, Option<String>), String> {
+    let every: u64 = opts.get_or("checkpoint-every", 0)?;
+    let path = opts.get_str("checkpoint").map(str::to_string);
+    if every > 0 && path.is_none() {
+        return Err("--checkpoint-every needs --checkpoint FILE".into());
+    }
+    Ok((every, path))
+}
+
+/// Drives a (possibly resumed) anytime run under `ctl`, checkpointing to
+/// `ckpt_path` every `every` blocks, and reports an early stop.
+fn run_to_partial(
+    algo: &mut AnyScan<'_>,
+    ctl: &RunControl,
+    every: u64,
+    ckpt_path: Option<&str>,
+) -> Result<PartialResult, String> {
+    let partial = algo
+        .run_controlled_with(ctl, every, |a| {
+            a.checkpoint()
+                .save(Path::new(ckpt_path.expect("validated")))
+        })
+        .map_err(|e| e.to_string())?;
+    if !partial.completion.is_complete() {
+        eprintln!(
+            "stopped early ({}) in phase {:?} after {} blocks; partial clustering returned",
+            partial.completion.label(),
+            partial.phase,
+            partial.blocks
+        );
+        if let Some(path) = ckpt_path {
+            algo.checkpoint()
+                .save(Path::new(path))
+                .map_err(|e| e.to_string())?;
+            eprintln!("checkpoint saved; continue with: anyscan resume --checkpoint {path} ...");
+        }
+    }
+    Ok(partial)
 }
 
 pub fn stats(opts: &Options) -> CmdResult {
@@ -204,12 +270,19 @@ pub fn cluster(opts: &Options) -> CmdResult {
             } else {
                 Telemetry::disabled()
             };
+            let ctl = run_control(opts)?;
+            let (every, ckpt_path) = checkpoint_options(opts)?;
             let mut a = AnyScan::new(&g, config).with_telemetry(telemetry.clone());
-            let c = a.run();
+            let partial = run_to_partial(&mut a, &ctl, every, ckpt_path.as_deref())?;
             if let Some(path) = trace_path {
+                telemetry.add(Counter::FaultsInjected, anyscan_faults::injected());
                 write_trace(path, &telemetry, &g, params, threads)?;
             }
-            (c, a.stats().sigma_evals, a.stats().cache_hits)
+            (
+                partial.clustering,
+                a.stats().sigma_evals,
+                a.stats().cache_hits,
+            )
         }
         other => return Err(format!("unknown --algo {other:?}")),
     };
@@ -227,6 +300,70 @@ pub fn cluster(opts: &Options) -> CmdResult {
     if let Some(path) = opts.get_str("labels-out") {
         write_labels(path, &clustering)?;
         println!("labels written to {path}");
+    }
+    Ok(())
+}
+
+/// `anyscan resume --checkpoint FILE --input FILE|--dataset ID`: reloads an
+/// `ASCK` checkpoint, verifies it against the graph, and continues the run
+/// from the saved block boundary. (ε, μ) and the ablation levers come from
+/// the checkpoint; `--threads` may override the schedule (the clustering is
+/// unaffected). Supports the same `--deadline-ms` / `--max-blocks` /
+/// `--checkpoint-every` controls as `cluster`.
+pub fn resume(opts: &Options) -> CmdResult {
+    let ckpt_path = opts
+        .get_str("checkpoint")
+        .ok_or("missing --checkpoint FILE")?;
+    let ck = Checkpoint::load(Path::new(ckpt_path)).map_err(|e| e.to_string())?;
+    let g = load_graph(opts)?;
+    let params = ck.params();
+    let threads: usize = opts.get_or("threads", 0)?; // 0 = keep checkpointed count
+    let trace_path = opts.get_str("trace-json");
+    let telemetry = if trace_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let mut algo = ck
+        .restore_with_telemetry(&g, threads, telemetry.clone())
+        .map_err(|e| format!("--checkpoint {ckpt_path}: {e}"))?;
+    telemetry.add(Counter::ResumeLoads, 1);
+    println!(
+        "resumed {ckpt_path}: phase {:?}, {} blocks done (eps={}, mu={})",
+        ck.phase(),
+        ck.blocks(),
+        params.epsilon,
+        params.mu
+    );
+
+    let ctl = run_control(opts)?;
+    let every: u64 = opts.get_or("checkpoint-every", 0)?;
+    let start = Instant::now();
+    let partial = run_to_partial(&mut algo, &ctl, every, Some(ckpt_path))?;
+    let elapsed = start.elapsed();
+
+    let rc = partial.clustering.role_counts();
+    println!("completion  {}", partial.completion.label());
+    println!("runtime     {elapsed:?} (this session)");
+    println!("blocks      {}", partial.blocks);
+    println!("sigma evals {}", algo.stats().sigma_evals);
+    println!("clusters    {}", partial.clustering.num_clusters());
+    println!("cores       {}", rc.cores);
+    println!("borders     {}", rc.borders);
+    println!("hubs        {}", rc.hubs);
+    println!("outliers    {}", rc.outliers);
+    if let Some(path) = opts.get_str("labels-out") {
+        write_labels(path, &partial.clustering)?;
+        println!("labels written to {path}");
+    }
+    if let Some(path) = trace_path {
+        let effective_threads = if threads == 0 {
+            ck.config(0).threads
+        } else {
+            threads
+        };
+        telemetry.add(Counter::FaultsInjected, anyscan_faults::injected());
+        write_trace(path, &telemetry, &g, params, effective_threads)?;
     }
     Ok(())
 }
@@ -508,6 +645,8 @@ pub fn interactive(opts: &Options) -> CmdResult {
     } else {
         Telemetry::disabled()
     };
+    let ctl = run_control(opts)?;
+    let ckpt_path = opts.get_str("checkpoint");
     let mut algo = AnyScan::new(&g, config).with_telemetry(telemetry.clone());
     let mut next = checkpoint;
     println!(
@@ -516,6 +655,28 @@ pub fn interactive(opts: &Options) -> CmdResult {
         g.num_edges()
     );
     while algo.phase() != Phase::Done {
+        if let Some(reason) = ctl.check(algo.blocks_executed()) {
+            let partial = algo.partial();
+            let rc = partial.clustering.role_counts();
+            eprintln!(
+                "stopped early ({}) in phase {:?} after {} blocks: clusters={} cores={} unclassified={}",
+                reason.label(),
+                partial.phase,
+                partial.blocks,
+                partial.clustering.num_clusters(),
+                rc.cores,
+                rc.unclassified
+            );
+            if let Some(path) = ckpt_path {
+                algo.checkpoint()
+                    .save(Path::new(path))
+                    .map_err(|e| e.to_string())?;
+                eprintln!(
+                    "checkpoint saved; continue with: anyscan resume --checkpoint {path} ..."
+                );
+            }
+            return Ok(());
+        }
         algo.step();
         if algo.cumulative_time() >= next || algo.phase() == Phase::Done {
             next += checkpoint;

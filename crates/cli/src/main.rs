@@ -12,6 +12,7 @@
 
 mod args;
 mod commands;
+mod sigint;
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +43,7 @@ fn main() {
         "explore" => commands::explore(&opts),
         "hierarchy" => commands::hierarchy(&opts),
         "interactive" => commands::interactive(&opts),
+        "resume" => commands::resume(&opts),
         "index" => match sub.as_deref() {
             Some("build") => commands::index_build(&opts),
             Some("query") => commands::index_query(&opts),

@@ -1,0 +1,50 @@
+//! Ctrl-C as a cooperative cancel source.
+//!
+//! The handler only flips a static atomic — the driver notices it at the
+//! next block boundary (via [`anyscan::RunControl::with_interrupt_flag`])
+//! and stops cleanly with the Lemma-1 best-so-far snapshot. No dependency:
+//! the raw libc `signal` symbol is declared directly; an atomic store is
+//! async-signal-safe.
+
+use std::sync::atomic::AtomicBool;
+
+pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// The interrupt flag to attach to a [`anyscan::RunControl`].
+pub fn flag() -> &'static AtomicBool {
+    &INTERRUPTED
+}
+
+#[cfg(unix)]
+pub fn install() {
+    use std::sync::atomic::Ordering;
+
+    extern "C" fn handle(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::Release);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, handle as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+pub fn install() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn flag_starts_clear_and_install_is_idempotent() {
+        install();
+        install();
+        assert!(!flag().load(Ordering::Acquire));
+    }
+}

@@ -1,0 +1,178 @@
+//! Cooperative execution control for the anytime loop.
+//!
+//! A [`RunControl`] token is checked at every block boundary (the paper's
+//! suspension points). When it trips — explicit cancel, SIGINT flag,
+//! deadline, or block budget — the driver stops cleanly and hands back the
+//! Lemma-1 best-so-far snapshot as a [`PartialResult`] instead of panicking
+//! or running on.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use anyscan_scan_common::Clustering;
+
+use crate::driver::Phase;
+
+/// How a controlled run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// The run reached [`Phase::Done`]; the clustering is exact.
+    Complete,
+    /// [`RunControl::cancel`] (or the attached interrupt flag) tripped.
+    Canceled,
+    /// The wall-clock deadline expired.
+    DeadlineExpired,
+    /// The block budget was exhausted.
+    BudgetExhausted,
+    /// The run is merely paused (e.g. a snapshot taken mid-run); stepping
+    /// can continue.
+    Suspended,
+}
+
+impl Completion {
+    /// True only for [`Completion::Complete`].
+    pub fn is_complete(self) -> bool {
+        self == Completion::Complete
+    }
+
+    /// Stable lowercase label for human output and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            Completion::Complete => "complete",
+            Completion::Canceled => "canceled",
+            Completion::DeadlineExpired => "deadline_expired",
+            Completion::BudgetExhausted => "budget_exhausted",
+            Completion::Suspended => "suspended",
+        }
+    }
+}
+
+/// The anytime clustering a run hands back when it stops — complete or not.
+///
+/// Lemma 1 guarantees the snapshot is valid at any block boundary: every
+/// labeled vertex belongs to the cluster of one of its super-nodes, and no
+/// clustered vertex sits in a noise state.
+#[derive(Debug, Clone)]
+pub struct PartialResult {
+    /// Best-so-far clustering (exact iff `completion.is_complete()`).
+    pub clustering: Clustering,
+    /// Why the run stopped.
+    pub completion: Completion,
+    /// Phase the run was in when it stopped.
+    pub phase: Phase,
+    /// Block iterations executed so far (including resumed-from blocks).
+    pub blocks: u64,
+}
+
+/// Shared cancellation token with optional deadline and block budget.
+///
+/// Clone-cheap (`Arc` inside); hand one clone to the driver and keep
+/// another to [`cancel`](RunControl::cancel) from elsewhere. An external
+/// `&'static AtomicBool` (a SIGINT flag) can be attached as an additional
+/// cancel source.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    canceled: Arc<AtomicBool>,
+    interrupt: Option<&'static AtomicBool>,
+    deadline: Option<Instant>,
+    max_blocks: Option<u64>,
+}
+
+impl RunControl {
+    /// A control that never trips on its own.
+    pub fn new() -> RunControl {
+        RunControl::default()
+    }
+
+    /// Trips after `timeout` of wall clock, measured from this call.
+    pub fn with_deadline(mut self, timeout: Duration) -> RunControl {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Trips once `max_blocks` block iterations have executed.
+    pub fn with_max_blocks(mut self, max_blocks: u64) -> RunControl {
+        self.max_blocks = Some(max_blocks);
+        self
+    }
+
+    /// Attaches an external cancel flag (e.g. set by a SIGINT handler);
+    /// reads as [`Completion::Canceled`] when true.
+    pub fn with_interrupt_flag(mut self, flag: &'static AtomicBool) -> RunControl {
+        self.interrupt = Some(flag);
+        self
+    }
+
+    /// Requests cancellation; the driver honors it at the next block
+    /// boundary. Safe to call from any thread.
+    pub fn cancel(&self) {
+        self.canceled.store(true, Ordering::Release);
+    }
+
+    /// True once [`cancel`](RunControl::cancel) or the interrupt flag fired.
+    pub fn is_canceled(&self) -> bool {
+        self.canceled.load(Ordering::Acquire)
+            || self.interrupt.is_some_and(|f| f.load(Ordering::Acquire))
+    }
+
+    /// Returns the trip reason, if any, given `blocks_done` executed block
+    /// iterations. Checked by the driver before every block.
+    pub fn check(&self, blocks_done: u64) -> Option<Completion> {
+        if self.is_canceled() {
+            return Some(Completion::Canceled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(Completion::DeadlineExpired);
+            }
+        }
+        if let Some(max) = self.max_blocks {
+            if blocks_done >= max {
+                return Some(Completion::BudgetExhausted);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untripped_by_default() {
+        let ctl = RunControl::new();
+        assert_eq!(ctl.check(0), None);
+        assert_eq!(ctl.check(u64::MAX), None);
+    }
+
+    #[test]
+    fn cancel_trips_from_any_clone() {
+        let ctl = RunControl::new();
+        let other = ctl.clone();
+        other.cancel();
+        assert!(ctl.is_canceled());
+        assert_eq!(ctl.check(0), Some(Completion::Canceled));
+    }
+
+    #[test]
+    fn deadline_and_budget_trip() {
+        let ctl = RunControl::new().with_deadline(Duration::ZERO);
+        assert_eq!(ctl.check(0), Some(Completion::DeadlineExpired));
+
+        let ctl = RunControl::new().with_max_blocks(10);
+        assert_eq!(ctl.check(9), None);
+        assert_eq!(ctl.check(10), Some(Completion::BudgetExhausted));
+    }
+
+    #[test]
+    fn interrupt_flag_reads_as_cancel() {
+        static FLAG: AtomicBool = AtomicBool::new(false);
+        let ctl = RunControl::new().with_interrupt_flag(&FLAG);
+        assert_eq!(ctl.check(0), None);
+        FLAG.store(true, Ordering::Release);
+        assert_eq!(ctl.check(0), Some(Completion::Canceled));
+        FLAG.store(false, Ordering::Release);
+    }
+}

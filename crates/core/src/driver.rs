@@ -9,7 +9,10 @@ use anyscan_parallel::WorkerPool;
 use anyscan_scan_common::{Clustering, Kernel, ScanParams, SimStats};
 use anyscan_telemetry::{BlockSnapshot, Counter, PoolUtilization, Recorder, Telemetry};
 
+use crate::checkpoint::Checkpoint;
 use crate::config::{AnyScanConfig, DsuKind};
+use crate::control::{Completion, PartialResult, RunControl};
+use crate::error::{AnyScanError, ErrorKind};
 use crate::snapshot::build_snapshot;
 use crate::state::StateTable;
 use crate::supernode::SuperNodes;
@@ -179,14 +182,21 @@ pub struct AnyScan<'g> {
     /// is unprocessed-noise and has no stored ε-neighborhood).
     pub(crate) work_aux: Vec<Option<usize>>,
     pub(crate) work_cursor: usize,
-    phase: Phase,
-    phase_initialized: bool,
+    pub(crate) phase: Phase,
+    pub(crate) phase_initialized: bool,
     iterations: Vec<IterationRecord>,
-    cumulative: Duration,
-    union_marks: UnionBreakdown,
+    /// Block iterations executed before this driver instance was created —
+    /// nonzero only on a checkpoint-resumed run, so iteration indices (and
+    /// telemetry snapshot indices) stay globally monotone across resumes.
+    pub(crate) iteration_base: usize,
+    pub(crate) cumulative: Duration,
+    pub(crate) union_marks: UnionBreakdown,
     /// Shared-DSU union count at the moment of conversion (the AtomicDsu
     /// carries Step 1's tally over; deltas are measured from here).
-    shared_union_base: u64,
+    pub(crate) shared_union_base: u64,
+    /// End-of-run telemetry aggregates published already (they are additive
+    /// counter bumps, so they must fire at most once per driver instance).
+    telemetry_published: bool,
     /// Telemetry handle (disabled by default; see
     /// [`AnyScan::with_telemetry`]). The hot-path hooks in steps 1–4 go
     /// through this — one `Option` branch each when disabled.
@@ -225,9 +235,11 @@ impl<'g> AnyScan<'g> {
             phase: Phase::Summarize,
             phase_initialized: false,
             iterations: Vec::new(),
+            iteration_base: 0,
             cumulative: Duration::ZERO,
             union_marks: UnionBreakdown::default(),
             shared_union_base: 0,
+            telemetry_published: false,
             telemetry: Telemetry::disabled(),
             pool_base: PoolUtilization::default(),
         }
@@ -364,7 +376,7 @@ impl<'g> AnyScan<'g> {
         self.cumulative += elapsed;
         let record = IterationRecord {
             phase: self.phase,
-            index: self.iterations.len(),
+            index: self.iteration_base + self.iterations.len(),
             block_len,
             elapsed,
             cumulative: self.cumulative,
@@ -403,10 +415,15 @@ impl<'g> AnyScan<'g> {
     }
 
     /// Publishes the end-of-run aggregates exactly once, on the transition
-    /// to [`Phase::Done`]: kernel counters (absorbed from [`Kernel::stats`]
-    /// at report time instead of double-counting the hot path), the
-    /// per-step union totals and this run's pool-utilization delta.
-    fn publish_final_telemetry(&self) {
+    /// to [`Phase::Done`] (or when a controlled run stops early): kernel
+    /// counters (absorbed from [`Kernel::stats`] at report time instead of
+    /// double-counting the hot path), the per-step union totals and this
+    /// run's pool-utilization delta.
+    fn publish_final_telemetry(&mut self) {
+        if self.telemetry_published {
+            return;
+        }
+        self.telemetry_published = true;
         let t = &self.telemetry;
         let s = self.kernel.stats();
         t.add(Counter::SigmaEvals, s.sigma_evals);
@@ -433,6 +450,116 @@ impl<'g> AnyScan<'g> {
             self.step();
         }
         self.result()
+    }
+
+    /// Block iterations executed so far, including any executed before a
+    /// checkpoint this run was resumed from.
+    pub fn blocks_executed(&self) -> u64 {
+        (self.iteration_base + self.iterations.len()) as u64
+    }
+
+    /// Like [`step`](Self::step), but converts a panic inside the block —
+    /// a poisoned worker-pool job, an injected `driver::block` fault — into
+    /// a typed [`AnyScanError`] instead of unwinding through the caller.
+    /// The worker pool survives a captured panic and stays reusable; the
+    /// run itself must be abandoned (its block-local invariants may be torn
+    /// mid-flight), typically by resuming from the last checkpoint.
+    pub fn try_step(&mut self) -> Result<IterationRecord, AnyScanError> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        catch_unwind(AssertUnwindSafe(|| {
+            anyscan_faults::fire_panic("driver::block");
+            self.step()
+        }))
+        .map_err(|payload| {
+            AnyScanError::new(
+                ErrorKind::Pool,
+                format!(
+                    "block iteration panicked: {}",
+                    anyscan_parallel::panic_message(payload.as_ref())
+                ),
+            )
+        })
+    }
+
+    /// Runs until completion or until `ctl` trips, returning the Lemma-1
+    /// best-so-far snapshot either way. Panics inside a block surface as
+    /// typed errors ([`try_step`](Self::try_step)).
+    pub fn run_controlled(&mut self, ctl: &RunControl) -> Result<PartialResult, AnyScanError> {
+        self.run_controlled_with(ctl, 0, |_| Ok(()))
+    }
+
+    /// [`run_controlled`](Self::run_controlled) with a periodic checkpoint
+    /// hook: `on_checkpoint` runs after every `checkpoint_every` blocks
+    /// (0 disables it) while the run is still in flight.
+    pub fn run_controlled_with<F>(
+        &mut self,
+        ctl: &RunControl,
+        checkpoint_every: u64,
+        mut on_checkpoint: F,
+    ) -> Result<PartialResult, AnyScanError>
+    where
+        F: FnMut(&AnyScan<'g>) -> Result<(), AnyScanError>,
+    {
+        while self.phase != Phase::Done {
+            if let Some(reason) = ctl.check(self.blocks_executed()) {
+                self.telemetry.add(Counter::CancelTrips, 1);
+                self.publish_final_telemetry_if_enabled();
+                return Ok(self.partial_with(reason));
+            }
+            self.try_step()?;
+            if checkpoint_every > 0
+                && self.phase != Phase::Done
+                && self.blocks_executed().is_multiple_of(checkpoint_every)
+            {
+                on_checkpoint(self)?;
+                self.telemetry.add(Counter::CheckpointsWritten, 1);
+            }
+        }
+        Ok(self.partial_with(Completion::Complete))
+    }
+
+    fn publish_final_telemetry_if_enabled(&mut self) {
+        if self.telemetry.is_enabled() {
+            self.publish_final_telemetry();
+        }
+    }
+
+    /// The anytime result at this instant: the exact clustering when the
+    /// run is [`Phase::Done`], otherwise the Lemma-1 best-so-far snapshot
+    /// marked [`Completion::Suspended`].
+    pub fn partial(&self) -> PartialResult {
+        self.partial_with(if self.phase == Phase::Done {
+            Completion::Complete
+        } else {
+            Completion::Suspended
+        })
+    }
+
+    fn partial_with(&self, completion: Completion) -> PartialResult {
+        PartialResult {
+            clustering: build_snapshot(self, self.phase == Phase::Done),
+            completion,
+            phase: self.phase,
+            blocks: self.blocks_executed(),
+        }
+    }
+
+    /// Captures the full anytime state as a [`Checkpoint`] (serializable,
+    /// resumable). Cheap relative to a block: no similarity work.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::capture(self)
+    }
+
+    /// Reconstructs a run from a checkpoint over the *same* graph (the
+    /// stored fingerprint is verified). `threads` overrides the thread
+    /// count — everything else, including (ε, μ) and the draw order's seed,
+    /// comes from the checkpoint.
+    pub fn resume(
+        g: &'g CsrGraph,
+        checkpoint: &Checkpoint,
+        threads: usize,
+    ) -> Result<AnyScan<'g>, AnyScanError> {
+        checkpoint.restore(g, threads)
     }
 
     /// Best-so-far clustering at the current instant (Lemma 1: label every

@@ -1,0 +1,119 @@
+//! The workspace's typed error taxonomy.
+//!
+//! Everything fallible at the public API boundary of a run — IO, corrupt
+//! inputs, checkpoint problems, worker-job panics — surfaces as one
+//! structured [`AnyScanError`]: a machine-matchable [`ErrorKind`], a
+//! human-oriented context string, and the underlying source error when one
+//! exists. Process aborts are reserved for actual bugs (debug assertions).
+
+use anyscan_graph::types::GraphError;
+use anyscan_parallel::PoolError;
+
+/// Broad classification of an [`AnyScanError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// An operating-system IO failure (open/read/write/fsync/rename).
+    Io,
+    /// Malformed textual input (carries file context upstream).
+    Parse,
+    /// Malformed or corrupt binary data (bad magic, failed checksum,
+    /// structural invariant violation).
+    Corrupt,
+    /// A checkpoint cannot be applied (config/graph fingerprint mismatch,
+    /// inconsistent state sections).
+    Checkpoint,
+    /// A worker-pool job panicked; the pool survives, the run does not.
+    Pool,
+}
+
+impl ErrorKind {
+    fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Io => "io",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Corrupt => "corrupt",
+            ErrorKind::Checkpoint => "checkpoint",
+            ErrorKind::Pool => "pool",
+        }
+    }
+}
+
+/// A structured error: kind + context + optional source.
+#[derive(Debug)]
+pub struct AnyScanError {
+    kind: ErrorKind,
+    context: String,
+    source: Option<Box<dyn std::error::Error + Send + Sync>>,
+}
+
+impl AnyScanError {
+    /// Builds an error with no underlying source.
+    pub fn new(kind: ErrorKind, context: impl Into<String>) -> AnyScanError {
+        AnyScanError {
+            kind,
+            context: context.into(),
+            source: None,
+        }
+    }
+
+    /// Attaches the underlying cause.
+    pub fn with_source(
+        mut self,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> AnyScanError {
+        self.source = Some(Box::new(source));
+        self
+    }
+
+    /// The error's classification.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The human-oriented context line.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// Wraps an IO error with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> AnyScanError {
+        AnyScanError::new(ErrorKind::Io, context).with_source(source)
+    }
+}
+
+impl std::fmt::Display for AnyScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.label(), self.context)?;
+        if let Some(src) = &self.source {
+            write!(f, ": {src}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AnyScanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_deref()
+            .map(|s| s as &(dyn std::error::Error + 'static))
+    }
+}
+
+impl From<GraphError> for AnyScanError {
+    fn from(e: GraphError) -> AnyScanError {
+        let kind = match &e {
+            GraphError::Io(_) => ErrorKind::Io,
+            GraphError::Parse { .. } => ErrorKind::Parse,
+            GraphError::Format(_)
+            | GraphError::VertexOutOfRange { .. }
+            | GraphError::InvalidWeight { .. } => ErrorKind::Corrupt,
+        };
+        AnyScanError::new(kind, e.to_string())
+    }
+}
+
+impl From<PoolError> for AnyScanError {
+    fn from(e: PoolError) -> AnyScanError {
+        AnyScanError::new(ErrorKind::Pool, e.to_string())
+    }
+}

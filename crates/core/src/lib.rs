@@ -41,8 +41,11 @@
 //! assert_eq!(result.num_clusters(), 2);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
+pub mod control;
 pub mod driver;
+pub mod error;
 pub mod explore;
 pub mod hierarchy;
 pub mod incremental;
@@ -55,8 +58,11 @@ mod step2;
 mod step3;
 mod step4;
 
+pub use checkpoint::Checkpoint;
 pub use config::{AnyScanConfig, DsuKind};
+pub use control::{Completion, PartialResult, RunControl};
 pub use driver::{anyscan, AnyScan, IterationRecord, Phase, UnionBreakdown};
+pub use error::{AnyScanError, ErrorKind};
 pub use state::VertexState;
 
 /// The telemetry facade, re-exported so embedders need not add a separate

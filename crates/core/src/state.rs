@@ -172,6 +172,27 @@ impl StateTable {
         }
         h
     }
+
+    /// The raw state bytes in vertex order (checkpoint serialization).
+    pub fn raw_bytes(&self) -> Vec<u8> {
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Rebuilds a table from raw state bytes, rejecting any discriminant
+    /// outside Fig. 3's seven states (checkpoint deserialization).
+    pub fn from_raw(raw: Vec<u8>) -> Result<StateTable, String> {
+        for (v, &b) in raw.iter().enumerate() {
+            if b as usize >= VertexState::ALL.len() {
+                return Err(format!("vertex {v}: invalid state discriminant {b}"));
+            }
+        }
+        Ok(StateTable {
+            cells: raw.into_iter().map(AtomicU8::new).collect(),
+        })
+    }
 }
 
 /// Pairs where a *requested* transition is legitimately superseded by a

@@ -79,6 +79,20 @@ impl SuperNodes {
         debug_assert!((snid as usize) < self.nodes.len());
         self.memberships[v as usize].push(snid);
     }
+
+    /// Serialization view: the node list and the per-vertex membership
+    /// index. Memberships must be captured separately from node member
+    /// lists — Step 4's [`attach`](Self::attach) adds membership entries
+    /// that never appear in any node's `members`.
+    pub(crate) fn parts(&self) -> (&[SuperNode], &[Vec<u32>]) {
+        (&self.nodes, &self.memberships)
+    }
+
+    /// Rebuilds a registry from checkpointed parts (inverse of
+    /// [`parts`](Self::parts)).
+    pub(crate) fn from_parts(nodes: Vec<SuperNode>, memberships: Vec<Vec<u32>>) -> Self {
+        SuperNodes { nodes, memberships }
+    }
 }
 
 #[cfg(test)]

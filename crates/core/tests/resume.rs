@@ -1,0 +1,182 @@
+//! Anytime execution control, checkpoint/resume, and Lemma-1 snapshot
+//! properties over arbitrary random graphs.
+//!
+//! The load-bearing claim of the checkpoint subsystem: interrupting a run at
+//! *any* block boundary, serializing it through the full `ASCK` byte format,
+//! and resuming the deserialized state converges to a clustering
+//! SCAN-equivalent (Lemma 4) to the uninterrupted run's. And every
+//! intermediate snapshot must already be a valid Lemma-1 anytime result.
+
+use anyscan::{AnyScan, AnyScanConfig, Checkpoint, Completion, Phase, RunControl};
+use anyscan_graph::GraphBuilder;
+use anyscan_scan_common::verify::check_scan_equivalent;
+use anyscan_scan_common::{Clustering, Role, ScanParams, NOISE, UNCLASSIFIED};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = anyscan_graph::CsrGraph> {
+    (8usize..36)
+        .prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32, 0.1f64..1.0);
+            (Just(n), proptest::collection::vec(edge, 0..100))
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+}
+
+/// Lemma 1: a snapshot is a valid anytime clustering — full coverage of the
+/// vertex set, and no vertex both carries a cluster label and a noise role.
+fn assert_lemma1(c: &Clustering, n: usize) {
+    prop_assert_eq!(c.labels.len(), n);
+    prop_assert_eq!(c.roles.len(), n);
+    let rc = c.role_counts();
+    prop_assert_eq!(
+        rc.cores + rc.borders + rc.hubs + rc.outliers + rc.unclassified,
+        n,
+        "role histogram must cover every vertex"
+    );
+    for (v, (&l, &r)) in c.labels.iter().zip(&c.roles).enumerate() {
+        if l != NOISE && l != UNCLASSIFIED {
+            prop_assert!(
+                !matches!(r, Role::Hub | Role::Outlier),
+                "vertex {} is clustered (label {}) but holds noise role {:?}",
+                v,
+                l,
+                r
+            );
+        }
+        if matches!(r, Role::Core) {
+            prop_assert!(
+                l != NOISE && l != UNCLASSIFIED,
+                "core vertex {} must carry a cluster label",
+                v
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// cancel → checkpoint → serialize → parse → restore → run ≡ the
+    /// uninterrupted run, at an arbitrary stop point, under arbitrary
+    /// parameters and thread counts.
+    #[test]
+    fn resume_converges_to_uninterrupted_run(
+        g in arb_graph(),
+        eps in 0.1f64..0.95,
+        mu in 1usize..7,
+        block in 1usize..32,
+        seed in 0u64..1000,
+        threads in 1usize..4,
+        stop in 0u64..40,
+    ) {
+        let params = ScanParams::new(eps, mu);
+        let config = AnyScanConfig::new(params)
+            .with_block_size(block)
+            .with_seed(seed)
+            .with_threads(threads);
+        let expected = AnyScan::new(&g, config).run();
+
+        // Interrupt a second instance after `stop` blocks (budget trip).
+        let mut victim = AnyScan::new(&g, config);
+        let ctl = RunControl::new().with_max_blocks(stop);
+        let partial = victim.run_controlled(&ctl).expect("no faults armed");
+        if partial.completion != Completion::Complete {
+            prop_assert_eq!(partial.completion, Completion::BudgetExhausted);
+            prop_assert_eq!(partial.blocks, stop);
+        }
+
+        // Full serialization roundtrip, then resume to completion.
+        let bytes = victim.checkpoint().to_bytes();
+        let parsed = Checkpoint::from_bytes(bytes).expect("own bytes parse");
+        prop_assert_eq!(parsed.phase(), victim.phase());
+        let mut resumed = AnyScan::resume(&g, &parsed, threads).expect("restore");
+        let done = resumed.run_controlled(&RunControl::new()).expect("no faults armed");
+        prop_assert_eq!(done.completion, Completion::Complete);
+
+        if let Err(e) = check_scan_equivalent(&g, params, &expected, &done.clustering) {
+            prop_assert!(
+                false,
+                "resume diverged (eps={eps}, mu={mu}, block={block}, seed={seed}, \
+                 threads={threads}, stop={stop}): {e}"
+            );
+        }
+    }
+
+    /// Every intermediate snapshot — and the partial result a budget trip
+    /// hands back — satisfies the Lemma-1 anytime invariant.
+    #[test]
+    fn every_snapshot_satisfies_lemma1(
+        g in arb_graph(),
+        eps in 0.1f64..0.95,
+        mu in 1usize..7,
+        block in 1usize..32,
+        seed in 0u64..1000,
+    ) {
+        let params = ScanParams::new(eps, mu);
+        let config = AnyScanConfig::new(params)
+            .with_block_size(block)
+            .with_seed(seed);
+        let n = g.num_vertices();
+        let mut algo = AnyScan::new(&g, config);
+        let mut guard = 0;
+        while algo.phase() != Phase::Done {
+            assert_lemma1(&algo.snapshot(), n);
+            let partial = algo.partial();
+            prop_assert_eq!(partial.completion, Completion::Suspended);
+            assert_lemma1(&partial.clustering, n);
+            algo.step();
+            guard += 1;
+            prop_assert!(guard < 10_000, "driver failed to terminate");
+        }
+        let finished = algo.partial();
+        prop_assert_eq!(finished.completion, Completion::Complete);
+        assert_lemma1(&finished.clustering, n);
+    }
+
+    /// Corrupting any single bit — or truncating at any point — of a
+    /// serialized checkpoint yields a typed error, never a panic or a
+    /// silently-wrong load.
+    #[test]
+    fn corrupt_checkpoints_are_rejected(
+        seed in 0u64..4,
+        stop in 0u64..12,
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let g = GraphBuilder::from_unweighted_edges(
+            10,
+            vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3), (6, 7), (8, 9)],
+        ).unwrap();
+        let config = AnyScanConfig::new(ScanParams::new(0.5, 3))
+            .with_block_size(2)
+            .with_seed(seed);
+        let mut algo = AnyScan::new(&g, config);
+        let ctl = RunControl::new().with_max_blocks(stop);
+        algo.run_controlled(&ctl).expect("no faults armed");
+        let bytes = algo.checkpoint().to_bytes();
+
+        // Bit flip anywhere must be caught (header, payload, or trailer).
+        let idx = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+        let mut flipped = bytes.clone();
+        flipped[idx] ^= 1 << bit;
+        prop_assert!(
+            Checkpoint::from_bytes(flipped).is_err(),
+            "bit {} of byte {} flipped undetected", bit, idx
+        );
+
+        // Truncation at any prefix must be caught.
+        let cut = (bytes.len() as f64 * byte_frac) as usize;
+        prop_assert!(
+            Checkpoint::from_bytes(bytes[..cut.min(bytes.len() - 1)].to_vec()).is_err(),
+            "truncation to {} bytes undetected", cut
+        );
+    }
+}

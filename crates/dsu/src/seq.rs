@@ -28,6 +28,46 @@ impl DsuSeq {
         }
     }
 
+    /// Rebuilds a structure from a parent forest snapshot (e.g. loaded from
+    /// a checkpoint) and previously accumulated counters. The snapshot must
+    /// be *canonical*: every entry points directly at its set's root
+    /// (`parent[parent[x]] == parent[x]`), which is how
+    /// [`find_immutable`](Self::find_immutable) flattens one. Ranks restart
+    /// at zero — union-by-rank stays correct, only tree shapes differ.
+    pub fn from_parts(parent: Vec<u32>, counters: DsuCounters) -> Result<DsuSeq, String> {
+        let n = parent.len();
+        if n > u32::MAX as usize {
+            return Err(format!("{n} elements exceed u32 ids"));
+        }
+        let mut num_sets = 0;
+        for (x, &p) in parent.iter().enumerate() {
+            if p as usize >= n {
+                return Err(format!("element {x}: parent {p} out of range"));
+            }
+            if p == x as u32 {
+                num_sets += 1;
+            } else if parent[p as usize] != p {
+                return Err(format!(
+                    "element {x}: parent {p} is not a root (snapshot not canonical)"
+                ));
+            }
+        }
+        Ok(DsuSeq {
+            parent,
+            rank: vec![0; n],
+            counters,
+            num_sets,
+        })
+    }
+
+    /// The canonical parent forest: every element mapped to its root
+    /// (a snapshot accepted by [`from_parts`](Self::from_parts)).
+    pub fn roots(&self) -> Vec<u32> {
+        (0..self.parent.len() as u32)
+            .map(|x| self.find_immutable(x))
+            .collect()
+    }
+
     /// Appends a fresh singleton set and returns its id.
     pub fn push(&mut self) -> u32 {
         let id = self.parent.len() as u32;
@@ -194,6 +234,23 @@ mod tests {
         let d = DsuSeq::new(0);
         assert!(d.is_empty());
         assert_eq!(d.num_sets(), 0);
+    }
+
+    #[test]
+    fn roots_from_parts_roundtrip() {
+        let mut d = DsuSeq::new(6);
+        d.union(0, 3);
+        d.union(3, 5);
+        d.union(1, 2);
+        let restored = DsuSeq::from_parts(d.roots(), d.counters()).unwrap();
+        assert_eq!(restored.num_sets(), d.num_sets());
+        assert_eq!(restored.counters(), d.counters());
+        let mut a = restored;
+        assert_eq!(a.labeling(), d.labeling());
+
+        // Invalid snapshots are rejected.
+        assert!(DsuSeq::from_parts(vec![5, 0, 0], DsuCounters::default()).is_err());
+        assert!(DsuSeq::from_parts(vec![1, 2, 2], DsuCounters::default()).is_err());
     }
 
     proptest! {

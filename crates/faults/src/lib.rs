@@ -1,0 +1,272 @@
+//! Deterministic failpoint injection.
+//!
+//! Production code marks *failpoints* — named sites where an IO error, a
+//! short (torn) write, or a job panic can be injected on demand. Faults are
+//! armed either through the `ANYSCAN_FAULTS` environment variable or
+//! programmatically (tests), and fire deterministically: each site keeps a
+//! hit counter and a spec fires exactly once, on its configured hit.
+//!
+//! Spec syntax (`;`-separated):
+//!
+//! ```text
+//! ANYSCAN_FAULTS="site=action[@hit];site2=action2"
+//! ```
+//!
+//! with `action` one of `io-error`, `short-write:BYTES`, `panic` and `hit`
+//! the 1-based occurrence at which to fire (default 1). Example:
+//!
+//! ```text
+//! ANYSCAN_FAULTS="driver::block=panic@5;checkpoint::write=short-write:16"
+//! ```
+//!
+//! Failpoint catalog (sites referenced by production code):
+//!
+//! | site                  | style | effect when fired                       |
+//! |-----------------------|-------|-----------------------------------------|
+//! | `graph::read_binary`  | io    | read fails with an injected IO error    |
+//! | `graph::write_binary` | write | error, or the file is truncated         |
+//! | `index::read_index`   | io    | read fails with an injected IO error    |
+//! | `index::write_index`  | write | error, or the file is truncated         |
+//! | `checkpoint::read`    | io    | checkpoint load fails                   |
+//! | `checkpoint::write`   | write | error, or a torn (truncated) checkpoint |
+//! | `pool::job`           | panic | a worker-pool job panics mid-block      |
+//! | `driver::block`       | panic | the anytime loop panics at a boundary   |
+//!
+//! When nothing is armed the per-site check is two relaxed atomic loads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable holding the failpoint spec.
+pub const ENV_VAR: &str = "ANYSCAN_FAULTS";
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the surrounding operation with an injected `std::io::Error`.
+    IoError,
+    /// Drop the last `n` bytes of a write (a torn write), then succeed.
+    ShortWrite(usize),
+    /// Panic at the site (exercises `catch_unwind` recovery paths).
+    Panic,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FaultSpec {
+    action: FaultAction,
+    /// 1-based hit at which the fault fires (exactly once).
+    at_hit: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    specs: HashMap<String, FaultSpec>,
+    hits: HashMap<String, u64>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+static STATE: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+fn state() -> &'static Mutex<Registry> {
+    STATE.get_or_init(|| {
+        let mut reg = Registry::default();
+        if let Ok(raw) = std::env::var(ENV_VAR) {
+            match parse_spec(&raw) {
+                Ok(specs) => reg.specs = specs,
+                Err(e) => eprintln!("warning: ignoring {ENV_VAR}: {e}"),
+            }
+        }
+        if !reg.specs.is_empty() {
+            ARMED.store(true, Ordering::Release);
+        }
+        Mutex::new(reg)
+    })
+}
+
+fn parse_spec(raw: &str) -> Result<HashMap<String, FaultSpec>, String> {
+    let mut specs = HashMap::new();
+    for entry in raw.split(';').filter(|e| !e.trim().is_empty()) {
+        let (site, rest) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("{entry:?}: expected site=action"))?;
+        let (action_raw, at_hit) = match rest.split_once('@') {
+            Some((a, h)) => {
+                let hit: u64 = h
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("{entry:?}: bad hit count {h:?}"))?;
+                if hit == 0 {
+                    return Err(format!("{entry:?}: hit count is 1-based"));
+                }
+                (a, hit)
+            }
+            None => (rest, 1),
+        };
+        let action = match action_raw.trim() {
+            "io-error" => FaultAction::IoError,
+            "panic" => FaultAction::Panic,
+            other => match other.strip_prefix("short-write:") {
+                Some(n) => FaultAction::ShortWrite(
+                    n.parse()
+                        .map_err(|_| format!("{entry:?}: bad short-write byte count {n:?}"))?,
+                ),
+                None => return Err(format!("{entry:?}: unknown action {other:?}")),
+            },
+        };
+        specs.insert(site.trim().to_string(), FaultSpec { action, at_hit });
+    }
+    Ok(specs)
+}
+
+/// Checks the failpoint `site`; returns the action to apply if it fires.
+///
+/// Each call against an armed site advances that site's hit counter; the
+/// spec fires exactly once, on its configured hit. Near-zero cost when no
+/// fault is armed.
+#[inline]
+pub fn trigger(site: &str) -> Option<FaultAction> {
+    if !ARMED.load(Ordering::Acquire) {
+        if STATE.get().is_some() {
+            return None;
+        }
+        state(); // first call: parse the environment once
+        if !ARMED.load(Ordering::Acquire) {
+            return None;
+        }
+    }
+    trigger_slow(site)
+}
+
+#[cold]
+fn trigger_slow(site: &str) -> Option<FaultAction> {
+    let mut reg = state().lock().unwrap_or_else(|p| p.into_inner());
+    let spec = *reg.specs.get(site)?;
+    let hits = reg.hits.entry(site.to_string()).or_insert(0);
+    *hits += 1;
+    if *hits == spec.at_hit {
+        INJECTED.fetch_add(1, Ordering::Relaxed);
+        Some(spec.action)
+    } else {
+        None
+    }
+}
+
+/// Checks a read/open-style failpoint: `IoError` (and, degenerately, any
+/// other armed action) becomes an injected `std::io::Error`, except `Panic`
+/// which panics.
+pub fn inject_io(site: &str) -> std::io::Result<()> {
+    match trigger(site) {
+        None => Ok(()),
+        Some(FaultAction::Panic) => panic!("injected fault: {site}"),
+        Some(_) => Err(injected_io_error(site)),
+    }
+}
+
+/// Panics iff a `panic` action is armed at `site` and due; other actions at
+/// the site are ignored. For pure compute sites with no IO to fail.
+pub fn fire_panic(site: &str) {
+    if trigger(site) == Some(FaultAction::Panic) {
+        panic!("injected fault: {site}");
+    }
+}
+
+/// Applies a write-style failpoint to an in-memory payload about to be
+/// persisted: may fail with an injected IO error, or truncate the payload
+/// (a torn write that a checksum trailer must catch on read).
+pub fn inject_write(site: &str, payload: &mut Vec<u8>) -> std::io::Result<()> {
+    match trigger(site) {
+        None => Ok(()),
+        Some(FaultAction::Panic) => panic!("injected fault: {site}"),
+        Some(FaultAction::IoError) => Err(injected_io_error(site)),
+        Some(FaultAction::ShortWrite(n)) => {
+            let keep = payload.len().saturating_sub(n.max(1));
+            payload.truncate(keep);
+            Ok(())
+        }
+    }
+}
+
+fn injected_io_error(site: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault: {site}"))
+}
+
+/// Total number of faults fired process-wide (telemetry's `faults_injected`).
+pub fn injected() -> u64 {
+    INJECTED.load(Ordering::Relaxed)
+}
+
+/// Programmatically arms a failpoint (tests). `at_hit` is 1-based.
+pub fn configure(site: &str, action: FaultAction, at_hit: u64) {
+    let mut reg = state().lock().unwrap_or_else(|p| p.into_inner());
+    reg.specs.insert(
+        site.to_string(),
+        FaultSpec {
+            action,
+            at_hit: at_hit.max(1),
+        },
+    );
+    reg.hits.remove(site);
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms every failpoint and resets hit counters (tests).
+pub fn clear() {
+    let mut reg = state().lock().unwrap_or_else(|p| p.into_inner());
+    reg.specs.clear();
+    reg.hits.clear();
+    ARMED.store(false, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Registry state is process-global, so exercise everything in one test
+    // to avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn spec_parsing_and_deterministic_firing() {
+        let specs = parse_spec("a=io-error;b=short-write:16@3; c = panic @ 2").unwrap();
+        assert_eq!(specs["a"].action, FaultAction::IoError);
+        assert_eq!(specs["a"].at_hit, 1);
+        assert_eq!(specs["b"].action, FaultAction::ShortWrite(16));
+        assert_eq!(specs["b"].at_hit, 3);
+        assert_eq!(specs["c"].action, FaultAction::Panic);
+        assert_eq!(specs["c"].at_hit, 2);
+
+        assert!(parse_spec("nope").is_err());
+        assert!(parse_spec("a=explode").is_err());
+        assert!(parse_spec("a=io-error@0").is_err());
+        assert!(parse_spec("a=short-write:x").is_err());
+        assert!(parse_spec("").unwrap().is_empty());
+
+        clear();
+        assert_eq!(trigger("t::site"), None);
+
+        let before = injected();
+        configure("t::site", FaultAction::IoError, 3);
+        assert_eq!(trigger("t::site"), None); // hit 1
+        assert_eq!(trigger("t::other"), None); // foreign site: no effect
+        assert_eq!(trigger("t::site"), None); // hit 2
+        assert_eq!(trigger("t::site"), Some(FaultAction::IoError)); // hit 3
+        assert_eq!(trigger("t::site"), None); // fires exactly once
+        assert_eq!(injected(), before + 1);
+
+        configure("t::io", FaultAction::IoError, 1);
+        assert!(inject_io("t::io").is_err());
+        assert!(inject_io("t::io").is_ok());
+
+        configure("t::write", FaultAction::ShortWrite(4), 1);
+        let mut payload = vec![7u8; 10];
+        inject_write("t::write", &mut payload).unwrap();
+        assert_eq!(payload.len(), 6);
+
+        configure("t::panic", FaultAction::Panic, 1);
+        let caught = std::panic::catch_unwind(|| fire_panic("t::panic"));
+        assert!(caught.is_err());
+
+        clear();
+        assert!(inject_io("t::io").is_ok());
+    }
+}

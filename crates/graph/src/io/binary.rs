@@ -4,13 +4,14 @@
 //!
 //! ```text
 //! magic   "ASCN"            4 bytes
-//! version u32               currently 1
+//! version u32               currently 2
 //! n       u64               number of vertices
 //! arcs    u64               length of the neighbor/weight arrays
 //! edges   u64               undirected edge count (excl. self-loops)
 //! offsets (n+1) × u64
 //! neighbors arcs × u32
 //! weights  arcs × f64
+//! checksum u64              v2+: FNV-1a over all preceding bytes
 //! ```
 //!
 //! Generated benchmark graphs are cached in this format so repeated
@@ -25,13 +26,17 @@ use crate::csr::CsrGraph;
 use crate::types::GraphError;
 
 const MAGIC: &[u8; 4] = b"ASCN";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest version still readable (v1 files predate the checksum trailer).
+const MIN_VERSION: u32 = 1;
 
-/// Serializes a graph to the binary CSR format.
+/// Serializes a graph to the binary CSR format (current version, with a
+/// checksum trailer).
 pub fn write_binary<W: Write>(g: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
+    anyscan_faults::inject_io("graph::write_binary")?;
     let (offsets, neighbors, weights, num_edges) = g.raw_parts();
     let mut buf = BytesMut::with_capacity(
-        4 + 4 + 24 + offsets.len() * 8 + neighbors.len() * 4 + weights.len() * 8,
+        4 + 4 + 24 + offsets.len() * 8 + neighbors.len() * 4 + weights.len() * 8 + 8,
     );
     framing::put_header(&mut buf, MAGIC, VERSION);
     buf.put_u64_le((offsets.len() - 1) as u64);
@@ -40,18 +45,29 @@ pub fn write_binary<W: Write>(g: &CsrGraph, mut writer: W) -> Result<(), GraphEr
     framing::put_usize_array(&mut buf, offsets);
     framing::put_u32_array(&mut buf, neighbors);
     framing::put_f64_array(&mut buf, weights);
-    writer.write_all(&buf)?;
+    framing::put_checksum_trailer(&mut buf);
+    let mut out: Vec<u8> = buf.into();
+    anyscan_faults::inject_write("graph::write_binary", &mut out)?;
+    writer.write_all(&out)?;
     Ok(())
 }
 
 /// Deserializes a graph written by [`write_binary`], re-validating all CSR
-/// invariants (the file may come from an untrusted build cache).
+/// invariants (the file may come from an untrusted build cache). v2 files
+/// are checksum-verified; v1 files (no trailer) still load with a warning.
 pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphError> {
+    anyscan_faults::inject_io("graph::read_binary")?;
     let mut raw = Vec::new();
     reader.read_to_end(&mut raw)?;
-    let mut buf = Bytes::from(raw);
+    let mut buf = match framing::peek_version(&raw, MAGIC)? {
+        1 => {
+            eprintln!("warning: ASCN v1 file has no checksum trailer; rewrite it to upgrade");
+            Bytes::from(raw)
+        }
+        _ => framing::strip_checksum_trailer(raw)?,
+    };
 
-    framing::get_header(&mut buf, MAGIC, VERSION)?;
+    framing::get_header_versioned(&mut buf, MAGIC, MIN_VERSION..=VERSION)?;
     framing::need(&buf, 24)?;
     let n = buf.get_u64_le() as usize;
     let arcs = buf.get_u64_le() as usize;
@@ -126,6 +142,34 @@ mod tests {
         let idx = buf.len() - 9 * 8 - 2; // somewhere in the neighbors block
         buf[idx] ^= 0xFF;
         assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn reads_legacy_v1_files_without_trailer() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Rewrite as a v1 file: drop the trailer, patch the version field.
+        buf.truncate(buf.len() - framing::CHECKSUM_LEN);
+        buf[4] = 1;
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn rejects_unknown_future_version() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf[4] = 9;
+        // Re-stamp the trailer so only the version check can object.
+        buf.truncate(buf.len() - framing::CHECKSUM_LEN);
+        let h = framing::fnv1a(&buf);
+        buf.extend_from_slice(&h.to_le_bytes());
+        assert!(matches!(
+            read_binary(buf.as_slice()),
+            Err(GraphError::Format(_))
+        ));
     }
 
     #[test]

@@ -38,6 +38,15 @@ pub fn read_edge_list<R: Read>(
             })?,
             None => 1.0,
         };
+        // Reject NaN / infinite / non-positive weights here, where the line
+        // number is still known (the builder would catch them later, but
+        // without file context).
+        if !w.is_finite() || w <= 0.0 {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("invalid weight {w}: must be finite and > 0"),
+            });
+        }
         if u > u32::MAX as u64 || v > u32::MAX as u64 {
             return Err(GraphError::Parse {
                 line: line_no,
@@ -128,6 +137,18 @@ mod tests {
         assert!(matches!(err, GraphError::Parse { line: 1, .. }));
         let err = read_edge_list("0 1 heavy\n".as_bytes(), None).unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_nonpositive_and_nonfinite_weights_with_line_numbers() {
+        for bad in ["NaN", "inf", "-1.5", "0", "-0.0"] {
+            let text = format!("0 1\n1 2 {bad}\n");
+            let err = read_edge_list(text.as_bytes(), None).unwrap_err();
+            assert!(
+                matches!(err, GraphError::Parse { line: 2, .. }),
+                "weight {bad:?} gave {err}"
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! This module holds the header and array plumbing so every format
 //! validates truncation and versioning identically.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+pub use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::types::GraphError;
 
@@ -28,6 +28,19 @@ pub fn put_header(buf: &mut BytesMut, magic: &[u8; 4], version: u32) {
 /// Reads and checks the `magic` + version header; errors on a foreign magic
 /// or a version other than `expect_version`.
 pub fn get_header(buf: &mut Bytes, magic: &[u8; 4], expect_version: u32) -> Result<(), GraphError> {
+    let version = get_header_versioned(buf, magic, expect_version..=expect_version)?;
+    debug_assert_eq!(version, expect_version);
+    Ok(())
+}
+
+/// Reads and checks the `magic` + version header, accepting any version in
+/// `accept` (tolerant readers for version-bumped formats). Returns the
+/// version actually found.
+pub fn get_header_versioned(
+    buf: &mut Bytes,
+    magic: &[u8; 4],
+    accept: std::ops::RangeInclusive<u32>,
+) -> Result<u32, GraphError> {
     need(buf, 8)?;
     let mut found = [0u8; 4];
     buf.copy_to_slice(&mut found);
@@ -35,10 +48,99 @@ pub fn get_header(buf: &mut Bytes, magic: &[u8; 4], expect_version: u32) -> Resu
         return Err(GraphError::Format(format!("bad magic {found:?}")));
     }
     let version = buf.get_u32_le();
-    if version != expect_version {
+    if !accept.contains(&version) {
         return Err(GraphError::Format(format!("unsupported version {version}")));
     }
-    Ok(())
+    Ok(version)
+}
+
+/// Reads the header version without consuming anything; errors on a foreign
+/// magic or truncation. Lets a reader decide whether a checksum trailer is
+/// present before parsing the body.
+pub fn peek_version(raw: &[u8], magic: &[u8; 4]) -> Result<u32, GraphError> {
+    if raw.len() < 8 {
+        return Err(GraphError::Format("truncated file".into()));
+    }
+    if &raw[..4] != magic {
+        return Err(GraphError::Format(format!("bad magic {:?}", &raw[..4])));
+    }
+    Ok(u32::from_le_bytes([raw[4], raw[5], raw[6], raw[7]]))
+}
+
+/// Byte length of the FNV-1a checksum trailer.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// Incremental 64-bit FNV-1a hasher (the checksum used by trailers; also
+/// usable for structural fingerprints).
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub fn new() -> Fnv64 {
+        Fnv64(Self::OFFSET)
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub fn update_u32(&mut self, v: u32) {
+        self.update(&v.to_le_bytes());
+    }
+
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// 64-bit FNV-1a of `bytes` in one shot.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Appends the checksum trailer: FNV-1a over everything already in `buf`.
+pub fn put_checksum_trailer(buf: &mut BytesMut) {
+    let h = fnv1a(buf);
+    buf.put_u64_le(h);
+}
+
+/// Verifies and strips the checksum trailer from a whole-file byte vector,
+/// returning the payload (header included) for parsing. Catches torn/short
+/// writes and bit corruption anywhere in the file.
+pub fn strip_checksum_trailer(raw: Vec<u8>) -> Result<Bytes, GraphError> {
+    if raw.len() < CHECKSUM_LEN {
+        return Err(GraphError::Format("truncated file".into()));
+    }
+    let split = raw.len() - CHECKSUM_LEN;
+    let expect = u64::from_le_bytes(raw[split..].try_into().expect("8-byte trailer"));
+    let mut payload = raw;
+    payload.truncate(split);
+    let actual = fnv1a(&payload);
+    if actual != expect {
+        return Err(GraphError::Format(format!(
+            "checksum mismatch: file says {expect:#018x}, computed {actual:#018x} \
+             (torn write or corruption)"
+        )));
+    }
+    Ok(Bytes::from(payload))
 }
 
 /// Writes `values` as little-endian u64s (usizes widen losslessly).
@@ -145,6 +247,45 @@ mod tests {
         assert!(get_usize_array(&mut cut, 3).is_ok());
         assert!(get_u32_array(&mut cut, 2).is_ok());
         assert!(get_f64_array(&mut cut, 2).is_err());
+    }
+
+    #[test]
+    fn versioned_header_and_peek() {
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, b"TEST", 2);
+        let raw: Vec<u8> = buf.into();
+
+        assert_eq!(peek_version(&raw, b"TEST").unwrap(), 2);
+        assert!(peek_version(&raw, b"ELSE").is_err());
+        assert!(peek_version(&raw[..5], b"TEST").is_err());
+
+        let mut b = Bytes::from(raw.clone());
+        assert_eq!(get_header_versioned(&mut b, b"TEST", 1..=2).unwrap(), 2);
+        let mut b = Bytes::from(raw.clone());
+        assert!(get_header_versioned(&mut b, b"TEST", 3..=4).is_err());
+    }
+
+    #[test]
+    fn checksum_trailer_roundtrip_and_corruption() {
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, b"TEST", 2);
+        put_u32_array(&mut buf, &[1, 2, 3]);
+        put_checksum_trailer(&mut buf);
+        let raw: Vec<u8> = buf.into();
+
+        let payload = strip_checksum_trailer(raw.clone()).unwrap();
+        assert_eq!(payload.remaining(), raw.len() - CHECKSUM_LEN);
+
+        // Any single-bit flip is caught, in payload or trailer alike.
+        for byte in 0..raw.len() {
+            let mut bad = raw.clone();
+            bad[byte] ^= 0x10;
+            assert!(strip_checksum_trailer(bad).is_err(), "flip at byte {byte}");
+        }
+        // Truncation (torn write) is caught.
+        for cut in 0..raw.len() {
+            assert!(strip_checksum_trailer(raw[..cut].to_vec()).is_err());
+        }
     }
 
     #[test]

@@ -46,6 +46,22 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
     let mut it = header.split_whitespace();
     let n: usize = parse(it.next(), header_line_no, "vertex count")?;
     let m: u64 = parse(it.next(), header_line_no, "edge count")?;
+    // Sanity-check the header before sizing any allocation by it: a
+    // garbage header (e.g. a stray huge integer) used to drive
+    // `with_capacity` straight into a capacity-overflow abort.
+    if n > u32::MAX as usize {
+        return Err(GraphError::Parse {
+            line: header_line_no,
+            message: format!("vertex count {n} exceeds u32 (malformed header?)"),
+        });
+    }
+    let max_edges = n as u128 * n.saturating_sub(1) as u128 / 2;
+    if m as u128 > max_edges {
+        return Err(GraphError::Parse {
+            line: header_line_no,
+            message: format!("edge count {m} impossible for {n} vertices (malformed header?)"),
+        });
+    }
     let fmt = it.next().unwrap_or("0");
     let weighted = match fmt {
         "0" | "00" | "000" => false,
@@ -88,7 +104,7 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
                     message: format!("neighbor {neighbor} out of 1..={n}"),
                 });
             }
-            let w = if weighted {
+            let w: f64 = if weighted {
                 let wt = toks.next().ok_or_else(|| GraphError::Parse {
                     line: line_no,
                     message: "missing edge weight".into(),
@@ -100,6 +116,12 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
             } else {
                 1.0
             };
+            if !w.is_finite() || w <= 0.0 {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("invalid edge weight {w}: must be finite and > 0"),
+                });
+            }
             let q = (neighbor - 1) as VertexId;
             // Each edge appears in both endpoint lines; the builder
             // deduplicates (max weight wins, so symmetric inputs are exact).
@@ -213,6 +235,33 @@ mod tests {
         assert!(read_metis("2 5\n2\n1\n".as_bytes()).is_err());
         // Missing weight in weighted format.
         assert!(read_metis("2 1 001\n2\n1 1.0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn malformed_headers_error_instead_of_aborting() {
+        // Bomb headers: used to feed with_capacity and abort the process.
+        let huge_n = format!("{} 1\n", u64::MAX);
+        assert!(matches!(
+            read_metis(huge_n.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+        let huge_m = format!("4 {}\n\n\n\n\n", u64::MAX);
+        assert!(matches!(
+            read_metis(huge_m.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nonpositive_and_nonfinite_weights() {
+        for bad in ["NaN", "inf", "-2", "0"] {
+            let text = format!("2 1 001\n2 {bad}\n1 {bad}\n");
+            let err = read_metis(text.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, GraphError::Parse { line: 2, .. }),
+                "weight {bad:?} gave {err}"
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic   "ASIX"            4 bytes
-//! version u32               currently 1
+//! version u32               currently 2
 //! n       u64               number of vertices
 //! arcs    u64               neighbor-order entries (= graph num_arcs)
 //! edges   u64               undirected edge count of the indexed graph
@@ -16,6 +16,7 @@
 //! co_offsets    (mu_max+1) × u64
 //! co_vertices   arcs × u32
 //! co_thresholds arcs × f64
+//! checksum      u64          v2+: FNV-1a over all preceding bytes
 //! ```
 //!
 //! `read_index` re-validates every structural invariant (sorted orders,
@@ -33,14 +34,18 @@ use anyscan_graph::types::GraphError;
 use crate::SimilarityIndex;
 
 const MAGIC: &[u8; 4] = b"ASIX";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest version still readable (v1 files predate the checksum trailer).
+const MIN_VERSION: u32 = 1;
 
-/// Serializes an index to the binary format.
+/// Serializes an index to the binary format (current version, with a
+/// checksum trailer).
 pub fn write_index<W: Write>(idx: &SimilarityIndex, mut writer: W) -> Result<(), GraphError> {
+    anyscan_faults::inject_io("index::write_index")?;
     let n = idx.num_vertices();
     let arcs = idx.num_arcs();
     let mu_max = idx.mu_max();
-    let mut buf = BytesMut::with_capacity(4 + 4 + 32 + (n + mu_max + 2) * 8 + arcs * 24);
+    let mut buf = BytesMut::with_capacity(4 + 4 + 32 + (n + mu_max + 2) * 8 + arcs * 24 + 8);
     framing::put_header(&mut buf, MAGIC, VERSION);
     buf.put_u64_le(n as u64);
     buf.put_u64_le(arcs as u64);
@@ -52,18 +57,31 @@ pub fn write_index<W: Write>(idx: &SimilarityIndex, mut writer: W) -> Result<(),
     framing::put_usize_array(&mut buf, &idx.co_offsets);
     framing::put_u32_array(&mut buf, &idx.co_vertices);
     framing::put_f64_array(&mut buf, &idx.co_thresholds);
-    writer.write_all(&buf)?;
+    framing::put_checksum_trailer(&mut buf);
+    let mut out: Vec<u8> = buf.into();
+    anyscan_faults::inject_write("index::write_index", &mut out)?;
+    writer.write_all(&out)?;
     Ok(())
 }
 
 /// Deserializes an index written by [`write_index`], re-validating all
-/// structural invariants.
+/// structural invariants. v2 files are checksum-verified; v1 files (no
+/// trailer) still load with a warning.
 pub fn read_index<R: Read>(mut reader: R) -> Result<SimilarityIndex, GraphError> {
+    anyscan_faults::inject_io("index::read_index")?;
     let mut raw = Vec::new();
     reader.read_to_end(&mut raw)?;
-    let mut buf = Bytes::from(raw);
+    let mut buf = match framing::peek_version(&raw, MAGIC)? {
+        1 => {
+            eprintln!(
+                "warning: ASIX v1 file has no checksum trailer; rebuild the index to upgrade"
+            );
+            Bytes::from(raw)
+        }
+        _ => framing::strip_checksum_trailer(raw)?,
+    };
 
-    framing::get_header(&mut buf, MAGIC, VERSION)?;
+    framing::get_header_versioned(&mut buf, MAGIC, MIN_VERSION..=VERSION)?;
     framing::need(&buf, 32)?;
     let n = buf.get_u64_le() as usize;
     let arcs = buf.get_u64_le() as usize;
@@ -198,6 +216,20 @@ mod tests {
         write_index(&idx, &mut buf).unwrap();
         buf[4] = 9; // version byte
         assert!(read_index(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn reads_legacy_v1_files_without_trailer() {
+        let (g, idx) = sample_index();
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        // Rewrite as a v1 file: drop the trailer, patch the version field.
+        buf.truncate(buf.len() - framing::CHECKSUM_LEN);
+        buf[4] = 1;
+        let idx2 = read_index(buf.as_slice()).unwrap();
+        assert_eq!(idx, idx2);
+        let params = ScanParams::new(0.5, 4);
+        assert_eq!(idx.query(&g, params), idx2.query(&g, params));
     }
 
     #[test]

@@ -102,6 +102,48 @@ fn lock_pool<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// A job panic converted to a value instead of an unwind: the typed form
+/// of "one poisoned block job failed the run". The pool itself stays
+/// consistent and reusable afterwards — only the job is lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    message: String,
+}
+
+impl PoolError {
+    /// The panic payload rendered as text (`&str`/`String` payloads pass
+    /// through; anything else becomes a placeholder).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Builds a `PoolError` from a caught panic payload.
+    pub fn from_payload(payload: &(dyn Any + Send)) -> PoolError {
+        PoolError {
+            message: panic_message(payload),
+        }
+    }
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Extracts the human-readable message from a panic payload.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// One published parallel region. Lives on the submitter's stack; workers
 /// reach it through a raw pointer that the `pending` refcount keeps valid
 /// (the submitter does not return before `pending` hits zero).
@@ -168,6 +210,7 @@ impl Job {
         let body = unsafe { &*self.body };
         let mut chunks = 0u64;
         let result = catch_unwind(AssertUnwindSafe(|| {
+            anyscan_faults::fire_panic("pool::job");
             while let Some(range) = self.claim() {
                 chunks += 1;
                 body(slot, range);
@@ -358,6 +401,25 @@ impl WorkerPool {
             return;
         }
         self.run_team(t, n, policy, &body);
+    }
+
+    /// Like [`run`](Self::run), but converts a job panic into a typed
+    /// [`PoolError`] instead of resuming the unwind on the caller. The pool
+    /// remains reusable either way; this merely moves the failure into the
+    /// `Result` channel for callers that must not unwind (the anytime
+    /// driver's execution-control loop).
+    pub fn try_run<F>(
+        &self,
+        threads: usize,
+        n: usize,
+        policy: ChunkPolicy,
+        body: F,
+    ) -> Result<(), PoolError>
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        catch_unwind(AssertUnwindSafe(|| self.run(threads, n, policy, body)))
+            .map_err(|payload| PoolError::from_payload(payload.as_ref()))
     }
 
     fn run_team(
@@ -911,6 +973,54 @@ mod tests {
             hits.fetch_add(range.len(), Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn try_run_converts_panic_to_typed_error_and_pool_survives() {
+        let pool = WorkerPool::new();
+        let err = pool
+            .try_run(4, 1000, ChunkPolicy::Fixed(1), |_, range| {
+                if range.contains(&500) {
+                    panic!("typed boom at {}", range.start);
+                }
+            })
+            .expect_err("panicking job must surface as PoolError");
+        assert!(
+            err.message().contains("typed boom"),
+            "unexpected message: {}",
+            err.message()
+        );
+        assert!(err.to_string().contains("worker job panicked"));
+
+        // The pool must stay reusable through the typed path too.
+        let hits = AtomicUsize::new(0);
+        pool.try_run(4, 1000, ChunkPolicy::Fixed(8), |_, range| {
+            hits.fetch_add(range.len(), Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn injected_job_panic_is_deterministic_and_typed() {
+        // The `pool::job` failpoint panics inside a worker's claim loop;
+        // `try_run` must hand it back as a typed error and leave the pool
+        // dispatchable.
+        let pool = WorkerPool::new();
+        anyscan_faults::configure("pool::job", anyscan_faults::FaultAction::Panic, 1);
+        let err = pool.try_run(4, 100, ChunkPolicy::Fixed(1), |_, _| {});
+        anyscan_faults::clear();
+        let err = err.expect_err("injected fault must fail the job");
+        assert!(
+            err.message().contains("injected fault: pool::job"),
+            "unexpected message: {}",
+            err.message()
+        );
+        let hits = AtomicUsize::new(0);
+        pool.run(4, 100, ChunkPolicy::Fixed(1), |_, range| {
+            hits.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
     }
 
     #[test]

@@ -98,11 +98,19 @@ pub enum Counter {
     IndexCoresFound,
     /// Border vertices attached across all index queries.
     IndexBordersAttached,
+    /// Times a `RunControl` trip (cancel / deadline / budget) stopped a run.
+    CancelTrips,
+    /// Checkpoints successfully written (atomic temp+fsync+rename cycles).
+    CheckpointsWritten,
+    /// Runs restored from an `ASCK` checkpoint.
+    ResumeLoads,
+    /// Faults fired by the `anyscan-faults` failpoint facility.
+    FaultsInjected,
 }
 
 impl Counter {
     /// All counters, in storage order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 24] = [
         Counter::SigmaEvals,
         Counter::Lemma5Filtered,
         Counter::SharedEvals,
@@ -123,6 +131,10 @@ impl Counter {
         Counter::IndexQueries,
         Counter::IndexCoresFound,
         Counter::IndexBordersAttached,
+        Counter::CancelTrips,
+        Counter::CheckpointsWritten,
+        Counter::ResumeLoads,
+        Counter::FaultsInjected,
     ];
 
     /// Number of counters (array sizing).
@@ -151,6 +163,10 @@ impl Counter {
             Counter::IndexQueries => "index_queries",
             Counter::IndexCoresFound => "index_cores_found",
             Counter::IndexBordersAttached => "index_borders_attached",
+            Counter::CancelTrips => "cancel_trips",
+            Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::ResumeLoads => "resume_loads",
+            Counter::FaultsInjected => "faults_injected",
         }
     }
 }
