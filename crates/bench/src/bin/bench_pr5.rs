@@ -1,0 +1,171 @@
+//! PR 5 perf trajectory: the cache-locality bundle — degree-descending
+//! vertex reordering, hub-bitmap σ evaluation, and batched source-major
+//! Step-1 range queries — versus the same driver with all three off, on the
+//! GR01/GR02/GR05 analogues. Emitted as machine-readable JSON
+//! (`BENCH_pr5.json`).
+//!
+//! ```text
+//! bench_pr5 [--scale f] [--seed u] [--reps n] [--threads t] [--out path]
+//! ```
+//!
+//! Both variants compute the *same clustering*: the optimized run executes
+//! on the relabeled graph and its result is mapped back through the
+//! permutation, then checked against the baseline with the Lemma 4
+//! equivalence predicate (same cores, identical core partition, same
+//! noise, justified borders) before any timing is reported.
+
+use std::fmt::Write as _;
+
+use anyscan::telemetry::MetaValue;
+use anyscan::{AnyScan, AnyScanConfig};
+use anyscan_bench::load_dataset;
+use anyscan_bench::meta::meta_object;
+use anyscan_bench::timing::median_of;
+use anyscan_graph::gen::{Dataset, DatasetId};
+use anyscan_graph::reorder::reorder;
+use anyscan_graph::ReorderMode;
+use anyscan_scan_common::verify::check_scan_equivalent;
+use anyscan_scan_common::ScanParams;
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    reps: usize,
+    threads: usize,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: 1.0,
+            seed: 7,
+            reps: 3,
+            threads: 4,
+            out: "BENCH_pr5.json".into(),
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut out = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--scale" => out.scale = val().parse().expect("--scale f64"),
+            "--seed" => out.seed = val().parse().expect("--seed u64"),
+            "--reps" => out.reps = val().parse().expect("--reps usize"),
+            "--threads" => out.threads = val().parse().expect("--threads usize"),
+            "--out" => out.out = val(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let params = ScanParams::new(0.5, 4);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_pr5\",");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"anySCAN with degree reordering + hub bitmaps + batched Step-1 vs all three off (median of {} runs, eps={}, mu={})\",",
+        args.reps, params.epsilon, params.mu
+    );
+    let _ = writeln!(
+        json,
+        "  \"env\": {{ \"cpus\": {}, \"scale\": {}, \"seed\": {} }},",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        args.scale,
+        args.seed
+    );
+    let _ = writeln!(
+        json,
+        "  \"meta\": {},",
+        meta_object(&[
+            ("threads", MetaValue::U64(args.threads as u64)),
+            ("scale", MetaValue::F64(args.scale)),
+            ("seed", MetaValue::U64(args.seed)),
+            ("reps", MetaValue::U64(args.reps as u64)),
+            ("epsilon", MetaValue::F64(params.epsilon)),
+            ("mu", MetaValue::U64(params.mu as u64)),
+        ])
+    );
+    json.push_str("  \"datasets\": [\n");
+
+    let ids = [DatasetId::Gr01, DatasetId::Gr02, DatasetId::Gr05];
+    let mut best = 0.0f64;
+    for (di, id) in ids.into_iter().enumerate() {
+        let d = Dataset::get(id);
+        let (g, _) = load_dataset(&d, args.scale, args.seed);
+        eprintln!(
+            "{}: |V|={} |E|={} (scale {})",
+            id.short(),
+            g.num_vertices(),
+            g.num_edges(),
+            args.scale
+        );
+
+        let base_cfg = AnyScanConfig::new(params)
+            .with_auto_block_size(g.num_vertices())
+            .with_threads(args.threads)
+            .with_hub_bitmaps(false)
+            .with_batched_step1(false);
+        let opt_cfg = AnyScanConfig::new(params)
+            .with_auto_block_size(g.num_vertices())
+            .with_threads(args.threads)
+            .with_reorder(ReorderMode::Degree);
+
+        // Exactness first: identical clustering in original vertex ids.
+        let truth = AnyScan::new(&g, base_cfg).run();
+        let (g2, perm) = reorder(&g, ReorderMode::Degree);
+        let mut ours = AnyScan::new(&g2, opt_cfg).run();
+        ours.labels = perm.to_original(&ours.labels);
+        ours.roles = perm.to_original(&ours.roles);
+        if let Err(e) = check_scan_equivalent(&g, params, &truth, &ours) {
+            panic!("{}: optimized run diverged from baseline: {e}", id.short());
+        }
+
+        // The reorder is part of the optimized pipeline, so it is timed.
+        let (base_t, clusters) = median_of(args.reps, || {
+            AnyScan::new(&g, base_cfg).run().num_clusters()
+        });
+        let (opt_t, _) = median_of(args.reps, || {
+            let (g2, _) = reorder(&g, ReorderMode::Degree);
+            AnyScan::new(&g2, opt_cfg).run().num_clusters()
+        });
+        let speedup = base_t.as_secs_f64() / opt_t.as_secs_f64();
+        best = best.max(speedup);
+        eprintln!(
+            "  baseline {:.4}s vs reorder+bitmap+batched {:.4}s — {:.2}x ({} clusters)",
+            base_t.as_secs_f64(),
+            opt_t.as_secs_f64(),
+            speedup,
+            clusters
+        );
+        let _ = writeln!(
+            json,
+            "    {{ \"id\": \"{}\", \"vertices\": {}, \"edges\": {}, \"clusters\": {}, \"baseline_seconds\": {:.6}, \"optimized_seconds\": {:.6}, \"speedup\": {:.3}, \"equivalent\": true }}{}",
+            id.short(),
+            g.num_vertices(),
+            g.num_edges(),
+            clusters,
+            base_t.as_secs_f64(),
+            opt_t.as_secs_f64(),
+            speedup,
+            if di + 1 == ids.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"best_speedup\": {best:.3}");
+    json.push_str("}\n");
+
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    eprintln!("wrote {} (best speedup {best:.2}x)", args.out);
+}

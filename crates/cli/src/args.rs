@@ -94,22 +94,24 @@ commands:
                --out FILE[.bin|.txt]
   cluster      --input FILE | --dataset ID  --eps E --mu M
                [--algo anyscan|scan|scan-b|pscan|scan++] [--threads T]
-               [--block B] [--labels-out FILE] [--trace-json FILE] [--no-opt]
+               [--block B] [--reorder none|degree|bfs] [--labels-out FILE]
+               [--trace-json FILE] [--no-opt]
                [--deadline-ms MS] [--max-blocks N]
                [--checkpoint FILE.asck] [--checkpoint-every N]
   resume       --checkpoint FILE.asck  --input FILE | --dataset ID
                [--threads T] [--labels-out FILE] [--trace-json FILE]
                [--deadline-ms MS] [--max-blocks N] [--checkpoint-every N]
   explore      --input FILE | --dataset ID  [--eps a,b,c] [--mu a,b,c]
-               [--threads T]
+               [--threads T] [--reorder none|degree|bfs]
   hierarchy    --input FILE | --dataset ID  [--mu M] [--eps a,b,c]
-               [--threads T] [--top N]
+               [--threads T] [--top N] [--reorder none|degree|bfs]
   interactive  --input FILE | --dataset ID  --eps E --mu M
                [--checkpoint-ms MS] [--threads T] [--trace-json FILE]
+               [--reorder none|degree|bfs]
                [--index FILE.asix]   (answer from a prebuilt index instantly)
                [--deadline-ms MS] [--max-blocks N] [--checkpoint FILE.asck]
   index build  --input FILE | --dataset ID  --out FILE.asix
-               [--threads T] [--trace-json FILE]
+               [--threads T] [--trace-json FILE] [--reorder none|degree|bfs]
   index query  --input FILE | --dataset ID  --index FILE.asix
                --eps a,b,c --mu a,b,c [--labels-out FILE] [--trace-json FILE]
 
@@ -121,7 +123,12 @@ utilization, anytime snapshots; schema checked by anyscan-trace-check)
 execution control: Ctrl-C, --deadline-ms, and --max-blocks all stop a run
 cleanly at the next block boundary with the best-so-far clustering;
 --checkpoint-every N writes a crash-safe .asck checkpoint every N blocks,
-and `resume` continues a run from one (same clustering as uninterrupted)"
+and `resume` continues a run from one (same clustering as uninterrupted)
+
+--reorder relabels vertices for cache locality (degree-descending or BFS)
+before clustering; all output stays in original vertex ids. `resume` and
+`index query` re-apply the mode recorded in the .asck / .asix file
+automatically, so the flag is only given at `cluster` / `index build` time"
     );
 }
 

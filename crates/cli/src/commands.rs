@@ -18,8 +18,9 @@ use anyscan_graph::gen::{
     PlantedPartitionParams, RmatParams, WeightModel,
 };
 use anyscan_graph::io::{read_binary, read_edge_list, write_binary, write_edge_list};
+use anyscan_graph::reorder;
 use anyscan_graph::stats::graph_stats;
-use anyscan_graph::CsrGraph;
+use anyscan_graph::{CsrGraph, ReorderMode, VertexPermutation};
 use anyscan_index::io::{read_index, write_index};
 use anyscan_index::SimilarityIndex;
 use anyscan_scan_common::{Clustering, ScanParams, NOISE};
@@ -50,6 +51,45 @@ fn load_graph(opts: &Options) -> Result<CsrGraph, String> {
         return Ok(g);
     }
     Err("need --input FILE or --dataset ID".into())
+}
+
+/// `--reorder none|degree|bfs` (default none).
+fn reorder_mode(opts: &Options) -> Result<ReorderMode, String> {
+    match opts.get_str("reorder") {
+        None => Ok(ReorderMode::None),
+        Some(raw) => raw.parse(),
+    }
+}
+
+/// Loads the graph and applies the requested cache-locality reordering.
+/// Everything downstream computes in the reordered labeling; per-vertex
+/// output must go back through [`to_original_ids`] (or the permutation's
+/// `old_of_new`) before reaching the user.
+fn load_graph_reordered(opts: &Options) -> Result<(CsrGraph, VertexPermutation), String> {
+    let g = load_graph(opts)?;
+    let mode = reorder_mode(opts)?;
+    Ok(apply_reorder(g, mode))
+}
+
+/// Relabels `g` by `mode`, announcing non-trivial reorderings on stderr.
+fn apply_reorder(g: CsrGraph, mode: ReorderMode) -> (CsrGraph, VertexPermutation) {
+    let (g, perm) = reorder::reorder(&g, mode);
+    if mode != ReorderMode::None {
+        eprintln!("reordered graph ({mode}); output stays in original vertex ids");
+    }
+    (g, perm)
+}
+
+/// Maps a clustering computed on a reordered graph back to original vertex
+/// ids, canonicalizing labels (dense, first-occurrence order) so label
+/// values do not leak the internal labeling.
+fn to_original_ids(mut c: Clustering, perm: &VertexPermutation) -> Clustering {
+    if !perm.is_identity() {
+        c.labels = perm.to_original(&c.labels);
+        c.roles = perm.to_original(&c.roles);
+        c.canonicalize();
+    }
+    c
 }
 
 fn parse_dataset_id(raw: &str) -> Result<DatasetId, String> {
@@ -222,7 +262,7 @@ pub fn generate(opts: &Options) -> CmdResult {
 }
 
 pub fn cluster(opts: &Options) -> CmdResult {
-    let g = load_graph(opts)?;
+    let (g, perm) = load_graph_reordered(opts)?;
     let params = scan_params(opts)?;
     let algo = opts.get_str("algo").unwrap_or("anyscan");
     let trace_path = opts.get_str("trace-json");
@@ -257,7 +297,8 @@ pub fn cluster(opts: &Options) -> CmdResult {
             let threads: usize = opts.get_or("threads", 1)?;
             let mut config = AnyScanConfig::new(params)
                 .with_auto_block_size(g.num_vertices())
-                .with_threads(threads);
+                .with_threads(threads)
+                .with_reorder(reorder_mode(opts)?);
             if let Some(b) = opts
                 .get_list::<usize>("block")?
                 .and_then(|v| v.first().copied())
@@ -287,6 +328,7 @@ pub fn cluster(opts: &Options) -> CmdResult {
         other => return Err(format!("unknown --algo {other:?}")),
     };
     let elapsed = start.elapsed();
+    let clustering = to_original_ids(clustering, &perm);
     let rc = clustering.role_counts();
     println!("algorithm   {algo}");
     println!("runtime     {elapsed:?}");
@@ -315,7 +357,10 @@ pub fn resume(opts: &Options) -> CmdResult {
         .get_str("checkpoint")
         .ok_or("missing --checkpoint FILE")?;
     let ck = Checkpoint::load(Path::new(ckpt_path)).map_err(|e| e.to_string())?;
-    let g = load_graph(opts)?;
+    // The checkpoint records the reorder mode the run was started with;
+    // re-apply it (deterministic) so the saved state lines up with the
+    // relabeled graph. A `--reorder` flag here is ignored.
+    let (g, perm) = apply_reorder(load_graph(opts)?, ck.config(0).reorder);
     let params = ck.params();
     let threads: usize = opts.get_or("threads", 0)?; // 0 = keep checkpointed count
     let trace_path = opts.get_str("trace-json");
@@ -342,18 +387,19 @@ pub fn resume(opts: &Options) -> CmdResult {
     let partial = run_to_partial(&mut algo, &ctl, every, Some(ckpt_path))?;
     let elapsed = start.elapsed();
 
-    let rc = partial.clustering.role_counts();
+    let clustering = to_original_ids(partial.clustering.clone(), &perm);
+    let rc = clustering.role_counts();
     println!("completion  {}", partial.completion.label());
     println!("runtime     {elapsed:?} (this session)");
     println!("blocks      {}", partial.blocks);
     println!("sigma evals {}", algo.stats().sigma_evals);
-    println!("clusters    {}", partial.clustering.num_clusters());
+    println!("clusters    {}", clustering.num_clusters());
     println!("cores       {}", rc.cores);
     println!("borders     {}", rc.borders);
     println!("hubs        {}", rc.hubs);
     println!("outliers    {}", rc.outliers);
     if let Some(path) = opts.get_str("labels-out") {
-        write_labels(path, &partial.clustering)?;
+        write_labels(path, &clustering)?;
         println!("labels written to {path}");
     }
     if let Some(path) = trace_path {
@@ -414,7 +460,8 @@ fn write_labels(path: &str, c: &Clustering) -> CmdResult {
 }
 
 pub fn explore(opts: &Options) -> CmdResult {
-    let g = load_graph(opts)?;
+    // Only aggregate counts are reported, so the permutation is not needed.
+    let (g, _perm) = load_graph_reordered(opts)?;
     let threads: usize = opts.get_or("threads", 1)?;
     let eps_grid = opts
         .get_list::<f64>("eps")?
@@ -444,7 +491,7 @@ pub fn explore(opts: &Options) -> CmdResult {
 }
 
 pub fn hierarchy(opts: &Options) -> CmdResult {
-    let g = load_graph(opts)?;
+    let (g, perm) = load_graph_reordered(opts)?;
     let mu: usize = opts.get_or("mu", 5)?;
     let threads: usize = opts.get_or("threads", 1)?;
     let start = Instant::now();
@@ -469,7 +516,12 @@ pub fn hierarchy(opts: &Options) -> CmdResult {
 first merges (highest ε):"
     );
     for m in h.merges().iter().take(opts.get_or("top", 10)?) {
-        println!("  eps={:.4}: {} -- {}", m.epsilon, m.u, m.v);
+        println!(
+            "  eps={:.4}: {} -- {}",
+            m.epsilon,
+            perm.old_of_new(m.u),
+            perm.old_of_new(m.v)
+        );
     }
     Ok(())
 }
@@ -481,7 +533,7 @@ fn load_index(path: &str) -> Result<SimilarityIndex, String> {
 }
 
 pub fn index_build(opts: &Options) -> CmdResult {
-    let g = load_graph(opts)?;
+    let (g, _perm) = load_graph_reordered(opts)?;
     let threads: usize = opts.get_or("threads", 1)?;
     let out = opts.get_str("out").ok_or("missing --out FILE")?;
     let trace_path = opts.get_str("trace-json");
@@ -491,7 +543,10 @@ pub fn index_build(opts: &Options) -> CmdResult {
         Telemetry::disabled()
     };
     let start = Instant::now();
-    let idx = SimilarityIndex::build_traced(&g, threads, &telemetry);
+    // The ASIX file records the reorder mode so `index query` can re-derive
+    // the same relabeling from the original graph.
+    let idx =
+        SimilarityIndex::build_traced(&g, threads, &telemetry).with_reorder(reorder_mode(opts)?);
     let build_time = start.elapsed();
     let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     write_index(&idx, BufWriter::new(file)).map_err(|e| format!("write {out}: {e}"))?;
@@ -513,9 +568,11 @@ pub fn index_build(opts: &Options) -> CmdResult {
 }
 
 pub fn index_query(opts: &Options) -> CmdResult {
-    let g = load_graph(opts)?;
     let idx_path = opts.get_str("index").ok_or("missing --index FILE")?;
     let idx = load_index(idx_path)?;
+    // Re-derive the relabeling the index was built under (deterministic for
+    // a given graph + mode), so arc order lines up with the stored rows.
+    let (g, perm) = apply_reorder(load_graph(opts)?, idx.reorder());
     idx.check_graph(&g)
         .map_err(|e| format!("--index {idx_path}: {e}"))?;
     let eps_grid = opts.get_list::<f64>("eps")?.ok_or("missing --eps")?;
@@ -564,7 +621,8 @@ pub fn index_query(opts: &Options) -> CmdResult {
     }
     if let Some(path) = opts.get_str("labels-out") {
         let (_, c) = last.as_ref().ok_or("no queries ran")?;
-        write_labels(path, c)?;
+        let c = to_original_ids(c.clone(), &perm);
+        write_labels(path, &c)?;
         println!("labels written to {path} (last query)");
     }
     if let Some(path) = trace_path {
@@ -584,8 +642,8 @@ pub fn index_query(opts: &Options) -> CmdResult {
 /// `interactive --index FILE`: answer the (ε, μ) request straight from a
 /// prebuilt similarity index instead of stepping the anytime driver.
 fn interactive_indexed(opts: &Options, idx_path: &str) -> CmdResult {
-    let g = load_graph(opts)?;
     let idx = load_index(idx_path)?;
+    let (g, perm) = apply_reorder(load_graph(opts)?, idx.reorder());
     idx.check_graph(&g)
         .map_err(|e| format!("--index {idx_path}: {e}"))?;
     let params = scan_params(opts)?;
@@ -596,7 +654,7 @@ fn interactive_indexed(opts: &Options, idx_path: &str) -> CmdResult {
         Telemetry::disabled()
     };
     let t0 = Instant::now();
-    let c = idx.query_traced(&g, params, &telemetry);
+    let c = to_original_ids(idx.query_traced(&g, params, &telemetry), &perm);
     let latency = t0.elapsed();
     let rc = c.role_counts();
     println!(
@@ -632,14 +690,15 @@ pub fn interactive(opts: &Options) -> CmdResult {
     if let Some(idx_path) = opts.get_str("index") {
         return interactive_indexed(opts, idx_path);
     }
-    let g = load_graph(opts)?;
+    let (g, _perm) = load_graph_reordered(opts)?;
     let params = scan_params(opts)?;
     let checkpoint = std::time::Duration::from_millis(opts.get_or("checkpoint-ms", 100)?);
     let threads: usize = opts.get_or("threads", 1)?;
     let trace_path = opts.get_str("trace-json");
     let config = AnyScanConfig::new(params)
         .with_auto_block_size(g.num_vertices())
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_reorder(reorder_mode(opts)?);
     let telemetry = if trace_path.is_some() {
         Telemetry::enabled()
     } else {

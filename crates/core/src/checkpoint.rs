@@ -37,7 +37,7 @@ use std::time::Duration;
 
 use anyscan_dsu::{AtomicDsu, DsuCounters, DsuSeq, LockedDsu, SharedDsu};
 use anyscan_graph::io::framing::{self, Fnv64};
-use anyscan_graph::{CsrGraph, VertexId};
+use anyscan_graph::{CsrGraph, ReorderMode, VertexId};
 use anyscan_scan_common::ScanParams;
 use anyscan_telemetry::Telemetry;
 
@@ -207,6 +207,16 @@ impl Checkpoint {
                 flags |= 1 << bit;
             }
         }
+        // Bits 7–8: reorder-mode code; bit 9: hub bitmaps; bit 10: batched
+        // Step 1. Pre-existing checkpoints have all three zero, which decodes
+        // as (None, off, off) — exactly how those runs were executed.
+        flags |= u32::from(c.reorder.code()) << 7;
+        if c.hub_bitmaps {
+            flags |= 1 << 9;
+        }
+        if c.batched_step1 {
+            flags |= 1 << 10;
+        }
         buf.put_u32_le(flags);
 
         // Graph fingerprint.
@@ -310,6 +320,10 @@ impl Checkpoint {
             },
             edge_cache: flags & (1 << 5) != 0,
             resolve_roles: flags & (1 << 6) != 0,
+            reorder: ReorderMode::from_code(((flags >> 7) & 0b11) as u8)
+                .ok_or_else(|| corrupt(format!("unknown reorder code in flags {flags:#x}")))?,
+            hub_bitmaps: flags & (1 << 9) != 0,
+            batched_step1: flags & (1 << 10) != 0,
         };
 
         // Graph fingerprint.

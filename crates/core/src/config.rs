@@ -1,5 +1,6 @@
 //! anySCAN configuration.
 
+use anyscan_graph::ReorderMode;
 use anyscan_scan_common::ScanParams;
 
 /// Which shared disjoint-set implementation backs the parallel merges.
@@ -54,6 +55,21 @@ pub struct AnyScanConfig {
     /// heuristic (reported as borders). Default on, so results are
     /// role-exact against SCAN.
     pub resolve_roles: bool,
+    /// Cache-locality vertex reordering applied to the graph before the run.
+    /// The driver itself clusters whatever labeling it is handed; this field
+    /// travels in the checkpoint so a resumed run re-applies the same
+    /// (deterministic) relabeling, and callers map output back to original
+    /// ids via the [`anyscan_graph::VertexPermutation`].
+    pub reorder: ReorderMode,
+    /// Hub-bitmap / branchless-merge σ locality bundle
+    /// ([`anyscan_scan_common::Kernel::with_hub_bitmaps`]). Results are
+    /// bit-identical either way; only memory traffic changes. Ablation lever.
+    pub hub_bitmaps: bool,
+    /// Batched source-major Step-1 range queries
+    /// ([`anyscan_scan_common::Kernel::eps_neighborhood_batched`]): each
+    /// block vertex's row is stamped once into a per-worker dense scratch
+    /// and reused across all its candidate pairs. Ablation lever.
+    pub batched_step1: bool,
 }
 
 impl AnyScanConfig {
@@ -72,6 +88,9 @@ impl AnyScanConfig {
             dsu: DsuKind::Atomic,
             edge_cache: true,
             resolve_roles: true,
+            reorder: ReorderMode::None,
+            hub_bitmaps: true,
+            batched_step1: true,
         }
     }
 
@@ -111,6 +130,25 @@ impl AnyScanConfig {
     /// Builder-style edge-decision-cache toggle.
     pub fn with_edge_cache(mut self, enabled: bool) -> Self {
         self.edge_cache = enabled;
+        self
+    }
+
+    /// Builder-style reorder-mode override (recorded in checkpoints; the
+    /// caller is responsible for actually relabeling the graph).
+    pub fn with_reorder(mut self, mode: ReorderMode) -> Self {
+        self.reorder = mode;
+        self
+    }
+
+    /// Builder-style hub-bitmap toggle.
+    pub fn with_hub_bitmaps(mut self, enabled: bool) -> Self {
+        self.hub_bitmaps = enabled;
+        self
+    }
+
+    /// Builder-style batched-Step-1 toggle.
+    pub fn with_batched_step1(mut self, enabled: bool) -> Self {
+        self.batched_step1 = enabled;
         self
     }
 }

@@ -214,7 +214,8 @@ impl<'g> AnyScan<'g> {
         use rand::SeedableRng;
         let n = g.num_vertices();
         let kernel = Kernel::with_optimizations(g, config.params, config.optimizations)
-            .with_edge_cache(config.edge_cache);
+            .with_edge_cache(config.edge_cache)
+            .with_hub_bitmaps(config.hub_bitmaps);
         let mut draw_order: Vec<VertexId> = (0..n as VertexId).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         draw_order.shuffle(&mut rng);
@@ -433,6 +434,10 @@ impl<'g> AnyScan<'g> {
         t.add(Counter::EdgeCacheMisses, s.cache_misses);
         t.add(Counter::EarlyAccepts, s.early_accepts);
         t.add(Counter::EarlyRejects, s.early_rejects);
+        t.add(Counter::SigmaPathMerge, s.path_merge);
+        t.add(Counter::SigmaPathProbe, s.path_probe);
+        t.add(Counter::SigmaPathBitmap, s.path_bitmap);
+        t.add(Counter::SigmaPathBatched, s.path_batched);
         let u = self.union_breakdown();
         t.add(Counter::UnionsStep1, u.step1);
         t.add(Counter::UnionsStep2, u.step2);

@@ -10,6 +10,7 @@ use std::sync::atomic::Ordering;
 
 use anyscan_graph::VertexId;
 use anyscan_parallel::{parallel_for_adaptive, parallel_map_with};
+use anyscan_scan_common::BatchScratch;
 use anyscan_telemetry::{Counter, Recorder};
 
 use crate::driver::AnyScan;
@@ -52,13 +53,24 @@ impl AnyScan<'_> {
         // Phase A: independent range queries; each vertex marks only itself.
         // Each worker reuses one scratch buffer for the range query and the
         // retained copy is allocated at exact size (no growth reallocs).
+        // With `batched_step1` on, the source row is additionally stamped
+        // once into a per-worker dense scratch and reused across all of the
+        // vertex's candidate pairs (source-major evaluation).
         let kernel = &self.kernel;
         let states = &self.states;
         let block_ref = &block;
-        let buffers: Vec<Vec<VertexId>> =
-            parallel_map_with(threads, block.len(), Vec::new, |scratch, i| {
+        let n = g.num_vertices();
+        let batched = self.config.batched_step1;
+        let buffers: Vec<Vec<VertexId>> = parallel_map_with(
+            threads,
+            block.len(),
+            || (Vec::new(), batched.then(|| BatchScratch::new(n))),
+            |(scratch, dense), i| {
                 let p = block_ref[i];
-                kernel.eps_neighborhood_into(p, scratch);
+                match dense {
+                    Some(dense) => kernel.eps_neighborhood_batched(p, dense, scratch),
+                    None => kernel.eps_neighborhood_into(p, scratch),
+                }
                 let next = if scratch.len() >= mu {
                     VertexState::ProcessedCore
                 } else {
@@ -66,7 +78,8 @@ impl AnyScan<'_> {
                 };
                 states.transition(p, next);
                 scratch.as_slice().to_vec()
-            });
+            },
+        );
 
         // Phase B: neighbor state marking + atomic nei counting.
         let nei = &self.nei;

@@ -1,0 +1,109 @@
+//! Property-based reorder invariance: running the anytime driver on a
+//! cache-locality-relabeled graph and mapping the result back through the
+//! permutation must yield the *same clustering* (in original vertex ids)
+//! as running on the graph as-given — exact core label-set equality, same
+//! noise set, justified border attachments (Lemma 4 equivalence).
+//!
+//! One guard: σ values are summed in ascending-id order, so a relabeling
+//! can perturb a sum by an ulp. A vertex pair whose σ sits *exactly* on the
+//! ε threshold could then flip its verdict — a float tie, not a bug. Cases
+//! where any adjacent pair has |σ − ε| ≤ 1e-9 are discarded.
+
+use std::collections::BTreeSet;
+
+use anyscan::{AnyScan, AnyScanConfig};
+use anyscan_graph::reorder::reorder;
+use anyscan_graph::{CsrGraph, GraphBuilder, ReorderMode, VertexId};
+use anyscan_scan_common::kernel::sigma_raw;
+use anyscan_scan_common::verify::check_scan_equivalent;
+use anyscan_scan_common::{Clustering, Role, ScanParams};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    // 8..40 vertices, up to ~120 weighted edges (dense enough for clusters).
+    (8usize..40)
+        .prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32, 0.1f64..1.0);
+            (Just(n), proptest::collection::vec(edge, 0..120))
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+}
+
+/// True when some adjacent pair's σ is within `tol` of ε — the float-tie
+/// situation where reordering may legitimately flip an edge verdict.
+fn has_threshold_tie(g: &CsrGraph, eps: f64, tol: f64) -> bool {
+    (0..g.num_vertices() as VertexId).any(|u| {
+        g.neighbor_ids(u)
+            .iter()
+            .any(|&v| v > u && (sigma_raw(g, u, v) - eps).abs() <= tol)
+    })
+}
+
+/// The clusters as sets of their *core* members — the representation in
+/// which two equivalent SCAN results are literally equal (borders may
+/// legally attach to either adjacent cluster).
+fn core_label_sets(c: &Clustering) -> BTreeSet<BTreeSet<VertexId>> {
+    let mut by_label = std::collections::HashMap::<u32, BTreeSet<VertexId>>::new();
+    for v in 0..c.len() as VertexId {
+        if c.roles[v as usize] == Role::Core {
+            by_label.entry(c.labels[v as usize]).or_default().insert(v);
+        }
+    }
+    by_label.into_values().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn driver_clustering_invariant_under_reordering(
+        g in arb_graph(),
+        eps in 0.1f64..0.95,
+        mu in 1usize..7,
+        block in 1usize..64,
+        seed in 0u64..1000,
+        threads in 1usize..4,
+        mode_idx in 0usize..3,
+    ) {
+        let mode = ReorderMode::ALL[mode_idx];
+        let params = ScanParams::new(eps, mu);
+        if has_threshold_tie(&g, eps, 1e-9) {
+            continue; // float tie at the ε threshold: verdict may legally flip
+        }
+
+        let config = AnyScanConfig::new(params)
+            .with_block_size(block)
+            .with_seed(seed)
+            .with_threads(threads);
+        let base = AnyScan::new(&g, config).run();
+
+        let (g2, perm) = reorder(&g, mode);
+        let mut ours = AnyScan::new(&g2, config.with_reorder(mode)).run();
+        ours.labels = perm.to_original(&ours.labels);
+        ours.roles = perm.to_original(&ours.roles);
+
+        // Exact core label-set equality in original ids.
+        prop_assert_eq!(
+            core_label_sets(&base),
+            core_label_sets(&ours),
+            "core partitions differ under {} reordering (eps={}, mu={}, seed={})",
+            mode, eps, mu, seed
+        );
+        // Full Lemma 4 equivalence (noise agreement, border justification).
+        if let Err(e) = check_scan_equivalent(&g, params, &base, &ours) {
+            prop_assert!(
+                false,
+                "divergence under {mode} reordering (eps={eps}, mu={mu}, \
+                 block={block}, seed={seed}, threads={threads}): {e}"
+            );
+        }
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`stats`] — exact degree / triangle / clustering-coefficient statistics
 //!   matching the columns of Tables I and II of the paper.
 //! * [`traversal`] — BFS and connected-component utilities.
+//! * [`reorder`] — cache-locality vertex reorderings (degree-descending,
+//!   BFS/Cuthill–McKee) with a [`VertexPermutation`] that round-trips labels
+//!   back to original vertex ids.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@ pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod kcore;
+pub mod reorder;
 pub mod stats;
 pub mod transform;
 pub mod traversal;
@@ -46,4 +50,5 @@ pub mod types;
 pub use adj::AdjGraph;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use reorder::{ReorderMode, VertexPermutation};
 pub use types::{EdgeId, GraphError, VertexId, Weight};

@@ -5,11 +5,13 @@
 //!
 //! ```text
 //! magic   "ASIX"            4 bytes
-//! version u32               currently 2
+//! version u32               currently 3
 //! n       u64               number of vertices
 //! arcs    u64               neighbor-order entries (= graph num_arcs)
 //! edges   u64               undirected edge count of the indexed graph
 //! mu_max  u64               number of core orders
+//! reorder u8                v3+: ReorderMode code the graph was relabeled
+//!                           with before the build (0 = none)
 //! offsets       (n+1) × u64
 //! nbr           arcs × u32
 //! sig           arcs × f64
@@ -18,6 +20,8 @@
 //! co_thresholds arcs × f64
 //! checksum      u64          v2+: FNV-1a over all preceding bytes
 //! ```
+//!
+//! ≤ v2 files have no reorder byte and load as [`ReorderMode::None`].
 //!
 //! `read_index` re-validates every structural invariant (sorted orders,
 //! offset monotonicity, threshold/neighbor-order consistency): index files
@@ -30,12 +34,14 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use anyscan_graph::io::framing;
 use anyscan_graph::types::GraphError;
+use anyscan_graph::ReorderMode;
 
 use crate::SimilarityIndex;
 
 const MAGIC: &[u8; 4] = b"ASIX";
-const VERSION: u32 = 2;
-/// Oldest version still readable (v1 files predate the checksum trailer).
+const VERSION: u32 = 3;
+/// Oldest version still readable (v1 files predate the checksum trailer;
+/// v2 files predate the reorder byte).
 const MIN_VERSION: u32 = 1;
 
 /// Serializes an index to the binary format (current version, with a
@@ -51,6 +57,7 @@ pub fn write_index<W: Write>(idx: &SimilarityIndex, mut writer: W) -> Result<(),
     buf.put_u64_le(arcs as u64);
     buf.put_u64_le(idx.num_edges());
     buf.put_u64_le(mu_max as u64);
+    buf.put_u8(idx.reorder.code());
     framing::put_usize_array(&mut buf, &idx.offsets);
     framing::put_u32_array(&mut buf, &idx.nbr);
     framing::put_f64_array(&mut buf, &idx.sig);
@@ -81,12 +88,21 @@ pub fn read_index<R: Read>(mut reader: R) -> Result<SimilarityIndex, GraphError>
         _ => framing::strip_checksum_trailer(raw)?,
     };
 
-    framing::get_header_versioned(&mut buf, MAGIC, MIN_VERSION..=VERSION)?;
+    let version = framing::get_header_versioned(&mut buf, MAGIC, MIN_VERSION..=VERSION)?;
     framing::need(&buf, 32)?;
     let n = buf.get_u64_le() as usize;
     let arcs = buf.get_u64_le() as usize;
     let num_edges = buf.get_u64_le();
     let mu_max = buf.get_u64_le() as usize;
+    let reorder = if version >= 3 {
+        anyscan_faults::inject_io("index::read_reorder")?;
+        framing::need(&buf, 1)?;
+        let code = buf.get_u8();
+        ReorderMode::from_code(code)
+            .ok_or_else(|| GraphError::Format(format!("unknown reorder mode code {code}")))?
+    } else {
+        ReorderMode::None
+    };
 
     let offsets = framing::get_usize_array(&mut buf, n + 1)?;
     let nbr = framing::get_u32_array(&mut buf, arcs)?;
@@ -168,6 +184,7 @@ pub fn read_index<R: Read>(mut reader: R) -> Result<SimilarityIndex, GraphError>
         co_vertices,
         co_thresholds,
         num_edges,
+        reorder,
     })
 }
 
@@ -218,18 +235,77 @@ mod tests {
         assert!(read_index(buf.as_slice()).is_err());
     }
 
+    /// Byte offset of the v3 reorder-mode byte (after header + 4 × u64).
+    const REORDER_BYTE: usize = 8 + 32;
+
+    #[test]
+    fn roundtrip_preserves_reorder_mode() {
+        let (_, idx) = sample_index();
+        for mode in anyscan_graph::reorder::ReorderMode::ALL {
+            let tagged = idx.clone().with_reorder(mode);
+            let mut buf = Vec::new();
+            write_index(&tagged, &mut buf).unwrap();
+            let back = read_index(buf.as_slice()).unwrap();
+            assert_eq!(back.reorder(), mode);
+            assert_eq!(back, tagged);
+        }
+    }
+
+    /// Recomputes the checksum trailer over `body` (which must not already
+    /// carry one).
+    fn with_fresh_trailer(body: &[u8]) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut bytes = bytes::BytesMut::with_capacity(body.len() + framing::CHECKSUM_LEN);
+        bytes.put_slice(body);
+        framing::put_checksum_trailer(&mut bytes);
+        Vec::from(bytes)
+    }
+
+    #[test]
+    fn rejects_unknown_reorder_code() {
+        let (_, idx) = sample_index();
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        buf[REORDER_BYTE] = 9;
+        // Recompute the trailer so only the reorder code is at fault.
+        buf.truncate(buf.len() - framing::CHECKSUM_LEN);
+        let err = read_index(&with_fresh_trailer(&buf)[..]).unwrap_err();
+        assert!(format!("{err}").contains("reorder"), "got: {err}");
+    }
+
+    /// Strips the v3 reorder byte and the checksum trailer, patching the
+    /// version field, to fabricate an on-disk file of an older version.
+    fn downgrade(mut buf: Vec<u8>, version: u8) -> Vec<u8> {
+        buf.remove(REORDER_BYTE);
+        buf.truncate(buf.len() - framing::CHECKSUM_LEN);
+        buf[4] = version;
+        if version >= 2 {
+            buf = with_fresh_trailer(&buf);
+        }
+        buf
+    }
+
     #[test]
     fn reads_legacy_v1_files_without_trailer() {
         let (g, idx) = sample_index();
         let mut buf = Vec::new();
         write_index(&idx, &mut buf).unwrap();
-        // Rewrite as a v1 file: drop the trailer, patch the version field.
-        buf.truncate(buf.len() - framing::CHECKSUM_LEN);
-        buf[4] = 1;
+        let buf = downgrade(buf, 1);
         let idx2 = read_index(buf.as_slice()).unwrap();
         assert_eq!(idx, idx2);
         let params = ScanParams::new(0.5, 4);
         assert_eq!(idx.query(&g, params), idx2.query(&g, params));
+    }
+
+    #[test]
+    fn reads_v2_files_as_unreordered() {
+        let (_, idx) = sample_index();
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        let buf = downgrade(buf, 2);
+        let idx2 = read_index(buf.as_slice()).unwrap();
+        assert_eq!(idx2.reorder(), anyscan_graph::ReorderMode::None);
+        assert_eq!(idx, idx2);
     }
 
     #[test]
@@ -249,7 +325,7 @@ mod tests {
         write_index(&idx, &mut buf).unwrap();
         // Flip a byte inside the neighbor-id block to break the sorted-order
         // or range invariants.
-        let header = 8 + 32 + (idx.num_vertices() + 1) * 8;
+        let header = 8 + 32 + 1 + (idx.num_vertices() + 1) * 8;
         let mut broken = buf.clone();
         broken[header + 1] ^= 0xFF;
         assert!(read_index(broken.as_slice()).is_err());

@@ -38,7 +38,7 @@
 pub mod io;
 
 use anyscan_dsu::DsuSeq;
-use anyscan_graph::{CsrGraph, VertexId};
+use anyscan_graph::{CsrGraph, ReorderMode, VertexId};
 use anyscan_parallel::{parallel_map_adaptive, parallel_map_with};
 use anyscan_scan_common::{
     AtomicEdgeCache, Clustering, NeighborIndex, Role, RowScratch, ScanParams, NOISE,
@@ -70,6 +70,12 @@ pub struct SimilarityIndex {
     /// Undirected edge count of the indexed graph (fingerprint, with
     /// `offsets`, against querying a different graph).
     num_edges: u64,
+    /// Cache-locality reordering the indexed graph was relabeled with
+    /// ([`ReorderMode::None`] when built on the original ordering). Readers
+    /// of the on-disk format re-apply the same (deterministic) reordering to
+    /// the freshly loaded graph before querying, then map labels back to
+    /// original ids — see the CLI's `index` command.
+    reorder: ReorderMode,
 }
 
 impl SimilarityIndex {
@@ -94,7 +100,7 @@ impl SimilarityIndex {
         // higher-id neighbors (one dense stamp of the row, one O(d_v) pass
         // per neighbor), so no pair is computed twice and no slot is
         // contended. The scratch is per worker, reused across its rows.
-        let upper: Vec<Vec<f64>> = {
+        let upper: Vec<(Vec<f64>, u64)> = {
             let _s = telemetry.span("index_sigma");
             parallel_map_with(
                 threads,
@@ -102,18 +108,23 @@ impl SimilarityIndex {
                 || RowScratch::new(n),
                 |scratch, u| {
                     let mut row = Vec::new();
-                    nidx.sigma_row(g, u as VertexId, scratch, &mut row);
-                    row
+                    let diverted = nidx.sigma_row(g, u as VertexId, scratch, &mut row);
+                    (row, diverted)
                 },
             )
         };
         telemetry.add(Counter::IndexSigmaEvals, g.num_edges());
+        // Kernel-path attribution: every edge is either a batched-row pass
+        // or a hash-probe diversion.
+        let probed: u64 = upper.iter().map(|(_, d)| d).sum();
+        telemetry.add(Counter::SigmaPathProbe, probed);
+        telemetry.add(Counter::SigmaPathBatched, g.num_edges() - probed);
 
         // Scatter into an arc-aligned scratch array (upper arcs only).
         let mut sig_by_arc = vec![0.0f64; arcs];
         for u in g.vertices() {
             let base = g.arc_range(u).start;
-            let mut it = upper[u as usize].iter();
+            let mut it = upper[u as usize].0.iter();
             for (i, &v) in g.neighbor_ids(u).iter().enumerate() {
                 if v > u {
                     sig_by_arc[base + i] = *it.next().expect("one σ per upper arc");
@@ -210,7 +221,22 @@ impl SimilarityIndex {
             co_vertices,
             co_thresholds,
             num_edges: g.num_edges(),
+            reorder: ReorderMode::None,
         }
+    }
+
+    /// Tags the index with the [`ReorderMode`] its graph was relabeled
+    /// with before the build (persisted in the ASIX file so `index query`
+    /// can re-apply it).
+    pub fn with_reorder(mut self, mode: ReorderMode) -> Self {
+        self.reorder = mode;
+        self
+    }
+
+    /// The reordering the indexed graph was relabeled with
+    /// ([`ReorderMode::None`] if none).
+    pub fn reorder(&self) -> ReorderMode {
+        self.reorder
     }
 
     /// Number of indexed vertices.

@@ -1,0 +1,108 @@
+//! Property-based reorder invariance for the similarity index: building the
+//! index on a cache-locality-relabeled graph and mapping query results back
+//! through the permutation must match an index built on the graph as-given
+//! — exact core label-set equality in original vertex ids, plus Lemma 4
+//! equivalence. The serialized form is also round-tripped so the ASIX v3
+//! reorder byte is exercised on the same path `anyscan index query` uses.
+//!
+//! Pairs whose σ sits within 1e-9 of ε are discarded: relabeling changes
+//! the summation order inside σ, and an exact-threshold value may flip by
+//! an ulp (a float tie, not a clustering bug).
+
+use std::collections::BTreeSet;
+
+use anyscan_graph::reorder::reorder;
+use anyscan_graph::{CsrGraph, GraphBuilder, ReorderMode, VertexId};
+use anyscan_index::io::{read_index, write_index};
+use anyscan_index::SimilarityIndex;
+use anyscan_scan_common::kernel::sigma_raw;
+use anyscan_scan_common::verify::check_scan_equivalent;
+use anyscan_scan_common::{Clustering, Role, ScanParams};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (8usize..40)
+        .prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32, 0.1f64..1.0);
+            (Just(n), proptest::collection::vec(edge, 0..120))
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+}
+
+fn has_threshold_tie(g: &CsrGraph, eps: f64, tol: f64) -> bool {
+    (0..g.num_vertices() as VertexId).any(|u| {
+        g.neighbor_ids(u)
+            .iter()
+            .any(|&v| v > u && (sigma_raw(g, u, v) - eps).abs() <= tol)
+    })
+}
+
+fn core_label_sets(c: &Clustering) -> BTreeSet<BTreeSet<VertexId>> {
+    let mut by_label = std::collections::HashMap::<u32, BTreeSet<VertexId>>::new();
+    for v in 0..c.len() as VertexId {
+        if c.roles[v as usize] == Role::Core {
+            by_label.entry(c.labels[v as usize]).or_default().insert(v);
+        }
+    }
+    by_label.into_values().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn index_query_invariant_under_reordering(
+        g in arb_graph(),
+        eps in 0.1f64..0.95,
+        mu in 1usize..7,
+        threads in 1usize..4,
+        mode_idx in 0usize..3,
+    ) {
+        let mode = ReorderMode::ALL[mode_idx];
+        let params = ScanParams::new(eps, mu);
+        if has_threshold_tie(&g, eps, 1e-9) {
+            continue; // float tie at the ε threshold: verdict may legally flip
+        }
+
+        let base = SimilarityIndex::build(&g, threads).query(&g, params);
+
+        // Serialize/deserialize the reordered-graph index exactly as the
+        // CLI does, then query with the recorded mode re-applied.
+        let (g2, perm) = reorder(&g, mode);
+        let idx = SimilarityIndex::build(&g2, threads).with_reorder(mode);
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).expect("serialize");
+        let idx = read_index(&buf[..]).expect("deserialize");
+        prop_assert_eq!(idx.reorder(), mode);
+        let (g2_again, perm_again) = reorder(&g, idx.reorder());
+        prop_assert_eq!(g2_again.num_edges(), g2.num_edges());
+        prop_assert!(perm_again.is_identity() == perm.is_identity());
+        idx.check_graph(&g2_again).expect("index/graph mismatch");
+
+        let mut ours = idx.query(&g2_again, params);
+        ours.labels = perm.to_original(&ours.labels);
+        ours.roles = perm.to_original(&ours.roles);
+
+        prop_assert_eq!(
+            core_label_sets(&base),
+            core_label_sets(&ours),
+            "core partitions differ under {} reordering (eps={}, mu={})",
+            mode, eps, mu
+        );
+        if let Err(e) = check_scan_equivalent(&g, params, &base, &ours) {
+            prop_assert!(
+                false,
+                "divergence under {mode} reordering (eps={eps}, mu={mu}, \
+                 threads={threads}): {e}"
+            );
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Packed-bitset neighborhoods for high-degree vertices.
+//!
+//! On power-law graphs a handful of hubs participate in a large share of all
+//! σ evaluations, and each of those merge-joins walks the hub's huge
+//! adjacency list end to end. Following the bitmap-intersection idea of
+//! GPUSCAN++ and the parallel index-based SCAN line of work, every vertex
+//! above a degree threshold gets
+//!
+//! * a packed `u64` bitset over the vertex space (bit `r` set iff
+//!   `r ∈ Γ(hub)`), and
+//! * a per-word *rank* (prefix popcount), so the position of a set bit
+//!   within the hub's sorted adjacency — and therefore its weight — is
+//!   recovered in O(1) with no binary search.
+//!
+//! σ(small, hub) then costs one bit-test + weight gather per entry of the
+//! *small* row instead of a merge over both rows, and σ(hub, hub) becomes a
+//! word-wise AND. Both paths visit common neighbors in ascending-id order
+//! and sum the same `w_ur·w_vr` products, so the numerators they produce are
+//! **bit-identical** to [`crate::kernel::sigma_raw`]'s (proptest-enforced).
+//!
+//! Memory: 12 bytes per 64 vertices per hub (bitmap word + `u32` rank), so
+//! the hub count is capped; see [`HubBitmaps::DEFAULT_MAX_HUBS`].
+
+use anyscan_graph::{CsrGraph, VertexId};
+
+/// Bitsets + rank tables for the highest-degree vertices of a graph.
+#[derive(Debug)]
+pub struct HubBitmaps {
+    /// `hub_slot[v]` = index into `bitmaps`/`ranks`, or `u32::MAX`.
+    hub_slot: Vec<u32>,
+    /// One bitset of `words_per_row` words per hub.
+    bitmaps: Vec<u64>,
+    /// `ranks[slot * words_per_row + w]` = number of neighbors of the hub
+    /// with id `< 64·w` (prefix popcount of the bitmap row).
+    ranks: Vec<u32>,
+    words_per_row: usize,
+}
+
+impl HubBitmaps {
+    /// Most hubs given bitmaps (caps memory at
+    /// `12 · ceil(n/64) · DEFAULT_MAX_HUBS` bytes).
+    pub const DEFAULT_MAX_HUBS: usize = 128;
+
+    /// Smallest closed degree eligible for a bitmap: below this a merge-join
+    /// touches so little memory that the bitmap adds nothing.
+    pub const DEFAULT_MIN_DEGREE: usize = 64;
+
+    /// Builds bitmaps for the top-degree vertices of `g` using the default
+    /// cap and degree floor.
+    pub fn build(g: &CsrGraph) -> Self {
+        Self::build_with(g, Self::DEFAULT_MAX_HUBS, Self::DEFAULT_MIN_DEGREE)
+    }
+
+    /// Builds bitmaps for at most `max_hubs` vertices of closed degree
+    /// `>= min_degree`, chosen by descending degree (ties by ascending id —
+    /// deterministic, so two builds of the same graph select the same hubs).
+    pub fn build_with(g: &CsrGraph, max_hubs: usize, min_degree: usize) -> Self {
+        let n = g.num_vertices();
+        let words_per_row = n.div_ceil(64);
+        let mut candidates: Vec<VertexId> = g
+            .vertices()
+            .filter(|&v| g.degree(v) >= min_degree)
+            .collect();
+        candidates.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+        candidates.truncate(max_hubs);
+
+        let mut hub_slot = vec![u32::MAX; n];
+        let mut bitmaps = vec![0u64; candidates.len() * words_per_row];
+        let mut ranks = vec![0u32; candidates.len() * words_per_row];
+        for (slot, &hub) in candidates.iter().enumerate() {
+            hub_slot[hub as usize] = slot as u32;
+            let row = &mut bitmaps[slot * words_per_row..(slot + 1) * words_per_row];
+            for &q in g.neighbor_ids(hub) {
+                row[(q / 64) as usize] |= 1u64 << (q % 64);
+            }
+            let rank_row = &mut ranks[slot * words_per_row..(slot + 1) * words_per_row];
+            let mut running = 0u32;
+            for (w, rank) in rank_row.iter_mut().enumerate() {
+                *rank = running;
+                running += row[w].count_ones();
+            }
+        }
+        HubBitmaps {
+            hub_slot,
+            bitmaps,
+            ranks,
+            words_per_row,
+        }
+    }
+
+    /// Number of vertices that received a bitmap.
+    pub fn num_hubs(&self) -> usize {
+        self.bitmaps
+            .len()
+            .checked_div(self.words_per_row)
+            .unwrap_or(0)
+    }
+
+    /// True if `v` has a bitmap.
+    #[inline]
+    pub fn is_hub(&self, v: VertexId) -> bool {
+        self.hub_slot[v as usize] != u32::MAX
+    }
+
+    /// The bitmap row of `v`, if `v` is a hub.
+    #[inline]
+    fn row(&self, v: VertexId) -> Option<(&[u64], &[u32])> {
+        let slot = self.hub_slot[v as usize];
+        if slot == u32::MAX {
+            return None;
+        }
+        let start = slot as usize * self.words_per_row;
+        Some((
+            &self.bitmaps[start..start + self.words_per_row],
+            &self.ranks[start..start + self.words_per_row],
+        ))
+    }
+
+    /// Position of neighbor `q` within the hub's sorted adjacency (only
+    /// valid when the bit is known set): rank prefix + popcount below `q`.
+    #[inline]
+    fn position(row: &[u64], ranks: &[u32], q: VertexId) -> usize {
+        let word = (q / 64) as usize;
+        let below = row[word] & ((1u64 << (q % 64)) - 1);
+        ranks[word] as usize + below.count_ones() as usize
+    }
+
+    /// σ numerator `Σ_{r∈Γ(u)∩Γ(v)} w_ur·w_vr` via the bitmap of `hub`
+    /// against the plain row of `small` (`hub` must be a hub; `small` may be
+    /// anything). Visits common neighbors in ascending id, so the sum is
+    /// bit-identical to the merge-join's.
+    ///
+    /// Returns `None` when `hub` has no bitmap.
+    #[inline]
+    pub fn numerator_small_vs_hub(
+        &self,
+        g: &CsrGraph,
+        small: VertexId,
+        hub: VertexId,
+    ) -> Option<f64> {
+        let (row, ranks) = self.row(hub)?;
+        let hub_weights = g.neighbor_weights(hub);
+        let ids = g.neighbor_ids(small);
+        let weights = g.neighbor_weights(small);
+        let mut num = 0.0f64;
+        for (i, &r) in ids.iter().enumerate() {
+            let word = row[(r / 64) as usize];
+            if word & (1u64 << (r % 64)) != 0 {
+                let pos = Self::position(row, ranks, r);
+                num += weights[i] * hub_weights[pos];
+            }
+        }
+        Some(num)
+    }
+
+    /// σ numerator via word-wise AND of two hub bitmaps. Iterates set bits
+    /// of the intersection in ascending id (`trailing_zeros` within each
+    /// word), so the sum is bit-identical to the merge-join's.
+    ///
+    /// Returns `None` unless both vertices have bitmaps.
+    #[inline]
+    pub fn numerator_hub_vs_hub(&self, g: &CsrGraph, u: VertexId, v: VertexId) -> Option<f64> {
+        let (row_u, ranks_u) = self.row(u)?;
+        let (row_v, ranks_v) = self.row(v)?;
+        let wu = g.neighbor_weights(u);
+        let wv = g.neighbor_weights(v);
+        let mut num = 0.0f64;
+        for w in 0..self.words_per_row {
+            let mut common = row_u[w] & row_v[w];
+            while common != 0 {
+                let bit = common.trailing_zeros();
+                let r = (w as u32) * 64 + bit;
+                let pu = Self::position(row_u, ranks_u, r);
+                let pv = Self::position(row_v, ranks_v, r);
+                num += wu[pu] * wv[pv];
+                common &= common - 1;
+            }
+        }
+        Some(num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan_graph::gen::{erdos_renyi, WeightModel};
+    use anyscan_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Reference numerator: the merge-join sum sigma_raw computes before
+    /// normalizing.
+    fn numerator_merge(g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
+        let (nu, wu) = (g.neighbor_ids(u), g.neighbor_weights(u));
+        let (nv, wv) = (g.neighbor_ids(v), g.neighbor_weights(v));
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut num = 0.0f64;
+        while i < nu.len() && j < nv.len() {
+            let (a, b) = (nu[i], nv[j]);
+            if a == b {
+                num += wu[i] * wv[j];
+                i += 1;
+                j += 1;
+            } else if a < b {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        num
+    }
+
+    #[test]
+    fn selection_honors_cap_and_floor() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi(&mut rng, 200, 3_000, WeightModel::uniform_default());
+        let hubs = HubBitmaps::build_with(&g, 10, 1);
+        assert_eq!(hubs.num_hubs(), 10);
+        // The selected hubs are exactly a top-10 by (degree desc, id asc).
+        let mut by_degree: Vec<VertexId> = g.vertices().collect();
+        by_degree.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+        for (rank, &v) in by_degree.iter().enumerate() {
+            assert_eq!(hubs.is_hub(v), rank < 10, "vertex {v} rank {rank}");
+        }
+        // A floor above every degree selects nothing.
+        let none = HubBitmaps::build_with(&g, 10, g.num_vertices() + 2);
+        assert_eq!(none.num_hubs(), 0);
+    }
+
+    #[test]
+    fn numerators_bit_identical_to_merge_on_random_graph() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = erdos_renyi(&mut rng, 150, 2_500, WeightModel::uniform_default());
+        let hubs = HubBitmaps::build_with(&g, 20, 4);
+        assert!(hubs.num_hubs() > 0);
+        let hub_ids: Vec<VertexId> = g.vertices().filter(|&v| hubs.is_hub(v)).collect();
+        for &h in &hub_ids {
+            for u in g.vertices() {
+                let expect = numerator_merge(&g, u, h);
+                let got = hubs.numerator_small_vs_hub(&g, u, h).unwrap();
+                assert_eq!(got.to_bits(), expect.to_bits(), "small {u} vs hub {h}");
+            }
+            for &h2 in &hub_ids {
+                let expect = numerator_merge(&g, h, h2);
+                let got = hubs.numerator_hub_vs_hub(&g, h, h2).unwrap();
+                assert_eq!(got.to_bits(), expect.to_bits(), "hub {h} vs hub {h2}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_hub_lookups_return_none() {
+        let g = GraphBuilder::from_unweighted_edges(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap();
+        let hubs = HubBitmaps::build_with(&g, 2, 100);
+        assert_eq!(hubs.num_hubs(), 0);
+        assert_eq!(hubs.numerator_small_vs_hub(&g, 0, 1), None);
+        assert_eq!(hubs.numerator_hub_vs_hub(&g, 0, 1), None);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new(0).build();
+        let hubs = HubBitmaps::build(&g);
+        assert_eq!(hubs.num_hubs(), 0);
+    }
+}

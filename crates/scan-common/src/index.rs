@@ -134,13 +134,17 @@ impl NeighborIndex {
     /// ascending id order on every path, and the dense pass's extra `+ 0.0`
     /// terms cannot perturb a partial sum that is never `-0.0`, so the
     /// results are bit-identical to [`sigma_raw`].
+    ///
+    /// Returns the number of pairs that diverted to the hash probe, so
+    /// callers can attribute σ work to the probe vs. batched-row kernel
+    /// paths in telemetry.
     pub fn sigma_row(
         &self,
         g: &CsrGraph,
         u: VertexId,
         scratch: &mut RowScratch,
         out: &mut Vec<f64>,
-    ) {
+    ) -> u64 {
         assert!(
             scratch.weight.len() >= g.num_vertices(),
             "RowScratch sized for {} vertices, graph has {}",
@@ -156,9 +160,11 @@ impl NeighborIndex {
         }
         let du = nu.len();
         let norm_u = g.norm_sq(u);
+        let mut probe_diversions = 0u64;
         for &v in nu.iter().filter(|&&v| v > u) {
             let nv = g.neighbor_ids(v);
             let s = if prefer_hash_probe(du, nv.len()) {
+                probe_diversions += 1;
                 self.sigma(g, u, v)
             } else {
                 let wv = g.neighbor_weights(v);
@@ -181,6 +187,7 @@ impl NeighborIndex {
             };
             out.push(s);
         }
+        probe_diversions
     }
 }
 
@@ -361,14 +368,24 @@ mod tests {
         let g = b.build();
         let idx = NeighborIndex::new(&g);
         let mut scratch = RowScratch::new(g.num_vertices());
+        let mut total_diversions = 0u64;
         for u in g.vertices() {
             let mut row = Vec::new();
-            idx.sigma_row(&g, u, &mut scratch, &mut row);
+            let diverted = idx.sigma_row(&g, u, &mut scratch, &mut row);
+            assert!(diverted as usize <= row.len());
+            let expect = g
+                .neighbor_ids(u)
+                .iter()
+                .filter(|&&v| v > u && prefer_hash_probe(g.degree(u), g.degree(v)))
+                .count() as u64;
+            assert_eq!(diverted, expect, "diversion count for row {u}");
+            total_diversions += diverted;
             let upper: Vec<_> = g.neighbor_ids(u).iter().filter(|&&v| v > u).collect();
             for (&&v, s) in upper.iter().zip(&row) {
                 assert_eq!(s.to_bits(), sigma_raw(&g, u, v).to_bits());
             }
         }
+        assert!(total_diversions > 0, "the probe diversion was never taken");
     }
 
     #[test]

@@ -4,10 +4,41 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use anyscan_graph::{CsrGraph, VertexId};
+use anyscan_graph::{CsrGraph, VertexId, Weight};
 
 use crate::atomic_cache::AtomicEdgeCache;
+use crate::hubs::HubBitmaps;
 use crate::params::ScanParams;
+
+/// Pairs whose smaller closed degree is at or below this run the branchless
+/// full merge-join instead of the early-exit merge when the locality bundle
+/// is enabled: short rows rarely profit from early exit, while the
+/// data-dependent branches of the classic merge mispredict on them.
+const BRANCHLESS_MERGE_CUTOFF: usize = 64;
+
+/// Prefetch distance (in elements) inside the branchless merge-join.
+#[cfg(target_arch = "x86_64")]
+const MERGE_PREFETCH_AHEAD: usize = 16;
+
+/// Hints the CPU to pull the start of a slice into cache. No-op off x86_64.
+#[inline(always)]
+fn prefetch_read<T>(slice: &[T], idx: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if idx < slice.len() {
+        // SAFETY: the pointer is within (or one past) a live allocation;
+        // prefetch has no memory effects and tolerates any address.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                slice.as_ptr().add(idx) as *const i8,
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (slice, idx);
+    }
+}
 
 /// Snapshot of the kernel's evaluation counters.
 ///
@@ -35,6 +66,21 @@ pub struct SimStats {
     /// Merge-joins rejected by the remaining-suffix bound (the early-reject
     /// optimization fired; subset of `sigma_evals`).
     pub early_rejects: u64,
+    /// σ evaluations that ran a merge-join (classic or branchless). The
+    /// three kernel-side path counters (`path_merge`, `path_bitmap`,
+    /// `path_batched`) partition `sigma_evals` exactly, so traces show where
+    /// σ time goes; `path_probe` is recorded externally and counts separate
+    /// work.
+    pub path_merge: u64,
+    /// σ evaluations diverted to the hash-probe path (recorded externally by
+    /// the index build via [`Kernel::record_probe_evals`]; the anytime
+    /// kernel itself never probes).
+    pub path_probe: u64,
+    /// σ evaluations answered through a hub bitmap (word-wise AND or
+    /// bit-test + weight gather).
+    pub path_bitmap: u64,
+    /// σ evaluations answered by the batched Step-1 dense-row gather.
+    pub path_batched: u64,
 }
 
 impl SimStats {
@@ -75,6 +121,11 @@ pub struct Kernel<'g> {
     /// Symmetric per-arc verdict cache (see [`AtomicEdgeCache`]); `None`
     /// disables caching (the ablation and the memory-frugal path).
     cache: Option<AtomicEdgeCache>,
+    /// Packed neighbor bitsets for high-degree vertices plus the branchless
+    /// small-pair merge — the cache-locality bundle. `None` keeps the
+    /// classic merge-join on every pair (the pre-bundle behavior, used by
+    /// the baselines and the bench's before/after comparison).
+    hubs: Option<HubBitmaps>,
     sigma_evals: AtomicU64,
     lemma5_filtered: AtomicU64,
     shared_evals: AtomicU64,
@@ -82,6 +133,10 @@ pub struct Kernel<'g> {
     cache_misses: AtomicU64,
     early_accepts: AtomicU64,
     early_rejects: AtomicU64,
+    path_merge: AtomicU64,
+    path_probe: AtomicU64,
+    path_bitmap: AtomicU64,
+    path_batched: AtomicU64,
 }
 
 impl<'g> Kernel<'g> {
@@ -102,6 +157,7 @@ impl<'g> Kernel<'g> {
             params,
             optimizations,
             cache: None,
+            hubs: None,
             sigma_evals: AtomicU64::new(0),
             lemma5_filtered: AtomicU64::new(0),
             shared_evals: AtomicU64::new(0),
@@ -109,6 +165,10 @@ impl<'g> Kernel<'g> {
             cache_misses: AtomicU64::new(0),
             early_accepts: AtomicU64::new(0),
             early_rejects: AtomicU64::new(0),
+            path_merge: AtomicU64::new(0),
+            path_probe: AtomicU64::new(0),
+            path_bitmap: AtomicU64::new(0),
+            path_batched: AtomicU64::new(0),
         }
     }
 
@@ -122,9 +182,33 @@ impl<'g> Kernel<'g> {
         self
     }
 
+    /// Builder-style toggle for the hub-bitmap / branchless-merge locality
+    /// bundle. With it on, pairs touching a high-degree vertex are decided
+    /// through a packed bitset (word-wise AND or bit-test + weight gather)
+    /// and small pairs run a branchless full merge-join; both produce
+    /// numerators bit-identical to [`sigma_raw`]'s, so results never change
+    /// — only memory traffic and the `path_*` counters do.
+    pub fn with_hub_bitmaps(mut self, enabled: bool) -> Self {
+        self.hubs = enabled.then(|| HubBitmaps::build(self.graph));
+        self
+    }
+
+    /// [`Kernel::with_hub_bitmaps`] with an explicit hub cap and degree
+    /// floor — for tuning experiments and for tests on graphs too small for
+    /// the default floor to select any hubs.
+    pub fn with_hub_bitmaps_params(mut self, max_hubs: usize, min_degree: usize) -> Self {
+        self.hubs = Some(HubBitmaps::build_with(self.graph, max_hubs, min_degree));
+        self
+    }
+
     /// The edge-decision cache, when enabled.
     pub fn edge_cache(&self) -> Option<&AtomicEdgeCache> {
         self.cache.as_ref()
+    }
+
+    /// The hub bitmaps, when the locality bundle is enabled.
+    pub fn hub_bitmaps(&self) -> Option<&HubBitmaps> {
+        self.hubs.as_ref()
     }
 
     /// The graph this kernel evaluates on.
@@ -147,6 +231,10 @@ impl<'g> Kernel<'g> {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             early_accepts: self.early_accepts.load(Ordering::Relaxed),
             early_rejects: self.early_rejects.load(Ordering::Relaxed),
+            path_merge: self.path_merge.load(Ordering::Relaxed),
+            path_probe: self.path_probe.load(Ordering::Relaxed),
+            path_bitmap: self.path_bitmap.load(Ordering::Relaxed),
+            path_batched: self.path_batched.load(Ordering::Relaxed),
         }
     }
 
@@ -154,6 +242,13 @@ impl<'g> Kernel<'g> {
     /// baseline; kept here so all counters live in one place).
     pub fn record_shared_eval(&self) {
         self.shared_evals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` hash-probe σ evaluations performed outside the kernel
+    /// (the index build's skew diversion); kept here so the per-path
+    /// counters all live in one snapshot.
+    pub fn record_probe_evals(&self, n: u64) {
+        self.path_probe.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Exact weighted structural similarity
@@ -204,6 +299,83 @@ impl<'g> Kernel<'g> {
         decision
     }
 
+    /// Lemma-5 O(1) prefilter: true iff σ(u,v) is provably `< ε` from the
+    /// precomputed per-vertex bounds alone (σ̂² < ε²·l_u·l_v).
+    #[inline]
+    fn lemma5_filters(&self, u: VertexId, v: VertexId, lu: f64, lv: f64) -> bool {
+        let g = self.graph;
+        let min_deg = g.degree(u).min(g.degree(v)) as f64;
+        let max_w = g.max_weight(u).max(g.max_weight(v));
+        let sigma_hat = min_deg * max_w;
+        sigma_hat * sigma_hat < self.params.epsilon * self.params.epsilon * lu * lv
+    }
+
+    /// Decides a pair through a hub bitmap if one applies, counting the
+    /// evaluation. Returns `None` when neither endpoint has a bitmap.
+    ///
+    /// The bitmap paths compute the **full** numerator (no early exit);
+    /// since every term is non-negative, the full-sum comparison against the
+    /// threshold reaches the same verdict the early-exit merge would.
+    #[inline]
+    fn bitmap_decision(&self, u: VertexId, v: VertexId, threshold: f64) -> Option<EpsDecision> {
+        let hubs = self.hubs.as_ref()?;
+        let g = self.graph;
+        let (du, dv) = (g.degree(u), g.degree(v));
+        // Word-wise AND when both rows are wide enough to amortize the full
+        // bitmap sweep; otherwise bit-test the smaller row against the
+        // bigger hub's bitset.
+        let words = g.num_vertices().div_ceil(64);
+        let num = if hubs.is_hub(u) && hubs.is_hub(v) && du + dv >= words {
+            hubs.numerator_hub_vs_hub(g, u, v)?
+        } else {
+            // Bit-test the other row against a hub endpoint's bitset,
+            // preferring the wider endpoint as the bitset side.
+            let (first, second) = if du <= dv { (u, v) } else { (v, u) };
+            if hubs.is_hub(second) {
+                hubs.numerator_small_vs_hub(g, first, second)?
+            } else if hubs.is_hub(first) {
+                hubs.numerator_small_vs_hub(g, second, first)?
+            } else {
+                return None;
+            }
+        };
+        self.sigma_evals.fetch_add(1, Ordering::Relaxed);
+        self.path_bitmap.fetch_add(1, Ordering::Relaxed);
+        Some(if num >= threshold {
+            EpsDecision::Similar
+        } else {
+            EpsDecision::Dissimilar
+        })
+    }
+
+    /// Branchless full merge-join numerator with explicit prefetch: index
+    /// advances and the accumulate are computed arithmetically, so the
+    /// data-dependent `a < b` comparison never becomes a mispredicted
+    /// branch. Adds `+0.0` on non-matches — partial sums stay bit-identical
+    /// to the classic merge's (all terms are non-negative, so no `-0.0`).
+    #[inline]
+    fn merge_numerator_branchless(&self, u: VertexId, v: VertexId) -> f64 {
+        let g = self.graph;
+        let nu = g.neighbor_ids(u);
+        let wu = g.neighbor_weights(u);
+        let nv = g.neighbor_ids(v);
+        let wv = g.neighbor_weights(v);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut num = 0.0f64;
+        while i < nu.len() && j < nv.len() {
+            #[cfg(target_arch = "x86_64")]
+            {
+                prefetch_read(nu, i + MERGE_PREFETCH_AHEAD);
+                prefetch_read(nv, j + MERGE_PREFETCH_AHEAD);
+            }
+            let (a, b) = (nu[i], nv[j]);
+            num += if a == b { wu[i] * wv[j] } else { 0.0 };
+            i += (a <= b) as usize;
+            j += (b <= a) as usize;
+        }
+        num
+    }
+
     /// The Section III-D decision procedure itself, never touching the
     /// edge-decision cache.
     fn eps_decision_uncached(&self, u: VertexId, v: VertexId) -> EpsDecision {
@@ -212,19 +384,31 @@ impl<'g> Kernel<'g> {
         let lv = g.norm_sq(v);
         let threshold = self.params.epsilon * (lu * lv).sqrt();
 
-        if self.optimizations {
-            // Lemma 5: σ̂(u,v) = min(|Γ_u|,|Γ_v|)·max(w_u,w_v); if
-            // σ̂² < ε²·l_u·l_v then σ < ε without touching the edge arrays.
-            let min_deg = g.degree(u).min(g.degree(v)) as f64;
-            let max_w = g.max_weight(u).max(g.max_weight(v));
-            let sigma_hat = min_deg * max_w;
-            if sigma_hat * sigma_hat < self.params.epsilon * self.params.epsilon * lu * lv {
-                self.lemma5_filtered.fetch_add(1, Ordering::Relaxed);
-                return EpsDecision::FilteredOut;
+        if self.optimizations && self.lemma5_filters(u, v, lu, lv) {
+            self.lemma5_filtered.fetch_add(1, Ordering::Relaxed);
+            return EpsDecision::FilteredOut;
+        }
+
+        // Locality bundle: hub pairs go through the packed bitsets, and
+        // small pairs run the branchless merge (counted below).
+        if self.hubs.is_some() {
+            if let Some(decision) = self.bitmap_decision(u, v, threshold) {
+                return decision;
+            }
+            if g.degree(u).min(g.degree(v)) <= BRANCHLESS_MERGE_CUTOFF {
+                self.sigma_evals.fetch_add(1, Ordering::Relaxed);
+                self.path_merge.fetch_add(1, Ordering::Relaxed);
+                let num = self.merge_numerator_branchless(u, v);
+                return if num >= threshold {
+                    EpsDecision::Similar
+                } else {
+                    EpsDecision::Dissimilar
+                };
             }
         }
 
         self.sigma_evals.fetch_add(1, Ordering::Relaxed);
+        self.path_merge.fetch_add(1, Ordering::Relaxed);
         let nu = g.neighbor_ids(u);
         let wu = g.neighbor_weights(u);
         let nv = g.neighbor_ids(v);
@@ -308,6 +492,177 @@ impl<'g> Kernel<'g> {
         }
     }
 
+    /// [`Kernel::eps_neighborhood_into`], batched source-major: the source
+    /// row `Γ(p)` is scattered **once** into the per-worker dense scratch
+    /// and reused across all candidate pairs of the range query, so each
+    /// decision costs one sequential sweep of the candidate's row instead of
+    /// a two-row merge. Pairs answered by the edge cache never touch the
+    /// scratch (and the row is not even stamped when every pair hits).
+    ///
+    /// Accounting is identical to the per-pair path: each adjacent decision
+    /// counts exactly one of `cache_hits` or `cache_misses` (cache on), and
+    /// each computed decision exactly one of `lemma5_filtered` or
+    /// `sigma_evals` — never both a hit and a fresh evaluation (see the
+    /// regression tests; a naive route through [`Kernel::eps_decision`]
+    /// after a row-level cache pass would double-count).
+    pub fn eps_neighborhood_batched(
+        &self,
+        p: VertexId,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<VertexId>,
+    ) {
+        out.clear();
+        let g = self.graph;
+        scratch.invalidate_row();
+        let ids = g.neighbor_ids(p);
+        for (k, &q) in ids.iter().enumerate() {
+            if k + 1 < ids.len() {
+                // The candidate rows are visited in arbitrary memory order:
+                // hint the next row in while deciding this one.
+                let next = ids[k + 1];
+                prefetch_read(g.neighbor_ids(next), 0);
+                prefetch_read(g.neighbor_weights(next), 0);
+            }
+            if q == p {
+                out.push(q);
+                continue;
+            }
+            let similar = match &self.cache {
+                None => matches!(self.batched_decision(p, q, scratch), EpsDecision::Similar),
+                Some(cache) => {
+                    let arc = AtomicEdgeCache::arc_index(g, p, q)
+                        .expect("range-query candidate is adjacent to the source");
+                    if let Some(similar) = cache.get(arc) {
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        similar
+                    } else {
+                        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        let similar =
+                            matches!(self.batched_decision(p, q, scratch), EpsDecision::Similar);
+                        cache.store_symmetric(g, p, q, arc, similar);
+                        similar
+                    }
+                }
+            };
+            if similar {
+                out.push(q);
+            }
+        }
+    }
+
+    /// One batched-pair decision: Lemma-5, then the hub bitmap when the
+    /// candidate is a wide hub (bit-testing the short source row beats
+    /// sweeping the hub's), then the dense-row gather with the early
+    /// accept/reject bounds of the classic merge.
+    fn batched_decision(
+        &self,
+        p: VertexId,
+        q: VertexId,
+        scratch: &mut BatchScratch,
+    ) -> EpsDecision {
+        let g = self.graph;
+        let lp = g.norm_sq(p);
+        let lq = g.norm_sq(q);
+        let threshold = self.params.epsilon * (lp * lq).sqrt();
+
+        if self.optimizations && self.lemma5_filters(p, q, lp, lq) {
+            self.lemma5_filtered.fetch_add(1, Ordering::Relaxed);
+            return EpsDecision::FilteredOut;
+        }
+
+        if let Some(hubs) = &self.hubs {
+            if g.degree(q) > g.degree(p) {
+                if let Some(num) = hubs.numerator_small_vs_hub(g, p, q) {
+                    self.sigma_evals.fetch_add(1, Ordering::Relaxed);
+                    self.path_bitmap.fetch_add(1, Ordering::Relaxed);
+                    return if num >= threshold {
+                        EpsDecision::Similar
+                    } else {
+                        EpsDecision::Dissimilar
+                    };
+                }
+            }
+        }
+
+        let tag = scratch.stamp_row(g, p);
+        self.sigma_evals.fetch_add(1, Ordering::Relaxed);
+        self.path_batched.fetch_add(1, Ordering::Relaxed);
+        let nq = g.neighbor_ids(q);
+        let wq = g.neighbor_weights(q);
+        let mut num = 0.0f64;
+        if self.optimizations {
+            let max_w = g.max_weight(p) * g.max_weight(q);
+            for (j, (&r, &w)) in nq.iter().zip(wq.iter()).enumerate() {
+                if num >= threshold {
+                    self.early_accepts.fetch_add(1, Ordering::Relaxed);
+                    return EpsDecision::Similar;
+                }
+                // Weaker than the merge's two-sided bound (the source index
+                // is not tracked here) but still sound: at most `|Γ(q)| - j`
+                // terms remain, each at most `max_w`.
+                let remaining = (nq.len() - j) as f64;
+                if num + remaining * max_w < threshold {
+                    self.early_rejects.fetch_add(1, Ordering::Relaxed);
+                    return EpsDecision::Dissimilar;
+                }
+                let m = scratch.gather(r, tag);
+                num += m * w;
+            }
+        } else {
+            for (&r, &w) in nq.iter().zip(wq.iter()) {
+                num += scratch.gather(r, tag) * w;
+            }
+        }
+        if num >= threshold {
+            EpsDecision::Similar
+        } else {
+            EpsDecision::Dissimilar
+        }
+    }
+
+    /// Exact σ through the batched dense-row gather (full sum, no early
+    /// exit); bit-identical to [`sigma_raw`] — the non-common terms add
+    /// `+0.0`, which cannot perturb a non-negative partial sum. Counts one
+    /// evaluation, like [`Kernel::sigma`].
+    pub fn sigma_batched(&self, p: VertexId, q: VertexId, scratch: &mut BatchScratch) -> f64 {
+        let g = self.graph;
+        let tag = scratch.stamp_row(g, p);
+        self.sigma_evals.fetch_add(1, Ordering::Relaxed);
+        self.path_batched.fetch_add(1, Ordering::Relaxed);
+        let nq = g.neighbor_ids(q);
+        let wq = g.neighbor_weights(q);
+        let mut num = 0.0f64;
+        for (&r, &w) in nq.iter().zip(wq.iter()) {
+            num += scratch.gather(r, tag) * w;
+        }
+        num / (g.norm_sq(p) * g.norm_sq(q)).sqrt()
+    }
+
+    /// Exact σ through a hub bitmap, or `None` when neither endpoint has
+    /// one; bit-identical to [`sigma_raw`] (same ascending-id visit order,
+    /// same products). Counts one evaluation when it applies.
+    pub fn sigma_bitmap(&self, u: VertexId, v: VertexId) -> Option<f64> {
+        let hubs = self.hubs.as_ref()?;
+        let g = self.graph;
+        let (du, dv) = (g.degree(u), g.degree(v));
+        let words = g.num_vertices().div_ceil(64);
+        let num = if hubs.is_hub(u) && hubs.is_hub(v) && du + dv >= words {
+            hubs.numerator_hub_vs_hub(g, u, v)?
+        } else {
+            let (first, second) = if du <= dv { (u, v) } else { (v, u) };
+            if hubs.is_hub(second) {
+                hubs.numerator_small_vs_hub(g, first, second)?
+            } else if hubs.is_hub(first) {
+                hubs.numerator_small_vs_hub(g, second, first)?
+            } else {
+                return None;
+            }
+        };
+        self.sigma_evals.fetch_add(1, Ordering::Relaxed);
+        self.path_bitmap.fetch_add(1, Ordering::Relaxed);
+        Some(num / (g.norm_sq(u) * g.norm_sq(v)).sqrt())
+    }
+
     /// Early-exit core check (Steps 2/3 of anySCAN).
     ///
     /// If `known` already-confirmed ε-neighbors (including `p` itself — the
@@ -367,6 +722,70 @@ impl<'g> Kernel<'g> {
     /// baseline.
     pub fn is_core_exhaustive(&self, p: VertexId) -> bool {
         self.eps_neighborhood(p).len() >= self.params.mu
+    }
+}
+
+/// Per-worker dense scratch for [`Kernel::eps_neighborhood_batched`].
+///
+/// Holds one *stamped* source row: `weight[r]` is `w_{p r}` for every
+/// neighbor `r` of the current source `p`, and `stamp[r]` equals the current
+/// tag iff `r ∈ Γ(p)`. Stamping is lazy (only on the first computed decision
+/// of a range query) and O(deg p); switching sources bumps the tag instead of
+/// clearing the dense arrays, with a full clear only on `u32` wraparound.
+#[derive(Debug)]
+pub struct BatchScratch {
+    weight: Vec<Weight>,
+    stamp: Vec<u32>,
+    tag: u32,
+    row: Option<VertexId>,
+}
+
+impl BatchScratch {
+    /// Scratch for graphs of `n` vertices (sized once per worker).
+    pub fn new(n: usize) -> Self {
+        BatchScratch {
+            weight: vec![0.0; n],
+            stamp: vec![u32::MAX; n],
+            tag: 0,
+            row: None,
+        }
+    }
+
+    /// Forgets the cached source row, forcing the next decision to restamp.
+    fn invalidate_row(&mut self) {
+        self.row = None;
+    }
+
+    /// Ensures the dense row holds `Γ(p)`'s weights; returns the tag that
+    /// marks valid entries. Stamps at most once per source.
+    fn stamp_row(&mut self, g: &CsrGraph, p: VertexId) -> u32 {
+        if self.row != Some(p) {
+            if self.tag == u32::MAX - 1 {
+                // Leave u32::MAX free as the "never stamped" sentinel.
+                self.stamp.fill(u32::MAX);
+                self.tag = 0;
+            } else {
+                self.tag += 1;
+            }
+            for (&r, &w) in g.neighbor_ids(p).iter().zip(g.neighbor_weights(p)) {
+                self.stamp[r as usize] = self.tag;
+                self.weight[r as usize] = w;
+            }
+            self.row = Some(p);
+        }
+        self.tag
+    }
+
+    /// The stamped source weight `w_{p r}`, or `+0.0` when `r ∉ Γ(p)` (a
+    /// `+0.0` term cannot perturb the non-negative σ partial sum, which is
+    /// what keeps the batched path bit-identical to the merge-join).
+    #[inline(always)]
+    fn gather(&self, r: VertexId, tag: u32) -> f64 {
+        if self.stamp[r as usize] == tag {
+            self.weight[r as usize]
+        } else {
+            0.0
+        }
     }
 }
 
@@ -614,6 +1033,152 @@ mod tests {
         assert_eq!(k.stats().sigma_evals, 2);
     }
 
+    /// A moderately dense random graph with a few genuine hubs.
+    fn hubby_random_graph(seed: u64) -> CsrGraph {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 60u32;
+        let mut b = GraphBuilder::new(n as usize);
+        // Background sparse edges...
+        for _ in 0..160 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                b.add_edge(u, v, rng.gen_range(0.05..1.0));
+            }
+        }
+        // ...plus three hubs wired to most of the graph.
+        for hub in [0u32, 1, 2] {
+            for v in 3..n {
+                if rng.gen_bool(0.7) {
+                    b.add_edge(hub, v, rng.gen_range(0.05..1.0));
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Satellite fix regression: when the edge cache and the batched /
+    /// hash-probe-style row pass are both active, each adjacent decision
+    /// must count exactly one of {cache_hit, cache_miss}, and each computed
+    /// decision exactly one of {lemma5_filtered, sigma_evals} — the batched
+    /// path must not re-route cache-answered pairs through a second
+    /// accounting site.
+    #[test]
+    fn batched_accounting_matches_per_pair_path() {
+        let g = hubby_random_graph(7);
+        let params = ScanParams::new(0.4, 3);
+        let reference = Kernel::new(&g, params).with_edge_cache(true);
+        let batched = Kernel::new(&g, params)
+            .with_edge_cache(true)
+            .with_hub_bitmaps_params(8, 4);
+        let mut scratch = BatchScratch::new(g.num_vertices());
+        let mut out = Vec::new();
+        let mut adjacent_decisions = 0u64;
+        for p in g.vertices() {
+            let expect = reference.eps_neighborhood(p);
+            batched.eps_neighborhood_batched(p, &mut scratch, &mut out);
+            assert_eq!(out, expect, "neighborhood of {p}");
+            adjacent_decisions += (g.degree(p) - 1) as u64; // minus self
+        }
+        let (a, b) = (reference.stats(), batched.stats());
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.cache_misses, b.cache_misses);
+        assert_eq!(a.cache_hits + a.cache_misses, adjacent_decisions);
+        assert_eq!(b.cache_hits + b.cache_misses, adjacent_decisions);
+        // Same Lemma-5 prefilter, so the computed split matches exactly too.
+        assert_eq!(a.lemma5_filtered, b.lemma5_filtered);
+        assert_eq!(a.sigma_evals, b.sigma_evals);
+        assert_eq!(b.cache_misses, b.sigma_evals + b.lemma5_filtered);
+    }
+
+    /// Second half of the regression: repeat range queries are answered
+    /// entirely from the cache — hits grow, evaluations do not.
+    #[test]
+    fn repeat_batched_queries_hit_cache_without_recounting_evals() {
+        let g = hubby_random_graph(8);
+        let k = Kernel::new(&g, ScanParams::new(0.4, 3))
+            .with_edge_cache(true)
+            .with_hub_bitmaps_params(8, 4);
+        let mut scratch = BatchScratch::new(g.num_vertices());
+        let mut out = Vec::new();
+        for p in g.vertices() {
+            k.eps_neighborhood_batched(p, &mut scratch, &mut out);
+        }
+        let first = k.stats();
+        for p in g.vertices() {
+            k.eps_neighborhood_batched(p, &mut scratch, &mut out);
+        }
+        let second = k.stats();
+        assert!(second.cache_hits > first.cache_hits);
+        assert_eq!(second.sigma_evals, first.sigma_evals);
+        assert_eq!(second.lemma5_filtered, first.lemma5_filtered);
+        assert_eq!(second.cache_misses, first.cache_misses);
+        assert_eq!(
+            second.cache_hits - first.cache_hits,
+            first.cache_hits + first.cache_misses,
+            "every adjacent decision of the second sweep is a hit"
+        );
+    }
+
+    /// The kernel-side path counters partition sigma_evals exactly, and
+    /// probe evaluations recorded externally land in their own counter.
+    #[test]
+    fn path_counters_partition_sigma_evals() {
+        let g = hubby_random_graph(9);
+        let k = Kernel::new(&g, ScanParams::new(0.4, 3)).with_hub_bitmaps_params(8, 4);
+        let mut scratch = BatchScratch::new(g.num_vertices());
+        let mut out = Vec::new();
+        for p in g.vertices().take(20) {
+            let _ = k.eps_neighborhood(p);
+        }
+        for p in g.vertices().skip(20) {
+            k.eps_neighborhood_batched(p, &mut scratch, &mut out);
+        }
+        k.record_probe_evals(5);
+        let s = k.stats();
+        assert!(s.path_bitmap > 0, "hub pairs must take the bitmap path");
+        assert!(
+            s.path_batched > 0,
+            "range queries must take the batched path"
+        );
+        assert_eq!(s.path_merge + s.path_bitmap + s.path_batched, s.sigma_evals);
+        assert_eq!(s.path_probe, 5);
+        // A kernel without the locality bundle runs everything as merges.
+        let plain = Kernel::new(&g, ScanParams::new(0.4, 3));
+        for p in g.vertices().take(10) {
+            let _ = plain.eps_neighborhood(p);
+        }
+        let ps = plain.stats();
+        assert_eq!(ps.path_merge, ps.sigma_evals);
+        assert_eq!(ps.path_bitmap + ps.path_batched + ps.path_probe, 0);
+    }
+
+    /// σ through the hub bitmaps and the batched dense row is bit-identical
+    /// to the merge-join reference on a hub-heavy graph.
+    #[test]
+    fn fast_path_sigma_bit_identical_on_hubby_graph() {
+        let g = hubby_random_graph(10);
+        let k = Kernel::new(&g, ScanParams::new(0.5, 2)).with_hub_bitmaps_params(8, 4);
+        let hubs = k.hub_bitmaps().unwrap();
+        assert!(hubs.num_hubs() > 0);
+        let mut scratch = BatchScratch::new(g.num_vertices());
+        for u in g.vertices() {
+            for &v in g.neighbor_ids(u) {
+                let expect = sigma_raw(&g, u, v).to_bits();
+                assert_eq!(
+                    k.sigma_batched(u, v, &mut scratch).to_bits(),
+                    expect,
+                    "batched σ({u},{v})"
+                );
+                if let Some(s) = k.sigma_bitmap(u, v) {
+                    assert_eq!(s.to_bits(), expect, "bitmap σ({u},{v})");
+                }
+            }
+        }
+    }
+
     proptest! {
         /// σ is symmetric, in [0,1], and the optimized ε-decision always
         /// agrees with the exact value, on random weighted graphs.
@@ -676,6 +1241,62 @@ mod tests {
             // Per undirected edge: ≤ 1 real decision; everything else hits.
             let s = k.stats();
             prop_assert!(s.sigma_evals + s.lemma5_filtered <= g.num_edges());
+        }
+
+        /// The batched dense-row σ and the hub-bitmap σ are bit-identical
+        /// to `sigma_raw` on arbitrary random weighted graphs (ISSUE 5
+        /// acceptance: all σ fast paths proptest-proven bit-identical).
+        #[test]
+        fn fast_path_sigma_bit_identical_to_sigma_raw(
+            edges in proptest::collection::vec((0u32..16, 0u32..16, 0.05f64..1.0), 1..90),
+        ) {
+            let g = GraphBuilder::from_edges(16, edges).unwrap();
+            // Degree floor 1 makes every vertex bitmap-eligible, so the
+            // bitmap path is exercised even on tiny graphs.
+            let k = Kernel::new(&g, ScanParams::new(0.5, 2)).with_hub_bitmaps_params(6, 1);
+            let mut scratch = BatchScratch::new(g.num_vertices());
+            for u in g.vertices() {
+                for &v in g.neighbor_ids(u) {
+                    let expect = sigma_raw(&g, u, v).to_bits();
+                    prop_assert_eq!(
+                        k.sigma_batched(u, v, &mut scratch).to_bits(),
+                        expect,
+                        "batched σ({}, {})", u, v
+                    );
+                    if let Some(s) = k.sigma_bitmap(u, v) {
+                        prop_assert_eq!(s.to_bits(), expect, "bitmap σ({}, {})", u, v);
+                    }
+                }
+            }
+        }
+
+        /// Batched range queries return exactly the per-pair ε-neighborhood
+        /// and agree with the exact σ, away from float ties, whatever the
+        /// kernel path (bitmap, branchless merge, dense gather) decided each
+        /// pair.
+        #[test]
+        fn batched_neighborhood_matches_per_pair(
+            edges in proptest::collection::vec((0u32..14, 0u32..14, 0.05f64..1.0), 1..70),
+            eps in 0.05f64..0.95,
+        ) {
+            let g = GraphBuilder::from_edges(14, edges).unwrap();
+            let params = ScanParams::new(eps, 2);
+            let per_pair = Kernel::new(&g, params);
+            let batched = Kernel::new(&g, params).with_hub_bitmaps_params(4, 1);
+            let mut scratch = BatchScratch::new(g.num_vertices());
+            let mut out = Vec::new();
+            for p in g.vertices() {
+                batched.eps_neighborhood_batched(p, &mut scratch, &mut out);
+                prop_assert_eq!(&out, &per_pair.eps_neighborhood(p), "Γε({})", p);
+                for &q in &out {
+                    if q != p {
+                        let exact = sigma_raw(&g, p, q);
+                        if (exact - eps).abs() > 1e-9 {
+                            prop_assert!(exact >= eps, "false positive at ({}, {})", p, q);
+                        }
+                    }
+                }
+            }
         }
 
         /// Cauchy–Schwarz: σ ≤ 1 even under adversarial weights.

@@ -8,6 +8,10 @@
 //! * [`atomic_cache::AtomicEdgeCache`] — lock-free symmetric per-arc
 //!   verdict cache the kernel can consult so no undirected edge is
 //!   merge-joined twice across steps or directions.
+//! * [`hubs::HubBitmaps`] — packed `u64` neighbor bitsets (plus prefix
+//!   popcount ranks) for high-degree vertices, turning σ against a hub into
+//!   a word-wise AND / bit-test + weight gather that is bit-identical to
+//!   the merge-join.
 //! * [`result::Clustering`] — the common output type: per-vertex cluster
 //!   labels and roles (core / border / hub / outlier).
 //! * [`verify::assert_scan_equivalent`] — the formal notion of "two runs
@@ -16,6 +20,7 @@
 //!   paper notes shared borders may legitimately differ, Lemma 4).
 
 pub mod atomic_cache;
+pub mod hubs;
 pub mod index;
 pub mod kernel;
 pub mod params;
@@ -23,7 +28,8 @@ pub mod result;
 pub mod verify;
 
 pub use atomic_cache::AtomicEdgeCache;
+pub use hubs::HubBitmaps;
 pub use index::{prefer_hash_probe, NeighborIndex, RowScratch, HASH_PROBE_MISMATCH_RATIO};
-pub use kernel::{Kernel, SimStats};
+pub use kernel::{BatchScratch, Kernel, SimStats};
 pub use params::ScanParams;
 pub use result::{Clustering, Role, RoleCounts, NOISE, UNCLASSIFIED};

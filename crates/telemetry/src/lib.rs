@@ -106,11 +106,21 @@ pub enum Counter {
     ResumeLoads,
     /// Faults fired by the `anyscan-faults` failpoint facility.
     FaultsInjected,
+    /// σ evaluations that took the classic (or branchless) merge-join path.
+    SigmaPathMerge,
+    /// σ evaluations diverted to the hash probe (size-mismatched pairs).
+    SigmaPathProbe,
+    /// σ evaluations decided through a hub bitmap (word-wise AND or
+    /// bit-test + weight gather).
+    SigmaPathBitmap,
+    /// σ evaluations through a batched dense-row gather (range queries and
+    /// the index build's row pass).
+    SigmaPathBatched,
 }
 
 impl Counter {
     /// All counters, in storage order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 28] = [
         Counter::SigmaEvals,
         Counter::Lemma5Filtered,
         Counter::SharedEvals,
@@ -135,6 +145,10 @@ impl Counter {
         Counter::CheckpointsWritten,
         Counter::ResumeLoads,
         Counter::FaultsInjected,
+        Counter::SigmaPathMerge,
+        Counter::SigmaPathProbe,
+        Counter::SigmaPathBitmap,
+        Counter::SigmaPathBatched,
     ];
 
     /// Number of counters (array sizing).
@@ -167,6 +181,10 @@ impl Counter {
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::ResumeLoads => "resume_loads",
             Counter::FaultsInjected => "faults_injected",
+            Counter::SigmaPathMerge => "sigma_path_merge",
+            Counter::SigmaPathProbe => "sigma_path_probe",
+            Counter::SigmaPathBitmap => "sigma_path_bitmap",
+            Counter::SigmaPathBatched => "sigma_path_batched",
         }
     }
 }

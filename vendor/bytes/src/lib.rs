@@ -26,6 +26,12 @@ pub trait Buf {
         self.advance(dst.len());
     }
 
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
         self.copy_to_slice(&mut b);
@@ -47,6 +53,10 @@ pub trait Buf {
 pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
 
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
