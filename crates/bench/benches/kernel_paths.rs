@@ -1,8 +1,10 @@
-//! Microbenchmarks of the four σ kernel paths — classic merge-join, hash
-//! probing, hub bitmaps, and batched source-major range queries — on a
-//! uniform (Erdős–Rényi) and a skewed (R-MAT power-law) degree
-//! distribution. The bitmap path only pays off when heavy rows exist, so
-//! the two shapes bracket its best and worst case.
+//! Microbenchmarks of the σ kernel paths — classic merge-join, hash
+//! probing, hub bitmaps, MinHash sketches, and batched source-major range
+//! queries — on a uniform (Erdős–Rényi) and a skewed (R-MAT power-law)
+//! degree distribution. The bitmap path only pays off when heavy rows
+//! exist, so the two shapes bracket its best and worst case; the sketch
+//! path's cost is degree-independent, so the same bracket shows where the
+//! approximation starts to win.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -10,7 +12,7 @@ use rand::SeedableRng;
 
 use anyscan_graph::gen::{erdos_renyi, rmat, RmatParams, WeightModel};
 use anyscan_graph::CsrGraph;
-use anyscan_scan_common::{BatchScratch, Kernel, NeighborIndex, ScanParams};
+use anyscan_scan_common::{BatchScratch, Kernel, NeighborIndex, ScanParams, SketchMode};
 
 fn shapes() -> Vec<(&'static str, CsrGraph)> {
     let n = 4_096;
@@ -37,6 +39,11 @@ fn bench_kernel_paths(c: &mut Criterion) {
             .with_edge_cache(false)
             .with_hub_bitmaps(true);
         let probe = NeighborIndex::new(&g);
+        // Sketch build cost is excluded: it is paid once per run and the
+        // question here is the steady-state per-decision price.
+        let sketch = Kernel::new(&g, params)
+            .with_edge_cache(false)
+            .with_sketch_params(SketchMode::Approx, 128, 8, 11, 1);
 
         group.bench_function(format!("merge/{shape}"), |b| {
             b.iter(|| {
@@ -61,6 +68,15 @@ fn bench_kernel_paths(c: &mut Criterion) {
                 let mut acc = 0usize;
                 for &(u, v) in &edges {
                     acc += bitmap.is_eps_neighbor(black_box(u), v) as usize;
+                }
+                acc
+            })
+        });
+        group.bench_function(format!("sketch/{shape}"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &(u, v) in &edges {
+                    acc += sketch.is_eps_neighbor(black_box(u), v) as usize;
                 }
                 acc
             })

@@ -96,6 +96,8 @@ commands:
                [--algo anyscan|scan|scan-b|pscan|scan++] [--threads T]
                [--block B] [--reorder none|degree|bfs] [--labels-out FILE]
                [--trace-json FILE] [--no-opt]
+               [--sketch off|assist|approx] [--sketch-rows R] [--sketch-bits B]
+               [--hub-cap N] [--hub-min-degree D] [--probe-ratio R]
                [--deadline-ms MS] [--max-blocks N]
                [--checkpoint FILE.asck] [--checkpoint-every N]
   resume       --checkpoint FILE.asck  --input FILE | --dataset ID
@@ -108,12 +110,15 @@ commands:
   interactive  --input FILE | --dataset ID  --eps E --mu M
                [--checkpoint-ms MS] [--threads T] [--trace-json FILE]
                [--reorder none|degree|bfs]
+               [--sketch off|assist|approx] [--sketch-rows R] [--sketch-bits B]
                [--index FILE.asix]   (answer from a prebuilt index instantly)
                [--deadline-ms MS] [--max-blocks N] [--checkpoint FILE.asck]
   index build  --input FILE | --dataset ID  --out FILE.asix
                [--threads T] [--trace-json FILE] [--reorder none|degree|bfs]
+               [--sketch off|assist|approx] [--sketch-rows R] [--sketch-bits B]
   index query  --input FILE | --dataset ID  --index FILE.asix
                --eps a,b,c --mu a,b,c [--labels-out FILE] [--trace-json FILE]
+               [--sketch approx]   (answer from the .asix file alone, no graph)
 
 dataset ids: GR01..GR05, LFR01..LFR05, LFR11..LFR15 (Table I/II analogues)
 
@@ -128,7 +133,14 @@ and `resume` continues a run from one (same clustering as uninterrupted)
 --reorder relabels vertices for cache locality (degree-descending or BFS)
 before clustering; all output stays in original vertex ids. `resume` and
 `index query` re-apply the mode recorded in the .asck / .asix file
-automatically, so the flag is only given at `cluster` / `index build` time"
+automatically, so the flag is only given at `cluster` / `index build` time
+
+--sketch builds b-bit MinHash signatures of every closed neighborhood:
+`assist` keeps the clustering bit-identical (sketches only order and route
+work among the exact kernels); `approx` lets the estimate decide, with
+--sketch-rows R (default 128) and --sketch-bits 1|2|4|8|16 (default 8) as
+the error knob. --hub-cap / --hub-min-degree tune the hub-bitmap layer;
+--probe-ratio moves the merge-vs-hash-probe crossover (both exact)"
     );
 }
 

@@ -22,8 +22,11 @@ use anyscan_graph::reorder;
 use anyscan_graph::stats::graph_stats;
 use anyscan_graph::{CsrGraph, ReorderMode, VertexPermutation};
 use anyscan_index::io::{read_index, write_index};
-use anyscan_index::SimilarityIndex;
-use anyscan_scan_common::{Clustering, ScanParams, NOISE};
+use anyscan_index::{IndexBuildOptions, SimilarityIndex};
+use anyscan_scan_common::sketch::{DEFAULT_BITS, DEFAULT_ROWS, MAX_ROWS, VALID_BITS};
+use anyscan_scan_common::{
+    Clustering, HubBitmaps, ScanParams, SketchMode, HASH_PROBE_MISMATCH_RATIO, NOISE,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -59,6 +62,58 @@ fn reorder_mode(opts: &Options) -> Result<ReorderMode, String> {
         None => Ok(ReorderMode::None),
         Some(raw) => raw.parse(),
     }
+}
+
+/// `--sketch off|assist|approx` (default off).
+fn sketch_mode(opts: &Options) -> Result<SketchMode, String> {
+    match opts.get_str("sketch") {
+        None => Ok(SketchMode::Off),
+        Some(raw) => raw.parse(),
+    }
+}
+
+/// `--sketch` / `--sketch-rows` / `--sketch-bits`, validated up front so a
+/// bad signature size is a flag error, not a build panic.
+fn sketch_options(opts: &Options) -> Result<(SketchMode, usize, u32), String> {
+    let mode = sketch_mode(opts)?;
+    let rows: usize = opts.get_or("sketch-rows", DEFAULT_ROWS)?;
+    let bits: u32 = opts.get_or("sketch-bits", DEFAULT_BITS)?;
+    if mode != SketchMode::Off {
+        if rows == 0 || rows > MAX_ROWS {
+            return Err(format!(
+                "--sketch-rows must be in 1..={MAX_ROWS}, got {rows}"
+            ));
+        }
+        if !VALID_BITS.contains(&bits) {
+            return Err(format!(
+                "--sketch-bits must be one of {VALID_BITS:?}, got {bits}"
+            ));
+        }
+    }
+    Ok((mode, rows, bits))
+}
+
+/// `--probe-ratio` (the σ merge-vs-hash-probe crossover; ≥ 1).
+fn probe_ratio(opts: &Options) -> Result<usize, String> {
+    let ratio: usize = opts.get_or("probe-ratio", HASH_PROBE_MISMATCH_RATIO)?;
+    if ratio == 0 {
+        return Err("--probe-ratio must be >= 1".into());
+    }
+    Ok(ratio)
+}
+
+/// Applies the kernel tuning flags — `--sketch`, `--sketch-rows`,
+/// `--sketch-bits`, `--hub-cap`, `--hub-min-degree`, `--probe-ratio` — to
+/// an anySCAN config.
+fn apply_tuning(opts: &Options, config: AnyScanConfig) -> Result<AnyScanConfig, String> {
+    let (mode, rows, bits) = sketch_options(opts)?;
+    let hub_cap: usize = opts.get_or("hub-cap", HubBitmaps::DEFAULT_MAX_HUBS)?;
+    let hub_min: usize = opts.get_or("hub-min-degree", HubBitmaps::DEFAULT_MIN_DEGREE)?;
+    Ok(config
+        .with_sketch(mode)
+        .with_sketch_params(rows, bits)
+        .with_hub_params(hub_cap, hub_min)
+        .with_probe_ratio(probe_ratio(opts)?))
 }
 
 /// Loads the graph and applies the requested cache-locality reordering.
@@ -306,6 +361,7 @@ pub fn cluster(opts: &Options) -> CmdResult {
                 config = config.with_block_size(b);
             }
             config.optimizations = !opts.switch("no-opt");
+            config = apply_tuning(opts, config)?;
             let telemetry = if trace_path.is_some() {
                 Telemetry::enabled()
             } else {
@@ -317,7 +373,7 @@ pub fn cluster(opts: &Options) -> CmdResult {
             let partial = run_to_partial(&mut a, &ctl, every, ckpt_path.as_deref())?;
             if let Some(path) = trace_path {
                 telemetry.add(Counter::FaultsInjected, anyscan_faults::injected());
-                write_trace(path, &telemetry, &g, params, threads)?;
+                write_trace(path, &telemetry, &g, &config)?;
             }
             (
                 partial.clustering,
@@ -403,32 +459,37 @@ pub fn resume(opts: &Options) -> CmdResult {
         println!("labels written to {path}");
     }
     if let Some(path) = trace_path {
-        let effective_threads = if threads == 0 {
-            ck.config(0).threads
-        } else {
-            threads
-        };
         telemetry.add(Counter::FaultsInjected, anyscan_faults::injected());
-        write_trace(path, &telemetry, &g, params, effective_threads)?;
+        // `config(threads)` keeps the checkpointed thread count when the
+        // CLI gave no override (threads == 0).
+        write_trace(path, &telemetry, &g, &ck.config(threads))?;
     }
     Ok(())
 }
 
 /// Serializes a finished run's telemetry report (schema version 1; see
-/// `anyscan_telemetry::validate`) to `path`.
+/// `anyscan_telemetry::validate`) to `path`, with the run's shape *and*
+/// kernel tuning (sketch mode, hub-bitmap cap/floor) in the meta block so a
+/// trace is self-describing about how its σ counters were produced.
 fn write_trace(
     path: &str,
     telemetry: &Telemetry,
     g: &CsrGraph,
-    params: ScanParams,
-    threads: usize,
+    config: &AnyScanConfig,
 ) -> CmdResult {
+    let params = config.params;
     let meta: Vec<(&str, MetaValue)> = vec![
         ("vertices", (g.num_vertices() as u64).into()),
         ("edges", g.num_edges().into()),
         ("epsilon", params.epsilon.into()),
         ("mu", (params.mu as u64).into()),
-        ("threads", (threads as u64).into()),
+        ("threads", (config.threads as u64).into()),
+        ("sketch", config.sketch.as_str().into()),
+        ("sketch_rows", (config.sketch_rows as u64).into()),
+        ("sketch_bits", u64::from(config.sketch_bits).into()),
+        ("hub_cap", (config.hub_max_hubs as u64).into()),
+        ("hub_min_degree", (config.hub_min_degree as u64).into()),
+        ("probe_ratio", (config.probe_ratio as u64).into()),
     ];
     write_trace_with(path, telemetry, &meta)
 }
@@ -542,11 +603,19 @@ pub fn index_build(opts: &Options) -> CmdResult {
     } else {
         Telemetry::disabled()
     };
+    let (smode, srows, sbits) = sketch_options(opts)?;
+    let build_opts = IndexBuildOptions {
+        sketch: smode,
+        sketch_rows: srows,
+        sketch_bits: sbits,
+        seed: opts.get_or("seed", 0x5CA7)?,
+        probe_ratio: probe_ratio(opts)?,
+    };
     let start = Instant::now();
     // The ASIX file records the reorder mode so `index query` can re-derive
     // the same relabeling from the original graph.
-    let idx =
-        SimilarityIndex::build_traced(&g, threads, &telemetry).with_reorder(reorder_mode(opts)?);
+    let idx = SimilarityIndex::build_with_options(&g, threads, build_opts, &telemetry)
+        .with_reorder(reorder_mode(opts)?);
     let build_time = start.elapsed();
     let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     write_index(&idx, BufWriter::new(file)).map_err(|e| format!("write {out}: {e}"))?;
@@ -554,6 +623,7 @@ pub fn index_build(opts: &Options) -> CmdResult {
     println!("vertices    {}", idx.num_vertices());
     println!("arcs        {}", idx.num_arcs());
     println!("mu max      {}", idx.mu_max());
+    println!("sigma mode  {smode}");
     println!("index       {out}");
     if let Some(path) = trace_path {
         let meta: Vec<(&str, MetaValue)> = vec![
@@ -561,6 +631,7 @@ pub fn index_build(opts: &Options) -> CmdResult {
             ("edges", g.num_edges().into()),
             ("mu_max", (idx.mu_max() as u64).into()),
             ("threads", (threads as u64).into()),
+            ("sketch", smode.as_str().into()),
         ];
         write_trace_with(path, &telemetry, &meta)?;
     }
@@ -570,11 +641,29 @@ pub fn index_build(opts: &Options) -> CmdResult {
 pub fn index_query(opts: &Options) -> CmdResult {
     let idx_path = opts.get_str("index").ok_or("missing --index FILE")?;
     let idx = load_index(idx_path)?;
-    // Re-derive the relabeling the index was built under (deterministic for
-    // a given graph + mode), so arc order lines up with the stored rows.
-    let (g, perm) = apply_reorder(load_graph(opts)?, idx.reorder());
-    idx.check_graph(&g)
-        .map_err(|e| format!("--index {idx_path}: {e}"))?;
+    // `--sketch approx` answers from the ASIX file alone: no graph is
+    // loaded, no adjacency touched — noise is split into hubs and outliers
+    // from the index's own neighbor orders (identical result, see
+    // `SimilarityIndex::query_offline`).
+    let offline = sketch_mode(opts)? == SketchMode::Approx;
+    let graph: Option<(CsrGraph, VertexPermutation)> = if offline {
+        if opts.get_str("labels-out").is_some() && idx.reorder() != ReorderMode::None {
+            return Err(format!(
+                "--labels-out needs the graph to map {} ids back; drop --sketch approx or pass --input/--dataset",
+                idx.reorder()
+            ));
+        }
+        println!("offline query: answering from {idx_path} without the graph");
+        None
+    } else {
+        // Re-derive the relabeling the index was built under (deterministic
+        // for a given graph + mode), so arc order lines up with the stored
+        // rows.
+        let (g, perm) = apply_reorder(load_graph(opts)?, idx.reorder());
+        idx.check_graph(&g)
+            .map_err(|e| format!("--index {idx_path}: {e}"))?;
+        Some((g, perm))
+    };
     let eps_grid = opts.get_list::<f64>("eps")?.ok_or("missing --eps")?;
     let mu_grid = opts.get_list::<usize>("mu")?.ok_or("missing --mu")?;
     for &eps in &eps_grid {
@@ -601,7 +690,10 @@ pub fn index_query(opts: &Options) -> CmdResult {
         for &eps in &eps_grid {
             let params = ScanParams::new(eps, mu);
             let t0 = Instant::now();
-            let c = idx.query_traced(&g, params, &telemetry);
+            let c = match &graph {
+                Some((g, _)) => idx.query_traced(g, params, &telemetry),
+                None => idx.query_offline_traced(params, &telemetry),
+            };
             let latency = t0.elapsed();
             let rc = c.role_counts();
             println!(
@@ -621,18 +713,24 @@ pub fn index_query(opts: &Options) -> CmdResult {
     }
     if let Some(path) = opts.get_str("labels-out") {
         let (_, c) = last.as_ref().ok_or("no queries ran")?;
-        let c = to_original_ids(c.clone(), &perm);
+        let c = match &graph {
+            Some((_, perm)) => to_original_ids(c.clone(), perm),
+            // Offline: reorder was checked to be None above, so labels are
+            // already in original vertex ids.
+            None => c.clone(),
+        };
         write_labels(path, &c)?;
         println!("labels written to {path} (last query)");
     }
     if let Some(path) = trace_path {
         let (params, _) = last.as_ref().ok_or("no queries ran")?;
         let meta: Vec<(&str, MetaValue)> = vec![
-            ("vertices", (g.num_vertices() as u64).into()),
-            ("edges", g.num_edges().into()),
+            ("vertices", (idx.num_vertices() as u64).into()),
+            ("edges", idx.num_edges().into()),
             ("epsilon", params.epsilon.into()),
             ("mu", (params.mu as u64).into()),
             ("queries", queries.into()),
+            ("sketch", idx.sketch_mode().as_str().into()),
         ];
         write_trace_with(path, &telemetry, &meta)?;
     }
@@ -695,10 +793,13 @@ pub fn interactive(opts: &Options) -> CmdResult {
     let checkpoint = std::time::Duration::from_millis(opts.get_or("checkpoint-ms", 100)?);
     let threads: usize = opts.get_or("threads", 1)?;
     let trace_path = opts.get_str("trace-json");
-    let config = AnyScanConfig::new(params)
-        .with_auto_block_size(g.num_vertices())
-        .with_threads(threads)
-        .with_reorder(reorder_mode(opts)?);
+    let config = apply_tuning(
+        opts,
+        AnyScanConfig::new(params)
+            .with_auto_block_size(g.num_vertices())
+            .with_threads(threads)
+            .with_reorder(reorder_mode(opts)?),
+    )?;
     let telemetry = if trace_path.is_some() {
         Telemetry::enabled()
     } else {
@@ -760,13 +861,16 @@ pub fn interactive(opts: &Options) -> CmdResult {
         algo.union_breakdown()
     );
     if let Some(path) = trace_path {
-        write_trace(path, &telemetry, &g, params, threads)?;
+        write_trace(path, &telemetry, &g, &config)?;
     }
-    // Sanity: the batch entry point agrees.
-    debug_assert_eq!(
-        anyscan(&g, params).clustering.num_clusters(),
-        result.num_clusters()
-    );
+    // Sanity: the batch entry point agrees (not under approx sketches,
+    // where the run intentionally diverges from the exact baseline).
+    if config.sketch != SketchMode::Approx {
+        debug_assert_eq!(
+            anyscan(&g, params).clustering.num_clusters(),
+            result.num_clusters()
+        );
+    }
     Ok(())
 }
 

@@ -7,14 +7,14 @@
 //! provably continues the same computation (Lemma 4: it converges to the
 //! same clustering as an uninterrupted run).
 //!
-//! # `ASCK` v1 on-disk format
+//! # `ASCK` v2 on-disk format
 //!
 //! All integers little-endian, via [`anyscan_graph::io::framing`]:
 //!
 //! | section      | contents                                                   |
 //! |--------------|------------------------------------------------------------|
 //! | header       | magic `ASCK`, version u32                                  |
-//! | config       | ε f64, μ u64, α u64, β u64, threads u64, seed u64, flags u32 |
+//! | config       | ε f64, μ u64, α u64, β u64, threads u64, seed u64, flags u32, then (v2+) sketch rows u32, sketch bits u32, hub cap u32, hub min-degree u32, probe ratio u32 |
 //! | graph        | n u64, arcs u64, edges u64, structure hash u64 (FNV-1a)    |
 //! | progress     | phase u8, phase_initialized u8, draw/work cursors u64, blocks u64, cumulative ns u64, union marks 3×u64, shared base u64 |
 //! | states       | n vertex-state bytes                                       |
@@ -38,6 +38,7 @@ use std::time::Duration;
 use anyscan_dsu::{AtomicDsu, DsuCounters, DsuSeq, LockedDsu, SharedDsu};
 use anyscan_graph::io::framing::{self, Fnv64};
 use anyscan_graph::{CsrGraph, ReorderMode, VertexId};
+use anyscan_scan_common::sketch::{self, SketchMode};
 use anyscan_scan_common::ScanParams;
 use anyscan_telemetry::Telemetry;
 
@@ -51,8 +52,13 @@ use anyscan_graph::io::framing::{Buf, BufMut, Bytes, BytesMut};
 
 /// Magic bytes of the checkpoint format.
 pub const MAGIC: &[u8; 4] = b"ASCK";
-/// Current (and only) format version.
-pub const VERSION: u32 = 1;
+/// Current format version. v2 adds the sketch-mode code (flags bits 11–12)
+/// and a five-`u32` tuning tail (sketch rows/bits, hub cap/floor, probe
+/// ratio) after the flags word; v1 images decode with the defaults those
+/// runs actually used.
+pub const VERSION: u32 = 2;
+/// Oldest format version [`Checkpoint::from_bytes`] still reads.
+pub const MIN_VERSION: u32 = 1;
 
 const AUX_NONE: u64 = u64::MAX;
 
@@ -217,7 +223,18 @@ impl Checkpoint {
         if c.batched_step1 {
             flags |= 1 << 10;
         }
+        // Bits 11–12: sketch-mode code. v1 checkpoints have both zero,
+        // which decodes as Off — how those runs were executed.
+        flags |= u32::from(c.sketch.code()) << 11;
         buf.put_u32_le(flags);
+        // v2 tuning tail. The sketch seed is deliberately absent: signatures
+        // are rebuilt from the run seed above, so a resumed run provably
+        // reconstructs the identical sketches.
+        buf.put_u32_le(c.sketch_rows as u32);
+        buf.put_u32_le(c.sketch_bits);
+        buf.put_u32_le(c.hub_max_hubs.min(u32::MAX as usize) as u32);
+        buf.put_u32_le(c.hub_min_degree.min(u32::MAX as usize) as u32);
+        buf.put_u32_le(c.probe_ratio.min(u32::MAX as usize) as u32);
 
         // Graph fingerprint.
         buf.put_u64_le(self.graph.n);
@@ -284,7 +301,7 @@ impl Checkpoint {
     pub fn from_bytes(raw: Vec<u8>) -> Result<Checkpoint, AnyScanError> {
         framing::peek_version(&raw, MAGIC)?;
         let mut buf = framing::strip_checksum_trailer(raw)?;
-        framing::get_header_versioned(&mut buf, MAGIC, VERSION..=VERSION)?;
+        let version = framing::get_header_versioned(&mut buf, MAGIC, MIN_VERSION..=VERSION)?;
 
         // Config fingerprint.
         let epsilon = get_f64(&mut buf)?;
@@ -302,6 +319,41 @@ impl Checkpoint {
         let flags = get_u32(&mut buf)?;
         if alpha == 0 || beta == 0 || threads == 0 {
             return Err(corrupt("alpha, beta, and threads must be positive"));
+        }
+        let sketch = SketchMode::from_code(((flags >> 11) & 0b11) as u8)
+            .ok_or_else(|| corrupt(format!("unknown sketch-mode code in flags {flags:#x}")))?;
+        let defaults = AnyScanConfig::default();
+        let (sketch_rows, sketch_bits, hub_max_hubs, hub_min_degree, probe_ratio) = if version >= 2
+        {
+            (
+                get_u32(&mut buf)? as usize,
+                get_u32(&mut buf)?,
+                get_u32(&mut buf)? as usize,
+                get_u32(&mut buf)? as usize,
+                get_u32(&mut buf)? as usize,
+            )
+        } else {
+            (
+                defaults.sketch_rows,
+                defaults.sketch_bits,
+                defaults.hub_max_hubs,
+                defaults.hub_min_degree,
+                defaults.probe_ratio,
+            )
+        };
+        if sketch != SketchMode::Off {
+            if sketch_rows == 0 || sketch_rows > sketch::MAX_ROWS {
+                return Err(corrupt(format!(
+                    "sketch rows {sketch_rows} outside 1..={}",
+                    sketch::MAX_ROWS
+                )));
+            }
+            if !sketch::VALID_BITS.contains(&sketch_bits) {
+                return Err(corrupt(format!("invalid sketch bits {sketch_bits}")));
+            }
+        }
+        if probe_ratio == 0 {
+            return Err(corrupt("probe ratio must be positive"));
         }
         let config = AnyScanConfig {
             params: ScanParams::new(epsilon, mu),
@@ -324,6 +376,12 @@ impl Checkpoint {
                 .ok_or_else(|| corrupt(format!("unknown reorder code in flags {flags:#x}")))?,
             hub_bitmaps: flags & (1 << 9) != 0,
             batched_step1: flags & (1 << 10) != 0,
+            sketch,
+            sketch_rows,
+            sketch_bits,
+            hub_max_hubs,
+            hub_min_degree,
+            probe_ratio,
         };
 
         // Graph fingerprint.
@@ -826,5 +884,85 @@ mod tests {
             "corruption must be detected"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Byte offset of the v2 five-`u32` tuning tail: header (magic + version)
+    /// plus ε f64, four u64 block params, the seed u64, and the flags u32.
+    const TUNING_TAIL_AT: usize = 8 + 8 + 8 * 4 + 8 + 4;
+
+    #[test]
+    fn v2_roundtrips_sketch_and_tuning_config() {
+        let g = toy_graph();
+        let config = toy_config()
+            .with_sketch(SketchMode::Assist)
+            .with_sketch_params(64, 4)
+            .with_hub_params(32, 8)
+            .with_probe_ratio(4);
+        let mut algo = AnyScan::new(&g, config);
+        algo.step();
+        let back = Checkpoint::from_bytes(algo.checkpoint().to_bytes()).expect("v2 parses");
+        let c = back.config(0);
+        assert_eq!(c.sketch, SketchMode::Assist);
+        assert_eq!((c.sketch_rows, c.sketch_bits), (64, 4));
+        assert_eq!((c.hub_max_hubs, c.hub_min_degree), (32, 8));
+        assert_eq!(c.probe_ratio, 4);
+
+        // Resume through the sketch-assisted kernel and finish exactly.
+        let mut resumed = back.restore(&g, 0).expect("restore").run();
+        let mut expected = AnyScan::new(&g, config).run();
+        resumed.canonicalize();
+        expected.canonicalize();
+        assert_eq!(resumed.labels, expected.labels);
+    }
+
+    #[test]
+    fn v1_image_decodes_with_default_tuning() {
+        let g = toy_graph();
+        let mut algo = AnyScan::new(&g, toy_config());
+        algo.step();
+        let v2 = algo.checkpoint().to_bytes();
+
+        // Hand-downgrade: drop the tuning tail, rewrite the version word,
+        // and re-stamp the checksum trailer.
+        let body = framing::strip_checksum_trailer(v2).unwrap();
+        let mut v1: Vec<u8> = body.chunk().to_vec();
+        v1.drain(TUNING_TAIL_AT..TUNING_TAIL_AT + 20);
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let mut framed = BytesMut::new();
+        framed.put_slice(&v1);
+        framing::put_checksum_trailer(&mut framed);
+
+        let back = Checkpoint::from_bytes(framed.into()).expect("v1 parses");
+        let defaults = AnyScanConfig::default();
+        let c = back.config(0);
+        assert_eq!(c.sketch, SketchMode::Off);
+        assert_eq!(c.sketch_rows, defaults.sketch_rows);
+        assert_eq!(c.sketch_bits, defaults.sketch_bits);
+        assert_eq!(c.hub_max_hubs, defaults.hub_max_hubs);
+        assert_eq!(c.hub_min_degree, defaults.hub_min_degree);
+        assert_eq!(c.probe_ratio, defaults.probe_ratio);
+        assert!(back.restore(&g, 0).is_ok(), "v1 image must restore");
+    }
+
+    #[test]
+    fn unknown_sketch_code_is_rejected() {
+        let g = toy_graph();
+        let mut algo = AnyScan::new(&g, toy_config());
+        algo.step();
+        let raw = algo.checkpoint().to_bytes();
+        let body = framing::strip_checksum_trailer(raw).unwrap();
+        let mut bytes = body.chunk().to_vec();
+        // Flags u32 sits right before the tuning tail; force bits 11–12 to
+        // the unassigned code 0b11.
+        let flags_at = TUNING_TAIL_AT - 4;
+        let mut flags = u32::from_le_bytes(bytes[flags_at..flags_at + 4].try_into().unwrap());
+        flags |= 0b11 << 11;
+        bytes[flags_at..flags_at + 4].copy_from_slice(&flags.to_le_bytes());
+        let mut framed = BytesMut::new();
+        framed.put_slice(&bytes);
+        framing::put_checksum_trailer(&mut framed);
+        let err = Checkpoint::from_bytes(framed.into()).expect_err("bad code");
+        assert_eq!(err.kind(), ErrorKind::Corrupt);
+        assert!(err.to_string().contains("sketch-mode"), "typed message");
     }
 }

@@ -1,7 +1,9 @@
 //! anySCAN configuration.
 
 use anyscan_graph::ReorderMode;
-use anyscan_scan_common::ScanParams;
+use anyscan_scan_common::sketch::{DEFAULT_BITS, DEFAULT_ROWS};
+use anyscan_scan_common::HubBitmaps;
+use anyscan_scan_common::{ScanParams, SketchMode, HASH_PROBE_MISMATCH_RATIO};
 
 /// Which shared disjoint-set implementation backs the parallel merges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +72,24 @@ pub struct AnyScanConfig {
     /// block vertex's row is stamped once into a per-worker dense scratch
     /// and reused across all its candidate pairs. Ablation lever.
     pub batched_step1: bool,
+    /// MinHash neighborhood sketches: off, exact-preserving assist (order +
+    /// prune-confirm routing, bit-identical clusterings), or approx (the
+    /// estimate decides, signature size as the error knob).
+    pub sketch: SketchMode,
+    /// MinHash rows per signature (estimate variance ∝ 1/rows).
+    pub sketch_rows: usize,
+    /// Bits kept per MinHash row (1, 2, 4, 8 or 16).
+    pub sketch_bits: u32,
+    /// Most hubs given packed bitmaps when `hub_bitmaps` is on
+    /// (`--hub-cap`; caps bitmap memory).
+    pub hub_max_hubs: usize,
+    /// Closed-degree floor for bitmap eligibility when `hub_bitmaps` is on
+    /// (`--hub-min-degree`).
+    pub hub_min_degree: usize,
+    /// Degree-mismatch ratio at which index-build σ rows divert to the hash
+    /// probe (the promoted `HASH_PROBE_MISMATCH_RATIO` crossover). Results
+    /// are bit-identical at any ratio.
+    pub probe_ratio: usize,
 }
 
 impl AnyScanConfig {
@@ -91,6 +111,12 @@ impl AnyScanConfig {
             reorder: ReorderMode::None,
             hub_bitmaps: true,
             batched_step1: true,
+            sketch: SketchMode::Off,
+            sketch_rows: DEFAULT_ROWS,
+            sketch_bits: DEFAULT_BITS,
+            hub_max_hubs: HubBitmaps::DEFAULT_MAX_HUBS,
+            hub_min_degree: HubBitmaps::DEFAULT_MIN_DEGREE,
+            probe_ratio: HASH_PROBE_MISMATCH_RATIO,
         }
     }
 
@@ -151,6 +177,33 @@ impl AnyScanConfig {
         self.batched_step1 = enabled;
         self
     }
+
+    /// Builder-style sketch-mode override.
+    pub fn with_sketch(mut self, mode: SketchMode) -> Self {
+        self.sketch = mode;
+        self
+    }
+
+    /// Builder-style signature-size override (rows × bits).
+    pub fn with_sketch_params(mut self, rows: usize, bits: u32) -> Self {
+        self.sketch_rows = rows;
+        self.sketch_bits = bits;
+        self
+    }
+
+    /// Builder-style hub-bitmap tuning (`--hub-cap`, `--hub-min-degree`).
+    pub fn with_hub_params(mut self, max_hubs: usize, min_degree: usize) -> Self {
+        self.hub_max_hubs = max_hubs;
+        self.hub_min_degree = min_degree;
+        self
+    }
+
+    /// Builder-style merge-vs-probe crossover override.
+    pub fn with_probe_ratio(mut self, ratio: usize) -> Self {
+        assert!(ratio >= 1, "probe ratio must be positive");
+        self.probe_ratio = ratio;
+        self
+    }
 }
 
 impl Default for AnyScanConfig {
@@ -180,6 +233,25 @@ mod tests {
             .with_threads(4)
             .with_seed(9);
         assert_eq!((c.alpha, c.beta, c.threads, c.seed), (256, 256, 4, 9));
+    }
+
+    #[test]
+    fn sketch_and_tuning_defaults() {
+        let c = AnyScanConfig::default();
+        assert_eq!(c.sketch, SketchMode::Off);
+        assert_eq!((c.sketch_rows, c.sketch_bits), (128, 8));
+        assert_eq!(c.hub_max_hubs, HubBitmaps::DEFAULT_MAX_HUBS);
+        assert_eq!(c.hub_min_degree, HubBitmaps::DEFAULT_MIN_DEGREE);
+        assert_eq!(c.probe_ratio, HASH_PROBE_MISMATCH_RATIO);
+        let c = c
+            .with_sketch(SketchMode::Assist)
+            .with_sketch_params(64, 4)
+            .with_hub_params(32, 8)
+            .with_probe_ratio(4);
+        assert_eq!(c.sketch, SketchMode::Assist);
+        assert_eq!((c.sketch_rows, c.sketch_bits), (64, 4));
+        assert_eq!((c.hub_max_hubs, c.hub_min_degree), (32, 8));
+        assert_eq!(c.probe_ratio, 4);
     }
 
     #[test]

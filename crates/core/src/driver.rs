@@ -213,9 +213,21 @@ impl<'g> AnyScan<'g> {
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
         let n = g.num_vertices();
-        let kernel = Kernel::with_optimizations(g, config.params, config.optimizations)
-            .with_edge_cache(config.edge_cache)
-            .with_hub_bitmaps(config.hub_bitmaps);
+        let mut kernel = Kernel::with_optimizations(g, config.params, config.optimizations)
+            .with_edge_cache(config.edge_cache);
+        if config.hub_bitmaps {
+            kernel = kernel.with_hub_bitmaps_params(config.hub_max_hubs, config.hub_min_degree);
+        }
+        // MinHash signatures are seeded from the run seed and built on the
+        // worker pool; a resumed run reconstructs the identical sketches
+        // from the checkpointed config.
+        kernel = kernel.with_sketch_params(
+            config.sketch,
+            config.sketch_rows,
+            config.sketch_bits,
+            config.seed,
+            config.threads,
+        );
         let mut draw_order: Vec<VertexId> = (0..n as VertexId).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         draw_order.shuffle(&mut rng);
@@ -438,6 +450,8 @@ impl<'g> AnyScan<'g> {
         t.add(Counter::SigmaPathProbe, s.path_probe);
         t.add(Counter::SigmaPathBitmap, s.path_bitmap);
         t.add(Counter::SigmaPathBatched, s.path_batched);
+        t.add(Counter::SigmaPathSketch, s.path_sketch);
+        t.add(Counter::SketchConfirms, s.sketch_confirms);
         let u = self.union_breakdown();
         t.add(Counter::UnionsStep1, u.step1);
         t.add(Counter::UnionsStep2, u.step2);

@@ -27,6 +27,7 @@
 //! | `graph::write_binary` | write | error, or the file is truncated         |
 //! | `index::read_index`   | io    | read fails with an injected IO error    |
 //! | `index::read_reorder` | io    | parsing the ASIX v3 reorder byte fails  |
+//! | `index::read_sketches`| io    | parsing the ASIX v4 sketch section fails|
 //! | `index::write_index`  | write | error, or the file is truncated         |
 //! | `checkpoint::read`    | io    | checkpoint load fails                   |
 //! | `checkpoint::write`   | write | error, or a torn (truncated) checkpoint |

@@ -5,13 +5,21 @@
 //!
 //! ```text
 //! magic   "ASIX"            4 bytes
-//! version u32               currently 3
+//! version u32               currently 4
 //! n       u64               number of vertices
 //! arcs    u64               neighbor-order entries (= graph num_arcs)
 //! edges   u64               undirected edge count of the indexed graph
 //! mu_max  u64               number of core orders
 //! reorder u8                v3+: ReorderMode code the graph was relabeled
 //!                           with before the build (0 = none)
+//! sketch  u8                v4+: SketchMode code the σ values were built
+//!                           under (0 = off); if non-zero, followed by the
+//!                           signature section:
+//!   rows  u32               MinHash rows per signature
+//!   bits  u32               bits kept per row
+//!   seed  u64               seed the signatures derive from
+//!   words u64               length of the packed signature array
+//!   data  words × u64       n signatures, rows·bits packed per vertex
 //! offsets       (n+1) × u64
 //! nbr           arcs × u32
 //! sig           arcs × f64
@@ -21,7 +29,9 @@
 //! checksum      u64          v2+: FNV-1a over all preceding bytes
 //! ```
 //!
-//! ≤ v2 files have no reorder byte and load as [`ReorderMode::None`].
+//! ≤ v2 files have no reorder byte and load as [`ReorderMode::None`];
+//! ≤ v3 files have no sketch section and load as [`SketchMode::Off`] with
+//! no signatures.
 //!
 //! `read_index` re-validates every structural invariant (sorted orders,
 //! offset monotonicity, threshold/neighbor-order consistency): index files
@@ -35,13 +45,15 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use anyscan_graph::io::framing;
 use anyscan_graph::types::GraphError;
 use anyscan_graph::ReorderMode;
+use anyscan_scan_common::{NeighborhoodSketches, SketchMode};
 
 use crate::SimilarityIndex;
 
 const MAGIC: &[u8; 4] = b"ASIX";
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
 /// Oldest version still readable (v1 files predate the checksum trailer;
-/// v2 files predate the reorder byte).
+/// v2 files predate the reorder byte; v3 files predate the signature
+/// section).
 const MIN_VERSION: u32 = 1;
 
 /// Serializes an index to the binary format (current version, with a
@@ -58,6 +70,16 @@ pub fn write_index<W: Write>(idx: &SimilarityIndex, mut writer: W) -> Result<(),
     buf.put_u64_le(idx.num_edges());
     buf.put_u64_le(mu_max as u64);
     buf.put_u8(idx.reorder.code());
+    buf.put_u8(idx.sketch_mode.code());
+    if let Some(sk) = &idx.sketches {
+        buf.put_u32_le(sk.rows() as u32);
+        buf.put_u32_le(sk.bits());
+        buf.put_u64_le(sk.seed());
+        buf.put_u64_le(sk.raw_data().len() as u64);
+        for &w in sk.raw_data() {
+            buf.put_u64_le(w);
+        }
+    }
     framing::put_usize_array(&mut buf, &idx.offsets);
     framing::put_u32_array(&mut buf, &idx.nbr);
     framing::put_f64_array(&mut buf, &idx.sig);
@@ -102,6 +124,38 @@ pub fn read_index<R: Read>(mut reader: R) -> Result<SimilarityIndex, GraphError>
             .ok_or_else(|| GraphError::Format(format!("unknown reorder mode code {code}")))?
     } else {
         ReorderMode::None
+    };
+    let (sketch_mode, sketches) = if version >= 4 {
+        anyscan_faults::inject_io("index::read_sketches")?;
+        framing::need(&buf, 1)?;
+        let code = buf.get_u8();
+        let mode = SketchMode::from_code(code)
+            .ok_or_else(|| GraphError::Format(format!("unknown sketch mode code {code}")))?;
+        let sketches = if mode != SketchMode::Off {
+            framing::need(&buf, 4 + 4 + 8 + 8)?;
+            let rows = buf.get_u32_le() as usize;
+            let bits = buf.get_u32_le();
+            let seed = buf.get_u64_le();
+            let words = buf.get_u64_le() as usize;
+            framing::need(
+                &buf,
+                words.checked_mul(8).ok_or_else(|| {
+                    GraphError::Format(format!("signature section of {words} words overflows"))
+                })?,
+            )?;
+            let mut data = Vec::with_capacity(words);
+            for _ in 0..words {
+                data.push(buf.get_u64_le());
+            }
+            let sk = NeighborhoodSketches::from_raw_parts(rows, bits, seed, n, data)
+                .map_err(|e| GraphError::Format(format!("signature section: {e}")))?;
+            Some(sk)
+        } else {
+            None
+        };
+        (mode, sketches)
+    } else {
+        (SketchMode::Off, None)
     };
 
     let offsets = framing::get_usize_array(&mut buf, n + 1)?;
@@ -185,6 +239,8 @@ pub fn read_index<R: Read>(mut reader: R) -> Result<SimilarityIndex, GraphError>
         co_thresholds,
         num_edges,
         reorder,
+        sketches,
+        sketch_mode,
     })
 }
 
@@ -273,10 +329,18 @@ mod tests {
         assert!(format!("{err}").contains("reorder"), "got: {err}");
     }
 
-    /// Strips the v3 reorder byte and the checksum trailer, patching the
-    /// version field, to fabricate an on-disk file of an older version.
+    /// Byte offset of the v4 sketch-mode byte (right after the reorder
+    /// byte; sketch-free files carry just the one zero byte there).
+    const SKETCH_BYTE: usize = REORDER_BYTE + 1;
+
+    /// Strips the v4 sketch byte (and for older targets the v3 reorder
+    /// byte) plus the checksum trailer, patching the version field, to
+    /// fabricate an on-disk file of an older version.
     fn downgrade(mut buf: Vec<u8>, version: u8) -> Vec<u8> {
-        buf.remove(REORDER_BYTE);
+        buf.remove(SKETCH_BYTE);
+        if version < 3 {
+            buf.remove(REORDER_BYTE);
+        }
         buf.truncate(buf.len() - framing::CHECKSUM_LEN);
         buf[4] = version;
         if version >= 2 {
@@ -309,6 +373,81 @@ mod tests {
     }
 
     #[test]
+    fn reads_v3_files_sketch_free() {
+        let (_, idx) = sample_index();
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        let buf = downgrade(buf, 3);
+        let idx2 = read_index(buf.as_slice()).unwrap();
+        assert_eq!(idx2.sketch_mode(), SketchMode::Off);
+        assert!(idx2.sketches().is_none());
+        assert_eq!(idx, idx2);
+    }
+
+    fn sketched_index(mode: SketchMode) -> (anyscan_graph::CsrGraph, SimilarityIndex) {
+        let mut rng = StdRng::seed_from_u64(78);
+        let g = erdos_renyi(&mut rng, 70, 420, WeightModel::uniform_default());
+        let opts = crate::IndexBuildOptions {
+            sketch: mode,
+            sketch_rows: 64,
+            sketch_bits: 8,
+            seed: 99,
+            ..Default::default()
+        };
+        let idx = SimilarityIndex::build_with_options(
+            &g,
+            2,
+            opts,
+            &anyscan_telemetry::Telemetry::disabled(),
+        );
+        (g, idx)
+    }
+
+    #[test]
+    fn v4_roundtrips_signatures() {
+        for mode in [SketchMode::Assist, SketchMode::Approx] {
+            let (g, idx) = sketched_index(mode);
+            let mut buf = Vec::new();
+            write_index(&idx, &mut buf).unwrap();
+            let back = read_index(buf.as_slice()).unwrap();
+            assert_eq!(back.sketch_mode(), mode);
+            assert_eq!(back.sketches(), idx.sketches(), "signatures round-trip");
+            assert_eq!(back, idx);
+            let params = ScanParams::new(0.4, 3);
+            assert_eq!(idx.query(&g, params), back.query(&g, params));
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_signature_section() {
+        let (_, idx) = sketched_index(SketchMode::Assist);
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+
+        // Invalid bits-per-row value.
+        let mut broken = buf.clone();
+        broken[SKETCH_BYTE + 1 + 4] = 3; // bits u32 follows the rows u32
+        broken.truncate(broken.len() - framing::CHECKSUM_LEN);
+        let err = read_index(&with_fresh_trailer(&broken)[..]).unwrap_err();
+        assert!(format!("{err}").contains("signature"), "got: {err}");
+
+        // Signature array length disagreeing with rows × bits × n.
+        let words_at = SKETCH_BYTE + 1 + 4 + 4 + 8;
+        let mut broken = buf.clone();
+        let words = u64::from_le_bytes(broken[words_at..words_at + 8].try_into().unwrap());
+        broken[words_at..words_at + 8].copy_from_slice(&(words - 1).to_le_bytes());
+        broken.truncate(broken.len() - framing::CHECKSUM_LEN);
+        assert!(read_index(&with_fresh_trailer(&broken)[..]).is_err());
+
+        // Unknown sketch-mode code.
+        let mut broken = buf;
+        broken[SKETCH_BYTE] = 7;
+        broken.truncate(broken.len() - framing::CHECKSUM_LEN);
+        let err = read_index(&with_fresh_trailer(&broken)[..]).unwrap_err();
+        assert!(format!("{err}").contains("sketch mode"), "got: {err}");
+    }
+
+    #[test]
     fn rejects_truncation_at_every_boundary() {
         let (_, idx) = sample_index();
         let mut buf = Vec::new();
@@ -325,7 +464,7 @@ mod tests {
         write_index(&idx, &mut buf).unwrap();
         // Flip a byte inside the neighbor-id block to break the sorted-order
         // or range invariants.
-        let header = 8 + 32 + 1 + (idx.num_vertices() + 1) * 8;
+        let header = 8 + 32 + 2 + (idx.num_vertices() + 1) * 8;
         let mut broken = buf.clone();
         broken[header + 1] ^= 0xFF;
         assert!(read_index(broken.as_slice()).is_err());

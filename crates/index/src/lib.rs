@@ -40,10 +40,44 @@ pub mod io;
 use anyscan_dsu::DsuSeq;
 use anyscan_graph::{CsrGraph, ReorderMode, VertexId};
 use anyscan_parallel::{parallel_map_adaptive, parallel_map_with};
+use anyscan_scan_common::sketch::{DEFAULT_BITS, DEFAULT_ROWS};
 use anyscan_scan_common::{
-    AtomicEdgeCache, Clustering, NeighborIndex, Role, RowScratch, ScanParams, NOISE,
+    AtomicEdgeCache, Clustering, NeighborIndex, NeighborhoodSketches, Role, RowScratch, ScanParams,
+    SketchMode, HASH_PROBE_MISMATCH_RATIO, NOISE,
 };
 use anyscan_telemetry::{Counter, Recorder, Telemetry};
+
+/// Tuning knobs of [`SimilarityIndex::build_with_options`].
+#[derive(Debug, Clone, Copy)]
+pub struct IndexBuildOptions {
+    /// [`SketchMode::Off`]: exact σ, no signatures. [`SketchMode::Assist`]:
+    /// exact σ (bit-identical orders to `Off`) with MinHash signatures built
+    /// alongside and persisted in the ASIX v4 file. [`SketchMode::Approx`]:
+    /// every σ is the sketch estimate — the build never touches a single
+    /// exact kernel evaluation.
+    pub sketch: SketchMode,
+    /// MinHash rows per signature.
+    pub sketch_rows: usize,
+    /// Bits kept per MinHash row.
+    pub sketch_bits: u32,
+    /// Seed the signatures are derived from (recorded in the ASIX file).
+    pub seed: u64,
+    /// Degree-mismatch ratio diverting exact σ rows to the hash probe
+    /// ([`prefer_hash_probe_with`](anyscan_scan_common::prefer_hash_probe_with)).
+    pub probe_ratio: usize,
+}
+
+impl Default for IndexBuildOptions {
+    fn default() -> Self {
+        IndexBuildOptions {
+            sketch: SketchMode::Off,
+            sketch_rows: DEFAULT_ROWS,
+            sketch_bits: DEFAULT_BITS,
+            seed: 0x5CA7,
+            probe_ratio: HASH_PROBE_MISMATCH_RATIO,
+        }
+    }
+}
 
 /// The two sorted views (neighbor orders + core orders) plus the fingerprint
 /// of the graph they were built from.
@@ -76,6 +110,14 @@ pub struct SimilarityIndex {
     /// the freshly loaded graph before querying, then map labels back to
     /// original ids — see the CLI's `index` command.
     reorder: ReorderMode,
+    /// MinHash signatures of every closed neighborhood, present when the
+    /// index was built with [`SketchMode::Assist`] or [`SketchMode::Approx`]
+    /// (serialized in the ASIX v4 signature section).
+    sketches: Option<NeighborhoodSketches>,
+    /// How the σ values in `sig`/`co_thresholds` were produced: exact
+    /// kernels (`Off`/`Assist`, bit-identical to each other) or sketch
+    /// estimates (`Approx`).
+    sketch_mode: SketchMode,
 }
 
 impl SimilarityIndex {
@@ -88,19 +130,60 @@ impl SimilarityIndex {
     /// [`SimilarityIndex::build`] recorded under the `index_build` span,
     /// with one `index_sigma_evals` count per undirected edge.
     pub fn build_traced(g: &CsrGraph, threads: usize, telemetry: &Telemetry) -> Self {
+        Self::build_with_options(g, threads, IndexBuildOptions::default(), telemetry)
+    }
+
+    /// [`SimilarityIndex::build_traced`] with sketch and probe-crossover
+    /// tuning. Deterministic for any thread count in every mode.
+    pub fn build_with_options(
+        g: &CsrGraph,
+        threads: usize,
+        opts: IndexBuildOptions,
+        telemetry: &Telemetry,
+    ) -> Self {
         let _span = telemetry.span("index_build");
         let n = g.num_vertices();
         let arcs = g.num_arcs();
 
-        // Hash-probe side of the row σ evaluation (built in parallel; only
-        // consulted for badly size-mismatched pairs).
-        let nidx = NeighborIndex::with_threads(g, threads);
+        // MinHash signatures (assist: stored alongside the exact orders;
+        // approx: the sole source of every σ below).
+        let sketches = match opts.sketch {
+            SketchMode::Off => None,
+            _ => {
+                let _s = telemetry.span("index_sketches");
+                Some(NeighborhoodSketches::build(
+                    g,
+                    opts.sketch_rows,
+                    opts.sketch_bits,
+                    opts.seed,
+                    threads,
+                ))
+            }
+        };
 
-        // σ once per undirected edge: each vertex row-evaluates its
-        // higher-id neighbors (one dense stamp of the row, one O(d_v) pass
-        // per neighbor), so no pair is computed twice and no slot is
-        // contended. The scratch is per worker, reused across its rows.
-        let upper: Vec<(Vec<f64>, u64)> = {
+        // σ once per undirected edge: each vertex evaluates its higher-id
+        // neighbors, so no pair is computed twice and no slot is contended.
+        let upper: Vec<(Vec<f64>, u64)> = if opts.sketch == SketchMode::Approx {
+            // Approx: the estimate *is* the σ — O(signature) per pair, the
+            // adjacency lists are only read by the sketch builder above.
+            let sk = sketches.as_ref().expect("approx build has sketches");
+            let _s = telemetry.span("index_sigma");
+            parallel_map_adaptive(threads, n, |u| {
+                let u = u as VertexId;
+                let row: Vec<f64> = g
+                    .neighbor_ids(u)
+                    .iter()
+                    .filter(|&&v| v > u)
+                    .map(|&v| sk.sigma_estimate(g, u, v))
+                    .collect();
+                (row, 0u64)
+            })
+        } else {
+            // Exact: one dense stamp of the row, one O(d_v) pass per
+            // neighbor; badly size-mismatched pairs divert to the hash probe
+            // at the configured crossover. The scratch is per worker, reused
+            // across its rows.
+            let nidx = NeighborIndex::with_threads(g, threads).with_probe_ratio(opts.probe_ratio);
             let _s = telemetry.span("index_sigma");
             parallel_map_with(
                 threads,
@@ -114,11 +197,16 @@ impl SimilarityIndex {
             )
         };
         telemetry.add(Counter::IndexSigmaEvals, g.num_edges());
-        // Kernel-path attribution: every edge is either a batched-row pass
-        // or a hash-probe diversion.
-        let probed: u64 = upper.iter().map(|(_, d)| d).sum();
-        telemetry.add(Counter::SigmaPathProbe, probed);
-        telemetry.add(Counter::SigmaPathBatched, g.num_edges() - probed);
+        if opts.sketch == SketchMode::Approx {
+            // Kernel-path attribution: every edge was decided by a sketch.
+            telemetry.add(Counter::SigmaPathSketch, g.num_edges());
+        } else {
+            // Every edge is either a batched-row pass or a hash-probe
+            // diversion.
+            let probed: u64 = upper.iter().map(|(_, d)| d).sum();
+            telemetry.add(Counter::SigmaPathProbe, probed);
+            telemetry.add(Counter::SigmaPathBatched, g.num_edges() - probed);
+        }
 
         // Scatter into an arc-aligned scratch array (upper arcs only).
         let mut sig_by_arc = vec![0.0f64; arcs];
@@ -222,6 +310,8 @@ impl SimilarityIndex {
             co_thresholds,
             num_edges: g.num_edges(),
             reorder: ReorderMode::None,
+            sketches,
+            sketch_mode: opts.sketch,
         }
     }
 
@@ -237,6 +327,17 @@ impl SimilarityIndex {
     /// ([`ReorderMode::None`] if none).
     pub fn reorder(&self) -> ReorderMode {
         self.reorder
+    }
+
+    /// How this index's σ values were produced (see
+    /// [`IndexBuildOptions::sketch`]).
+    pub fn sketch_mode(&self) -> SketchMode {
+        self.sketch_mode
+    }
+
+    /// The persisted MinHash signatures, when built with sketches.
+    pub fn sketches(&self) -> Option<&NeighborhoodSketches> {
+        self.sketches.as_ref()
     }
 
     /// Number of indexed vertices.
@@ -318,6 +419,16 @@ impl SimilarityIndex {
         if let Err(e) = self.check_graph(g) {
             panic!("similarity index does not match the queried graph: {e}");
         }
+        let mut clustering = self.label_cores_and_borders(params, telemetry);
+        clustering.classify_noise(g);
+        clustering
+    }
+
+    /// Shared core of [`SimilarityIndex::query_traced`] and
+    /// [`SimilarityIndex::query_offline_traced`]: labels cores and borders,
+    /// leaving every noise vertex's role at [`Role::Outlier`] for the
+    /// caller's hub/outlier sweep.
+    fn label_cores_and_borders(&self, params: ScanParams, telemetry: &Telemetry) -> Clustering {
         let _span = telemetry.span("index_query");
         telemetry.add(Counter::IndexQueries, 1);
         let n = self.num_vertices();
@@ -375,8 +486,50 @@ impl SimilarityIndex {
             telemetry.add(Counter::IndexBordersAttached, borders);
         }
 
-        let mut clustering = Clustering { labels, roles };
-        clustering.classify_noise(g);
+        Clustering { labels, roles }
+    }
+
+    /// Clusters at `params` **without the graph**: the adjacency needed to
+    /// split noise into hubs and outliers is recovered from the index's own
+    /// neighbor orders (each is a permutation of the closed neighborhood, and
+    /// the hub rule is order-blind), so the answer is identical to
+    /// [`SimilarityIndex::query`] on the indexed graph. This is what lets
+    /// `index query --sketch approx` answer from the ASIX file alone.
+    pub fn query_offline(&self, params: ScanParams) -> Clustering {
+        self.query_offline_traced(params, &Telemetry::disabled())
+    }
+
+    /// [`SimilarityIndex::query_offline`] under the same span and counters
+    /// as [`SimilarityIndex::query_traced`].
+    pub fn query_offline_traced(&self, params: ScanParams, telemetry: &Telemetry) -> Clustering {
+        let mut clustering = self.label_cores_and_borders(params, telemetry);
+        // `Clustering::classify_noise` replicated against the neighbor
+        // orders instead of the CSR rows.
+        for v in 0..clustering.labels.len() as VertexId {
+            if clustering.labels[v as usize] != NOISE {
+                continue;
+            }
+            let mut first: Option<u32> = None;
+            let mut is_hub = false;
+            for &q in self.neighbor_order(v).0 {
+                if q == v {
+                    continue;
+                }
+                let l = clustering.labels[q as usize];
+                if l == NOISE {
+                    continue;
+                }
+                match first {
+                    None => first = Some(l),
+                    Some(f) if f != l => {
+                        is_hub = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            clustering.roles[v as usize] = if is_hub { Role::Hub } else { Role::Outlier };
+        }
         clustering
     }
 }
@@ -507,6 +660,79 @@ mod tests {
         let idx = SimilarityIndex::build(&g, 1);
         let other = GraphBuilder::from_unweighted_edges(3, vec![(0, 1), (1, 2)]).unwrap();
         let _ = idx.query(&other, ScanParams::paper_defaults());
+    }
+
+    #[test]
+    fn assist_build_is_bit_identical_to_off() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = erdos_renyi(&mut rng, 150, 1_000, WeightModel::uniform_default());
+        let plain = SimilarityIndex::build(&g, 2);
+        let opts = IndexBuildOptions {
+            sketch: anyscan_scan_common::SketchMode::Assist,
+            ..Default::default()
+        };
+        let assist = SimilarityIndex::build_with_options(&g, 2, opts, &Telemetry::disabled());
+        // Same orders, same thresholds — the signatures ride along.
+        assert_eq!(plain.offsets, assist.offsets);
+        assert_eq!(plain.nbr, assist.nbr);
+        assert_eq!(
+            plain.sig.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            assist.sig.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(plain.co_vertices, assist.co_vertices);
+        assert!(assist.sketches().is_some());
+        for eps in [0.3, 0.6] {
+            let params = ScanParams::new(eps, 3);
+            assert_eq!(plain.query(&g, params), assist.query(&g, params));
+        }
+    }
+
+    #[test]
+    fn approx_build_never_runs_exact_kernels_and_stays_close() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = erdos_renyi(&mut rng, 150, 1_000, WeightModel::Unit);
+        let t = Telemetry::enabled();
+        let opts = IndexBuildOptions {
+            sketch: anyscan_scan_common::SketchMode::Approx,
+            sketch_rows: 512,
+            sketch_bits: 16,
+            ..Default::default()
+        };
+        let approx = SimilarityIndex::build_with_options(&g, 2, opts, &t);
+        let r = t.report().unwrap();
+        assert_eq!(r.counter(Counter::IndexSigmaEvals), g.num_edges());
+        assert_eq!(r.counter(Counter::SigmaPathSketch), g.num_edges());
+        assert_eq!(r.counter(Counter::SigmaPathProbe), 0);
+        assert_eq!(r.counter(Counter::SigmaPathBatched), 0);
+
+        // At 512 × 16 on unit weights every σ estimate is within the
+        // tolerance band of the exact value.
+        let exact = SimilarityIndex::build(&g, 2);
+        let band = approx.sketches().unwrap().tolerance();
+        for v in g.vertices() {
+            let (nbrs, sigs) = approx.neighbor_order(v);
+            for (&q, &s) in nbrs.iter().zip(sigs) {
+                let want = if q == v { 1.0 } else { sigma_raw(&g, v, q) };
+                assert!((s - want).abs() <= 3.0 * band, "σ̂({v},{q}) = {s} vs {want}");
+            }
+        }
+        assert_eq!(exact.offsets, approx.offsets);
+    }
+
+    #[test]
+    fn offline_query_matches_graph_query() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = erdos_renyi(&mut rng, 160, 1_200, WeightModel::uniform_default());
+        let idx = SimilarityIndex::build(&g, 2);
+        for eps in [0.2, 0.4, 0.6] {
+            for mu in [2usize, 4] {
+                let params = ScanParams::new(eps, mu);
+                let with_graph = idx.query(&g, params);
+                let offline = idx.query_offline(params);
+                assert_eq!(with_graph.labels, offline.labels);
+                assert_eq!(with_graph.roles, offline.roles, "ε={eps} μ={mu}");
+            }
+        }
     }
 
     #[test]

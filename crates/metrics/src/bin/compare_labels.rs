@@ -1,0 +1,139 @@
+//! `anyscan-compare-labels` — scores one labels file against another.
+//!
+//! Both files use the CLI's `--labels-out` format (`# vertex cluster role`
+//! header, then `v label role` lines, `-` = noise). Noise vertices become
+//! unique singleton clusters before scoring, so a noise/cluster disagreement
+//! costs exactly the pairs it breaks. Prints ARI and pairwise
+//! precision/recall of the first file against the second, and exits non-zero
+//! when any `--min-*` gate fails — the CI sketch-smoke job's quality gate.
+//!
+//! ```text
+//! anyscan-compare-labels PRED_FILE TRUTH_FILE \
+//!     [--min-ari X] [--min-precision X] [--min-recall X]
+//! ```
+
+use std::process::ExitCode;
+
+use anyscan_metrics::{adjusted_rand_index, pair_precision_recall};
+
+/// Parses a `--labels-out` file into dense labels, mapping each noise
+/// vertex (`-`) to a fresh singleton cluster.
+fn read_labels(path: &str) -> Result<Vec<u32>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut rows: Vec<(usize, Option<u32>)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(v), Some(label)) = (it.next(), it.next()) else {
+            return Err(format!(
+                "{path}:{}: expected `vertex label role`",
+                lineno + 1
+            ));
+        };
+        let v: usize = v
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad vertex id {v:?}", lineno + 1))?;
+        let label = match label {
+            "-" => None,
+            raw => Some(
+                raw.parse::<u32>()
+                    .map_err(|_| format!("{path}:{}: bad cluster label {raw:?}", lineno + 1))?,
+            ),
+        };
+        rows.push((v, label));
+    }
+    rows.sort_unstable_by_key(|&(v, _)| v);
+    for (i, &(v, _)) in rows.iter().enumerate() {
+        if v != i {
+            return Err(format!("{path}: vertex ids are not dense at {v}"));
+        }
+    }
+    // Noise → unique singletons above every real label.
+    let mut next = rows
+        .iter()
+        .filter_map(|&(_, l)| l)
+        .max()
+        .map_or(0, |m| m + 1);
+    Ok(rows
+        .into_iter()
+        .map(|(_, l)| {
+            l.unwrap_or_else(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect())
+}
+
+fn run() -> Result<bool, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut gates: Vec<(String, f64)> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            flag @ ("--min-ari" | "--min-precision" | "--min-recall") => {
+                let raw = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a value"))?;
+                let min: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("bad value for {flag}: {raw:?}"))?;
+                gates.push((flag.to_string(), min));
+                i += 2;
+            }
+            other => {
+                files.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let [pred_path, truth_path] = files.as_slice() else {
+        return Err("usage: anyscan-compare-labels PRED_FILE TRUTH_FILE \
+             [--min-ari X] [--min-precision X] [--min-recall X]"
+            .into());
+    };
+    let pred = read_labels(pred_path)?;
+    let truth = read_labels(truth_path)?;
+    if pred.len() != truth.len() {
+        return Err(format!(
+            "{pred_path} has {} vertices, {truth_path} has {}",
+            pred.len(),
+            truth.len()
+        ));
+    }
+    let ari = adjusted_rand_index(&pred, &truth);
+    let (precision, recall) = pair_precision_recall(&pred, &truth);
+    println!("vertices  {}", pred.len());
+    println!("ari       {ari:.6}");
+    println!("precision {precision:.6}");
+    println!("recall    {recall:.6}");
+    let mut ok = true;
+    for (flag, min) in gates {
+        let got = match flag.as_str() {
+            "--min-ari" => ari,
+            "--min-precision" => precision,
+            _ => recall,
+        };
+        if got < min {
+            eprintln!("FAIL: {flag} {min} not met (got {got:.6})");
+            ok = false;
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -95,6 +95,32 @@ pub fn pair_f1(a: &[u32], b: &[u32]) -> f64 {
     2.0 * precision * recall / (precision + recall)
 }
 
+/// Pair-counting precision and recall of a prediction against a ground
+/// truth: over the set of same-cluster vertex pairs, precision = the
+/// fraction of `pred`'s pairs that `truth` also co-clusters, recall = the
+/// fraction of `truth`'s pairs that `pred` recovers (the two components
+/// [`pair_f1`] combines). A side with no co-clustered pairs scores 1.0 on
+/// its own ratio (nothing claimed / nothing to recover).
+pub fn pair_precision_recall(pred: &[u32], truth: &[u32]) -> (f64, f64) {
+    assert_eq!(pred.len(), truth.len(), "label slices must align");
+    let t = ContingencyTable::new(pred, truth);
+    let choose2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let tp: f64 = t.cells().map(|(_, _, c)| choose2(c)).sum();
+    let pairs_pred: f64 = t.row_sums().iter().map(|&c| choose2(c)).sum();
+    let pairs_truth: f64 = t.col_sums().iter().map(|&c| choose2(c)).sum();
+    let precision = if pairs_pred == 0.0 {
+        1.0
+    } else {
+        tp / pairs_pred
+    };
+    let recall = if pairs_truth == 0.0 {
+        1.0
+    } else {
+        tp / pairs_truth
+    };
+    (precision, recall)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +141,27 @@ mod tests {
         let b = vec![5, 5, 9, 9, 7, 7];
         assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
         assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_are_directional() {
+        // pred splits truth's one cluster of 4 into two pairs: every pred
+        // pair is correct (precision 1) but only 2 of 6 truth pairs are
+        // recovered (recall 1/3).
+        let pred = vec![0, 0, 1, 1];
+        let truth = vec![0, 0, 0, 0];
+        let (p, r) = pair_precision_recall(&pred, &truth);
+        assert!((p - 1.0).abs() < 1e-12);
+        assert!((r - 2.0 / 6.0).abs() < 1e-12);
+        // Swapped roles flip the two numbers.
+        let (p, r) = pair_precision_recall(&truth, &pred);
+        assert!((p - 2.0 / 6.0).abs() < 1e-12);
+        assert!((r - 1.0).abs() < 1e-12);
+        // All-singleton prediction: nothing claimed, nothing recovered.
+        let single = vec![0, 1, 2, 3];
+        let (p, r) = pair_precision_recall(&single, &truth);
+        assert!((p - 1.0).abs() < 1e-12);
+        assert!(r.abs() < 1e-12);
     }
 
     #[test]

@@ -47,18 +47,29 @@ pub const HASH_PROBE_MISMATCH_RATIO: usize = 16;
 /// [`HASH_PROBE_MISMATCH_RATIO`].
 #[inline]
 pub fn prefer_hash_probe(deg_u: usize, deg_v: usize) -> bool {
+    prefer_hash_probe_with(HASH_PROBE_MISMATCH_RATIO, deg_u, deg_v)
+}
+
+/// [`prefer_hash_probe`] with an explicit crossover ratio — the tunable
+/// behind `AnyScanConfig::probe_ratio` / `--probe-ratio`.
+#[inline]
+pub fn prefer_hash_probe_with(ratio: usize, deg_u: usize, deg_v: usize) -> bool {
     let (small, large) = if deg_u <= deg_v {
         (deg_u, deg_v)
     } else {
         (deg_v, deg_u)
     };
-    large >= small.saturating_mul(HASH_PROBE_MISMATCH_RATIO)
+    large >= small.saturating_mul(ratio)
 }
 
 /// Per-vertex hash maps from neighbor id to edge weight.
 #[derive(Debug)]
 pub struct NeighborIndex {
     maps: Vec<HashMap<VertexId, Weight>>,
+    /// Degree-mismatch crossover applied by [`NeighborIndex::sigma_adaptive`]
+    /// and [`NeighborIndex::sigma_row`] ([`HASH_PROBE_MISMATCH_RATIO`] by
+    /// default).
+    probe_ratio: usize,
 }
 
 impl NeighborIndex {
@@ -79,7 +90,23 @@ impl NeighborIndex {
             g.neighbors(v as VertexId)
                 .collect::<HashMap<VertexId, Weight>>()
         });
-        NeighborIndex { maps }
+        NeighborIndex {
+            maps,
+            probe_ratio: HASH_PROBE_MISMATCH_RATIO,
+        }
+    }
+
+    /// Builder-style override of the merge-vs-probe crossover ratio (the
+    /// promoted `HASH_PROBE_MISMATCH_RATIO` tunable). Results are
+    /// bit-identical at any ratio — only which strategy computes them moves.
+    pub fn with_probe_ratio(mut self, ratio: usize) -> Self {
+        self.probe_ratio = ratio.max(1);
+        self
+    }
+
+    /// The crossover ratio this index applies.
+    pub fn probe_ratio(&self) -> usize {
+        self.probe_ratio
     }
 
     /// Number of indexed vertices.
@@ -113,7 +140,7 @@ impl NeighborIndex {
     /// Exact σ choosing hash probe vs merge-join per [`prefer_hash_probe`].
     /// Bit-identical to [`sigma_raw`] either way (see the module docs).
     pub fn sigma_adaptive(&self, g: &CsrGraph, u: VertexId, v: VertexId) -> f64 {
-        if prefer_hash_probe(g.degree(u), g.degree(v)) {
+        if prefer_hash_probe_with(self.probe_ratio, g.degree(u), g.degree(v)) {
             self.sigma(g, u, v)
         } else {
             sigma_raw(g, u, v)
@@ -163,7 +190,7 @@ impl NeighborIndex {
         let mut probe_diversions = 0u64;
         for &v in nu.iter().filter(|&&v| v > u) {
             let nv = g.neighbor_ids(v);
-            let s = if prefer_hash_probe(du, nv.len()) {
+            let s = if prefer_hash_probe_with(self.probe_ratio, du, nv.len()) {
                 probe_diversions += 1;
                 self.sigma(g, u, v)
             } else {
@@ -294,6 +321,39 @@ mod tests {
         // Degenerate degrees never overflow.
         assert!(prefer_hash_probe(0, 0));
         assert!(prefer_hash_probe(usize::MAX, 1));
+    }
+
+    #[test]
+    fn probe_ratio_override_moves_the_crossover_not_the_values() {
+        // prefer_hash_probe_with generalizes the pinned default...
+        assert!(!prefer_hash_probe_with(4, 10, 39));
+        assert!(prefer_hash_probe_with(4, 10, 40));
+        assert!(prefer_hash_probe_with(1, 10, 10));
+        // ...and an index built with a different ratio diverts different
+        // pairs but returns bit-identical σ. Shape: 0 meets moderately
+        // wider neighbors (4× mismatch) — under the default crossover but
+        // over an eager ratio of 2.
+        let mut b = GraphBuilder::new(34);
+        for v in 1..4u32 {
+            b.add_edge(0, v, 1.0);
+            for leaf in 0..10u32 {
+                b.add_edge(v, 4 + (v - 1) * 10 + leaf, 0.8);
+            }
+        }
+        let g = b.build();
+        let default_idx = NeighborIndex::new(&g);
+        let eager_idx = NeighborIndex::new(&g).with_probe_ratio(2);
+        assert_eq!(default_idx.probe_ratio(), HASH_PROBE_MISMATCH_RATIO);
+        assert_eq!(eager_idx.probe_ratio(), 2);
+        let mut scratch = RowScratch::new(g.num_vertices());
+        let mut row_a = Vec::new();
+        let mut row_b = Vec::new();
+        let div_a = default_idx.sigma_row(&g, 0, &mut scratch, &mut row_a);
+        let div_b = eager_idx.sigma_row(&g, 0, &mut scratch, &mut row_b);
+        assert_ne!(div_a, div_b, "different ratios must route differently");
+        for (a, b) in row_a.iter().zip(&row_b) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

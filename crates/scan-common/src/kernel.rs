@@ -9,6 +9,7 @@ use anyscan_graph::{CsrGraph, VertexId, Weight};
 use crate::atomic_cache::AtomicEdgeCache;
 use crate::hubs::HubBitmaps;
 use crate::params::ScanParams;
+use crate::sketch::{NeighborhoodSketches, SketchMode};
 
 /// Pairs whose smaller closed degree is at or below this run the branchless
 /// full merge-join instead of the early-exit merge when the locality bundle
@@ -67,10 +68,10 @@ pub struct SimStats {
     /// optimization fired; subset of `sigma_evals`).
     pub early_rejects: u64,
     /// σ evaluations that ran a merge-join (classic or branchless). The
-    /// three kernel-side path counters (`path_merge`, `path_bitmap`,
-    /// `path_batched`) partition `sigma_evals` exactly, so traces show where
-    /// σ time goes; `path_probe` is recorded externally and counts separate
-    /// work.
+    /// kernel-side path counters (`path_merge`, `path_bitmap`,
+    /// `path_batched`, `path_sketch`) partition `sigma_evals` exactly, so
+    /// traces show where σ time goes; `path_probe` is recorded externally
+    /// and counts separate work.
     pub path_merge: u64,
     /// σ evaluations diverted to the hash-probe path (recorded externally by
     /// the index build via [`Kernel::record_probe_evals`]; the anytime
@@ -81,6 +82,14 @@ pub struct SimStats {
     pub path_bitmap: u64,
     /// σ evaluations answered by the batched Step-1 dense-row gather.
     pub path_batched: u64,
+    /// σ decisions emitted directly from a MinHash sketch estimate
+    /// ([`SketchMode::Approx`] only; always zero in assist mode, where
+    /// sketches order and route but never decide).
+    pub path_sketch: u64,
+    /// Assist-mode confirmations: exact decisions routed by a confident
+    /// sketch estimate whose exact verdict agreed with the sketch's side
+    /// (diagnostic, like `early_accepts`; not a partition member).
+    pub sketch_confirms: u64,
 }
 
 impl SimStats {
@@ -126,6 +135,14 @@ pub struct Kernel<'g> {
     /// classic merge-join on every pair (the pre-bundle behavior, used by
     /// the baselines and the bench's before/after comparison).
     hubs: Option<HubBitmaps>,
+    /// MinHash signatures of every closed neighborhood plus how the kernel
+    /// may use them (order/route in assist mode, decide in approx mode).
+    /// `None` ⇔ `sketch_mode == Off`.
+    sketches: Option<NeighborhoodSketches>,
+    sketch_mode: SketchMode,
+    /// Assist-mode confidence half-width `t`: pairs with `|σ̂ − ε| > t` are
+    /// routed as confidently decided (precomputed from the signature size).
+    sketch_band: f64,
     sigma_evals: AtomicU64,
     lemma5_filtered: AtomicU64,
     shared_evals: AtomicU64,
@@ -137,6 +154,20 @@ pub struct Kernel<'g> {
     path_probe: AtomicU64,
     path_bitmap: AtomicU64,
     path_batched: AtomicU64,
+    path_sketch: AtomicU64,
+    sketch_confirms: AtomicU64,
+}
+
+/// How a sketch consultation routed a pair (internal to the kernel).
+enum SketchRoute {
+    /// Sketches off, or the pair must take the normal exact routing.
+    Exact,
+    /// Assist: the estimate is confidently on one side of ε; run the
+    /// cheapest exact path and record agreement. Payload: the sketch's
+    /// similar/dissimilar guess.
+    Confident(bool),
+    /// Approx: the sketch decided outright.
+    Decided(EpsDecision),
 }
 
 impl<'g> Kernel<'g> {
@@ -158,6 +189,9 @@ impl<'g> Kernel<'g> {
             optimizations,
             cache: None,
             hubs: None,
+            sketches: None,
+            sketch_mode: SketchMode::Off,
+            sketch_band: 0.0,
             sigma_evals: AtomicU64::new(0),
             lemma5_filtered: AtomicU64::new(0),
             shared_evals: AtomicU64::new(0),
@@ -169,6 +203,8 @@ impl<'g> Kernel<'g> {
             path_probe: AtomicU64::new(0),
             path_bitmap: AtomicU64::new(0),
             path_batched: AtomicU64::new(0),
+            path_sketch: AtomicU64::new(0),
+            sketch_confirms: AtomicU64::new(0),
         }
     }
 
@@ -199,6 +235,63 @@ impl<'g> Kernel<'g> {
     pub fn with_hub_bitmaps_params(mut self, max_hubs: usize, min_degree: usize) -> Self {
         self.hubs = Some(HubBitmaps::build_with(self.graph, max_hubs, min_degree));
         self
+    }
+
+    /// Builder-style attachment of prebuilt neighborhood sketches.
+    /// [`SketchMode::Off`] drops any sketches; otherwise the signatures must
+    /// cover this kernel's graph.
+    ///
+    /// * **Assist** keeps every decision exact: sketches only order
+    ///   core-check candidates (most promising first, so the μ-early-exit
+    ///   fires sooner) and route confidently-estimated pairs straight to the
+    ///   classic early-accept/early-reject merge. Clusterings are
+    ///   bit-identical to a sketch-free kernel's.
+    /// * **Approx** lets the estimate decide adjacent pairs outright
+    ///   (`σ̂ ≥ ε` ⇒ similar), counted under `path_sketch`.
+    pub fn with_sketches(mut self, sketches: NeighborhoodSketches, mode: SketchMode) -> Self {
+        if mode == SketchMode::Off {
+            self.sketches = None;
+            self.sketch_mode = mode;
+            self.sketch_band = 0.0;
+            return self;
+        }
+        assert_eq!(
+            sketches.num_vertices(),
+            self.graph.num_vertices(),
+            "sketches were built for a different graph"
+        );
+        self.sketch_band = sketches.tolerance();
+        self.sketches = Some(sketches);
+        self.sketch_mode = mode;
+        self
+    }
+
+    /// [`Kernel::with_sketches`], building the signatures here (in parallel
+    /// on the shared worker pool) from explicit parameters. A no-op for
+    /// [`SketchMode::Off`].
+    pub fn with_sketch_params(
+        self,
+        mode: SketchMode,
+        rows: usize,
+        bits: u32,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        if mode == SketchMode::Off {
+            return self;
+        }
+        let sketches = NeighborhoodSketches::build(self.graph, rows, bits, seed, threads);
+        self.with_sketches(sketches, mode)
+    }
+
+    /// The attached neighborhood sketches, when any.
+    pub fn sketches(&self) -> Option<&NeighborhoodSketches> {
+        self.sketches.as_ref()
+    }
+
+    /// How this kernel uses sketches.
+    pub fn sketch_mode(&self) -> SketchMode {
+        self.sketch_mode
     }
 
     /// The edge-decision cache, when enabled.
@@ -235,6 +328,8 @@ impl<'g> Kernel<'g> {
             path_probe: self.path_probe.load(Ordering::Relaxed),
             path_bitmap: self.path_bitmap.load(Ordering::Relaxed),
             path_batched: self.path_batched.load(Ordering::Relaxed),
+            path_sketch: self.path_sketch.load(Ordering::Relaxed),
+            sketch_confirms: self.sketch_confirms.load(Ordering::Relaxed),
         }
     }
 
@@ -376,6 +471,38 @@ impl<'g> Kernel<'g> {
         num
     }
 
+    /// Consults the sketches to route one pair. [`SketchRoute::Exact`] when
+    /// sketches are off or the assist estimate falls inside the ambiguous
+    /// band `|σ̂ − ε| ≤ t`; in approx mode the estimate decides outright
+    /// (counted as one `path_sketch` evaluation); a confident assist
+    /// estimate requests the classic merge with agreement tracking.
+    #[inline]
+    fn sketch_route(&self, u: VertexId, v: VertexId) -> SketchRoute {
+        let Some(sk) = &self.sketches else {
+            return SketchRoute::Exact;
+        };
+        let est = sk.sigma_estimate(self.graph, u, v);
+        match self.sketch_mode {
+            SketchMode::Off => SketchRoute::Exact,
+            SketchMode::Approx => {
+                self.sigma_evals.fetch_add(1, Ordering::Relaxed);
+                self.path_sketch.fetch_add(1, Ordering::Relaxed);
+                SketchRoute::Decided(if est >= self.params.epsilon {
+                    EpsDecision::Similar
+                } else {
+                    EpsDecision::Dissimilar
+                })
+            }
+            SketchMode::Assist => {
+                if (est - self.params.epsilon).abs() > self.sketch_band {
+                    SketchRoute::Confident(est >= self.params.epsilon)
+                } else {
+                    SketchRoute::Exact
+                }
+            }
+        }
+    }
+
     /// The Section III-D decision procedure itself, never touching the
     /// edge-decision cache.
     fn eps_decision_uncached(&self, u: VertexId, v: VertexId) -> EpsDecision {
@@ -387,6 +514,23 @@ impl<'g> Kernel<'g> {
         if self.optimizations && self.lemma5_filters(u, v, lu, lv) {
             self.lemma5_filtered.fetch_add(1, Ordering::Relaxed);
             return EpsDecision::FilteredOut;
+        }
+
+        match self.sketch_route(u, v) {
+            SketchRoute::Decided(decision) => return decision,
+            SketchRoute::Confident(guess) => {
+                // Prune-confirm routing: a confidently-estimated pair skips
+                // the bitmap/branchless selection and runs the classic
+                // early-accept/early-reject merge, which exits fastest on
+                // pairs far from the threshold. The emitted decision is
+                // still made by the exact merge below.
+                let decision = self.merge_decision(u, v, threshold);
+                if matches!(decision, EpsDecision::Similar) == guess {
+                    self.sketch_confirms.fetch_add(1, Ordering::Relaxed);
+                }
+                return decision;
+            }
+            SketchRoute::Exact => {}
         }
 
         // Locality bundle: hub pairs go through the packed bitsets, and
@@ -407,6 +551,13 @@ impl<'g> Kernel<'g> {
             }
         }
 
+        self.merge_decision(u, v, threshold)
+    }
+
+    /// The classic merge-join decision (with the Section III-D early
+    /// accept/reject when optimizations are on), counted under `path_merge`.
+    fn merge_decision(&self, u: VertexId, v: VertexId, threshold: f64) -> EpsDecision {
+        let g = self.graph;
         self.sigma_evals.fetch_add(1, Ordering::Relaxed);
         self.path_merge.fetch_add(1, Ordering::Relaxed);
         let nu = g.neighbor_ids(u);
@@ -570,6 +721,16 @@ impl<'g> Kernel<'g> {
             return EpsDecision::FilteredOut;
         }
 
+        // Approx mode: the sketch decides batched pairs outright too.
+        // Assist mode deliberately leaves the batched path alone — the
+        // source row is already stamped, so the dense gather *is* the cheap
+        // exact path here and routing could only reshuffle equals.
+        if self.sketch_mode == SketchMode::Approx {
+            if let SketchRoute::Decided(decision) = self.sketch_route(p, q) {
+                return decision;
+            }
+        }
+
         if let Some(hubs) = &self.hubs {
             if g.degree(q) > g.degree(p) {
                 if let Some(num) = hubs.numerator_small_vs_hub(g, p, q) {
@@ -698,6 +859,46 @@ impl<'g> Kernel<'g> {
             return true;
         }
         let ids = self.graph.neighbor_ids(p);
+        // Sketch-assisted candidate ordering (assist *and* approx): each
+        // per-pair decision is order-independent (and exact in assist mode),
+        // so the verdict — and in assist mode the whole clustering — is
+        // identical to the unordered scan; only which pairs ever get
+        // evaluated changes. The direction is outcome-adaptive: when the
+        // estimates predict ≥ μ hits, scanning the most promising first
+        // makes the μ-early-exit fire after ~μ confirmed neighbors; when
+        // they predict failure, scanning the *least* promising first keeps
+        // the confirmed count low so the remaining-candidates bound fires
+        // as early as possible (evaluating hits first only postpones it).
+        if let Some(sk) = &self.sketches {
+            let mut cand: Vec<(f64, VertexId)> = ids
+                .iter()
+                .copied()
+                .filter(|&q| q != p && !skip(q))
+                .map(|q| (sk.sigma_estimate(self.graph, p, q), q))
+                .collect();
+            let eps = self.params.epsilon;
+            let predicted = count + cand.iter().filter(|&&(est, _)| est >= eps).count();
+            // Ties in ascending id for determinism.
+            if predicted >= mu {
+                cand.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            } else {
+                cand.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            }
+            let mut remaining = cand.len();
+            for &(_, q) in &cand {
+                if count + remaining < mu {
+                    return false;
+                }
+                remaining -= 1;
+                if self.is_eps_neighbor(p, q) {
+                    count += 1;
+                    if count >= mu {
+                        return true;
+                    }
+                }
+            }
+            return false;
+        }
         let mut remaining = ids.iter().filter(|&&q| q != p && !skip(q)).count();
         for &q in ids {
             if q == p || skip(q) {
@@ -1179,7 +1380,146 @@ mod tests {
         }
     }
 
+    /// Approx mode lets the sketch decide every surviving adjacent pair:
+    /// `path_sketch` absorbs all of `sigma_evals` and the exact paths never
+    /// run.
+    #[test]
+    fn approx_mode_decides_from_the_sketch() {
+        let g = hubby_random_graph(11);
+        let k = Kernel::new(&g, ScanParams::new(0.4, 3))
+            .with_hub_bitmaps_params(8, 4)
+            .with_sketch_params(SketchMode::Approx, 256, 8, 5, 1);
+        let mut scratch = BatchScratch::new(g.num_vertices());
+        let mut out = Vec::new();
+        for p in g.vertices() {
+            if p % 2 == 0 {
+                let _ = k.eps_neighborhood(p);
+            } else {
+                k.eps_neighborhood_batched(p, &mut scratch, &mut out);
+            }
+        }
+        let s = k.stats();
+        assert!(s.path_sketch > 0, "approx decisions must be counted");
+        assert_eq!(
+            s.path_merge + s.path_bitmap + s.path_batched + s.path_sketch,
+            s.sigma_evals
+        );
+        assert_eq!(
+            s.path_merge + s.path_bitmap + s.path_batched,
+            0,
+            "approx mode must never run an exact kernel path"
+        );
+    }
+
+    /// Assist mode routes confidently-estimated pairs to the classic merge
+    /// and records exact agreements, while emitting zero sketch decisions.
+    #[test]
+    fn assist_routes_and_confirms_confident_pairs() {
+        let g = hubby_random_graph(12);
+        let k = Kernel::new(&g, ScanParams::new(0.4, 3)).with_sketch_params(
+            SketchMode::Assist,
+            512,
+            16,
+            5,
+            1,
+        );
+        for p in g.vertices() {
+            let _ = k.eps_neighborhood(p);
+        }
+        let s = k.stats();
+        assert_eq!(s.path_sketch, 0, "assist never decides from the sketch");
+        assert!(
+            s.sketch_confirms > 0,
+            "wide signatures must confidently route some pairs"
+        );
+        assert!(s.sketch_confirms <= s.path_merge);
+    }
+
     proptest! {
+        /// Satellite: the `sigma_path_{merge,probe,bitmap,batched,sketch}`
+        /// counters exactly partition `sigma_evals` across every combination
+        /// of SketchMode × hub-bitmaps × batched Step-1 × edge cache
+        /// (probe stays zero — it is recorded externally by the index
+        /// build, never by these kernel paths).
+        #[test]
+        fn sigma_paths_partition_across_modes(
+            edges in proptest::collection::vec((0u32..14, 0u32..14, 0.05f64..1.0), 1..70),
+            eps in 0.05f64..0.95,
+        ) {
+            let g = GraphBuilder::from_edges(14, edges).unwrap();
+            let params = ScanParams::new(eps, 3);
+            for mode in [SketchMode::Off, SketchMode::Assist, SketchMode::Approx] {
+                for hub in [false, true] {
+                    for batched in [false, true] {
+                        for cache in [false, true] {
+                            let mut k = Kernel::new(&g, params).with_edge_cache(cache);
+                            if hub {
+                                k = k.with_hub_bitmaps_params(4, 1);
+                            }
+                            k = k.with_sketch_params(mode, 32, 8, 7, 1);
+                            let mut scratch = BatchScratch::new(g.num_vertices());
+                            let mut out = Vec::new();
+                            for p in g.vertices() {
+                                if batched {
+                                    k.eps_neighborhood_batched(p, &mut scratch, &mut out);
+                                } else {
+                                    let _ = k.eps_neighborhood(p);
+                                }
+                                let _ = k.core_check_early_exit(p, 0);
+                            }
+                            let s = k.stats();
+                            prop_assert_eq!(
+                                s.path_merge + s.path_bitmap + s.path_batched + s.path_sketch,
+                                s.sigma_evals,
+                                "mode={:?} hub={} batched={} cache={}",
+                                mode, hub, batched, cache
+                            );
+                            prop_assert_eq!(s.path_probe, 0u64);
+                            if mode != SketchMode::Approx {
+                                prop_assert_eq!(
+                                    s.path_sketch, 0u64,
+                                    "only approx mode may decide via sketch"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Assist mode is exact-preserving at the decision level even with
+        /// deliberately tiny (noisy) signatures: every adjacent ε-decision
+        /// and core check matches the sketch-free kernel's.
+        #[test]
+        fn assist_decisions_match_sketch_free(
+            edges in proptest::collection::vec((0u32..14, 0u32..14, 0.05f64..1.0), 1..70),
+            eps in 0.05f64..0.95,
+        ) {
+            let g = GraphBuilder::from_edges(14, edges).unwrap();
+            let params = ScanParams::new(eps, 2);
+            let plain = Kernel::new(&g, params);
+            let assist =
+                Kernel::new(&g, params).with_sketch_params(SketchMode::Assist, 16, 4, 3, 1);
+            for u in g.vertices() {
+                for &v in g.neighbor_ids(u) {
+                    if v == u {
+                        continue;
+                    }
+                    prop_assert_eq!(
+                        plain.is_eps_neighbor(u, v),
+                        assist.is_eps_neighbor(u, v),
+                        "assist decision drifted at ({}, {})", u, v
+                    );
+                }
+                prop_assert_eq!(
+                    plain.core_check_early_exit(u, 0),
+                    assist.core_check_early_exit(u, 0),
+                    "assist core check drifted at {}", u
+                );
+            }
+            prop_assert_eq!(assist.stats().path_sketch, 0u64);
+        }
+
         /// σ is symmetric, in [0,1], and the optimized ε-decision always
         /// agrees with the exact value, on random weighted graphs.
         #[test]

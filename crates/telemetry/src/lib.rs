@@ -116,11 +116,18 @@ pub enum Counter {
     /// σ evaluations through a batched dense-row gather (range queries and
     /// the index build's row pass).
     SigmaPathBatched,
+    /// σ decisions emitted directly from a MinHash sketch estimate (approx
+    /// mode only; stays zero in assist mode, keeping the `sigma_path_*`
+    /// partition of `sigma_evals` exact).
+    SigmaPathSketch,
+    /// Assist-mode confirmations: exact decisions routed by a confident
+    /// sketch estimate whose exact verdict agreed with the sketch's side.
+    SketchConfirms,
 }
 
 impl Counter {
     /// All counters, in storage order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 30] = [
         Counter::SigmaEvals,
         Counter::Lemma5Filtered,
         Counter::SharedEvals,
@@ -149,6 +156,8 @@ impl Counter {
         Counter::SigmaPathProbe,
         Counter::SigmaPathBitmap,
         Counter::SigmaPathBatched,
+        Counter::SigmaPathSketch,
+        Counter::SketchConfirms,
     ];
 
     /// Number of counters (array sizing).
@@ -185,6 +194,8 @@ impl Counter {
             Counter::SigmaPathProbe => "sigma_path_probe",
             Counter::SigmaPathBitmap => "sigma_path_bitmap",
             Counter::SigmaPathBatched => "sigma_path_batched",
+            Counter::SigmaPathSketch => "sigma_path_sketch",
+            Counter::SketchConfirms => "sketch_confirms",
         }
     }
 }
