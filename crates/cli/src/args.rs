@@ -119,11 +119,20 @@ commands:
   index query  --input FILE | --dataset ID  --index FILE.asix
                --eps a,b,c --mu a,b,c [--labels-out FILE] [--trace-json FILE]
                [--sketch approx]   (answer from the .asix file alone, no graph)
+  serve        --input FILE | --dataset ID  --index FILE.asix
+               [--listen HOST:PORT | --socket PATH] [--threads T]
+               [--max-inflight N] [--queue-depth N] [--cache-entries N]
+               [--trace-json FILE]
 
 dataset ids: GR01..GR05, LFR01..LFR05, LFR11..LFR15 (Table I/II analogues)
 
 --trace-json writes the run's structured telemetry (spans, counters, pool
 utilization, anytime snapshots; schema checked by anyscan-trace-check)
+
+serve answers concurrent (eps, mu) queries, per-vertex membership lookups
+and deadline-bounded anytime runs over a length-framed socket protocol
+(DESIGN.md §12); drive it with anyscan-loadgen. Overflow beyond
+--max-inflight + --queue-depth is shed with a typed `overloaded` error
 
 execution control: Ctrl-C, --deadline-ms, and --max-blocks all stop a run
 cleanly at the next block boundary with the best-so-far clustering;

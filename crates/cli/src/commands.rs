@@ -27,6 +27,7 @@ use anyscan_scan_common::sketch::{DEFAULT_BITS, DEFAULT_ROWS, MAX_ROWS, VALID_BI
 use anyscan_scan_common::{
     Clustering, HubBitmaps, ScanParams, SketchMode, HASH_PROBE_MISMATCH_RATIO, NOISE,
 };
+use anyscan_serve::{Listener, Server, ServerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -870,6 +871,91 @@ pub fn interactive(opts: &Options) -> CmdResult {
             anyscan(&g, params).clustering.num_clusters(),
             result.num_clusters()
         );
+    }
+    Ok(())
+}
+
+/// `serve --index FILE.asix`: the clustering-as-a-service daemon. Loads the
+/// graph + index once, then answers concurrent protocol requests until
+/// SIGINT or a `Shutdown` request drains it (see DESIGN.md §12).
+pub fn serve(opts: &Options) -> CmdResult {
+    let idx_path = opts.get_str("index").ok_or("missing --index FILE")?;
+    let idx = load_index(idx_path)?;
+    // Same relabeling contract as `index query`: re-derive the reorder the
+    // index was built under; responses map back to original vertex ids.
+    let (g, perm) = apply_reorder(load_graph(opts)?, idx.reorder());
+    let config = ServerConfig {
+        threads: opts.get_or("threads", 1)?,
+        max_inflight: opts.get_or("max-inflight", 4)?,
+        queue_depth: opts.get_or("queue-depth", 16)?,
+        cache_entries: opts.get_or("cache-entries", 16)?,
+    };
+    let trace_path = opts.get_str("trace-json");
+    let telemetry = if trace_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let server = std::sync::Arc::new(
+        Server::new(g, perm, idx, config, telemetry.clone())
+            .map_err(|e| format!("--index {idx_path}: {e}"))?,
+    );
+    println!(
+        "serving {} vertices / {} edges from {idx_path} \
+         ({} in flight, {} queued, cache {})",
+        server.num_vertices(),
+        server.num_edges(),
+        config.max_inflight,
+        config.queue_depth,
+        config.cache_entries
+    );
+    crate::sigint::install();
+    let ctl = RunControl::new().with_interrupt_flag(crate::sigint::flag());
+    let listener = match opts.get_str("socket") {
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                println!("listening on unix:{path}");
+                Listener::bind_unix(path).map_err(|e| format!("bind {path}: {e}"))?
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err("--socket needs a unix platform; use --listen HOST:PORT".into());
+            }
+        }
+        None => {
+            let addr = opts.get_str("listen").unwrap_or("127.0.0.1:7411");
+            let (listener, local) =
+                Listener::bind_tcp(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+            println!("listening on {local}");
+            listener
+        }
+    };
+    server
+        .serve(listener, &ctl)
+        .map_err(|e| format!("serve: {e}"))?;
+    let stats = server.stats();
+    println!(
+        "drained: {} requests ({} queries, {} lookups, {} runs, \
+         {} overloaded, {} protocol errors)",
+        stats.requests,
+        stats.queries,
+        stats.lookups,
+        stats.runs,
+        stats.overloaded,
+        stats.protocol_errors
+    );
+    if let Some(path) = trace_path {
+        telemetry.add(Counter::FaultsInjected, anyscan_faults::injected());
+        let meta: Vec<(&str, MetaValue)> = vec![
+            ("vertices", (server.num_vertices() as u64).into()),
+            ("edges", server.num_edges().into()),
+            ("requests", stats.requests.into()),
+            ("overloaded", stats.overloaded.into()),
+            ("protocol_errors", stats.protocol_errors.into()),
+        ];
+        write_trace_with(path, &telemetry, &meta)?;
     }
     Ok(())
 }

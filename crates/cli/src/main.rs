@@ -8,6 +8,7 @@
 //! anyscan interactive --dataset GR02 --eps 0.5 --mu 5 --checkpoint-ms 50
 //! anyscan index build --input g.bin --out g.asix --threads 8
 //! anyscan index query --input g.bin --index g.asix --eps 0.3,0.5 --mu 5
+//! anyscan serve    --input g.bin --index g.asix --listen 127.0.0.1:7411
 //! ```
 
 mod args;
@@ -44,6 +45,7 @@ fn main() {
         "hierarchy" => commands::hierarchy(&opts),
         "interactive" => commands::interactive(&opts),
         "resume" => commands::resume(&opts),
+        "serve" => commands::serve(&opts),
         "index" => match sub.as_deref() {
             Some("build") => commands::index_build(&opts),
             Some("query") => commands::index_query(&opts),

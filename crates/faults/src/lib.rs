@@ -33,6 +33,7 @@
 //! | `checkpoint::write`   | write | error, or a torn (truncated) checkpoint |
 //! | `pool::job`           | panic | a worker-pool job panics mid-block      |
 //! | `driver::block`       | panic | the anytime loop panics at a boundary   |
+//! | `serve::read_frame`   | io    | a daemon connection read fails mid-frame|
 //!
 //! When nothing is armed the per-site check is two relaxed atomic loads.
 

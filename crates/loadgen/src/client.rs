@@ -1,0 +1,138 @@
+//! A blocking protocol client: one connection, one request in flight.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+use anyscan_serve::protocol::{
+    read_frame, write_frame, DecodeError, FrameError, Request, Response, RESPONSE_FRAME_LIMIT,
+};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// `host:port`.
+    Tcp(String),
+    /// Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(String),
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Target::Tcp(addr) => write!(f, "{addr}"),
+            #[cfg(unix)]
+            Target::Unix(path) => write!(f, "unix:{path}"),
+        }
+    }
+}
+
+/// Why a call failed (cleanly typed so the harness can bucket outcomes).
+#[derive(Debug)]
+pub enum ClientError {
+    Connect(std::io::Error),
+    Frame(FrameError),
+    Decode(DecodeError),
+    /// The daemon closed the connection before answering.
+    ClosedEarly,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect: {e}"),
+            ClientError::Frame(e) => write!(f, "frame: {e}"),
+            ClientError::Decode(e) => write!(f, "decode: {e}"),
+            ClientError::ClosedEarly => write!(f, "connection closed before a response"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One connected protocol client.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects to the daemon.
+    pub fn connect(target: &Target) -> Result<Client, ClientError> {
+        let stream = match target {
+            Target::Tcp(addr) => {
+                let s = TcpStream::connect(addr).map_err(ClientError::Connect)?;
+                s.set_nodelay(true).map_err(ClientError::Connect)?;
+                Stream::Tcp(s)
+            }
+            #[cfg(unix)]
+            Target::Unix(path) => {
+                Stream::Unix(UnixStream::connect(path).map_err(ClientError::Connect)?)
+            }
+        };
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())
+            .map_err(|e| ClientError::Frame(FrameError::Io(e)))?;
+        let payload = read_frame(&mut self.stream, RESPONSE_FRAME_LIMIT)
+            .map_err(ClientError::Frame)?
+            .ok_or(ClientError::ClosedEarly)?;
+        Response::decode(&payload).map_err(ClientError::Decode)
+    }
+}
+
+/// Polls the daemon with `Ping` until it answers or `timeout` elapses;
+/// returns a connected client on success.
+pub fn wait_ready(target: &Target, timeout: Duration) -> Result<Client, ClientError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match Client::connect(target).and_then(|mut c| c.call(&Request::Ping).map(|_| c)) {
+            Ok(client) => return Ok(client),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Duration/iteration-gated load loops.
+//!
+//! An [`IterationGate`] is the shared stop condition of a worker fleet:
+//! every worker asks it for the next ticket and stops when the gate closes.
+//! The gate closes after a fixed number of iterations, after a wall-clock
+//! duration (measured lazily from the first ticket, so fleet spin-up does
+//! not eat into the run), or — when neither bound is set — after a single
+//! iteration. Tickets are globally unique and dense, which is what lets an
+//! open-loop pacer turn a ticket index into an absolute send time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Shared stop condition for load workers (see module docs).
+#[derive(Debug)]
+pub struct IterationGate {
+    counter: AtomicU64,
+    iterations: Option<u64>,
+    duration: Option<Duration>,
+    deadline: OnceLock<Instant>,
+}
+
+impl IterationGate {
+    /// Bounds the run by `iterations`, `duration`, whichever of the two
+    /// trips first when both are set, or one single iteration when neither
+    /// is set.
+    pub fn new(iterations: Option<u64>, duration: Option<Duration>) -> IterationGate {
+        IterationGate {
+            counter: AtomicU64::new(0),
+            iterations: match (iterations, duration) {
+                (None, None) => Some(1),
+                (it, _) => it,
+            },
+            duration,
+            deadline: OnceLock::new(),
+        }
+    }
+
+    /// The moment the duration clock started (first ticket), if it has.
+    pub fn started_at(&self) -> Option<Instant> {
+        self.deadline
+            .get()
+            .and_then(|d| self.duration.map(|dur| *d - dur))
+    }
+
+    /// Claims the next ticket, or `None` once the gate has closed. Tickets
+    /// are dense: 0, 1, 2, … with no gaps among granted tickets.
+    pub fn next(&self) -> Option<u64> {
+        if let Some(duration) = self.duration {
+            let deadline = *self.deadline.get_or_init(|| Instant::now() + duration);
+            if Instant::now() >= deadline {
+                return None;
+            }
+        }
+        let ticket = self.counter.fetch_add(1, Ordering::Relaxed);
+        match self.iterations {
+            Some(n) if ticket >= n => None,
+            _ => Some(ticket),
+        }
+    }
+
+    /// Tickets granted so far (an upper bound once the gate closes).
+    pub fn issued(&self) -> u64 {
+        let raw = self.counter.load(Ordering::Relaxed);
+        match self.iterations {
+            Some(n) => raw.min(n),
+            None => raw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_one_iteration() {
+        let gate = IterationGate::new(None, None);
+        assert_eq!(gate.next(), Some(0));
+        assert_eq!(gate.next(), None);
+        assert_eq!(gate.issued(), 1);
+    }
+
+    #[test]
+    fn iteration_bound_is_exact_across_threads() {
+        let gate = std::sync::Arc::new(IterationGate::new(Some(1000), None));
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let gate = std::sync::Arc::clone(&gate);
+            joins.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(t) = gate.next() {
+                    got.push(t);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+        assert_eq!(gate.issued(), 1000);
+    }
+
+    #[test]
+    fn duration_bound_closes_the_gate() {
+        let gate = IterationGate::new(None, Some(Duration::from_millis(30)));
+        assert!(gate.next().is_some());
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(gate.next(), None);
+    }
+
+    #[test]
+    fn duration_clock_starts_at_first_ticket() {
+        let gate = IterationGate::new(None, Some(Duration::from_secs(60)));
+        assert!(gate.started_at().is_none());
+        gate.next();
+        assert!(gate.started_at().is_some());
+    }
+}

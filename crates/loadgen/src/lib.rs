@@ -1,0 +1,312 @@
+//! Load harness for the `anyscan serve` daemon.
+//!
+//! A run spins up `concurrency` workers, each with its own connection and
+//! seeded RNG, drawing requests from a weighted mix (full `(ε, μ)` queries,
+//! per-vertex membership lookups, deadline-bounded anytime runs) until a
+//! shared [`IterationGate`] closes. Two loop disciplines:
+//!
+//! - **closed loop** (default): each worker sends as fast as responses come
+//!   back — measures capacity;
+//! - **open loop** (`rate`): tickets map to absolute send times on a fixed
+//!   schedule — measures latency at a target arrival rate, the discipline
+//!   that exposes queueing delay instead of hiding it behind backpressure.
+//!
+//! Results merge into a [`Summary`] (sort-based p50/p95/p99, throughput,
+//! outcome buckets) and can be written as the workspace's trace-JSON
+//! (`Report::to_json` with the percentiles in `meta`), so the same
+//! `anyscan-trace-check` binary that gates clustering traces gates load
+//! reports too.
+
+pub mod client;
+pub mod gate;
+pub mod metrics;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use anyscan_serve::protocol::{ErrorCode, Request, Response};
+use anyscan_telemetry::{Counter, Recorder, Telemetry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use client::{wait_ready, Client, ClientError, Target};
+pub use gate::IterationGate;
+pub use metrics::{Outcome, Summary, WorkerMetrics};
+
+/// Relative weights of the request mix (zero disables a shape).
+#[derive(Debug, Clone, Copy)]
+pub struct MixWeights {
+    pub query: u32,
+    pub lookup: u32,
+    pub run: u32,
+}
+
+impl Default for MixWeights {
+    /// Lookup-heavy, like real traffic: 6 lookups : 3 queries : 1 run.
+    fn default() -> Self {
+        MixWeights {
+            query: 3,
+            lookup: 6,
+            run: 1,
+        }
+    }
+}
+
+impl MixWeights {
+    fn total(&self) -> u32 {
+        self.query + self.lookup + self.run
+    }
+
+    /// Parses `"query:3,lookup:6,run:1"` (missing shapes default to 0).
+    pub fn parse(raw: &str) -> Result<MixWeights, String> {
+        let mut mix = MixWeights {
+            query: 0,
+            lookup: 0,
+            run: 0,
+        };
+        for part in raw.split(',') {
+            let (name, weight) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad mix part {part:?}, want name:weight"))?;
+            let weight: u32 = weight
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad mix weight in {part:?}"))?;
+            match name.trim() {
+                "query" => mix.query = weight,
+                "lookup" => mix.lookup = weight,
+                "run" => mix.run = weight,
+                other => return Err(format!("unknown mix shape {other:?}")),
+            }
+        }
+        if mix.total() == 0 {
+            return Err("mix has zero total weight".into());
+        }
+        Ok(mix)
+    }
+}
+
+/// Everything one load run needs.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub target: Target,
+    pub concurrency: usize,
+    /// Stop after this many requests (None = unbounded by count).
+    pub iterations: Option<u64>,
+    /// Stop after this wall-clock duration (None = unbounded by time).
+    pub duration: Option<Duration>,
+    /// Open-loop arrival rate in requests/second across all workers
+    /// (None = closed loop).
+    pub rate: Option<f64>,
+    pub mix: MixWeights,
+    pub eps: f64,
+    pub mu: u32,
+    /// `Run` requests carry this per-request deadline (0 = none).
+    pub run_deadline_ms: u32,
+    /// `Run` requests carry this block budget (0 = none).
+    pub run_max_blocks: u64,
+    /// Vertex-id space for membership lookups (exclusive upper bound).
+    pub vertices: u32,
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            target: Target::Tcp("127.0.0.1:7411".into()),
+            concurrency: 4,
+            iterations: None,
+            duration: Some(Duration::from_secs(5)),
+            rate: None,
+            mix: MixWeights::default(),
+            eps: 0.5,
+            mu: 4,
+            run_deadline_ms: 50,
+            run_max_blocks: 0,
+            vertices: 1,
+            seed: 42,
+        }
+    }
+}
+
+fn pick_request(config: &RunConfig, rng: &mut StdRng) -> Request {
+    let mut roll = rng.gen_range(0..config.mix.total());
+    if roll < config.mix.query {
+        return Request::Query {
+            eps: config.eps,
+            mu: config.mu,
+            want_labels: false,
+        };
+    }
+    roll -= config.mix.query;
+    if roll < config.mix.lookup {
+        return Request::Membership {
+            vertex: rng.gen_range(0..config.vertices.max(1)),
+            eps: config.eps,
+            mu: config.mu,
+        };
+    }
+    Request::Run {
+        eps: config.eps,
+        mu: config.mu,
+        deadline_ms: config.run_deadline_ms,
+        max_blocks: config.run_max_blocks,
+    }
+}
+
+fn classify(response: &Response) -> Outcome {
+    match response {
+        Response::Error {
+            code: ErrorCode::Overloaded,
+            ..
+        } => Outcome::Overloaded,
+        Response::Error { .. } => Outcome::Error,
+        _ => Outcome::Ok,
+    }
+}
+
+/// Drives one load run to completion (see module docs). Counters land on
+/// `telemetry` (`load_sent` / `load_ok` / `load_overloaded` / `load_errors`)
+/// under a `load_run` span.
+pub fn run(config: &RunConfig, telemetry: &Telemetry) -> Summary {
+    let _span = telemetry.span("load_run");
+    let gate = Arc::new(IterationGate::new(config.iterations, config.duration));
+    let interval = config
+        .rate
+        .map(|r| Duration::from_secs_f64(1.0 / r.max(1e-9)));
+    let start = Instant::now();
+    let workers: Vec<_> = (0..config.concurrency.max(1))
+        .map(|w| {
+            let gate = Arc::clone(&gate);
+            let config = config.clone();
+            let telemetry = telemetry.clone();
+            std::thread::spawn(move || {
+                worker_loop(&config, &gate, interval, start, w as u64, &telemetry)
+            })
+        })
+        .collect();
+    let metrics = workers
+        .into_iter()
+        .map(|j| j.join().expect("load worker panicked"))
+        .collect();
+    Summary::from_workers(metrics, start.elapsed())
+}
+
+fn worker_loop(
+    config: &RunConfig,
+    gate: &IterationGate,
+    interval: Option<Duration>,
+    start: Instant,
+    worker: u64,
+    telemetry: &Telemetry,
+) -> WorkerMetrics {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(worker));
+    let mut metrics = WorkerMetrics::default();
+    let mut client = Client::connect(&config.target).ok();
+    while let Some(ticket) = gate.next() {
+        // Open loop: the ticket index fixes the intended send time; latency
+        // is measured from it, so queueing delay is charged to the server
+        // (no coordinated omission).
+        let intended = match interval {
+            Some(iv) => {
+                let at = start + iv.mul_f64(ticket as f64);
+                if let Some(sleep) = at.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(sleep);
+                }
+                at
+            }
+            None => Instant::now(),
+        };
+        let request = pick_request(config, &mut rng);
+        telemetry.add(Counter::LoadSent, 1);
+        let c = match client.as_mut() {
+            Some(c) => c,
+            None => match Client::connect(&config.target) {
+                Ok(fresh) => client.insert(fresh),
+                Err(_) => {
+                    telemetry.add(Counter::LoadErrors, 1);
+                    metrics.record(Outcome::Error, None);
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            },
+        };
+        match c.call(&request) {
+            Ok(response) => {
+                let outcome = classify(&response);
+                metrics.record(outcome, Some(intended.elapsed()));
+                telemetry.add(
+                    match outcome {
+                        Outcome::Ok => Counter::LoadOk,
+                        Outcome::Overloaded => Counter::LoadOverloaded,
+                        Outcome::Error => Counter::LoadErrors,
+                    },
+                    1,
+                );
+            }
+            Err(_) => {
+                // Transport/protocol failure: drop the connection and let
+                // the next ticket reconnect.
+                telemetry.add(Counter::LoadErrors, 1);
+                metrics.record(Outcome::Error, None);
+                client = None;
+            }
+        }
+    }
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_parses_and_rejects() {
+        let m = MixWeights::parse("query:3,lookup:6,run:1").unwrap();
+        assert_eq!((m.query, m.lookup, m.run), (3, 6, 1));
+        let m = MixWeights::parse("lookup:1").unwrap();
+        assert_eq!((m.query, m.lookup, m.run), (0, 1, 0));
+        assert!(MixWeights::parse("query:0").is_err());
+        assert!(MixWeights::parse("warp:1").is_err());
+        assert!(MixWeights::parse("query").is_err());
+    }
+
+    #[test]
+    fn pick_request_honors_zero_weights() {
+        let config = RunConfig {
+            mix: MixWeights {
+                query: 0,
+                lookup: 1,
+                run: 0,
+            },
+            vertices: 10,
+            ..RunConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            match pick_request(&config, &mut rng) {
+                Request::Membership { vertex, .. } => assert!(vertex < 10),
+                other => panic!("mix produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn classify_buckets_outcomes() {
+        assert_eq!(classify(&Response::Shutdown), Outcome::Ok);
+        assert_eq!(
+            classify(&Response::Error {
+                code: ErrorCode::Overloaded,
+                message: String::new()
+            }),
+            Outcome::Overloaded
+        );
+        assert_eq!(
+            classify(&Response::Error {
+                code: ErrorCode::Internal,
+                message: String::new()
+            }),
+            Outcome::Error
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Latency and outcome accounting for a load run.
+//!
+//! Each worker records into its own [`WorkerMetrics`] (no shared state on
+//! the hot path); [`Summary::from_workers`] merges them after the run and
+//! computes sort-based percentiles. Latency samples cover every completed
+//! request/response cycle — including typed `overloaded` rejections, which
+//! *are* responses (backpressure has a latency too) — while transport and
+//! protocol failures carry no latency and count as errors.
+
+use std::time::Duration;
+
+/// How one request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// A successful typed response.
+    Ok,
+    /// A typed `overloaded` rejection (load shedding, not failure).
+    Overloaded,
+    /// Anything else: transport error, undecodable response, or a
+    /// non-overload protocol error.
+    Error,
+}
+
+/// One worker's private tallies.
+#[derive(Debug, Default)]
+pub struct WorkerMetrics {
+    latencies_ns: Vec<u64>,
+    ok: u64,
+    overloaded: u64,
+    errors: u64,
+}
+
+impl WorkerMetrics {
+    pub fn record(&mut self, outcome: Outcome, latency: Option<Duration>) {
+        match outcome {
+            Outcome::Ok => self.ok += 1,
+            Outcome::Overloaded => self.overloaded += 1,
+            Outcome::Error => self.errors += 1,
+        }
+        if let Some(latency) = latency {
+            self.latencies_ns.push(latency.as_nanos() as u64);
+        }
+    }
+}
+
+/// Merged results of a whole run.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    pub requests: u64,
+    pub ok: u64,
+    pub overloaded: u64,
+    pub errors: u64,
+    pub elapsed: Duration,
+    pub throughput_rps: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+impl Summary {
+    /// Merges per-worker tallies; `elapsed` is the whole-run wall time.
+    pub fn from_workers(workers: Vec<WorkerMetrics>, elapsed: Duration) -> Summary {
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut s = Summary {
+            elapsed,
+            ..Summary::default()
+        };
+        for w in workers {
+            s.ok += w.ok;
+            s.overloaded += w.overloaded;
+            s.errors += w.errors;
+            latencies.extend(w.latencies_ns);
+        }
+        s.requests = s.ok + s.overloaded + s.errors;
+        latencies.sort_unstable();
+        s.p50_ms = percentile_ms(&latencies, 0.50);
+        s.p95_ms = percentile_ms(&latencies, 0.95);
+        s.p99_ms = percentile_ms(&latencies, 0.99);
+        s.max_ms = latencies.last().map_or(0.0, |&ns| ns as f64 / 1e6);
+        let secs = elapsed.as_secs_f64();
+        s.throughput_rps = if secs > 0.0 {
+            s.requests as f64 / secs
+        } else {
+            0.0
+        };
+        s
+    }
+}
+
+/// Nearest-rank percentile of a sorted sample, in milliseconds; 0 when the
+/// sample is empty.
+fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[rank] as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_a_known_distribution() {
+        let mut w = WorkerMetrics::default();
+        // 1ms..=100ms, one sample each.
+        for ms in 1..=100u64 {
+            w.record(Outcome::Ok, Some(Duration::from_millis(ms)));
+        }
+        let s = Summary::from_workers(vec![w], Duration::from_secs(1));
+        assert_eq!(s.requests, 100);
+        assert_eq!(s.ok, 100);
+        assert!((s.p50_ms - 51.0).abs() < 1.5, "p50 {}", s.p50_ms);
+        assert!((s.p95_ms - 95.0).abs() < 1.5, "p95 {}", s.p95_ms);
+        assert!((s.p99_ms - 99.0).abs() < 1.5, "p99 {}", s.p99_ms);
+        assert_eq!(s.max_ms, 100.0);
+        assert_eq!(s.throughput_rps, 100.0);
+    }
+
+    #[test]
+    fn outcome_buckets_merge_across_workers() {
+        let mut a = WorkerMetrics::default();
+        a.record(Outcome::Ok, Some(Duration::from_millis(2)));
+        a.record(Outcome::Overloaded, Some(Duration::from_millis(1)));
+        let mut b = WorkerMetrics::default();
+        b.record(Outcome::Error, None);
+        let s = Summary::from_workers(vec![a, b], Duration::from_millis(500));
+        assert_eq!((s.requests, s.ok, s.overloaded, s.errors), (3, 1, 1, 1));
+        assert_eq!(s.throughput_rps, 6.0);
+    }
+
+    #[test]
+    fn empty_run_is_all_zeroes() {
+        let s = Summary::from_workers(vec![], Duration::ZERO);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.p99_ms, 0.0);
+        assert_eq!(s.throughput_rps, 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Bounded admission control for daemon requests.
+//!
+//! The daemon multiplexes every admitted request onto one process-wide
+//! worker pool, so unbounded concurrency would only queue work invisibly
+//! inside the pool and blow latency tails. Instead, admission is a counting
+//! semaphore with a *bounded waiting room*: up to `max_inflight` requests
+//! execute, up to `queue_depth` more block waiting for a slot, and anything
+//! beyond that is rejected immediately with a typed [`Overloaded`] — the
+//! backpressure signal clients see as an `overloaded` protocol error and
+//! retry at their own pace. Rejection is load shedding, not failure: the
+//! connection stays open.
+
+use std::sync::{Condvar, Mutex};
+
+/// Typed rejection: the waiting room was full at arrival time. Carries the
+/// queue's occupancy at the moment of rejection for telemetry/messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Requests executing when the rejection happened.
+    pub inflight: usize,
+    /// Requests already waiting for a slot.
+    pub queued: usize,
+}
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "overloaded: {} in flight, {} queued; retry later",
+            self.inflight, self.queued
+        )
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    inflight: usize,
+    queued: usize,
+}
+
+/// Counting semaphore with a bounded waiting room (see module docs).
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    slot_freed: Condvar,
+    max_inflight: usize,
+    queue_depth: usize,
+}
+
+impl AdmissionQueue {
+    /// `max_inflight` ≥ 1 requests execute concurrently; `queue_depth` more
+    /// may wait (0 = reject as soon as all slots are busy).
+    pub fn new(max_inflight: usize, queue_depth: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            state: Mutex::new(QueueState::default()),
+            slot_freed: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            queue_depth,
+        }
+    }
+
+    /// Acquires an execution slot, blocking in the waiting room if all slots
+    /// are busy. Fails fast with [`Overloaded`] when the waiting room is
+    /// also full. The slot is held until the returned [`Permit`] drops.
+    pub fn acquire(&self) -> Result<Permit<'_>, Overloaded> {
+        let mut state = self.state.lock().unwrap();
+        if state.inflight < self.max_inflight {
+            state.inflight += 1;
+            return Ok(Permit { queue: self });
+        }
+        if state.queued >= self.queue_depth {
+            return Err(Overloaded {
+                inflight: state.inflight,
+                queued: state.queued,
+            });
+        }
+        state.queued += 1;
+        while state.inflight >= self.max_inflight {
+            state = self.slot_freed.wait(state).unwrap();
+        }
+        state.queued -= 1;
+        state.inflight += 1;
+        Ok(Permit { queue: self })
+    }
+
+    /// Requests currently holding an execution slot.
+    pub fn inflight(&self) -> usize {
+        self.state.lock().unwrap().inflight
+    }
+
+    /// Requests currently blocked in the waiting room.
+    pub fn queued(&self) -> usize {
+        self.state.lock().unwrap().queued
+    }
+
+    /// Configured concurrent-execution ceiling.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Configured waiting-room capacity.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+}
+
+/// RAII execution slot; dropping it wakes one waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    queue: &'a AdmissionQueue,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.queue.state.lock().unwrap();
+        state.inflight -= 1;
+        drop(state);
+        self.queue.slot_freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn admits_up_to_max_inflight_without_waiting() {
+        let q = AdmissionQueue::new(2, 0);
+        let a = q.acquire().unwrap();
+        let b = q.acquire().unwrap();
+        assert_eq!(q.inflight(), 2);
+        drop(a);
+        assert_eq!(q.inflight(), 1);
+        drop(b);
+        assert_eq!(q.inflight(), 0);
+    }
+
+    #[test]
+    fn rejects_with_typed_overloaded_when_queue_full() {
+        let q = AdmissionQueue::new(1, 0);
+        let held = q.acquire().unwrap();
+        let err = q.acquire().unwrap_err();
+        assert_eq!(
+            err,
+            Overloaded {
+                inflight: 1,
+                queued: 0
+            }
+        );
+        assert!(err.to_string().contains("overloaded"));
+        drop(held);
+        // A freed slot admits again.
+        assert!(q.acquire().is_ok());
+    }
+
+    #[test]
+    fn waiting_room_blocks_then_admits_in_turn() {
+        let q = Arc::new(AdmissionQueue::new(1, 4));
+        let held = q.acquire().unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            joins.push(std::thread::spawn(move || {
+                let permit = q.acquire().unwrap();
+                done.fetch_add(1, Ordering::SeqCst);
+                drop(permit);
+            }));
+        }
+        // Wait until all four are parked in the waiting room.
+        for _ in 0..400 {
+            if q.queued() == 4 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(q.queued(), 4);
+        assert_eq!(done.load(Ordering::SeqCst), 0);
+        // A fifth arrival overflows the room.
+        assert!(q.acquire().is_err());
+        drop(held);
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+        assert_eq!(q.inflight(), 0);
+        assert_eq!(q.queued(), 0);
+    }
+
+    #[test]
+    fn zero_max_inflight_is_clamped_to_one() {
+        let q = AdmissionQueue::new(0, 0);
+        assert_eq!(q.max_inflight(), 1);
+        let _p = q.acquire().unwrap();
+        assert!(q.acquire().is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Clustering as a service: the `anyscan serve` daemon.
+//!
+//! The paper's headline claim is *interactive* structural clustering —
+//! re-answer any `(ε, μ)` from a prebuilt similarity index in milliseconds.
+//! This crate turns that query path into a trafficked system: a daemon that
+//! loads a graph + ASIX index once and answers concurrent requests over a
+//! length-framed TCP or unix-domain socket protocol.
+//!
+//! Three request shapes cover the serving workloads of the related work:
+//!
+//! - **Query** — full `(ε, μ)` index re-cluster (the all-parameter serving
+//!   workload of index-based structural clustering);
+//! - **Membership** — per-vertex label/role point lookup (the local-cluster
+//!   shape that dominates real traffic);
+//! - **Run** — a full anytime run under a per-request [`RunControl`]
+//!   deadline/budget, answering with the Lemma-1 best-so-far snapshot.
+//!
+//! Admission is a bounded queue ([`admission::AdmissionQueue`]): a fixed
+//! number of requests execute, a fixed number wait, and the rest are shed
+//! with a typed `Overloaded` protocol error. See `DESIGN.md` §12 for the
+//! wire format and backpressure semantics.
+//!
+//! [`RunControl`]: anyscan::RunControl
+
+pub mod admission;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{AdmissionQueue, Overloaded, Permit};
+pub use protocol::{
+    completion_name, read_frame, role_name, write_frame, DecodeError, ErrorCode, FrameError,
+    LabelBlock, QuerySummary, Request, Response, ServeStats, REQUEST_FRAME_LIMIT,
+    RESPONSE_FRAME_LIMIT,
+};
+pub use server::{completion_code, role_code, Conn, Listener, Server, ServerConfig};

@@ -1,0 +1,720 @@
+//! The length-framed wire protocol of the clustering daemon.
+//!
+//! Every message — request or response — is one *frame*: a little-endian
+//! `u32` payload length followed by that many payload bytes. Inside a frame
+//! the payload is a fixed little-endian layout selected by a leading opcode
+//! (requests) or status byte (responses); see [`Request`] and [`Response`].
+//! The framing layer enforces a hard payload ceiling so a hostile or corrupt
+//! length prefix is rejected with a typed [`FrameError::Oversized`] before a
+//! single payload byte is allocated.
+//!
+//! The protocol is deliberately binary and versionless-per-connection: a
+//! client speaks to exactly the daemon build it was shipped with (both ends
+//! live in this workspace), so the frame layer carries no negotiation —
+//! malformed input surfaces as a typed [`DecodeError`], never a panic.
+//!
+//! Failpoint: `serve::read_frame` (io style) fires inside [`read_frame`],
+//! modeling a connection that dies mid-frame.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Ceiling on request payloads the daemon will read. Requests are a few
+/// dozen bytes; anything larger is garbage or abuse.
+pub const REQUEST_FRAME_LIMIT: usize = 64 * 1024;
+
+/// Ceiling on response payloads a client will read. Label blocks carry
+/// ~5 bytes per vertex, so this admits graphs beyond 10^7 vertices.
+pub const RESPONSE_FRAME_LIMIT: usize = 64 * 1024 * 1024;
+
+/// Errors of the framing layer itself (beneath request decoding).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection mid-frame (header or payload).
+    Truncated { needed: usize, got: usize },
+    /// The length prefix exceeds the frame ceiling.
+    Oversized { len: usize, max: usize },
+    /// The underlying transport failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "oversized frame: {len} bytes exceeds the {max}-byte limit"
+                )
+            }
+            FrameError::Io(e) => write!(f, "frame io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads one frame. `Ok(None)` is a clean close (EOF exactly at a frame
+/// boundary); EOF anywhere inside a frame is [`FrameError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R, max_len: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    anyscan_faults::inject_io("serve::read_frame").map_err(FrameError::Io)?;
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    needed: header.len(),
+                    got: filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max_len {
+        return Err(FrameError::Oversized { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(FrameError::Truncated { needed: len, got }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::other("frame payload exceeds u32::MAX"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Structural errors decoding a frame payload into a [`Request`] or
+/// [`Response`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Empty payload, or an opcode/status byte outside the protocol.
+    UnknownOpcode(u8),
+    /// The payload ended before the opcode's fixed layout was complete.
+    Truncated,
+    /// Bytes remained after the opcode's layout was fully consumed.
+    TrailingBytes(usize),
+    /// A field value is structurally impossible (e.g. a non-UTF-8 error
+    /// message, a label block longer than the frame).
+    BadValue(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::Truncated => write!(f, "payload truncated"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            DecodeError::BadValue(what) => write!(f, "bad value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn finish(buf: &Bytes) -> Result<(), DecodeError> {
+    if buf.remaining() > 0 {
+        Err(DecodeError::TrailingBytes(buf.remaining()))
+    } else {
+        Ok(())
+    }
+}
+
+/// A client request. Opcodes 1–5, fixed layouts, all little-endian.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Re-cluster the indexed graph at `(eps, mu)`; with `want_labels` the
+    /// response carries the full per-vertex label/role arrays (in original
+    /// vertex ids), otherwise just the role-count summary.
+    Query {
+        eps: f64,
+        mu: u32,
+        want_labels: bool,
+    },
+    /// Point lookup: the cluster label and role of one vertex (original id)
+    /// at `(eps, mu)` — the highest-traffic query shape.
+    Membership { vertex: u32, eps: f64, mu: u32 },
+    /// A full anytime run at `(eps, mu)` under a per-request deadline
+    /// (`deadline_ms`, 0 = none) and block budget (`max_blocks`, 0 = none);
+    /// answers with the Lemma-1 best-so-far summary either way.
+    Run {
+        eps: f64,
+        mu: u32,
+        deadline_ms: u32,
+        max_blocks: u64,
+    },
+    /// Health check; answered even when the admission queue is full.
+    Ping,
+    /// Ask the daemon to stop accepting connections and exit cleanly.
+    Shutdown,
+}
+
+const OP_QUERY: u8 = 1;
+const OP_MEMBERSHIP: u8 = 2;
+const OP_RUN: u8 = 3;
+const OP_PING: u8 = 4;
+const OP_SHUTDOWN: u8 = 5;
+
+impl Request {
+    /// Serializes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(32);
+        match *self {
+            Request::Query {
+                eps,
+                mu,
+                want_labels,
+            } => {
+                buf.put_u8(OP_QUERY);
+                buf.put_f64_le(eps);
+                buf.put_u32_le(mu);
+                buf.put_u8(want_labels as u8);
+            }
+            Request::Membership { vertex, eps, mu } => {
+                buf.put_u8(OP_MEMBERSHIP);
+                buf.put_u32_le(vertex);
+                buf.put_f64_le(eps);
+                buf.put_u32_le(mu);
+            }
+            Request::Run {
+                eps,
+                mu,
+                deadline_ms,
+                max_blocks,
+            } => {
+                buf.put_u8(OP_RUN);
+                buf.put_f64_le(eps);
+                buf.put_u32_le(mu);
+                buf.put_u32_le(deadline_ms);
+                buf.put_u64_le(max_blocks);
+            }
+            Request::Ping => buf.put_u8(OP_PING),
+            Request::Shutdown => buf.put_u8(OP_SHUTDOWN),
+        }
+        buf.to_vec()
+    }
+
+    /// Parses a frame payload. Purely structural: parameter semantics
+    /// (ε range, μ ≥ 1, vertex bounds) are the server's `BadRequest`.
+    pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        let mut buf = Bytes::from(payload);
+        need(&buf, 1)?;
+        let op = buf.get_u8();
+        let req = match op {
+            OP_QUERY => {
+                need(&buf, 13)?;
+                Request::Query {
+                    eps: buf.get_f64_le(),
+                    mu: buf.get_u32_le(),
+                    want_labels: buf.get_u8() != 0,
+                }
+            }
+            OP_MEMBERSHIP => {
+                need(&buf, 16)?;
+                Request::Membership {
+                    vertex: buf.get_u32_le(),
+                    eps: buf.get_f64_le(),
+                    mu: buf.get_u32_le(),
+                }
+            }
+            OP_RUN => {
+                need(&buf, 24)?;
+                Request::Run {
+                    eps: buf.get_f64_le(),
+                    mu: buf.get_u32_le(),
+                    deadline_ms: buf.get_u32_le(),
+                    max_blocks: buf.get_u64_le(),
+                }
+            }
+            OP_PING => Request::Ping,
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(DecodeError::UnknownOpcode(other)),
+        };
+        finish(&buf)?;
+        Ok(req)
+    }
+}
+
+/// Typed rejection codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was structurally valid but semantically impossible
+    /// (ε out of (0, 1], μ = 0, vertex out of range, undecodable payload).
+    BadRequest,
+    /// The admission queue is full; retry later. The connection stays open.
+    Overloaded,
+    /// The request was admitted but failed mid-execution (e.g. a worker
+    /// panic surfaced as a typed pool error).
+    Internal,
+    /// The daemon is draining; no further requests will be admitted.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 0,
+            ErrorCode::Overloaded => 1,
+            ErrorCode::Internal => 2,
+            ErrorCode::ShuttingDown => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ErrorCode, DecodeError> {
+        Ok(match v {
+            0 => ErrorCode::BadRequest,
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::Internal,
+            3 => ErrorCode::ShuttingDown,
+            _ => return Err(DecodeError::BadValue("error code")),
+        })
+    }
+
+    /// Stable lowercase label for human output and load reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Internal => "internal",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// Role-count summary of one clustering (the cheap response body).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuerySummary {
+    pub clusters: u32,
+    pub cores: u32,
+    pub borders: u32,
+    pub hubs: u32,
+    pub outliers: u32,
+}
+
+/// Per-vertex label/role arrays, in original vertex ids. `labels[v]` is
+/// `u32::MAX` for noise; `roles[v]` is a [`role_name`] code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelBlock {
+    pub labels: Vec<u32>,
+    pub roles: Vec<u8>,
+}
+
+/// Daemon-side request counters returned by [`Request::Ping`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    pub requests: u64,
+    pub queries: u64,
+    pub lookups: u64,
+    pub runs: u64,
+    pub overloaded: u64,
+    pub protocol_errors: u64,
+}
+
+/// A daemon response. Status byte 0 = Ok (followed by the request's opcode
+/// and its body), 1 = typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Query {
+        summary: QuerySummary,
+        labels: Option<LabelBlock>,
+    },
+    Membership {
+        label: u32,
+        role: u8,
+    },
+    Run {
+        summary: QuerySummary,
+        /// A [`completion_name`] code: how the anytime run ended.
+        completion: u8,
+        blocks: u64,
+    },
+    Ping(ServeStats),
+    Shutdown,
+    Error {
+        code: ErrorCode,
+        message: String,
+    },
+}
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERR: u8 = 1;
+
+fn put_summary(buf: &mut BytesMut, s: &QuerySummary) {
+    buf.put_u32_le(s.clusters);
+    buf.put_u32_le(s.cores);
+    buf.put_u32_le(s.borders);
+    buf.put_u32_le(s.hubs);
+    buf.put_u32_le(s.outliers);
+}
+
+fn get_summary(buf: &mut Bytes) -> Result<QuerySummary, DecodeError> {
+    need(buf, 20)?;
+    Ok(QuerySummary {
+        clusters: buf.get_u32_le(),
+        cores: buf.get_u32_le(),
+        borders: buf.get_u32_le(),
+        hubs: buf.get_u32_le(),
+        outliers: buf.get_u32_le(),
+    })
+}
+
+impl Response {
+    /// Serializes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            Response::Query { summary, labels } => {
+                buf.put_u8(STATUS_OK);
+                buf.put_u8(OP_QUERY);
+                put_summary(&mut buf, summary);
+                match labels {
+                    None => buf.put_u8(0),
+                    Some(block) => {
+                        buf.put_u8(1);
+                        buf.put_u32_le(block.labels.len() as u32);
+                        for &l in &block.labels {
+                            buf.put_u32_le(l);
+                        }
+                        buf.put_slice(&block.roles);
+                    }
+                }
+            }
+            Response::Membership { label, role } => {
+                buf.put_u8(STATUS_OK);
+                buf.put_u8(OP_MEMBERSHIP);
+                buf.put_u32_le(*label);
+                buf.put_u8(*role);
+            }
+            Response::Run {
+                summary,
+                completion,
+                blocks,
+            } => {
+                buf.put_u8(STATUS_OK);
+                buf.put_u8(OP_RUN);
+                put_summary(&mut buf, summary);
+                buf.put_u8(*completion);
+                buf.put_u64_le(*blocks);
+            }
+            Response::Ping(stats) => {
+                buf.put_u8(STATUS_OK);
+                buf.put_u8(OP_PING);
+                buf.put_u64_le(stats.requests);
+                buf.put_u64_le(stats.queries);
+                buf.put_u64_le(stats.lookups);
+                buf.put_u64_le(stats.runs);
+                buf.put_u64_le(stats.overloaded);
+                buf.put_u64_le(stats.protocol_errors);
+            }
+            Response::Shutdown => {
+                buf.put_u8(STATUS_OK);
+                buf.put_u8(OP_SHUTDOWN);
+            }
+            Response::Error { code, message } => {
+                buf.put_u8(STATUS_ERR);
+                buf.put_u8(code.to_u8());
+                buf.put_u32_le(message.len() as u32);
+                buf.put_slice(message.as_bytes());
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Parses a frame payload into a response.
+    pub fn decode(payload: &[u8]) -> Result<Response, DecodeError> {
+        let mut buf = Bytes::from(payload);
+        need(&buf, 1)?;
+        let resp = match buf.get_u8() {
+            STATUS_OK => {
+                need(&buf, 1)?;
+                match buf.get_u8() {
+                    OP_QUERY => {
+                        let summary = get_summary(&mut buf)?;
+                        need(&buf, 1)?;
+                        let labels = match buf.get_u8() {
+                            0 => None,
+                            1 => {
+                                need(&buf, 4)?;
+                                let n = buf.get_u32_le() as usize;
+                                // 5 bytes per vertex must still fit in the
+                                // remaining payload, or the count is a lie.
+                                if buf
+                                    .remaining()
+                                    .checked_sub(n.checked_mul(5).ok_or(DecodeError::BadValue(
+                                        "label block length overflows",
+                                    ))?)
+                                    .is_none()
+                                {
+                                    return Err(DecodeError::Truncated);
+                                }
+                                let mut labels = Vec::with_capacity(n);
+                                for _ in 0..n {
+                                    labels.push(buf.get_u32_le());
+                                }
+                                let mut roles = vec![0u8; n];
+                                buf.copy_to_slice(&mut roles);
+                                if roles.iter().any(|&r| role_name(r).is_none()) {
+                                    return Err(DecodeError::BadValue("role code"));
+                                }
+                                Some(LabelBlock { labels, roles })
+                            }
+                            _ => return Err(DecodeError::BadValue("label-block flag")),
+                        };
+                        Response::Query { summary, labels }
+                    }
+                    OP_MEMBERSHIP => {
+                        need(&buf, 5)?;
+                        let label = buf.get_u32_le();
+                        let role = buf.get_u8();
+                        if role_name(role).is_none() {
+                            return Err(DecodeError::BadValue("role code"));
+                        }
+                        Response::Membership { label, role }
+                    }
+                    OP_RUN => {
+                        let summary = get_summary(&mut buf)?;
+                        need(&buf, 9)?;
+                        let completion = buf.get_u8();
+                        if completion_name(completion).is_none() {
+                            return Err(DecodeError::BadValue("completion code"));
+                        }
+                        Response::Run {
+                            summary,
+                            completion,
+                            blocks: buf.get_u64_le(),
+                        }
+                    }
+                    OP_PING => {
+                        need(&buf, 48)?;
+                        Response::Ping(ServeStats {
+                            requests: buf.get_u64_le(),
+                            queries: buf.get_u64_le(),
+                            lookups: buf.get_u64_le(),
+                            runs: buf.get_u64_le(),
+                            overloaded: buf.get_u64_le(),
+                            protocol_errors: buf.get_u64_le(),
+                        })
+                    }
+                    OP_SHUTDOWN => Response::Shutdown,
+                    other => return Err(DecodeError::UnknownOpcode(other)),
+                }
+            }
+            STATUS_ERR => {
+                need(&buf, 5)?;
+                let code = ErrorCode::from_u8(buf.get_u8())?;
+                let len = buf.get_u32_le() as usize;
+                need(&buf, len)?;
+                let mut raw = vec![0u8; len];
+                buf.copy_to_slice(&mut raw);
+                let message = String::from_utf8(raw)
+                    .map_err(|_| DecodeError::BadValue("error message is not UTF-8"))?;
+                Response::Error { code, message }
+            }
+            other => return Err(DecodeError::UnknownOpcode(other)),
+        };
+        finish(&buf)?;
+        Ok(resp)
+    }
+}
+
+/// Role wire codes, matching `anyscan_scan_common::Role`'s `Debug` names so
+/// a client can reproduce the CLI's `--labels-out` format byte for byte.
+pub fn role_name(code: u8) -> Option<&'static str> {
+    Some(match code {
+        0 => "Core",
+        1 => "Border",
+        2 => "Hub",
+        3 => "Outlier",
+        4 => "Unclassified",
+        _ => return None,
+    })
+}
+
+/// Completion wire codes, matching `anyscan::Completion::label`.
+pub fn completion_name(code: u8) -> Option<&'static str> {
+    Some(match code {
+        0 => "complete",
+        1 => "canceled",
+        2 => "deadline_expired",
+        3 => "budget_exhausted",
+        4 => "suspended",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let decoded = Request::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Query {
+            eps: 0.5,
+            mu: 4,
+            want_labels: true,
+        });
+        roundtrip_request(Request::Membership {
+            vertex: 17,
+            eps: 0.25,
+            mu: 2,
+        });
+        roundtrip_request(Request::Run {
+            eps: 0.75,
+            mu: 8,
+            deadline_ms: 250,
+            max_blocks: 10,
+        });
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let summary = QuerySummary {
+            clusters: 3,
+            cores: 10,
+            borders: 5,
+            hubs: 1,
+            outliers: 2,
+        };
+        for resp in [
+            Response::Query {
+                summary,
+                labels: None,
+            },
+            Response::Query {
+                summary,
+                labels: Some(LabelBlock {
+                    labels: vec![0, 0, u32::MAX, 1],
+                    roles: vec![0, 1, 3, 0],
+                }),
+            },
+            Response::Membership { label: 7, role: 1 },
+            Response::Run {
+                summary,
+                completion: 2,
+                blocks: 99,
+            },
+            Response::Ping(ServeStats {
+                requests: 6,
+                queries: 3,
+                lookups: 1,
+                runs: 1,
+                overloaded: 1,
+                protocol_errors: 0,
+            }),
+            Response::Shutdown,
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "admission queue full".into(),
+            },
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert_eq!(Request::decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(
+            Request::decode(&[0x7f]),
+            Err(DecodeError::UnknownOpcode(0x7f))
+        );
+        // Query payload cut short.
+        let mut q = Request::Query {
+            eps: 0.5,
+            mu: 4,
+            want_labels: false,
+        }
+        .encode();
+        q.truncate(q.len() - 1);
+        assert_eq!(Request::decode(&q), Err(DecodeError::Truncated));
+        // Trailing garbage after a complete layout.
+        let mut p = Request::Ping.encode();
+        p.push(0xaa);
+        assert_eq!(Request::decode(&p), Err(DecodeError::TrailingBytes(1)));
+        // A label block whose count exceeds the payload.
+        let resp = Response::Query {
+            summary: QuerySummary::default(),
+            labels: Some(LabelBlock {
+                labels: vec![1, 2],
+                roles: vec![0, 0],
+            }),
+        };
+        let mut raw = resp.encode();
+        // Bump the count field (status, op, 20-byte summary, flag => offset 23).
+        raw[23] = 200;
+        assert_eq!(Response::decode(&raw), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_enforce_the_ceiling() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, 1024).unwrap().is_none());
+
+        // Oversized length prefix: rejected before allocation.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = std::io::Cursor::new(wire);
+        match read_frame(&mut r, 1024) {
+            Err(FrameError::Oversized { len, max }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+
+        // EOF mid-header and mid-payload are both Truncated.
+        let mut r = std::io::Cursor::new(vec![1u8, 0]);
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::Truncated { .. })
+        ));
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abcdef").unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut r = std::io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::Truncated { needed: 6, got: 4 })
+        ));
+    }
+}

@@ -1,0 +1,578 @@
+//! The daemon: accept loop, per-connection dispatch, admission and caching.
+//!
+//! A [`Server`] owns one graph + similarity index pair, loaded once at
+//! startup. Connections each get an OS thread (request parsing is cheap and
+//! the expensive work — index sweeps, anytime runs — is bounded by the
+//! admission queue, not by connection count). Every admitted request runs
+//! under a [`Permit`](crate::admission::Permit); anytime runs are further
+//! serialized by the process-wide worker pool, which allows one parallel
+//! region at a time.
+//!
+//! The accept loop is nonblocking and polls a [`RunControl`] stop token —
+//! the same cooperative cancellation primitive the anytime driver uses — so
+//! SIGINT and `Shutdown` requests both drain the daemon at a safe boundary.
+//!
+//! Identical-to-serial guarantee: queries are answered exactly like the
+//! `index query` CLI path — the index's recorded reorder is applied by the
+//! caller before [`Server::new`], and per-vertex output is mapped back to
+//! original ids (with the same canonicalization rule: only when the
+//! permutation is non-identity). A daemon response and a serial CLI run on
+//! the same ASIX file are therefore bit-identical.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use anyscan::{AnyScan, AnyScanConfig, Completion, RunControl};
+use anyscan_graph::{CsrGraph, VertexPermutation};
+use anyscan_index::SimilarityIndex;
+use anyscan_scan_common::{Clustering, Role, ScanParams};
+use anyscan_telemetry::{Counter, Recorder, Telemetry};
+
+use crate::admission::AdmissionQueue;
+use crate::protocol::{
+    read_frame, write_frame, DecodeError, ErrorCode, FrameError, LabelBlock, QuerySummary, Request,
+    Response, ServeStats, REQUEST_FRAME_LIMIT,
+};
+
+/// Tuning knobs of a [`Server`]; see field docs for defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads for anytime `Run` requests (default 1).
+    pub threads: usize,
+    /// Concurrent requests executing (admission slots, default 4).
+    pub max_inflight: usize,
+    /// Requests allowed to wait for a slot before `Overloaded` (default 16).
+    pub queue_depth: usize,
+    /// Memoized `(eps, mu)` clusterings kept for queries/lookups
+    /// (default 16, 0 disables the cache).
+    pub cache_entries: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 1,
+            max_inflight: 4,
+            queue_depth: 16,
+            cache_entries: 16,
+        }
+    }
+}
+
+/// Always-on request tallies (independent of the telemetry handle) so
+/// `Ping` can answer health probes even on an untraced daemon.
+#[derive(Debug, Default)]
+struct Stats {
+    requests: AtomicU64,
+    queries: AtomicU64,
+    lookups: AtomicU64,
+    runs: AtomicU64,
+    overloaded: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
+            runs: self.runs.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One loaded graph + index pair answering requests (see module docs).
+pub struct Server {
+    graph: CsrGraph,
+    perm: VertexPermutation,
+    index: SimilarityIndex,
+    config: ServerConfig,
+    admission: AdmissionQueue,
+    telemetry: Telemetry,
+    stats: Stats,
+    stopping: AtomicBool,
+    active_conns: AtomicUsize,
+    /// Tiny LRU of query results keyed `(eps.to_bits(), mu)`, stored in
+    /// original vertex ids; hits move to the back, evictions pop the front.
+    cache: Mutex<Vec<(CacheKey, Arc<Clustering>)>>,
+}
+
+/// Query-cache key: `(eps.to_bits(), mu)`.
+type CacheKey = (u64, u32);
+
+impl Server {
+    /// Builds a server over a graph already relabeled by the index's
+    /// recorded reorder (the caller applies it, exactly as `index query`
+    /// does) and the permutation that maps labels back to original ids.
+    pub fn new(
+        graph: CsrGraph,
+        perm: VertexPermutation,
+        index: SimilarityIndex,
+        config: ServerConfig,
+        telemetry: Telemetry,
+    ) -> Result<Server, String> {
+        index.check_graph(&graph)?;
+        Ok(Server {
+            admission: AdmissionQueue::new(config.max_inflight, config.queue_depth),
+            graph,
+            perm,
+            index,
+            config,
+            telemetry,
+            stats: Stats::default(),
+            stopping: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            cache: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The admission queue (exposed so tests can saturate it directly).
+    pub fn admission(&self) -> &AdmissionQueue {
+        &self.admission
+    }
+
+    /// The telemetry handle requests record into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Current request tallies (what `Ping` answers with).
+    pub fn stats(&self) -> ServeStats {
+        self.stats.snapshot()
+    }
+
+    /// Number of vertices served (original = reordered count).
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of undirected edges served.
+    pub fn num_edges(&self) -> u64 {
+        self.graph.num_edges()
+    }
+
+    /// True once a `Shutdown` request (or the stop token) began draining.
+    pub fn is_stopping(&self) -> bool {
+        self.stopping.load(Ordering::Acquire)
+    }
+
+    /// Accepts and serves connections until `ctl` cancels or a `Shutdown`
+    /// request arrives, then drains active connections (bounded wait).
+    pub fn serve(self: &Arc<Self>, listener: Listener, ctl: &RunControl) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        loop {
+            if ctl.is_canceled() || self.is_stopping() {
+                self.stopping.store(true, Ordering::Release);
+                break;
+            }
+            match listener.accept() {
+                Ok(conn) => {
+                    let server = Arc::clone(self);
+                    server.active_conns.fetch_add(1, Ordering::AcqRel);
+                    std::thread::spawn(move || {
+                        server.handle_conn(conn);
+                        server.active_conns.fetch_sub(1, Ordering::AcqRel);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    eprintln!("serve: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        // Drain: in-flight requests finish (bounded by the run deadline cap
+        // a client can request); hung clients are abandoned after 5s.
+        let drain_deadline = Instant::now() + Duration::from_secs(5);
+        while self.active_conns.load(Ordering::Acquire) > 0 && Instant::now() < drain_deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Ok(())
+    }
+
+    fn handle_conn(self: &Arc<Self>, mut conn: Conn) {
+        loop {
+            let payload = match read_frame(&mut conn, REQUEST_FRAME_LIMIT) {
+                Ok(Some(payload)) => payload,
+                Ok(None) => return,
+                Err(e) => {
+                    self.note_protocol_error(&e.to_string());
+                    // Oversized leaves the stream positioned before the
+                    // payload; the connection cannot be resynchronized, so
+                    // answer (best-effort) and close either way.
+                    if matches!(e, FrameError::Oversized { .. }) {
+                        let resp = Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: e.to_string(),
+                        };
+                        let _ = write_frame(&mut conn, &resp.encode());
+                    }
+                    return;
+                }
+            };
+            let request = match Request::decode(&payload) {
+                Ok(request) => request,
+                Err(e) => {
+                    // The frame layer stayed in sync; reject just this
+                    // request and keep the connection.
+                    self.note_protocol_error(&e.to_string());
+                    let resp = Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: decode_error_message(&e),
+                    };
+                    if write_frame(&mut conn, &resp.encode()).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            let close = matches!(request, Request::Shutdown);
+            let response = self.dispatch(request);
+            if write_frame(&mut conn, &response.encode()).is_err() || close {
+                return;
+            }
+        }
+    }
+
+    fn note_protocol_error(&self, detail: &str) {
+        self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.add(Counter::ServeProtocolErrors, 1);
+        eprintln!("serve: protocol error: {detail}");
+    }
+
+    /// Executes one decoded request. `Ping`/`Shutdown` bypass admission
+    /// (health checks must answer *especially* under overload); everything
+    /// else holds an admission permit for the duration.
+    pub fn dispatch(&self, request: Request) -> Response {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.add(Counter::ServeRequests, 1);
+        match request {
+            Request::Ping => Response::Ping(self.stats.snapshot()),
+            Request::Shutdown => {
+                self.stopping.store(true, Ordering::Release);
+                Response::Shutdown
+            }
+            _ if self.is_stopping() => Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "daemon is draining".into(),
+            },
+            work => {
+                let permit = match self.admission.acquire() {
+                    Ok(permit) => permit,
+                    Err(overloaded) => {
+                        self.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.add(Counter::ServeOverloaded, 1);
+                        return Response::Error {
+                            code: ErrorCode::Overloaded,
+                            message: overloaded.to_string(),
+                        };
+                    }
+                };
+                let response = self.execute(work);
+                drop(permit);
+                response
+            }
+        }
+    }
+
+    fn execute(&self, request: Request) -> Response {
+        match request {
+            Request::Query {
+                eps,
+                mu,
+                want_labels,
+            } => {
+                let params = match self.check_params(eps, mu) {
+                    Ok(params) => params,
+                    Err(resp) => return resp,
+                };
+                let _span = self.telemetry.span("serve_query");
+                self.stats.queries.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.add(Counter::ServeQueries, 1);
+                let c = self.cached_query(params);
+                Response::Query {
+                    summary: summarize(&c),
+                    labels: want_labels.then(|| LabelBlock {
+                        labels: c.labels.clone(),
+                        roles: c.roles.iter().copied().map(role_code).collect(),
+                    }),
+                }
+            }
+            Request::Membership { vertex, eps, mu } => {
+                let params = match self.check_params(eps, mu) {
+                    Ok(params) => params,
+                    Err(resp) => return resp,
+                };
+                if vertex as usize >= self.graph.num_vertices() {
+                    return bad_request(format!(
+                        "vertex {vertex} out of range (|V| = {})",
+                        self.graph.num_vertices()
+                    ));
+                }
+                let _span = self.telemetry.span("serve_lookup");
+                self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.add(Counter::ServeLookups, 1);
+                let c = self.cached_query(params);
+                Response::Membership {
+                    label: c.labels[vertex as usize],
+                    role: role_code(c.roles[vertex as usize]),
+                }
+            }
+            Request::Run {
+                eps,
+                mu,
+                deadline_ms,
+                max_blocks,
+            } => {
+                let params = match self.check_params(eps, mu) {
+                    Ok(params) => params,
+                    Err(resp) => return resp,
+                };
+                let _span = self.telemetry.span("serve_run");
+                self.stats.runs.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.add(Counter::ServeRuns, 1);
+                let config = AnyScanConfig::new(params)
+                    .with_auto_block_size(self.graph.num_vertices())
+                    .with_threads(self.config.threads);
+                let mut ctl = RunControl::new();
+                if deadline_ms > 0 {
+                    ctl = ctl.with_deadline(Duration::from_millis(u64::from(deadline_ms)));
+                }
+                if max_blocks > 0 {
+                    ctl = ctl.with_max_blocks(max_blocks);
+                }
+                // Per-block snapshot indices restart at 0 every run, so each
+                // run records into its own child handle: counters fold back
+                // into the daemon trace below, snapshots stay per-run (the
+                // daemon trace keeps a schema-valid snapshot sequence).
+                let run_telemetry = if self.telemetry.is_enabled() {
+                    Telemetry::enabled()
+                } else {
+                    Telemetry::disabled()
+                };
+                let mut algo =
+                    AnyScan::new(&self.graph, config).with_telemetry(run_telemetry.clone());
+                let outcome = algo.run_controlled(&ctl);
+                if let Some(report) = run_telemetry.report() {
+                    for &c in Counter::ALL.iter() {
+                        let total = report.counters[c as usize];
+                        if total > 0 {
+                            self.telemetry.add(c, total);
+                        }
+                    }
+                }
+                match outcome {
+                    Ok(partial) => {
+                        let c = self.to_original(partial.clustering);
+                        Response::Run {
+                            summary: summarize(&c),
+                            completion: completion_code(partial.completion),
+                            blocks: partial.blocks,
+                        }
+                    }
+                    Err(e) => Response::Error {
+                        code: ErrorCode::Internal,
+                        message: e.to_string(),
+                    },
+                }
+            }
+            // Ping/Shutdown are handled before admission in `dispatch`.
+            Request::Ping => Response::Ping(self.stats.snapshot()),
+            Request::Shutdown => Response::Shutdown,
+        }
+    }
+
+    fn check_params(&self, eps: f64, mu: u32) -> Result<ScanParams, Response> {
+        if !(eps.is_finite() && eps > 0.0 && eps <= 1.0) {
+            return Err(bad_request(format!("eps must be in (0,1], got {eps}")));
+        }
+        if mu == 0 {
+            return Err(bad_request("mu must be >= 1".into()));
+        }
+        Ok(ScanParams::new(eps, mu as usize))
+    }
+
+    /// An index query in original vertex ids, memoized. Concurrent misses
+    /// on the same key may compute twice; the results are identical (the
+    /// sweep is deterministic), so last-insert-wins is harmless.
+    fn cached_query(&self, params: ScanParams) -> Arc<Clustering> {
+        let key = (params.epsilon.to_bits(), params.mu as u32);
+        if self.config.cache_entries > 0 {
+            let mut cache = self.cache.lock().unwrap();
+            if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+                let hit = cache.remove(pos);
+                let c = Arc::clone(&hit.1);
+                cache.push(hit);
+                return c;
+            }
+        }
+        let c = Arc::new(self.to_original(self.index.query_traced(
+            &self.graph,
+            params,
+            &self.telemetry,
+        )));
+        if self.config.cache_entries > 0 {
+            let mut cache = self.cache.lock().unwrap();
+            if !cache.iter().any(|(k, _)| *k == key) {
+                cache.push((key, Arc::clone(&c)));
+                if cache.len() > self.config.cache_entries {
+                    cache.remove(0);
+                }
+            }
+        }
+        c
+    }
+
+    /// Same mapping as the CLI's `to_original_ids`: only a non-identity
+    /// permutation relabels (and canonicalizes), keeping daemon output
+    /// bit-identical to serial `index query --labels-out`.
+    fn to_original(&self, mut c: Clustering) -> Clustering {
+        if !self.perm.is_identity() {
+            c.labels = self.perm.to_original(&c.labels);
+            c.roles = self.perm.to_original(&c.roles);
+            c.canonicalize();
+        }
+        c
+    }
+}
+
+fn bad_request(message: String) -> Response {
+    Response::Error {
+        code: ErrorCode::BadRequest,
+        message,
+    }
+}
+
+fn decode_error_message(e: &DecodeError) -> String {
+    format!("undecodable request: {e}")
+}
+
+fn summarize(c: &Clustering) -> QuerySummary {
+    let rc = c.role_counts();
+    QuerySummary {
+        clusters: c.num_clusters() as u32,
+        cores: rc.cores as u32,
+        borders: rc.borders as u32,
+        hubs: rc.hubs as u32,
+        outliers: rc.outliers as u32,
+    }
+}
+
+/// [`Role`] → wire code (see `protocol::role_name`).
+pub fn role_code(role: Role) -> u8 {
+    match role {
+        Role::Core => 0,
+        Role::Border => 1,
+        Role::Hub => 2,
+        Role::Outlier => 3,
+        Role::Unclassified => 4,
+    }
+}
+
+/// [`Completion`] → wire code (see `protocol::completion_name`).
+pub fn completion_code(completion: Completion) -> u8 {
+    match completion {
+        Completion::Complete => 0,
+        Completion::Canceled => 1,
+        Completion::DeadlineExpired => 2,
+        Completion::BudgetExhausted => 3,
+        Completion::Suspended => 4,
+    }
+}
+
+/// A bound listening socket: TCP everywhere, unix-domain where available.
+pub enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds a TCP listener; `addr` may use port 0 for an OS-chosen port
+    /// (read it back from the returned address).
+    pub fn bind_tcp(addr: &str) -> std::io::Result<(Listener, SocketAddr)> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Ok((Listener::Tcp(listener), local))
+    }
+
+    /// Binds a unix-domain socket, replacing a stale socket file.
+    #[cfg(unix)]
+    pub fn bind_unix(path: &str) -> std::io::Result<Listener> {
+        if std::fs::metadata(path).is_ok() {
+            std::fs::remove_file(path)?;
+        }
+        Ok(Listener::Unix(UnixListener::bind(path)?))
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true)?;
+                Ok(Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                Ok(Conn::Unix(stream))
+            }
+        }
+    }
+}
+
+/// One accepted connection (blocking mode).
+pub enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Corrupt-input robustness for the serve wire protocol, in the same style
+//! as the ASIX corrupt-input suite: any mutation, truncation or garbage
+//! payload must yield a typed error, never a panic — and valid encodings
+//! must round-trip exactly.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+
+use anyscan_serve::protocol::{
+    read_frame, write_frame, DecodeError, FrameError, Request, Response,
+};
+
+/// All five request shapes, driven off one field tuple (the vendored
+/// proptest facade has no `prop_oneof`, so a selector field picks the arm).
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0usize..5,
+        0.0f64..=1.0,
+        0u32..10_000,
+        0u32..100_000,
+        0u64..10_000,
+        0u32..2,
+    )
+        .prop_map(|(kind, eps, mu, vertex, max_blocks, flag)| match kind {
+            0 => Request::Query {
+                eps,
+                mu,
+                want_labels: flag == 1,
+            },
+            1 => Request::Membership { vertex, eps, mu },
+            2 => Request::Run {
+                eps,
+                mu,
+                deadline_ms: vertex,
+                max_blocks,
+            },
+            3 => Request::Ping,
+            _ => Request::Shutdown,
+        })
+}
+
+proptest! {
+    #[test]
+    fn requests_roundtrip(req in arb_request()) {
+        let decoded = Request::decode(&req.encode()).unwrap();
+        prop_assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn truncated_requests_are_typed_errors(req in arb_request(), cut_frac in 0.0f64..1.0) {
+        let full = req.encode();
+        let cut = ((full.len() - 1) as f64 * cut_frac) as usize;
+        // Every opcode has a fixed layout, so any strict prefix is a typed
+        // Truncated error (never a panic, never a bogus success).
+        prop_assert_eq!(Request::decode(&full[..cut]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn mutated_requests_never_panic(req in arb_request(), byte_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut raw = req.encode();
+        let byte = ((raw.len() - 1) as f64 * byte_frac) as usize;
+        raw[byte] ^= 1 << bit;
+        // Any outcome is fine except a panic; a successful decode must
+        // re-encode to the mutated bytes (no silent canonicalization).
+        if let Ok(decoded) = Request::decode(&raw) {
+            prop_assert_eq!(decoded.encode(), raw);
+        }
+    }
+
+    #[test]
+    fn garbage_requests_never_panic(raw in proptest::collection::vec(0u8..=255, 0..64)) {
+        let _ = Request::decode(&raw);
+    }
+
+    #[test]
+    fn garbage_responses_never_panic(raw in proptest::collection::vec(0u8..=255, 0..256)) {
+        let _ = Response::decode(&raw);
+    }
+
+    #[test]
+    fn frame_layer_rejects_bad_lengths(len in 0u32..=u32::MAX, max in 0usize..1024) {
+        // A lone header claiming `len` bytes with no payload behind it:
+        // oversized beyond `max`, truncated otherwise (unless len == 0).
+        let wire = len.to_le_bytes().to_vec();
+        let mut cursor = std::io::Cursor::new(wire);
+        match read_frame(&mut cursor, max) {
+            Ok(Some(payload)) => prop_assert!(len == 0 && payload.is_empty()),
+            Ok(None) => prop_assert!(false, "header read as clean EOF"),
+            Err(FrameError::Oversized { len: l, max: m }) => {
+                prop_assert_eq!(l, len as usize);
+                prop_assert_eq!(m, max);
+                prop_assert!(l > m);
+            }
+            Err(FrameError::Truncated { needed, got }) => {
+                prop_assert_eq!(needed, len as usize);
+                prop_assert_eq!(got, 0);
+                prop_assert!(len as usize <= max);
+            }
+            Err(FrameError::Io(e)) => prop_assert!(false, "unexpected io error: {}", e),
+        }
+    }
+
+    #[test]
+    fn framed_payloads_roundtrip(payload in proptest::collection::vec(0u8..=255, 0..512)) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let back = read_frame(&mut cursor, 512).unwrap().unwrap();
+        prop_assert_eq!(back, payload);
+        prop_assert!(read_frame(&mut cursor, 512).unwrap().is_none());
+    }
+}

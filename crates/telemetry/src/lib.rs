@@ -123,11 +123,32 @@ pub enum Counter {
     /// Assist-mode confirmations: exact decisions routed by a confident
     /// sketch estimate whose exact verdict agreed with the sketch's side.
     SketchConfirms,
+    /// Requests admitted and answered by the serving daemon (all opcodes).
+    ServeRequests,
+    /// Index re-cluster requests answered by the daemon.
+    ServeQueries,
+    /// Per-vertex membership/role lookups answered by the daemon.
+    ServeLookups,
+    /// Anytime full runs executed by the daemon.
+    ServeRuns,
+    /// Requests rejected with a typed `Overloaded` response (admission
+    /// queue full).
+    ServeOverloaded,
+    /// Malformed frames / undecodable requests the daemon rejected.
+    ServeProtocolErrors,
+    /// Requests the load generator sent.
+    LoadSent,
+    /// Ok responses the load generator received.
+    LoadOk,
+    /// Typed `Overloaded` rejections the load generator received.
+    LoadOverloaded,
+    /// Transport or protocol errors the load generator observed.
+    LoadErrors,
 }
 
 impl Counter {
     /// All counters, in storage order.
-    pub const ALL: [Counter; 30] = [
+    pub const ALL: [Counter; 40] = [
         Counter::SigmaEvals,
         Counter::Lemma5Filtered,
         Counter::SharedEvals,
@@ -158,6 +179,16 @@ impl Counter {
         Counter::SigmaPathBatched,
         Counter::SigmaPathSketch,
         Counter::SketchConfirms,
+        Counter::ServeRequests,
+        Counter::ServeQueries,
+        Counter::ServeLookups,
+        Counter::ServeRuns,
+        Counter::ServeOverloaded,
+        Counter::ServeProtocolErrors,
+        Counter::LoadSent,
+        Counter::LoadOk,
+        Counter::LoadOverloaded,
+        Counter::LoadErrors,
     ];
 
     /// Number of counters (array sizing).
@@ -196,6 +227,16 @@ impl Counter {
             Counter::SigmaPathBatched => "sigma_path_batched",
             Counter::SigmaPathSketch => "sigma_path_sketch",
             Counter::SketchConfirms => "sketch_confirms",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeQueries => "serve_queries",
+            Counter::ServeLookups => "serve_lookups",
+            Counter::ServeRuns => "serve_runs",
+            Counter::ServeOverloaded => "serve_overloaded",
+            Counter::ServeProtocolErrors => "serve_protocol_errors",
+            Counter::LoadSent => "load_sent",
+            Counter::LoadOk => "load_ok",
+            Counter::LoadOverloaded => "load_overloaded",
+            Counter::LoadErrors => "load_errors",
         }
     }
 }
