@@ -13,7 +13,7 @@ pub struct Options {
 impl Options {
     /// Parses a `--key value | --switch` token stream.
     pub fn parse(argv: &[String]) -> Result<Options, String> {
-        const SWITCHES: &[&str] = &["unweighted", "no-opt", "quiet"];
+        const SWITCHES: &[&str] = &["unweighted", "no-opt", "quiet", "dynamic"];
         let mut out = Options::default();
         let mut i = 0;
         while i < argv.len() {
@@ -122,7 +122,13 @@ commands:
   serve        --input FILE | --dataset ID  --index FILE.asix
                [--listen HOST:PORT | --socket PATH] [--threads T]
                [--max-inflight N] [--queue-depth N] [--cache-entries N]
-               [--trace-json FILE]
+               [--dynamic [--update-log FILE.asul]] [--trace-json FILE]
+  mutate       --input FILE | --dataset ID  --trace-out FILE.asul
+               [--updates N] [--batch B] [--update-seed S] [--threads T]
+               [--out FILE[.bin|.txt]] [--trace-json FILE]
+  replay       --input FILE | --dataset ID  --trace FILE.asul
+               [--batch B] [--threads T] [--eps E --mu M]
+               [--labels-out FILE] [--trace-json FILE]
 
 dataset ids: GR01..GR05, LFR01..LFR05, LFR11..LFR15 (Table I/II analogues)
 
@@ -133,6 +139,15 @@ serve answers concurrent (eps, mu) queries, per-vertex membership lookups
 and deadline-bounded anytime runs over a length-framed socket protocol
 (DESIGN.md §12); drive it with anyscan-loadgen. Overflow beyond
 --max-inflight + --queue-depth is shed with a typed `overloaded` error
+
+serve --dynamic also accepts streamed edge mutations (insert / remove /
+reweight batches): the daemon re-evaluates only the σ values touched by a
+batch, repairs the index in place, and swaps the new snapshot in under
+concurrent readers — answers stay bit-identical to a from-scratch index on
+the mutated graph (DESIGN.md §13). --update-log makes mutations durable
+(ASUL format; replayed on restart). `mutate` generates and applies a random
+update trace; `replay` re-applies a trace against its base graph. Dynamic
+mode requires an index built with --reorder none and --sketch off|assist
 
 execution control: Ctrl-C, --deadline-ms, and --max-blocks all stop a run
 cleanly at the next block boundary with the best-so-far clustering;

@@ -13,6 +13,7 @@ use anyscan::{
     RunControl, Telemetry,
 };
 use anyscan_baselines::{pscan, scan, scan_b, scanpp};
+use anyscan_dynamic::{DynamicIndex, EdgeOp, EdgeUpdate, GraphStamp, UpdateLog};
 use anyscan_graph::gen::{
     erdos_renyi, lfr, planted_partition, rmat, Dataset, DatasetId, LfrParams,
     PlantedPartitionParams, RmatParams, WeightModel,
@@ -877,7 +878,11 @@ pub fn interactive(opts: &Options) -> CmdResult {
 
 /// `serve --index FILE.asix`: the clustering-as-a-service daemon. Loads the
 /// graph + index once, then answers concurrent protocol requests until
-/// SIGINT or a `Shutdown` request drains it (see DESIGN.md §12).
+/// SIGINT or a `Shutdown` request drains it (see DESIGN.md §12). With
+/// `--dynamic` the daemon also accepts `ApplyUpdates` write batches,
+/// repairing the resident index in place and swapping epochs under
+/// concurrent readers (DESIGN.md §13); `--update-log FILE.asul` makes the
+/// mutations durable (an existing log is replayed on startup).
 pub fn serve(opts: &Options) -> CmdResult {
     let idx_path = opts.get_str("index").ok_or("missing --index FILE")?;
     let idx = load_index(idx_path)?;
@@ -896,15 +901,58 @@ pub fn serve(opts: &Options) -> CmdResult {
     } else {
         Telemetry::disabled()
     };
-    let server = std::sync::Arc::new(
-        Server::new(g, perm, idx, config, telemetry.clone())
-            .map_err(|e| format!("--index {idx_path}: {e}"))?,
-    );
+    let server = if opts.switch("dynamic") {
+        let mut engine = DynamicIndex::from_parts(&g, idx, config.threads)
+            .map_err(|e| format!("--dynamic: {e}"))?;
+        let log = match opts.get_str("update-log") {
+            Some(raw) => {
+                let path = std::path::PathBuf::from(raw);
+                let log = if path.exists() {
+                    let log =
+                        UpdateLog::load(&path).map_err(|e| format!("--update-log {raw}: {e}"))?;
+                    if log.base() != GraphStamp::of(&g) {
+                        return Err(format!(
+                            "--update-log {raw}: log was recorded against a different base graph"
+                        ));
+                    }
+                    for chunk in log.entries().chunks(256) {
+                        engine
+                            .apply_batch(chunk, &telemetry)
+                            .map_err(|e| format!("--update-log {raw}: replay: {e}"))?;
+                    }
+                    println!(
+                        "replayed {} logged updates (watermark {})",
+                        log.entries().len(),
+                        log.applied_seq()
+                    );
+                    log
+                } else {
+                    UpdateLog::new(&g)
+                };
+                Some((log, path))
+            }
+            None => None,
+        };
+        std::sync::Arc::new(
+            Server::new_dynamic(engine, log, config, telemetry.clone())
+                .map_err(|e| format!("--dynamic: {e}"))?,
+        )
+    } else {
+        std::sync::Arc::new(
+            Server::new(g, perm, idx, config, telemetry.clone())
+                .map_err(|e| format!("--index {idx_path}: {e}"))?,
+        )
+    };
     println!(
-        "serving {} vertices / {} edges from {idx_path} \
+        "serving {} vertices / {} edges from {idx_path}{} \
          ({} in flight, {} queued, cache {})",
         server.num_vertices(),
         server.num_edges(),
+        if server.is_dynamic() {
+            " [dynamic]"
+        } else {
+            ""
+        },
         config.max_inflight,
         config.queue_depth,
         config.cache_entries
@@ -938,11 +986,12 @@ pub fn serve(opts: &Options) -> CmdResult {
     let stats = server.stats();
     println!(
         "drained: {} requests ({} queries, {} lookups, {} runs, \
-         {} overloaded, {} protocol errors)",
+         {} update batches, {} overloaded, {} protocol errors)",
         stats.requests,
         stats.queries,
         stats.lookups,
         stats.runs,
+        stats.updates,
         stats.overloaded,
         stats.protocol_errors
     );
@@ -954,6 +1003,156 @@ pub fn serve(opts: &Options) -> CmdResult {
             ("requests", stats.requests.into()),
             ("overloaded", stats.overloaded.into()),
             ("protocol_errors", stats.protocol_errors.into()),
+        ];
+        write_trace_with(path, &telemetry, &meta)?;
+    }
+    Ok(())
+}
+
+/// `mutate`: generates a random edge-update trace against the input graph,
+/// applies it through the incremental engine, and writes the ASUL log (plus,
+/// optionally, the mutated graph). The trace is the input for `replay`, the
+/// loadgen `update:N` mix, and the CI dynamic-smoke job.
+pub fn mutate(opts: &Options) -> CmdResult {
+    use rand::Rng;
+    let g = load_graph(opts)?;
+    let n = g.num_vertices() as u32;
+    if n < 2 {
+        return Err("mutate needs a graph with at least 2 vertices".into());
+    }
+    let total: u64 = opts.get_or("updates", 200)?;
+    let batch: usize = opts.get_or("batch", 32)?;
+    if batch == 0 {
+        return Err("--batch must be >= 1".into());
+    }
+    let threads: usize = opts.get_or("threads", 1)?;
+    let seed: u64 = opts.get_or("update-seed", 1)?;
+    let trace_out = opts
+        .get_str("trace-out")
+        .ok_or("missing --trace-out FILE.asul")?;
+
+    // Mostly inserts so the graph grows rather than drains; removes and
+    // reweights of absent edges are relaxed no-ops, so blind generation
+    // against the evolving edge set is safe.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let updates: Vec<EdgeUpdate> = (0..total)
+        .map(|i| {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n - 1);
+            if v >= u {
+                v += 1;
+            }
+            let op = match rng.gen_range(0..10u32) {
+                0..=5 => EdgeOp::Insert(rng.gen_range(0.05..1.0)),
+                6..=7 => EdgeOp::Reweight(rng.gen_range(0.05..1.0)),
+                _ => EdgeOp::Remove,
+            };
+            EdgeUpdate {
+                seq: i + 1,
+                u,
+                v,
+                op,
+            }
+        })
+        .collect();
+
+    let telemetry = Telemetry::enabled();
+    let mut engine =
+        DynamicIndex::new_traced(&g, threads, &telemetry).map_err(|e| e.to_string())?;
+    let mut log = UpdateLog::new(&g);
+    let mut applied = 0u64;
+    let mut skipped = 0u64;
+    let mut reevals = 0u64;
+    for chunk in updates.chunks(batch) {
+        let stats = engine
+            .apply_batch(chunk, &telemetry)
+            .map_err(|e| e.to_string())?;
+        log.append_batch(chunk).map_err(|e| e.to_string())?;
+        applied += stats.applied;
+        skipped += stats.skipped;
+        reevals += stats.sigma_reevals;
+    }
+    log.save(Path::new(trace_out)).map_err(|e| e.to_string())?;
+    println!(
+        "applied {applied} updates ({skipped} no-ops) in batches of {batch}: \
+         {reevals} σ re-evaluations, watermark {}",
+        engine.applied_seq()
+    );
+    println!("trace       {trace_out}");
+    if let Some(out) = opts.get_str("out") {
+        let mutated = engine.to_csr().map_err(|e| e.to_string())?;
+        let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+        if out.ends_with(".bin") {
+            write_binary(&mutated, BufWriter::new(file)).map_err(|e| e.to_string())?;
+        } else {
+            write_edge_list(&mutated, BufWriter::new(file)).map_err(|e| e.to_string())?;
+        }
+        println!(
+            "mutated     {out} ({} vertices / {} edges)",
+            mutated.num_vertices(),
+            mutated.num_edges()
+        );
+    }
+    if let Some(path) = opts.get_str("trace-json") {
+        let meta: Vec<(&str, MetaValue)> = vec![
+            ("vertices", (g.num_vertices() as u64).into()),
+            ("updates", total.into()),
+            ("applied", applied.into()),
+            ("skipped", skipped.into()),
+            ("batch", (batch as u64).into()),
+        ];
+        write_trace_with(path, &telemetry, &meta)?;
+    }
+    Ok(())
+}
+
+/// `replay`: re-applies an ASUL update log against its base graph through
+/// the incremental engine (fingerprint-checked), then optionally answers an
+/// `(eps, mu)` query from the repaired index — the recovery path of the
+/// dynamic daemon, runnable standalone.
+pub fn replay(opts: &Options) -> CmdResult {
+    let trace = opts.get_str("trace").ok_or("missing --trace FILE.asul")?;
+    let g = load_graph(opts)?;
+    let threads: usize = opts.get_or("threads", 1)?;
+    let batch: usize = opts.get_or("batch", 256)?;
+    if batch == 0 {
+        return Err("--batch must be >= 1".into());
+    }
+    let telemetry = Telemetry::enabled();
+    let log = UpdateLog::load(Path::new(trace)).map_err(|e| format!("--trace {trace}: {e}"))?;
+    let start = Instant::now();
+    let engine = log
+        .replay(&g, threads, batch, &telemetry)
+        .map_err(|e| format!("--trace {trace}: {e}"))?;
+    println!(
+        "replayed {} updates in {:?} (batches of {batch}, watermark {})",
+        log.entries().len(),
+        start.elapsed(),
+        engine.applied_seq()
+    );
+    if opts.get_str("eps").is_some() || opts.get_str("mu").is_some() {
+        let params = scan_params(opts)?;
+        let c = engine.query_traced(params, &telemetry);
+        let rc = c.role_counts();
+        println!(
+            "query (eps={}, mu={}): {} clusters, {} cores, {} outliers",
+            params.epsilon,
+            params.mu,
+            c.num_clusters(),
+            rc.cores,
+            rc.outliers
+        );
+        if let Some(path) = opts.get_str("labels-out") {
+            write_labels(path, &c)?;
+            println!("labels      {path}");
+        }
+    }
+    if let Some(path) = opts.get_str("trace-json") {
+        let meta: Vec<(&str, MetaValue)> = vec![
+            ("vertices", (g.num_vertices() as u64).into()),
+            ("updates", (log.entries().len() as u64).into()),
+            ("watermark", log.applied_seq().into()),
+            ("batch", (batch as u64).into()),
         ];
         write_trace_with(path, &telemetry, &meta)?;
     }

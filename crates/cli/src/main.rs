@@ -9,6 +9,8 @@
 //! anyscan index build --input g.bin --out g.asix --threads 8
 //! anyscan index query --input g.bin --index g.asix --eps 0.3,0.5 --mu 5
 //! anyscan serve    --input g.bin --index g.asix --listen 127.0.0.1:7411
+//! anyscan mutate   --input g.bin --updates 500 --trace-out g.asul --out g2.bin
+//! anyscan replay   --input g.bin --trace g.asul --eps 0.5 --mu 5
 //! ```
 
 mod args;
@@ -46,6 +48,8 @@ fn main() {
         "interactive" => commands::interactive(&opts),
         "resume" => commands::resume(&opts),
         "serve" => commands::serve(&opts),
+        "mutate" => commands::mutate(&opts),
+        "replay" => commands::replay(&opts),
         "index" => match sub.as_deref() {
             Some("build") => commands::index_build(&opts),
             Some("query") => commands::index_query(&opts),

@@ -13,6 +13,21 @@
 //! demand from the cached similarities with one union-find sweep, exactly
 //! like [`crate::explore::EpsilonExplorer`].
 //!
+//! # Vertex ids: dynamic mode runs on the unreordered graph
+//!
+//! A `DynamicScan` speaks whatever vertex ids its input graph uses and
+//! never remaps them: updates are addressed by those ids and
+//! [`DynamicScan::clustering`] answers in them. The cache-locality
+//! reorderings (`--reorder degree|bfs`) relabel vertices, so feeding a
+//! reordered [`CsrGraph`] to [`DynamicScan::from_csr`] means every
+//! subsequent `insert_edge(u, v, …)` must use *reordered* ids and every
+//! answer comes back in them too. Hand this type the original-id graph
+//! (the only mode the rest of the dynamic stack supports —
+//! `anyscan-dynamic` rejects reordered indexes outright), or map ids both
+//! ways through the [`VertexPermutation`](anyscan_graph::VertexPermutation)
+//! yourself; the `reordered_ids_round_trip_through_the_permutation` test
+//! shows the second contract in full.
+//!
 //! ```
 //! use anyscan::incremental::DynamicScan;
 //! use anyscan_graph::AdjGraph;
@@ -97,6 +112,10 @@ impl DynamicScan {
     }
 
     /// Convenience: start from a frozen CSR graph.
+    ///
+    /// Ids are adopted verbatim — pass the **unreordered** graph (or commit
+    /// to addressing every update in the reordered labeling and mapping the
+    /// answers back; see the module docs on vertex ids).
     pub fn from_csr(g: &CsrGraph, params: ScanParams) -> Self {
         Self::new(AdjGraph::from_csr(g), params)
     }
@@ -301,6 +320,39 @@ mod tests {
         // Still two clusters or one depends on σ: check against scratch
         // rather than hard-coding.
         assert_matches_scratch(&ds);
+    }
+
+    /// The id contract from the module docs: on a reordered graph the
+    /// updates and answers live in reordered ids, and mapping the answers
+    /// back through the permutation reproduces the original-id clustering.
+    #[test]
+    fn reordered_ids_round_trip_through_the_permutation() {
+        use anyscan_graph::{reorder, ReorderMode};
+
+        let mut rng = StdRng::seed_from_u64(702);
+        let g = erdos_renyi(&mut rng, 80, 400, WeightModel::uniform_default());
+        let params = ScanParams::new(0.45, 3);
+        let (rg, perm) = reorder::reorder(&g, ReorderMode::Degree);
+        assert!(!perm.is_identity(), "degree reorder should relabel");
+
+        // The same mutation, addressed in each labeling.
+        let (u, v, w) = (3u32, 57u32, 0.9);
+        let mut original = DynamicScan::from_csr(&g, params);
+        original.insert_edge(u, v, w).unwrap();
+        let mut reordered = DynamicScan::from_csr(&rg, params);
+        reordered
+            .insert_edge(perm.new_of_old(u), perm.new_of_old(v), w)
+            .unwrap();
+
+        // Reordered answers come back in reordered ids; the permutation
+        // takes them home.
+        let truth = original.clustering();
+        let mut mapped = reordered.clustering();
+        mapped.labels = perm.to_original(&mapped.labels);
+        mapped.roles = perm.to_original(&mapped.roles);
+        let csr = original.graph().to_csr();
+        assert_scan_equivalent(&csr, params, &truth, &mapped);
+        assert_eq!(truth.roles, mapped.roles);
     }
 
     #[test]

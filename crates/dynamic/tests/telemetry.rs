@@ -1,0 +1,91 @@
+//! Satellite: the dynamic counters (`dyn_updates_applied`,
+//! `dyn_sigma_reevals`, `dyn_index_repairs`) land in the trace and stay in
+//! partition with the existing σ accounting — every σ the subsystem
+//! evaluates is a merge-join kernel call, so
+//! `Σ sigma_path_* == sigma_evals + index_sigma_evals` must keep holding
+//! with the dynamic path in the mix.
+
+use anyscan_dynamic::{DynamicIndex, EdgeOp, EdgeUpdate};
+use anyscan_graph::gen::{erdos_renyi, WeightModel};
+use anyscan_scan_common::ScanParams;
+use anyscan_telemetry::{Counter, Telemetry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn dynamic_counters_partition_sigma_accounting() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let g = erdos_renyi(&mut rng, 90, 500, WeightModel::uniform_default());
+
+    let telemetry = Telemetry::enabled();
+    let mut d = DynamicIndex::new_traced(&g, 2, &telemetry).unwrap();
+    let batch = vec![
+        EdgeUpdate {
+            seq: 1,
+            u: 0,
+            v: 50,
+            op: EdgeOp::Insert(0.8),
+        },
+        EdgeUpdate {
+            seq: 2,
+            u: 1,
+            v: 2,
+            op: EdgeOp::Remove,
+        },
+        EdgeUpdate {
+            seq: 3,
+            u: 10,
+            v: 11,
+            op: EdgeOp::Insert(1.4),
+        },
+        EdgeUpdate {
+            seq: 4,
+            u: 0,
+            v: 50,
+            op: EdgeOp::Reweight(0.9),
+        },
+    ];
+    let stats = d.apply_batch(&batch, &telemetry).unwrap();
+    let _ = d.query_traced(ScanParams::new(0.5, 3), &telemetry);
+
+    let report = telemetry
+        .report()
+        .expect("enabled telemetry yields a report");
+    let c = |x: Counter| report.counter(x);
+
+    // The new counters reflect exactly what the batch did.
+    assert_eq!(c(Counter::DynUpdatesApplied), stats.applied);
+    assert_eq!(c(Counter::DynSigmaReevals), stats.sigma_reevals);
+    assert_eq!(c(Counter::DynIndexRepairs), stats.orders_repaired);
+    assert!(
+        stats.sigma_reevals > 0,
+        "effective batch must re-evaluate σ"
+    );
+    assert!(
+        stats.orders_repaired > 0,
+        "effective batch must repair orders"
+    );
+
+    // Partition: kernel-path counters still account for every σ — the
+    // index build's edges plus every dynamic re-evaluation (counted in both
+    // sigma_evals and sigma_path_merge), with nothing double- or
+    // un-attributed.
+    let paths = c(Counter::SigmaPathMerge)
+        + c(Counter::SigmaPathProbe)
+        + c(Counter::SigmaPathBitmap)
+        + c(Counter::SigmaPathBatched)
+        + c(Counter::SigmaPathSketch);
+    assert_eq!(paths, c(Counter::SigmaEvals) + c(Counter::IndexSigmaEvals));
+    assert_eq!(c(Counter::SigmaEvals), c(Counter::DynSigmaReevals));
+    assert_eq!(c(Counter::SigmaPathMerge), c(Counter::DynSigmaReevals));
+
+    // The repair span was recorded alongside the batch span.
+    for span in [
+        "dyn_apply_batch",
+        "dyn_sigma_reevals",
+        "dyn_build_patches",
+        "index_repair",
+    ] {
+        assert!(report.span_total(span).is_some(), "span {span} missing");
+    }
+}

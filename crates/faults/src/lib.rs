@@ -34,6 +34,8 @@
 //! | `pool::job`           | panic | a worker-pool job panics mid-block      |
 //! | `driver::block`       | panic | the anytime loop panics at a boundary   |
 //! | `serve::read_frame`   | io    | a daemon connection read fails mid-frame|
+//! | `dynamic::log_read`   | io    | loading an ASUL update log fails        |
+//! | `dynamic::log_write`  | write | error, or a torn (truncated) update log |
 //!
 //! When nothing is armed the per-site check is two relaxed atomic loads.
 

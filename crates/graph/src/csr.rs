@@ -201,6 +201,29 @@ impl CsrGraph {
         self.offsets[v]..self.offsets[v + 1]
     }
 
+    /// Assembles a graph from adjacency rows that already satisfy the CSR
+    /// invariants (strictly sorted per vertex, symmetric, self-loops present,
+    /// positive finite weights) — the shape a dynamic-update engine maintains
+    /// natively, letting it publish a CSR snapshot without re-sorting.
+    /// Invariants are re-validated; a violation is a typed `Err`, never a
+    /// silently corrupt graph.
+    pub fn from_sorted_rows(
+        offsets: Vec<EdgeId>,
+        neighbors: Vec<VertexId>,
+        weights: Vec<Weight>,
+        num_edges: u64,
+    ) -> Result<CsrGraph, String> {
+        if offsets.is_empty() {
+            return Err("offsets must contain at least the trailing bound".into());
+        }
+        if neighbors.len() != weights.len() || *offsets.last().unwrap() != neighbors.len() {
+            return Err("arc arrays disagree with offsets".into());
+        }
+        let g = CsrGraph::from_parts(offsets, neighbors, weights, num_edges);
+        g.check_invariants()?;
+        Ok(g)
+    }
+
     /// Validates every CSR invariant; used by tests and the binary loader.
     pub fn check_invariants(&self) -> Result<(), String> {
         let n = self.num_vertices();
@@ -313,6 +336,27 @@ mod tests {
         let mut e: Vec<_> = g.edges().collect();
         e.sort_by_key(|&(u, v, _)| (u, v));
         assert_eq!(e, vec![(0, 1, 1.0), (0, 2, 0.5), (1, 2, 2.0)]);
+    }
+
+    #[test]
+    fn from_sorted_rows_roundtrips_and_rejects() {
+        let g = triangle();
+        // Rebuild the triangle from its own rows: identical graph.
+        let mut offsets = vec![0usize];
+        for v in 0..3 {
+            offsets.push(g.arc_range(v).end);
+        }
+        let neighbors: Vec<u32> = (0..3).flat_map(|v| g.neighbor_ids(v).to_vec()).collect();
+        let weights: Vec<f64> = (0..3)
+            .flat_map(|v| g.neighbor_weights(v).to_vec())
+            .collect();
+        let rebuilt =
+            super::CsrGraph::from_sorted_rows(offsets, neighbors, weights, g.num_edges()).unwrap();
+        assert_eq!(rebuilt, g);
+        // Missing self-loop is rejected.
+        assert!(super::CsrGraph::from_sorted_rows(vec![0, 1], vec![1], vec![1.0], 0).is_err());
+        // Arc arrays disagreeing with offsets are rejected.
+        assert!(super::CsrGraph::from_sorted_rows(vec![0, 2], vec![0], vec![1.0], 0).is_err());
     }
 
     #[test]

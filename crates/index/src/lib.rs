@@ -36,6 +36,9 @@
 //! `interactive --index`) and the `bench_pr3` harness.
 
 pub mod io;
+pub mod repair;
+
+pub use repair::NeighborOrderPatch;
 
 use anyscan_dsu::DsuSeq;
 use anyscan_graph::{CsrGraph, ReorderMode, VertexId};

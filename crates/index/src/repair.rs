@@ -1,0 +1,392 @@
+//! In-place repair of the similarity index after edge mutations.
+//!
+//! "Dynamic Structural Clustering Unleashed" observes that the two sorted
+//! views of a GS\*-style index — per-vertex neighbor orders and per-μ core
+//! orders — can be *repaired* rather than rebuilt when σ changes are local:
+//! an edge update touches only the closed neighborhoods of its endpoints, so
+//! only those vertices' orders (and the core-order entries whose `cθ_μ`
+//! actually moved) need work. Everything else is a straight copy.
+//!
+//! The entry point is [`SimilarityIndex::apply_patches`]: the dynamic update
+//! engine (crate `anyscan-dynamic`) recomputes each affected vertex's full
+//! neighbor order and hands them over as [`NeighborOrderPatch`]es; this
+//! module splices them into the flat CSR-shaped arrays and repairs exactly
+//! the per-μ core-order slices whose thresholds or membership changed. No σ
+//! is ever re-evaluated here and no slice is ever re-sorted — untouched
+//! slices are copied, touched slices are merge-repaired from already-sorted
+//! inputs — so the post-repair index is bit-identical to a from-scratch
+//! [`SimilarityIndex::build`] on the mutated graph (property-tested in
+//! `anyscan-dynamic`).
+
+use std::collections::HashMap;
+
+use anyscan_graph::VertexId;
+use anyscan_telemetry::{Counter, Recorder, Telemetry};
+
+use crate::SimilarityIndex;
+
+/// One vertex's complete post-update neighbor order: the closed neighborhood
+/// sorted by descending σ (ties: ascending id), the vertex itself included
+/// with σ = 1. Produced by the dynamic update engine for every vertex whose
+/// closed neighborhood — or any incident σ — changed in a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborOrderPatch {
+    /// The vertex whose order is replaced.
+    pub vertex: VertexId,
+    /// The new `(neighbor, σ)` order, sorted descending by σ.
+    pub order: Vec<(VertexId, f64)>,
+}
+
+/// Descending-σ, ascending-id ordering — the exact comparator
+/// [`SimilarityIndex::build`] sorts with, so merge-repaired slices coincide
+/// with freshly sorted ones.
+#[inline]
+fn order_cmp(a: &(VertexId, f64), b: &(VertexId, f64)) -> std::cmp::Ordering {
+    b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+}
+
+impl SimilarityIndex {
+    /// Splices repaired neighbor orders into the index and repairs the
+    /// per-μ core orders they invalidate, in place.
+    ///
+    /// `num_edges` is the mutated graph's undirected edge count (the
+    /// fingerprint queries are checked against). Patches must be internally
+    /// consistent — each order a closed neighborhood containing its own
+    /// vertex, sorted descending — and at most one patch per vertex;
+    /// violations are a typed `Err` with the index left untouched.
+    ///
+    /// MinHash signatures cannot be repaired incrementally (a signature
+    /// mixes the whole neighborhood), so any stored sketches are dropped and
+    /// the sketch mode reverts to [`SketchMode::Off`]; dynamic mode
+    /// therefore serves exact σ only. Counter accounting: one
+    /// `dyn_index_repairs` per patched vertex, recorded under the
+    /// `index_repair` span.
+    ///
+    /// [`SketchMode::Off`]: anyscan_scan_common::SketchMode::Off
+    pub fn apply_patches(
+        &mut self,
+        patches: &[NeighborOrderPatch],
+        num_edges: u64,
+        telemetry: &Telemetry,
+    ) -> Result<(), String> {
+        let _span = telemetry.span("index_repair");
+        let n = self.num_vertices();
+        let mut patch_of: HashMap<VertexId, usize> = HashMap::with_capacity(patches.len());
+        for (i, p) in patches.iter().enumerate() {
+            if p.vertex as usize >= n {
+                return Err(format!(
+                    "patch vertex {} out of range (|V| = {n})",
+                    p.vertex
+                ));
+            }
+            if !p.order.iter().any(|&(q, _)| q == p.vertex) {
+                return Err(format!("patch for {} lacks its self entry", p.vertex));
+            }
+            if p.order.windows(2).any(|w| order_cmp(&w[0], &w[1]).is_gt()) {
+                return Err(format!("patch for {} is not sorted", p.vertex));
+            }
+            if patch_of.insert(p.vertex, i).is_some() {
+                return Err(format!("duplicate patch for vertex {}", p.vertex));
+            }
+        }
+
+        // Per-μ core-order change lists, computed against the *old* orders
+        // before any array moves: a vertex's entry at μ changes iff its
+        // membership (deg ≥ μ) or its threshold `cθ_μ = order[μ-1].σ`
+        // changed. Untouched μ slices are copied wholesale below.
+        let mut removals: HashMap<usize, Vec<VertexId>> = HashMap::new();
+        let mut insertions: HashMap<usize, Vec<(VertexId, f64)>> = HashMap::new();
+        for p in patches {
+            let v = p.vertex as usize;
+            let old = &self.sig[self.offsets[v]..self.offsets[v + 1]];
+            let new_deg = p.order.len();
+            for mu in 1..=old.len().max(new_deg) {
+                let old_t = old.get(mu - 1).copied();
+                let new_t = (mu <= new_deg).then(|| p.order[mu - 1].1);
+                match (old_t, new_t) {
+                    (Some(o), Some(t)) if o.to_bits() == t.to_bits() => {}
+                    (old_t, new_t) => {
+                        if old_t.is_some() {
+                            removals.entry(mu).or_default().push(p.vertex);
+                        }
+                        if let Some(t) = new_t {
+                            insertions.entry(mu).or_default().push((p.vertex, t));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Neighbor orders: overwrite in place when every patched degree is
+        // unchanged (the reweight-only fast path); otherwise splice the flat
+        // arrays once, shifting untouched slices.
+        let degrees_stable = patches.iter().all(|p| {
+            p.order.len() == self.offsets[p.vertex as usize + 1] - self.offsets[p.vertex as usize]
+        });
+        if degrees_stable {
+            for p in patches {
+                let base = self.offsets[p.vertex as usize];
+                for (i, &(q, s)) in p.order.iter().enumerate() {
+                    self.nbr[base + i] = q;
+                    self.sig[base + i] = s;
+                }
+            }
+        } else {
+            let new_arcs: usize = (0..n)
+                .map(|v| match patch_of.get(&(v as VertexId)) {
+                    Some(&i) => patches[i].order.len(),
+                    None => self.offsets[v + 1] - self.offsets[v],
+                })
+                .sum();
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut nbr = Vec::with_capacity(new_arcs);
+            let mut sig = Vec::with_capacity(new_arcs);
+            offsets.push(0);
+            for v in 0..n {
+                match patch_of.get(&(v as VertexId)) {
+                    Some(&i) => {
+                        for &(q, s) in &patches[i].order {
+                            nbr.push(q);
+                            sig.push(s);
+                        }
+                    }
+                    None => {
+                        let r = self.offsets[v]..self.offsets[v + 1];
+                        nbr.extend_from_slice(&self.nbr[r.clone()]);
+                        sig.extend_from_slice(&self.sig[r]);
+                    }
+                }
+                offsets.push(nbr.len());
+            }
+            self.offsets = offsets;
+            self.nbr = nbr;
+            self.sig = sig;
+        }
+
+        // Core orders: μ slices with no change are copied; changed slices
+        // are filtered (removals) and merged (insertions, sorted with the
+        // build comparator) — never re-sorted.
+        let old_mu_max = self.mu_max();
+        let new_mu_max = (0..n)
+            .map(|v| self.offsets[v + 1] - self.offsets[v])
+            .max()
+            .unwrap_or(0);
+        let total: usize = *self.offsets.last().unwrap_or(&0);
+        let mut co_offsets = Vec::with_capacity(new_mu_max + 1);
+        let mut co_vertices = Vec::with_capacity(total);
+        let mut co_thresholds = Vec::with_capacity(total);
+        co_offsets.push(0);
+        for mu in 1..=new_mu_max {
+            let (old_v, old_t): (&[VertexId], &[f64]) = if mu <= old_mu_max {
+                let r = self.co_offsets[mu - 1]..self.co_offsets[mu];
+                (&self.co_vertices[r.clone()], &self.co_thresholds[r])
+            } else {
+                (&[], &[])
+            };
+            match (removals.get(&mu), insertions.get(&mu)) {
+                (None, None) => {
+                    co_vertices.extend_from_slice(old_v);
+                    co_thresholds.extend_from_slice(old_t);
+                }
+                (rem, ins) => {
+                    let drop: std::collections::HashSet<VertexId> =
+                        rem.map(|r| r.iter().copied().collect()).unwrap_or_default();
+                    let mut add: Vec<(VertexId, f64)> = ins.cloned().unwrap_or_default();
+                    add.sort_unstable_by(order_cmp);
+                    let mut ai = 0usize;
+                    for (&v, &t) in old_v.iter().zip(old_t) {
+                        if drop.contains(&v) {
+                            continue;
+                        }
+                        while ai < add.len() && order_cmp(&add[ai], &(v, t)).is_lt() {
+                            co_vertices.push(add[ai].0);
+                            co_thresholds.push(add[ai].1);
+                            ai += 1;
+                        }
+                        co_vertices.push(v);
+                        co_thresholds.push(t);
+                    }
+                    for &(v, t) in &add[ai..] {
+                        co_vertices.push(v);
+                        co_thresholds.push(t);
+                    }
+                }
+            }
+            co_offsets.push(co_vertices.len());
+        }
+        self.co_offsets = co_offsets;
+        self.co_vertices = co_vertices;
+        self.co_thresholds = co_thresholds;
+
+        self.num_edges = num_edges;
+        if self.sketches.is_some() {
+            self.sketches = None;
+            self.sketch_mode = anyscan_scan_common::SketchMode::Off;
+        }
+        telemetry.add(Counter::DynIndexRepairs, patches.len() as u64);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyscan_graph::gen::{erdos_renyi, WeightModel};
+    use anyscan_graph::{CsrGraph, GraphBuilder};
+    use anyscan_scan_common::kernel::sigma_raw;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Recomputes `v`'s neighbor order from scratch on `g` (the patch the
+    /// dynamic engine would produce).
+    fn fresh_order(g: &CsrGraph, v: VertexId) -> NeighborOrderPatch {
+        let mut order: Vec<(VertexId, f64)> = g
+            .neighbor_ids(v)
+            .iter()
+            .map(|&q| (q, if q == v { 1.0 } else { sigma_raw(g, v, q) }))
+            .collect();
+        order.sort_unstable_by(order_cmp);
+        NeighborOrderPatch { vertex: v, order }
+    }
+
+    /// Patch every vertex whose closed neighborhood differs between the two
+    /// graphs, plus every vertex incident to a changed σ — i.e. the closed
+    /// neighborhoods of `touched` in either graph.
+    fn patches_for(
+        old: &CsrGraph,
+        new: &CsrGraph,
+        touched: &[VertexId],
+    ) -> Vec<NeighborOrderPatch> {
+        let mut affected: Vec<VertexId> = touched
+            .iter()
+            .flat_map(|&t| {
+                old.neighbor_ids(t)
+                    .iter()
+                    .chain(new.neighbor_ids(t))
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        affected.into_iter().map(|v| fresh_order(new, v)).collect()
+    }
+
+    fn assert_index_eq(repaired: &SimilarityIndex, fresh: &SimilarityIndex) {
+        assert_eq!(repaired.offsets, fresh.offsets);
+        assert_eq!(repaired.nbr, fresh.nbr);
+        let bits = |s: &[f64]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&repaired.sig), bits(&fresh.sig));
+        assert_eq!(repaired.co_offsets, fresh.co_offsets);
+        assert_eq!(repaired.co_vertices, fresh.co_vertices);
+        assert_eq!(bits(&repaired.co_thresholds), bits(&fresh.co_thresholds));
+        assert_eq!(repaired.num_edges, fresh.num_edges);
+    }
+
+    #[test]
+    fn reweight_repair_matches_fresh_build() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let before = erdos_renyi(&mut rng, 80, 400, WeightModel::uniform_default());
+        // Reweight edge (u, v): same topology, one weight changed.
+        let (u, v, _) = before.edges().next().unwrap();
+        let mut b = GraphBuilder::new(80);
+        for (a, c, w) in before.edges() {
+            let w = if (a, c) == (u, v) { w * 3.0 } else { w };
+            b.add_edge(a, c, w);
+        }
+        let after = b.build();
+
+        let mut idx = SimilarityIndex::build(&before, 2);
+        idx.apply_patches(
+            &patches_for(&before, &after, &[u, v]),
+            after.num_edges(),
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert_index_eq(&idx, &SimilarityIndex::build(&after, 2));
+    }
+
+    #[test]
+    fn insert_and_remove_repair_matches_fresh_build() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let before = erdos_renyi(&mut rng, 60, 250, WeightModel::uniform_default());
+        let (ru, rv, _) = before.edges().nth(7).unwrap();
+        // Find an absent pair to insert.
+        let (iu, iv) = (0..60u32)
+            .flat_map(|a| (a + 1..60).map(move |b| (a, b)))
+            .find(|&(a, b)| !before.has_edge(a, b))
+            .unwrap();
+        let mut b = GraphBuilder::new(60);
+        for (a, c, w) in before.edges() {
+            if (a, c) != (ru, rv) {
+                b.add_edge(a, c, w);
+            }
+        }
+        b.add_edge(iu, iv, 1.25);
+        let after = b.build();
+
+        let mut idx = SimilarityIndex::build(&before, 2);
+        idx.apply_patches(
+            &patches_for(&before, &after, &[ru, rv, iu, iv]),
+            after.num_edges(),
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert_index_eq(&idx, &SimilarityIndex::build(&after, 2));
+    }
+
+    #[test]
+    fn repair_drops_sketches_and_counts() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = erdos_renyi(&mut rng, 40, 150, WeightModel::uniform_default());
+        let opts = crate::IndexBuildOptions {
+            sketch: anyscan_scan_common::SketchMode::Assist,
+            ..Default::default()
+        };
+        let mut idx = SimilarityIndex::build_with_options(&g, 1, opts, &Telemetry::disabled());
+        assert!(idx.sketches().is_some());
+        let t = Telemetry::enabled();
+        let (u, v, _) = g.edges().next().unwrap();
+        let patches = patches_for(&g, &g, &[u, v]); // no-op σ, exercises the path
+        let count = patches.len() as u64;
+        idx.apply_patches(&patches, g.num_edges(), &t).unwrap();
+        assert!(idx.sketches().is_none());
+        assert_eq!(idx.sketch_mode(), anyscan_scan_common::SketchMode::Off);
+        let r = t.report().unwrap();
+        assert_eq!(r.counter(Counter::DynIndexRepairs), count);
+        assert!(r.span_total("index_repair").is_some());
+    }
+
+    #[test]
+    fn malformed_patches_are_rejected() {
+        let g = GraphBuilder::from_unweighted_edges(3, vec![(0, 1), (1, 2)]).unwrap();
+        let mut idx = SimilarityIndex::build(&g, 1);
+        let t = Telemetry::disabled();
+        // Out of range.
+        let bad = NeighborOrderPatch {
+            vertex: 9,
+            order: vec![(9, 1.0)],
+        };
+        assert!(idx.apply_patches(&[bad], g.num_edges(), &t).is_err());
+        // Missing self entry.
+        let bad = NeighborOrderPatch {
+            vertex: 0,
+            order: vec![(1, 0.5)],
+        };
+        assert!(idx.apply_patches(&[bad], g.num_edges(), &t).is_err());
+        // Unsorted order.
+        let bad = NeighborOrderPatch {
+            vertex: 0,
+            order: vec![(1, 0.5), (0, 1.0)],
+        };
+        assert!(idx.apply_patches(&[bad], g.num_edges(), &t).is_err());
+        // Duplicate patches for one vertex.
+        let p = NeighborOrderPatch {
+            vertex: 0,
+            order: vec![(0, 1.0), (1, 0.5)],
+        };
+        assert!(idx
+            .apply_patches(&[p.clone(), p], g.num_edges(), &t)
+            .is_err());
+    }
+}

@@ -24,7 +24,9 @@ pub mod metrics;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use anyscan_serve::protocol::{ErrorCode, Request, Response};
+use anyscan_serve::protocol::{
+    ErrorCode, Request, Response, WireUpdate, UPDATE_INSERT, UPDATE_REMOVE, UPDATE_REWEIGHT,
+};
 use anyscan_telemetry::{Counter, Recorder, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,6 +41,9 @@ pub struct MixWeights {
     pub query: u32,
     pub lookup: u32,
     pub run: u32,
+    /// `ApplyUpdates` batches — only meaningful against a `--dynamic` daemon
+    /// (a static daemon answers them with a typed `BadRequest`).
+    pub update: u32,
 }
 
 impl Default for MixWeights {
@@ -48,21 +53,24 @@ impl Default for MixWeights {
             query: 3,
             lookup: 6,
             run: 1,
+            update: 0,
         }
     }
 }
 
 impl MixWeights {
     fn total(&self) -> u32 {
-        self.query + self.lookup + self.run
+        self.query + self.lookup + self.run + self.update
     }
 
-    /// Parses `"query:3,lookup:6,run:1"` (missing shapes default to 0).
+    /// Parses `"query:3,lookup:6,run:1,update:2"` (missing shapes default
+    /// to 0).
     pub fn parse(raw: &str) -> Result<MixWeights, String> {
         let mut mix = MixWeights {
             query: 0,
             lookup: 0,
             run: 0,
+            update: 0,
         };
         for part in raw.split(',') {
             let (name, weight) = part
@@ -76,6 +84,7 @@ impl MixWeights {
                 "query" => mix.query = weight,
                 "lookup" => mix.lookup = weight,
                 "run" => mix.run = weight,
+                "update" => mix.update = weight,
                 other => return Err(format!("unknown mix shape {other:?}")),
             }
         }
@@ -105,8 +114,11 @@ pub struct RunConfig {
     pub run_deadline_ms: u32,
     /// `Run` requests carry this block budget (0 = none).
     pub run_max_blocks: u64,
-    /// Vertex-id space for membership lookups (exclusive upper bound).
+    /// Vertex-id space for membership lookups and generated updates
+    /// (exclusive upper bound).
     pub vertices: u32,
+    /// Updates per generated `ApplyUpdates` batch.
+    pub update_batch: u32,
     pub seed: u64,
 }
 
@@ -124,6 +136,7 @@ impl Default for RunConfig {
             run_deadline_ms: 50,
             run_max_blocks: 0,
             vertices: 1,
+            update_batch: 8,
             seed: 42,
         }
     }
@@ -146,12 +159,46 @@ fn pick_request(config: &RunConfig, rng: &mut StdRng) -> Request {
             mu: config.mu,
         };
     }
-    Request::Run {
-        eps: config.eps,
-        mu: config.mu,
-        deadline_ms: config.run_deadline_ms,
-        max_blocks: config.run_max_blocks,
+    roll -= config.mix.lookup;
+    if roll < config.mix.run {
+        return Request::Run {
+            eps: config.eps,
+            mu: config.mu,
+            deadline_ms: config.run_deadline_ms,
+            max_blocks: config.run_max_blocks,
+        };
     }
+    Request::ApplyUpdates {
+        updates: random_update_batch(config, rng),
+    }
+}
+
+/// A random write batch over the daemon's vertex-id space: mostly inserts
+/// (so the graph doesn't drain to empty), the rest reweights and removes.
+/// The daemon treats removes/reweights of absent edges as relaxed no-ops,
+/// so blind generation is safe.
+fn random_update_batch(config: &RunConfig, rng: &mut StdRng) -> Vec<WireUpdate> {
+    let n = config.vertices.max(2);
+    (0..config.update_batch.max(1))
+        .map(|_| {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n - 1);
+            if v >= u {
+                v += 1; // never a self-loop
+            }
+            let kind = match rng.gen_range(0..10u32) {
+                0..=5 => UPDATE_INSERT,
+                6..=7 => UPDATE_REWEIGHT,
+                _ => UPDATE_REMOVE,
+            };
+            let w = if kind == UPDATE_REMOVE {
+                0.0
+            } else {
+                rng.gen_range(0.05..1.0)
+            };
+            WireUpdate { kind, u, v, w }
+        })
+        .collect()
 }
 
 fn classify(response: &Response) -> Outcome {
@@ -263,9 +310,9 @@ mod tests {
     #[test]
     fn mix_parses_and_rejects() {
         let m = MixWeights::parse("query:3,lookup:6,run:1").unwrap();
-        assert_eq!((m.query, m.lookup, m.run), (3, 6, 1));
-        let m = MixWeights::parse("lookup:1").unwrap();
-        assert_eq!((m.query, m.lookup, m.run), (0, 1, 0));
+        assert_eq!((m.query, m.lookup, m.run, m.update), (3, 6, 1, 0));
+        let m = MixWeights::parse("lookup:1,update:2").unwrap();
+        assert_eq!((m.query, m.lookup, m.run, m.update), (0, 1, 0, 2));
         assert!(MixWeights::parse("query:0").is_err());
         assert!(MixWeights::parse("warp:1").is_err());
         assert!(MixWeights::parse("query").is_err());
@@ -278,6 +325,7 @@ mod tests {
                 query: 0,
                 lookup: 1,
                 run: 0,
+                update: 0,
             },
             vertices: 10,
             ..RunConfig::default()
@@ -289,6 +337,43 @@ mod tests {
                 other => panic!("mix produced {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn update_mix_generates_valid_batches() {
+        let config = RunConfig {
+            mix: MixWeights {
+                query: 0,
+                lookup: 0,
+                run: 0,
+                update: 1,
+            },
+            vertices: 16,
+            update_batch: 5,
+            ..RunConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut kinds = [0u32; 3];
+        for _ in 0..200 {
+            match pick_request(&config, &mut rng) {
+                Request::ApplyUpdates { updates } => {
+                    assert_eq!(updates.len(), 5);
+                    for up in updates {
+                        assert!(up.u < 16 && up.v < 16 && up.u != up.v);
+                        assert!(up.kind <= UPDATE_REWEIGHT);
+                        if up.kind != UPDATE_REMOVE {
+                            assert!(up.w.is_finite() && up.w > 0.0);
+                        }
+                        kinds[up.kind as usize] += 1;
+                    }
+                }
+                other => panic!("mix produced {other:?}"),
+            }
+        }
+        assert!(
+            kinds.iter().all(|&k| k > 0),
+            "all three ops should appear: {kinds:?}"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ fn usage() {
   --concurrency N       worker connections (default 4)
   --rate R              open-loop arrival rate, requests/second (default:
                         closed loop)
-  --mix SPEC            request mix, e.g. query:3,lookup:6,run:1 (default)
+  --mix SPEC            request mix, e.g. query:3,lookup:6,run:1 (default);
+                        add update:N for write batches against a --dynamic
+                        daemon
+  --update-batch N      updates per generated ApplyUpdates batch (default 8)
   --eps E --mu M        query parameters (default 0.5 / 4)
   --run-deadline-ms N   per-request deadline on `run` requests (default 50)
   --run-max-blocks N    per-request block budget on `run` requests (default 0)
@@ -173,6 +176,7 @@ fn drive(flags: &Flags) -> Result<bool, String> {
         run_deadline_ms: flags.get("run-deadline-ms", 50u32)?,
         run_max_blocks: flags.get("run-max-blocks", 0u64)?,
         vertices: flags.get("vertices", 0u32)?,
+        update_batch: flags.get("update-batch", 8u32)?,
         seed: flags.get("seed", 42u64)?,
     };
 

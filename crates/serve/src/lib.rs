@@ -29,7 +29,7 @@ pub mod server;
 pub use admission::{AdmissionQueue, Overloaded, Permit};
 pub use protocol::{
     completion_name, read_frame, role_name, write_frame, DecodeError, ErrorCode, FrameError,
-    LabelBlock, QuerySummary, Request, Response, ServeStats, REQUEST_FRAME_LIMIT,
-    RESPONSE_FRAME_LIMIT,
+    LabelBlock, QuerySummary, Request, Response, ServeStats, WireUpdate, REQUEST_FRAME_LIMIT,
+    RESPONSE_FRAME_LIMIT, UPDATE_INSERT, UPDATE_REMOVE, UPDATE_REWEIGHT,
 };
 pub use server::{completion_code, role_code, Conn, Listener, Server, ServerConfig};

@@ -148,7 +148,30 @@ fn finish(buf: &Bytes) -> Result<(), DecodeError> {
     }
 }
 
-/// A client request. Opcodes 1–5, fixed layouts, all little-endian.
+/// One edge mutation on the wire: a kind byte ([`UPDATE_INSERT`],
+/// [`UPDATE_REMOVE`], [`UPDATE_REWEIGHT`]), the unordered endpoints and the
+/// weight payload (ignored for removals). Sequence numbers are assigned by
+/// the daemon — clients describe *what* to mutate, the writer decides the
+/// global order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireUpdate {
+    pub kind: u8,
+    pub u: u32,
+    pub v: u32,
+    pub w: f64,
+}
+
+/// [`WireUpdate::kind`]: upsert the edge with weight `w`.
+pub const UPDATE_INSERT: u8 = 0;
+/// [`WireUpdate::kind`]: delete the edge (skipped when absent).
+pub const UPDATE_REMOVE: u8 = 1;
+/// [`WireUpdate::kind`]: set the weight of an existing edge.
+pub const UPDATE_REWEIGHT: u8 = 2;
+
+/// Bytes one [`WireUpdate`] occupies in an `ApplyUpdates` payload.
+const WIRE_UPDATE_LEN: usize = 17;
+
+/// A client request. Opcodes 1–6, fixed layouts, all little-endian.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Re-cluster the indexed graph at `(eps, mu)`; with `want_labels` the
@@ -175,6 +198,11 @@ pub enum Request {
     Ping,
     /// Ask the daemon to stop accepting connections and exit cleanly.
     Shutdown,
+    /// Mutate the resident graph with one batch of edge updates (dynamic
+    /// daemons only). Admission-controlled like `Run`; the daemon applies
+    /// the batch through its incremental engine, repairs the index in place
+    /// and epoch-swaps the snapshot its read path serves.
+    ApplyUpdates { updates: Vec<WireUpdate> },
 }
 
 const OP_QUERY: u8 = 1;
@@ -182,6 +210,7 @@ const OP_MEMBERSHIP: u8 = 2;
 const OP_RUN: u8 = 3;
 const OP_PING: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
+const OP_APPLY_UPDATES: u8 = 6;
 
 impl Request {
     /// Serializes the request into a frame payload.
@@ -218,6 +247,16 @@ impl Request {
             }
             Request::Ping => buf.put_u8(OP_PING),
             Request::Shutdown => buf.put_u8(OP_SHUTDOWN),
+            Request::ApplyUpdates { ref updates } => {
+                buf.put_u8(OP_APPLY_UPDATES);
+                buf.put_u32_le(updates.len() as u32);
+                for up in updates {
+                    buf.put_u8(up.kind);
+                    buf.put_u32_le(up.u);
+                    buf.put_u32_le(up.v);
+                    buf.put_f64_le(up.w);
+                }
+            }
         }
         buf.to_vec()
     }
@@ -256,6 +295,28 @@ impl Request {
             }
             OP_PING => Request::Ping,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_APPLY_UPDATES => {
+                need(&buf, 4)?;
+                let n = buf.get_u32_le() as usize;
+                let bytes = n
+                    .checked_mul(WIRE_UPDATE_LEN)
+                    .ok_or(DecodeError::BadValue("update batch length overflows"))?;
+                need(&buf, bytes)?;
+                let mut updates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let kind = buf.get_u8();
+                    if kind > UPDATE_REWEIGHT {
+                        return Err(DecodeError::BadValue("update kind"));
+                    }
+                    updates.push(WireUpdate {
+                        kind,
+                        u: buf.get_u32_le(),
+                        v: buf.get_u32_le(),
+                        w: buf.get_f64_le(),
+                    });
+                }
+                Request::ApplyUpdates { updates }
+            }
             other => return Err(DecodeError::UnknownOpcode(other)),
         };
         finish(&buf)?;
@@ -336,6 +397,8 @@ pub struct ServeStats {
     pub runs: u64,
     pub overloaded: u64,
     pub protocol_errors: u64,
+    /// `ApplyUpdates` batches accepted and applied (dynamic daemons).
+    pub updates: u64,
 }
 
 /// A daemon response. Status byte 0 = Ok (followed by the request's opcode
@@ -358,6 +421,15 @@ pub enum Response {
     },
     Ping(ServeStats),
     Shutdown,
+    /// Outcome of one applied batch: effective vs relaxed-no-op updates,
+    /// the daemon-assigned watermark after the batch, and the epoch counter
+    /// of the snapshot now serving queries.
+    ApplyUpdates {
+        applied: u64,
+        skipped: u64,
+        seq: u64,
+        epoch: u64,
+    },
     Error {
         code: ErrorCode,
         message: String,
@@ -433,10 +505,24 @@ impl Response {
                 buf.put_u64_le(stats.runs);
                 buf.put_u64_le(stats.overloaded);
                 buf.put_u64_le(stats.protocol_errors);
+                buf.put_u64_le(stats.updates);
             }
             Response::Shutdown => {
                 buf.put_u8(STATUS_OK);
                 buf.put_u8(OP_SHUTDOWN);
+            }
+            Response::ApplyUpdates {
+                applied,
+                skipped,
+                seq,
+                epoch,
+            } => {
+                buf.put_u8(STATUS_OK);
+                buf.put_u8(OP_APPLY_UPDATES);
+                buf.put_u64_le(*applied);
+                buf.put_u64_le(*skipped);
+                buf.put_u64_le(*seq);
+                buf.put_u64_le(*epoch);
             }
             Response::Error { code, message } => {
                 buf.put_u8(STATUS_ERR);
@@ -513,7 +599,7 @@ impl Response {
                         }
                     }
                     OP_PING => {
-                        need(&buf, 48)?;
+                        need(&buf, 56)?;
                         Response::Ping(ServeStats {
                             requests: buf.get_u64_le(),
                             queries: buf.get_u64_le(),
@@ -521,9 +607,19 @@ impl Response {
                             runs: buf.get_u64_le(),
                             overloaded: buf.get_u64_le(),
                             protocol_errors: buf.get_u64_le(),
+                            updates: buf.get_u64_le(),
                         })
                     }
                     OP_SHUTDOWN => Response::Shutdown,
+                    OP_APPLY_UPDATES => {
+                        need(&buf, 32)?;
+                        Response::ApplyUpdates {
+                            applied: buf.get_u64_le(),
+                            skipped: buf.get_u64_le(),
+                            seq: buf.get_u64_le(),
+                            epoch: buf.get_u64_le(),
+                        }
+                    }
                     other => return Err(DecodeError::UnknownOpcode(other)),
                 }
             }
@@ -599,6 +695,51 @@ mod tests {
         });
         roundtrip_request(Request::Ping);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::ApplyUpdates { updates: vec![] });
+        roundtrip_request(Request::ApplyUpdates {
+            updates: vec![
+                WireUpdate {
+                    kind: UPDATE_INSERT,
+                    u: 0,
+                    v: 9,
+                    w: 1.25,
+                },
+                WireUpdate {
+                    kind: UPDATE_REMOVE,
+                    u: 3,
+                    v: 4,
+                    w: 0.0,
+                },
+                WireUpdate {
+                    kind: UPDATE_REWEIGHT,
+                    u: 7,
+                    v: 2,
+                    w: 0.5,
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn apply_updates_rejects_bad_kind_and_lying_count() {
+        let mut raw = Request::ApplyUpdates {
+            updates: vec![WireUpdate {
+                kind: UPDATE_INSERT,
+                u: 1,
+                v: 2,
+                w: 1.0,
+            }],
+        }
+        .encode();
+        raw[5] = 9; // kind byte of the first update
+        assert_eq!(
+            Request::decode(&raw),
+            Err(DecodeError::BadValue("update kind"))
+        );
+
+        let mut raw = Request::ApplyUpdates { updates: vec![] }.encode();
+        raw[1] = 200; // count says 200 updates, payload has none
+        assert_eq!(Request::decode(&raw), Err(DecodeError::Truncated));
     }
 
     #[test]
@@ -635,8 +776,15 @@ mod tests {
                 runs: 1,
                 overloaded: 1,
                 protocol_errors: 0,
+                updates: 2,
             }),
             Response::Shutdown,
+            Response::ApplyUpdates {
+                applied: 12,
+                skipped: 3,
+                seq: 15,
+                epoch: 4,
+            },
             Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "admission queue full".into(),

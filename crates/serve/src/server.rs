@@ -18,16 +18,30 @@
 //! original ids (with the same canonicalization rule: only when the
 //! permutation is non-identity). A daemon response and a serial CLI run on
 //! the same ASIX file are therefore bit-identical.
+//!
+//! Dynamic daemons ([`Server::new_dynamic`]) additionally accept
+//! `ApplyUpdates` batches. Reads and writes coexist through an **epoch
+//! swap**: the read path clones an `Arc` snapshot (graph + index + epoch
+//! counter) under a briefly-held read lock, the single writer applies the
+//! batch through the incremental engine *outside* any lock queries touch,
+//! then installs the new snapshot (and clears the memoized-query cache)
+//! under the write lock. Queries in flight keep their old snapshot — they
+//! answer for the epoch they started in — and every query admitted after
+//! the swap sees the repaired index. The mutation log, when configured, is
+//! saved *before* the swap: an update is never visible to readers unless it
+//! is durable.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use anyscan::{AnyScan, AnyScanConfig, Completion, RunControl};
+use anyscan_dynamic::{DynamicIndex, EdgeOp, EdgeUpdate, UpdateLog};
 use anyscan_graph::{CsrGraph, VertexPermutation};
 use anyscan_index::SimilarityIndex;
 use anyscan_scan_common::{Clustering, Role, ScanParams};
@@ -36,7 +50,8 @@ use anyscan_telemetry::{Counter, Recorder, Telemetry};
 use crate::admission::AdmissionQueue;
 use crate::protocol::{
     read_frame, write_frame, DecodeError, ErrorCode, FrameError, LabelBlock, QuerySummary, Request,
-    Response, ServeStats, REQUEST_FRAME_LIMIT,
+    Response, ServeStats, WireUpdate, REQUEST_FRAME_LIMIT, UPDATE_INSERT, UPDATE_REMOVE,
+    UPDATE_REWEIGHT,
 };
 
 /// Tuning knobs of a [`Server`]; see field docs for defaults.
@@ -74,6 +89,7 @@ struct Stats {
     runs: AtomicU64,
     overloaded: AtomicU64,
     protocol_errors: AtomicU64,
+    updates: AtomicU64,
 }
 
 impl Stats {
@@ -85,28 +101,53 @@ impl Stats {
             runs: self.runs.load(Ordering::Relaxed),
             overloaded: self.overloaded.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
         }
     }
 }
 
+/// The immutable state one generation of readers shares: the graph, the
+/// index over it, and a monotonically increasing generation counter. Static
+/// daemons live in epoch 0 forever; dynamic daemons install a new epoch per
+/// applied batch.
+struct Epoch {
+    graph: CsrGraph,
+    index: SimilarityIndex,
+    epoch: u64,
+}
+
+/// Writer-side state of a dynamic daemon, serialized by its mutex: the
+/// incremental engine (graph mirror + repaired index) and the optional
+/// durable mutation log.
+struct DynamicState {
+    engine: DynamicIndex,
+    log: Option<(UpdateLog, PathBuf)>,
+}
+
 /// One loaded graph + index pair answering requests (see module docs).
 pub struct Server {
-    graph: CsrGraph,
+    epoch: RwLock<Arc<Epoch>>,
     perm: VertexPermutation,
-    index: SimilarityIndex,
     config: ServerConfig,
     admission: AdmissionQueue,
     telemetry: Telemetry,
     stats: Stats,
     stopping: AtomicBool,
     active_conns: AtomicUsize,
+    /// Writer state; `None` for static daemons (`ApplyUpdates` rejected).
+    dynamic: Option<Mutex<DynamicState>>,
     /// Tiny LRU of query results keyed `(eps.to_bits(), mu)`, stored in
     /// original vertex ids; hits move to the back, evictions pop the front.
+    /// Cleared on every epoch swap, so entries always describe the epoch
+    /// being served.
     cache: Mutex<Vec<(CacheKey, Arc<Clustering>)>>,
 }
 
-/// Query-cache key: `(eps.to_bits(), mu)`.
-type CacheKey = (u64, u32);
+/// Query-cache key: `(eps.to_bits(), mu, epoch)`. The epoch component makes
+/// a slow reader's late insert (computed against a pre-swap snapshot)
+/// unreachable to post-swap readers; the swap's cache clear just frees the
+/// memory.
+type CacheKey = (u64, u32, u64);
 
 impl Server {
     /// Builds a server over a graph already relabeled by the index's
@@ -122,16 +163,59 @@ impl Server {
         index.check_graph(&graph)?;
         Ok(Server {
             admission: AdmissionQueue::new(config.max_inflight, config.queue_depth),
-            graph,
+            epoch: RwLock::new(Arc::new(Epoch {
+                graph,
+                index,
+                epoch: 0,
+            })),
             perm,
-            index,
             config,
             telemetry,
             stats: Stats::default(),
             stopping: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
+            dynamic: None,
             cache: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Builds a *dynamic* daemon around an incremental engine (and an
+    /// optional durable mutation log saved to `log`'s path after every
+    /// accepted batch). The engine may already carry replayed updates — the
+    /// first epoch snapshots its current state. Dynamic mode runs in
+    /// original vertex ids (the engine rejects reordered indexes), so the
+    /// permutation is the identity.
+    pub fn new_dynamic(
+        engine: DynamicIndex,
+        log: Option<(UpdateLog, PathBuf)>,
+        config: ServerConfig,
+        telemetry: Telemetry,
+    ) -> Result<Server, String> {
+        let graph = engine.to_csr().map_err(|e| e.to_string())?;
+        if let Some((l, _)) = &log {
+            if l.applied_seq() != engine.applied_seq() {
+                return Err(format!(
+                    "update log watermark {} disagrees with engine watermark {}",
+                    l.applied_seq(),
+                    engine.applied_seq()
+                ));
+            }
+        }
+        let index = engine.index().clone();
+        let perm = VertexPermutation::identity(graph.num_vertices());
+        let mut server = Server::new(graph, perm, index, config, telemetry)?;
+        server.dynamic = Some(Mutex::new(DynamicState { engine, log }));
+        Ok(server)
+    }
+
+    /// Whether this daemon accepts `ApplyUpdates`.
+    pub fn is_dynamic(&self) -> bool {
+        self.dynamic.is_some()
+    }
+
+    /// The generation counter of the snapshot currently serving queries.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.read().unwrap().epoch
     }
 
     /// The admission queue (exposed so tests can saturate it directly).
@@ -151,12 +235,18 @@ impl Server {
 
     /// Number of vertices served (original = reordered count).
     pub fn num_vertices(&self) -> usize {
-        self.graph.num_vertices()
+        self.epoch.read().unwrap().graph.num_vertices()
     }
 
-    /// Number of undirected edges served.
+    /// Number of undirected edges served (of the current epoch).
     pub fn num_edges(&self) -> u64 {
-        self.graph.num_edges()
+        self.epoch.read().unwrap().graph.num_edges()
+    }
+
+    /// The snapshot the read path uses: cloned out of the lock so queries
+    /// never hold it while working.
+    fn snapshot(&self) -> Arc<Epoch> {
+        Arc::clone(&self.epoch.read().unwrap())
     }
 
     /// True once a `Shutdown` request (or the stop token) began draining.
@@ -300,7 +390,7 @@ impl Server {
                 let _span = self.telemetry.span("serve_query");
                 self.stats.queries.fetch_add(1, Ordering::Relaxed);
                 self.telemetry.add(Counter::ServeQueries, 1);
-                let c = self.cached_query(params);
+                let c = self.cached_query(&self.snapshot(), params);
                 Response::Query {
                     summary: summarize(&c),
                     labels: want_labels.then(|| LabelBlock {
@@ -314,21 +404,23 @@ impl Server {
                     Ok(params) => params,
                     Err(resp) => return resp,
                 };
-                if vertex as usize >= self.graph.num_vertices() {
+                let ep = self.snapshot();
+                if vertex as usize >= ep.graph.num_vertices() {
                     return bad_request(format!(
                         "vertex {vertex} out of range (|V| = {})",
-                        self.graph.num_vertices()
+                        ep.graph.num_vertices()
                     ));
                 }
                 let _span = self.telemetry.span("serve_lookup");
                 self.stats.lookups.fetch_add(1, Ordering::Relaxed);
                 self.telemetry.add(Counter::ServeLookups, 1);
-                let c = self.cached_query(params);
+                let c = self.cached_query(&ep, params);
                 Response::Membership {
                     label: c.labels[vertex as usize],
                     role: role_code(c.roles[vertex as usize]),
                 }
             }
+            Request::ApplyUpdates { updates } => self.apply_updates(&updates),
             Request::Run {
                 eps,
                 mu,
@@ -339,11 +431,12 @@ impl Server {
                     Ok(params) => params,
                     Err(resp) => return resp,
                 };
+                let ep = self.snapshot();
                 let _span = self.telemetry.span("serve_run");
                 self.stats.runs.fetch_add(1, Ordering::Relaxed);
                 self.telemetry.add(Counter::ServeRuns, 1);
                 let config = AnyScanConfig::new(params)
-                    .with_auto_block_size(self.graph.num_vertices())
+                    .with_auto_block_size(ep.graph.num_vertices())
                     .with_threads(self.config.threads);
                 let mut ctl = RunControl::new();
                 if deadline_ms > 0 {
@@ -362,7 +455,7 @@ impl Server {
                     Telemetry::disabled()
                 };
                 let mut algo =
-                    AnyScan::new(&self.graph, config).with_telemetry(run_telemetry.clone());
+                    AnyScan::new(&ep.graph, config).with_telemetry(run_telemetry.clone());
                 let outcome = algo.run_controlled(&ctl);
                 if let Some(report) = run_telemetry.report() {
                     for &c in Counter::ALL.iter() {
@@ -403,11 +496,110 @@ impl Server {
         Ok(ScanParams::new(eps, mu as usize))
     }
 
+    /// Applies one `ApplyUpdates` batch through the incremental engine and
+    /// epoch-swaps the repaired snapshot in. Single-writer: the dynamic
+    /// mutex serializes batches; queries keep reading the previous epoch
+    /// until the swap (see module docs).
+    fn apply_updates(&self, updates: &[WireUpdate]) -> Response {
+        let Some(dynamic) = &self.dynamic else {
+            return bad_request("daemon is not in dynamic mode (start with --dynamic)".into());
+        };
+        let _span = self.telemetry.span("serve_apply_updates");
+        let mut state = dynamic.lock().unwrap();
+        if updates.is_empty() {
+            return Response::ApplyUpdates {
+                applied: 0,
+                skipped: 0,
+                seq: state.engine.applied_seq(),
+                epoch: self.current_epoch(),
+            };
+        }
+
+        // The daemon owns the global mutation order: sequence numbers are
+        // assigned here, contiguously after the engine's watermark.
+        let mut seq = state.engine.applied_seq();
+        let batch: Vec<EdgeUpdate> = updates
+            .iter()
+            .map(|up| {
+                seq += 1;
+                let op = match up.kind {
+                    UPDATE_INSERT => EdgeOp::Insert(up.w),
+                    UPDATE_REMOVE => EdgeOp::Remove,
+                    UPDATE_REWEIGHT => EdgeOp::Reweight(up.w),
+                    // Unreachable: the decoder rejects unknown kinds.
+                    other => unreachable!("wire kind {other} survived decoding"),
+                };
+                EdgeUpdate {
+                    seq,
+                    u: up.u,
+                    v: up.v,
+                    op,
+                }
+            })
+            .collect();
+
+        let stats = match state.engine.apply_batch(&batch, &self.telemetry) {
+            Ok(stats) => stats,
+            // apply_batch only fails validation here, and rejection is
+            // atomic — engine state (and therefore the served epoch) is
+            // untouched.
+            Err(e) => return bad_request(e.to_string()),
+        };
+
+        // Durability before visibility: the log is saved before readers can
+        // observe the new epoch. A failed save is an internal error; the
+        // engine has advanced but the epoch has not — the daemon keeps
+        // serving the last durable state and the batch reports failure.
+        if let Some((log, path)) = &mut state.log {
+            let persist = log.append_batch(&batch).and_then(|()| log.save(path));
+            if let Err(e) = persist {
+                return Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("update log write failed: {e}"),
+                };
+            }
+        }
+
+        let snapshot = match state.engine.to_csr() {
+            Ok(g) => g,
+            Err(e) => {
+                return Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("epoch snapshot failed: {e}"),
+                }
+            }
+        };
+        let index = state.engine.index().clone();
+
+        // The swap: writer excludes readers only for the Arc replacement
+        // and cache clear, never for the repair work above.
+        let new_epoch;
+        {
+            let mut ep = self.epoch.write().unwrap();
+            new_epoch = ep.epoch + 1;
+            *ep = Arc::new(Epoch {
+                graph: snapshot,
+                index,
+                epoch: new_epoch,
+            });
+            self.cache.lock().unwrap().clear();
+        }
+        self.stats.updates.fetch_add(1, Ordering::Relaxed);
+        Response::ApplyUpdates {
+            applied: stats.applied,
+            skipped: stats.skipped,
+            seq: stats.last_seq,
+            epoch: new_epoch,
+        }
+    }
+
     /// An index query in original vertex ids, memoized. Concurrent misses
     /// on the same key may compute twice; the results are identical (the
-    /// sweep is deterministic), so last-insert-wins is harmless.
-    fn cached_query(&self, params: ScanParams) -> Arc<Clustering> {
-        let key = (params.epsilon.to_bits(), params.mu as u32);
+    /// sweep is deterministic), so last-insert-wins is harmless. Keys carry
+    /// the snapshot's epoch, so a slow pre-swap reader can never poison
+    /// post-swap answers.
+    fn cached_query(&self, ep: &Epoch, params: ScanParams) -> Arc<Clustering> {
+        let key = (params.epsilon.to_bits(), params.mu as u32, ep.epoch);
         if self.config.cache_entries > 0 {
             let mut cache = self.cache.lock().unwrap();
             if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
@@ -417,11 +609,8 @@ impl Server {
                 return c;
             }
         }
-        let c = Arc::new(self.to_original(self.index.query_traced(
-            &self.graph,
-            params,
-            &self.telemetry,
-        )));
+        let c =
+            Arc::new(self.to_original(ep.index.query_traced(&ep.graph, params, &self.telemetry)));
         if self.config.cache_entries > 0 {
             let mut cache = self.cache.lock().unwrap();
             if !cache.iter().any(|(k, _)| *k == key) {

@@ -144,11 +144,21 @@ pub enum Counter {
     LoadOverloaded,
     /// Transport or protocol errors the load generator observed.
     LoadErrors,
+    /// Edge mutations (insert / remove / reweight) the dynamic update
+    /// subsystem applied to its resident graph.
+    DynUpdatesApplied,
+    /// σ re-evaluations triggered by update batches (edges incident to a
+    /// touched neighborhood). Each is also counted in `sigma_evals` and
+    /// `sigma_path_merge`, so the `sigma_path_*` partition stays exact.
+    DynSigmaReevals,
+    /// Neighbor-order (and matching core-order) repairs applied in place to
+    /// the similarity index — one per vertex whose order changed.
+    DynIndexRepairs,
 }
 
 impl Counter {
     /// All counters, in storage order.
-    pub const ALL: [Counter; 40] = [
+    pub const ALL: [Counter; 43] = [
         Counter::SigmaEvals,
         Counter::Lemma5Filtered,
         Counter::SharedEvals,
@@ -189,6 +199,9 @@ impl Counter {
         Counter::LoadOk,
         Counter::LoadOverloaded,
         Counter::LoadErrors,
+        Counter::DynUpdatesApplied,
+        Counter::DynSigmaReevals,
+        Counter::DynIndexRepairs,
     ];
 
     /// Number of counters (array sizing).
@@ -237,6 +250,9 @@ impl Counter {
             Counter::LoadOk => "load_ok",
             Counter::LoadOverloaded => "load_overloaded",
             Counter::LoadErrors => "load_errors",
+            Counter::DynUpdatesApplied => "dyn_updates_applied",
+            Counter::DynSigmaReevals => "dyn_sigma_reevals",
+            Counter::DynIndexRepairs => "dyn_index_repairs",
         }
     }
 }
