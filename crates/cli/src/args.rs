@@ -13,7 +13,7 @@ pub struct Options {
 impl Options {
     /// Parses a `--key value | --switch` token stream.
     pub fn parse(argv: &[String]) -> Result<Options, String> {
-        const SWITCHES: &[&str] = &["unweighted", "no-opt", "quiet", "dynamic"];
+        const SWITCHES: &[&str] = &["unweighted", "no-opt", "quiet", "dynamic", "promote"];
         let mut out = Options::default();
         let mut i = 0;
         while i < argv.len() {
@@ -122,7 +122,11 @@ commands:
   serve        --input FILE | --dataset ID  --index FILE.asix
                [--listen HOST:PORT | --socket PATH] [--threads T]
                [--max-inflight N] [--queue-depth N] [--cache-entries N]
-               [--dynamic [--update-log FILE.asul]] [--trace-json FILE]
+               [--conn-timeout-ms MS] [--dynamic [--update-log FILE.asul]]
+               [--replica-of HOST:PORT|unix:PATH] [--promote]
+               [--trace-json FILE]
+  probe        --connect LIST | --socket PATH   (health of each endpoint)
+  promote      --connect HOST:PORT | --socket PATH   (make it the primary)
   mutate       --input FILE | --dataset ID  --trace-out FILE.asul
                [--updates N] [--batch B] [--update-seed S] [--threads T]
                [--out FILE[.bin|.txt]] [--trace-json FILE]
@@ -148,6 +152,16 @@ the mutated graph (DESIGN.md §13). --update-log makes mutations durable
 (ASUL format; replayed on restart). `mutate` generates and applies a random
 update trace; `replay` re-applies a trace against its base graph. Dynamic
 mode requires an index built with --reorder none and --sketch off|assist
+
+serve --replica-of makes a dynamic daemon a read-only replica: it
+subscribes to the primary's committed ASUL stream, serves reads at its
+applied epoch, and answers writes with a typed `not primary` + leader hint.
+`promote` (the command, or --promote on a restart) turns a replica into a
+writable primary, fencing the old one via a monotonic term carried in every
+replicated frame (DESIGN.md §14). `probe` prints each endpoint's health:
+role, term, epoch, durable watermark and admission pressure.
+--conn-timeout-ms closes connections that stall past the deadline with a
+typed `timeout` error (counted in serve stats)
 
 execution control: Ctrl-C, --deadline-ms, and --max-blocks all stop a run
 cleanly at the next block boundary with the best-so-far clustering;

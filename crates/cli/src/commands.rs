@@ -889,11 +889,13 @@ pub fn serve(opts: &Options) -> CmdResult {
     // Same relabeling contract as `index query`: re-derive the reorder the
     // index was built under; responses map back to original vertex ids.
     let (g, perm) = apply_reorder(load_graph(opts)?, idx.reorder());
+    let conn_timeout_ms: u64 = opts.get_or("conn-timeout-ms", 0)?;
     let config = ServerConfig {
         threads: opts.get_or("threads", 1)?,
         max_inflight: opts.get_or("max-inflight", 4)?,
         queue_depth: opts.get_or("queue-depth", 16)?,
         cache_entries: opts.get_or("cache-entries", 16)?,
+        conn_timeout: (conn_timeout_ms > 0).then(|| Duration::from_millis(conn_timeout_ms)),
     };
     let trace_path = opts.get_str("trace-json");
     let telemetry = if trace_path.is_some() {
@@ -943,8 +945,41 @@ pub fn serve(opts: &Options) -> CmdResult {
                 .map_err(|e| format!("--index {idx_path}: {e}"))?,
         )
     };
+    // Replication role. `--promote` on a restart: a replica's operator
+    // brings its daemon back as the writable primary — the term bump is
+    // durable (persisted into the ASUL header) so the deposed primary's
+    // frames are fenced even across this restart.
+    let replica_of = opts.get_str("replica-of");
+    if opts.switch("promote") {
+        if replica_of.is_some() {
+            return Err("--promote and --replica-of are mutually exclusive".into());
+        }
+        if !server.is_dynamic() {
+            return Err("--promote needs --dynamic".into());
+        }
+        server.become_replica("");
+        match server.promote() {
+            anyscan_serve::Response::Promoted { term, .. } => {
+                println!("promoted: serving as primary at term {term}");
+            }
+            other => return Err(format!("--promote failed: {other:?}")),
+        }
+    }
+    let feed = match replica_of {
+        Some(primary) => {
+            if !server.is_dynamic() {
+                return Err("--replica-of needs --dynamic".into());
+            }
+            server.become_replica(primary);
+            Some(anyscan_serve::run_replica_feed(
+                std::sync::Arc::clone(&server),
+                anyscan_serve::ReplicaFeedConfig::new(primary),
+            ))
+        }
+        None => None,
+    };
     println!(
-        "serving {} vertices / {} edges from {idx_path}{} \
+        "serving {} vertices / {} edges from {idx_path}{}{} \
          ({} in flight, {} queued, cache {})",
         server.num_vertices(),
         server.num_edges(),
@@ -952,6 +987,10 @@ pub fn serve(opts: &Options) -> CmdResult {
             " [dynamic]"
         } else {
             ""
+        },
+        match replica_of {
+            Some(primary) => format!(" [replica of {primary}, term {}]", server.term()),
+            None => format!(" [term {}]", server.term()),
         },
         config.max_inflight,
         config.queue_depth,
@@ -983,17 +1022,22 @@ pub fn serve(opts: &Options) -> CmdResult {
     server
         .serve(listener, &ctl)
         .map_err(|e| format!("serve: {e}"))?;
+    if let Some(feed) = feed {
+        // The feed notices the drain within its read-timeout tick.
+        let _ = feed.join();
+    }
     let stats = server.stats();
     println!(
         "drained: {} requests ({} queries, {} lookups, {} runs, \
-         {} update batches, {} overloaded, {} protocol errors)",
+         {} update batches, {} overloaded, {} protocol errors, {} timeouts)",
         stats.requests,
         stats.queries,
         stats.lookups,
         stats.runs,
         stats.updates,
         stats.overloaded,
-        stats.protocol_errors
+        stats.protocol_errors,
+        stats.timeouts
     );
     if let Some(path) = trace_path {
         telemetry.add(Counter::FaultsInjected, anyscan_faults::injected());
@@ -1007,6 +1051,91 @@ pub fn serve(opts: &Options) -> CmdResult {
         write_trace_with(path, &telemetry, &meta)?;
     }
     Ok(())
+}
+
+/// Endpoint list from `--connect a,b,c` / `--socket PATH` (default
+/// 127.0.0.1:7411), shared by `probe` and `promote`.
+fn client_endpoints(opts: &Options) -> Result<Vec<anyscan_client::Endpoint>, String> {
+    if let Some(path) = opts.get_str("socket") {
+        return Ok(vec![anyscan_client::Endpoint::Unix(path.to_string())]);
+    }
+    anyscan_client::Endpoint::parse_list(opts.get_str("connect").unwrap_or("127.0.0.1:7411"))
+}
+
+/// `probe`: pings every listed endpoint and prints one health line each —
+/// role, term, epoch, durable watermark, admission pressure, cumulative
+/// counters. Exit is an error only if *no* endpoint answered, so the
+/// command doubles as a liveness check for a degraded group.
+pub fn probe(opts: &Options) -> CmdResult {
+    use anyscan_serve::protocol::server_role_name;
+    let endpoints = client_endpoints(opts)?;
+    let mut client = anyscan_client::Client::new(anyscan_client::ClientConfig {
+        request_timeout: Some(Duration::from_millis(opts.get_or("timeout-ms", 2000u64)?)),
+        retry: anyscan_client::RetryPolicy {
+            attempts: 1,
+            ..Default::default()
+        },
+        ..anyscan_client::ClientConfig::new(endpoints.clone())
+    })
+    .map_err(|e| e.to_string())?;
+    let mut alive = 0usize;
+    for endpoint in &endpoints {
+        match client.probe(endpoint) {
+            Ok(anyscan_serve::Response::Ping(h)) => {
+                alive += 1;
+                println!(
+                    "{endpoint}: {} term {} epoch {} watermark {} \
+                     inflight {} queued {} requests {} errors {} timeouts {}",
+                    server_role_name(h.role).unwrap_or("unknown"),
+                    h.term,
+                    h.epoch,
+                    h.watermark,
+                    h.inflight,
+                    h.queued,
+                    h.stats.requests,
+                    h.stats.protocol_errors,
+                    h.stats.timeouts
+                );
+            }
+            Ok(other) => println!("{endpoint}: unexpected answer {other:?}"),
+            Err(e) => println!("{endpoint}: unreachable ({e})"),
+        }
+    }
+    if alive == 0 {
+        return Err("no endpoint answered".into());
+    }
+    Ok(())
+}
+
+/// `promote`: asks one daemon to become the writable primary. The bumped
+/// term (printed) fences the deposed primary's replication frames.
+pub fn promote(opts: &Options) -> CmdResult {
+    let endpoints = client_endpoints(opts)?;
+    if endpoints.len() != 1 {
+        return Err("promote targets exactly one endpoint".into());
+    }
+    let mut client =
+        anyscan_client::Client::connect(endpoints[0].clone()).map_err(|e| e.to_string())?;
+    match client
+        .call(&anyscan_serve::protocol::Request::Promote)
+        .map_err(|e| e.to_string())?
+    {
+        anyscan_serve::Response::Promoted {
+            term,
+            epoch,
+            watermark,
+        } => {
+            println!(
+                "{} is primary at term {term} (epoch {epoch}, watermark {watermark})",
+                endpoints[0]
+            );
+            Ok(())
+        }
+        anyscan_serve::Response::Error { code, message } => {
+            Err(format!("promote refused: {} ({message})", code.label()))
+        }
+        other => Err(format!("unexpected answer {other:?}")),
+    }
 }
 
 /// `mutate`: generates a random edge-update trace against the input graph,

@@ -48,6 +48,8 @@ fn main() {
         "interactive" => commands::interactive(&opts),
         "resume" => commands::resume(&opts),
         "serve" => commands::serve(&opts),
+        "probe" => commands::probe(&opts),
+        "promote" => commands::promote(&opts),
         "mutate" => commands::mutate(&opts),
         "replay" => commands::replay(&opts),
         "index" => match sub.as_deref() {

@@ -1,8 +1,12 @@
-//! Ctrl-C as a cooperative cancel source.
+//! Ctrl-C and SIGTERM as cooperative cancel sources.
 //!
 //! The handler only flips a static atomic — the driver notices it at the
 //! next block boundary (via [`anyscan::RunControl::with_interrupt_flag`])
-//! and stops cleanly with the Lemma-1 best-so-far snapshot. No dependency:
+//! and stops cleanly with the Lemma-1 best-so-far snapshot; the serve
+//! daemon notices it in its accept loop and drains (connections finish,
+//! the update log and trace flush). SIGTERM gets the same treatment as
+//! SIGINT because that is what orchestrators and CI send on teardown — a
+//! supervised daemon must drain on it, not die mid-write. No dependency:
 //! the raw libc `signal` symbol is declared directly; an atomic store is
 //! async-signal-safe.
 
@@ -28,8 +32,10 @@ pub fn install() {
     }
 
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
     unsafe {
         signal(SIGINT, handle as extern "C" fn(i32) as usize);
+        signal(SIGTERM, handle as extern "C" fn(i32) as usize);
     }
 }
 

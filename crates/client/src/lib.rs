@@ -1,0 +1,572 @@
+//! Failover-aware client for the anyscan serve protocol.
+//!
+//! The daemon side of PR 9 made serving replicated: a primary streams
+//! committed ASUL entries to replicas, any of which answers reads at its
+//! applied epoch and refuses writes with a typed `NotPrimary` carrying the
+//! leader's address. This crate is the matching client half — the piece
+//! that turns "a set of daemons" into "a service":
+//!
+//! - **endpoint lists** — a [`Client`] holds every known daemon address
+//!   (TCP `host:port` or `unix:PATH`) and keeps at most one cached
+//!   connection per endpoint (the pool of a blocking one-request-per-
+//!   connection protocol);
+//! - **read failover** — reads rotate across endpoints; a transport error
+//!   retires that endpoint's connection and the request moves on, under a
+//!   capped exponential backoff with jitter;
+//! - **write routing** — writes go only to the believed primary; a
+//!   `NotPrimary` answer re-aims at the hinted leader (learning new
+//!   addresses as the topology changes) and retries;
+//! - **per-request timeouts** — socket deadlines bound every read/write, so
+//!   a hung daemon costs one timeout, not a stuck harness.
+//!
+//! Every recovery is tallied in [`ClientStats`], keeping *reconnects*
+//! separate from *request errors* — the distinction the load harness needs
+//! to tell a flaky network from a failing daemon.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use anyscan_serve::protocol::{
+    read_frame, write_frame, DecodeError, ErrorCode, FrameError, Request, Response,
+    RESPONSE_FRAME_LIMIT,
+};
+
+/// One daemon address: TCP `host:port`, or `unix:PATH`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    Tcp(String),
+    Unix(String),
+}
+
+impl Endpoint {
+    /// Parses `host:port` or `unix:PATH`.
+    pub fn parse(raw: &str) -> Result<Endpoint, String> {
+        let raw = raw.trim();
+        if let Some(path) = raw.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("empty unix socket path".into());
+            }
+            return Ok(Endpoint::Unix(path.to_string()));
+        }
+        if raw.is_empty() {
+            return Err("empty endpoint".into());
+        }
+        // A TCP endpoint needs a port split; anything else is a typo we
+        // want caught at parse time, not at connect time.
+        match raw.rsplit_once(':') {
+            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
+                Ok(Endpoint::Tcp(raw.to_string()))
+            }
+            _ => Err(format!("bad endpoint {raw:?}, want host:port or unix:PATH")),
+        }
+    }
+
+    /// Parses a comma-separated endpoint list (`a:1,b:2,unix:/s.sock`).
+    pub fn parse_list(raw: &str) -> Result<Vec<Endpoint>, String> {
+        let endpoints: Vec<Endpoint> = raw
+            .split(',')
+            .filter(|part| !part.trim().is_empty())
+            .map(Endpoint::parse)
+            .collect::<Result<_, _>>()?;
+        if endpoints.is_empty() {
+            return Err("empty endpoint list".into());
+        }
+        Ok(endpoints)
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{path}"),
+        }
+    }
+}
+
+/// Retry/backoff knobs shared by every request.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included; default 4).
+    pub attempts: u32,
+    /// Backoff before the first retry (default 25ms).
+    pub min_backoff: Duration,
+    /// Backoff ceiling (default 1s).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            min_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The nominal (pre-jitter) backoff before retry number `retry`
+    /// (1-based): capped exponential.
+    pub fn nominal_backoff(&self, retry: u32) -> Duration {
+        let exp = retry.saturating_sub(1).min(20);
+        let nominal = self
+            .min_backoff
+            .saturating_mul(1u32.checked_shl(exp).unwrap_or(u32::MAX));
+        nominal.min(self.max_backoff)
+    }
+}
+
+/// Everything a [`Client`] needs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// All known daemon addresses. Writes start at the first entry; the
+    /// client re-learns the primary from `NotPrimary` hints.
+    pub endpoints: Vec<Endpoint>,
+    /// Socket deadline applied to every read/write (None = block forever).
+    pub request_timeout: Option<Duration>,
+    pub retry: RetryPolicy,
+    /// Jitter seed (vary per worker so backoffs don't stampede).
+    pub seed: u64,
+}
+
+impl ClientConfig {
+    /// A config with defaults around the given endpoints.
+    pub fn new(endpoints: Vec<Endpoint>) -> ClientConfig {
+        ClientConfig {
+            endpoints,
+            request_timeout: Some(Duration::from_secs(10)),
+            retry: RetryPolicy::default(),
+            seed: 0x5eed_c11e,
+        }
+    }
+}
+
+/// Why a call failed, after the retry budget is spent.
+#[derive(Debug)]
+pub enum ClientError {
+    /// No endpoint answered within the retry budget; carries the last
+    /// failure seen.
+    Exhausted {
+        attempts: u32,
+        last: String,
+    },
+    Connect(std::io::Error),
+    Frame(FrameError),
+    Decode(DecodeError),
+    /// The daemon closed the connection before answering.
+    ClosedEarly,
+    /// The socket deadline (`request_timeout`) passed mid-request.
+    Timeout,
+    /// Config error (empty endpoint list, bad address).
+    Config(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "no endpoint answered after {attempts} attempts: {last}")
+            }
+            ClientError::Connect(e) => write!(f, "connect: {e}"),
+            ClientError::Frame(e) => write!(f, "frame: {e}"),
+            ClientError::Decode(e) => write!(f, "decode: {e}"),
+            ClientError::ClosedEarly => write!(f, "connection closed before a response"),
+            ClientError::Timeout => write!(f, "request timed out"),
+            ClientError::Config(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Recovery tallies — reconnects are deliberately separate from request
+/// errors (a retried request that succeeds is *not* an error).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Connections opened, lifetime.
+    pub connects: u64,
+    /// Connections opened to replace one that existed before (i.e. every
+    /// connect after an endpoint's first).
+    pub reconnects: u64,
+    /// Request attempts beyond each request's first.
+    pub retries: u64,
+    /// Writes re-aimed by a `NotPrimary` leader hint.
+    pub failovers: u64,
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Per-endpoint state: the cached idle connection (the "pool" of a blocking
+/// protocol) and whether this endpoint ever connected (for the reconnect
+/// tally).
+struct Slot {
+    endpoint: Endpoint,
+    conn: Option<Stream>,
+    ever_connected: bool,
+}
+
+/// A pooled, failover-aware protocol client. See the module docs.
+pub struct Client {
+    slots: Vec<Slot>,
+    /// Index of the believed primary (writes go here first).
+    primary: usize,
+    /// Round-robin cursor for reads.
+    cursor: usize,
+    request_timeout: Option<Duration>,
+    retry: RetryPolicy,
+    rng: StdRng,
+    stats: ClientStats,
+}
+
+/// Whether a request mutates daemon state (and must reach the primary).
+/// `Shutdown` and `Promote` are *targeted* commands, not replicated writes:
+/// they go to whichever endpoint the caller listed first and do not follow
+/// leader hints.
+fn is_replicated_write(request: &Request) -> bool {
+    matches!(request, Request::ApplyUpdates { .. })
+}
+
+impl Client {
+    pub fn new(config: ClientConfig) -> Result<Client, ClientError> {
+        if config.endpoints.is_empty() {
+            return Err(ClientError::Config("empty endpoint list".into()));
+        }
+        Ok(Client {
+            slots: config
+                .endpoints
+                .into_iter()
+                .map(|endpoint| Slot {
+                    endpoint,
+                    conn: None,
+                    ever_connected: false,
+                })
+                .collect(),
+            primary: 0,
+            cursor: 0,
+            request_timeout: config.request_timeout,
+            retry: config.retry,
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: ClientStats::default(),
+        })
+    }
+
+    /// A single-endpoint client with default knobs.
+    pub fn connect(endpoint: Endpoint) -> Result<Client, ClientError> {
+        Client::new(ClientConfig::new(vec![endpoint]))
+    }
+
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// The endpoint writes currently aim at.
+    pub fn primary_endpoint(&self) -> &Endpoint {
+        &self.slots[self.primary].endpoint
+    }
+
+    /// Sends one request with retry/failover and blocks for its response.
+    /// Reads rotate over every endpoint; replicated writes follow the
+    /// `NotPrimary` leader hint. A typed daemon error other than
+    /// `NotPrimary` is a *response* (`Ok(Response::Error { .. })`), not a
+    /// transport failure — the caller decides what it means.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let write = is_replicated_write(request);
+        let mut last = String::new();
+        for attempt in 0..self.retry.attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                let nominal = self.retry.nominal_backoff(attempt);
+                std::thread::sleep(nominal.mul_f64(self.rng.gen_range(0.5..1.0)));
+            }
+            let slot = if write {
+                self.primary
+            } else {
+                self.cursor % self.slots.len()
+            };
+            match self.try_once(slot, request) {
+                Ok(Response::Error {
+                    code: ErrorCode::NotPrimary,
+                    message,
+                }) if write => {
+                    // Follow the hint when there is one; otherwise fall
+                    // through to the next attempt (an election may be in
+                    // progress and the hint not yet known).
+                    last = if message.is_empty() {
+                        format!("{} is not the primary", self.slots[slot].endpoint)
+                    } else {
+                        format!(
+                            "{} is not the primary (leader hint {message})",
+                            self.slots[slot].endpoint
+                        )
+                    };
+                    if !message.is_empty() {
+                        if let Ok(hinted) = Endpoint::parse(&message) {
+                            self.aim_writes_at(hinted);
+                            self.stats.failovers += 1;
+                        }
+                    }
+                }
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    last = format!("{}: {e}", self.slots[slot].endpoint);
+                    if let ClientError::Timeout = e {
+                        // A timed-out write may have committed; retrying
+                        // could double-apply. Surface it instead.
+                        if write {
+                            return Err(ClientError::Timeout);
+                        }
+                    }
+                    if !write {
+                        // Read failover: move on to the next endpoint.
+                        self.cursor = (self.cursor + 1) % self.slots.len();
+                    }
+                }
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: self.retry.attempts,
+            last,
+        })
+    }
+
+    /// `Ping`s a specific endpoint (bypassing rotation), for health probes.
+    pub fn probe(&mut self, endpoint: &Endpoint) -> Result<Response, ClientError> {
+        let slot = match self.slots.iter().position(|s| s.endpoint == *endpoint) {
+            Some(i) => i,
+            None => {
+                self.slots.push(Slot {
+                    endpoint: endpoint.clone(),
+                    conn: None,
+                    ever_connected: false,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.try_once(slot, &Request::Ping)
+    }
+
+    /// Re-aims writes at `leader`, learning the address if it is new.
+    fn aim_writes_at(&mut self, leader: Endpoint) {
+        match self.slots.iter().position(|s| s.endpoint == leader) {
+            Some(i) => self.primary = i,
+            None => {
+                self.slots.push(Slot {
+                    endpoint: leader,
+                    conn: None,
+                    ever_connected: false,
+                });
+                self.primary = self.slots.len() - 1;
+            }
+        }
+    }
+
+    /// One request/response exchange against one endpoint. Any failure
+    /// retires that endpoint's cached connection.
+    fn try_once(&mut self, slot: usize, request: &Request) -> Result<Response, ClientError> {
+        if self.slots[slot].conn.is_none() {
+            let stream = self.open(slot)?;
+            self.slots[slot].conn = Some(stream);
+        }
+        let conn = self.slots[slot].conn.as_mut().unwrap();
+        let result = exchange(conn, request);
+        if result.is_err() {
+            // Whatever happened, the stream position is unknowable: retire
+            // the connection so the next attempt starts clean.
+            self.slots[slot].conn = None;
+        }
+        result
+    }
+
+    fn open(&mut self, slot: usize) -> Result<Stream, ClientError> {
+        let stream = match &self.slots[slot].endpoint {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr).map_err(ClientError::Connect)?;
+                s.set_nodelay(true).map_err(ClientError::Connect)?;
+                s.set_read_timeout(self.request_timeout)
+                    .map_err(ClientError::Connect)?;
+                s.set_write_timeout(self.request_timeout)
+                    .map_err(ClientError::Connect)?;
+                Stream::Tcp(s)
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let s = UnixStream::connect(path).map_err(ClientError::Connect)?;
+                s.set_read_timeout(self.request_timeout)
+                    .map_err(ClientError::Connect)?;
+                s.set_write_timeout(self.request_timeout)
+                    .map_err(ClientError::Connect)?;
+                Stream::Unix(s)
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(path) => {
+                return Err(ClientError::Config(format!(
+                    "unix sockets unsupported on this platform: {path}"
+                )))
+            }
+        };
+        self.stats.connects += 1;
+        if self.slots[slot].ever_connected {
+            self.stats.reconnects += 1;
+        }
+        self.slots[slot].ever_connected = true;
+        Ok(stream)
+    }
+}
+
+fn exchange(conn: &mut Stream, request: &Request) -> Result<Response, ClientError> {
+    write_frame(conn, &request.encode()).map_err(|e| {
+        if is_timeout(&e) {
+            ClientError::Timeout
+        } else {
+            ClientError::Frame(FrameError::Io(e))
+        }
+    })?;
+    let payload = match read_frame(conn, RESPONSE_FRAME_LIMIT) {
+        Ok(Some(payload)) => payload,
+        Ok(None) => return Err(ClientError::ClosedEarly),
+        Err(FrameError::Io(e)) if is_timeout(&e) => return Err(ClientError::Timeout),
+        Err(e) => return Err(ClientError::Frame(e)),
+    };
+    Response::decode(&payload).map_err(ClientError::Decode)
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Polls `endpoint` with `Ping` until it answers or `timeout` elapses;
+/// returns the connected client on success. The startup handshake every
+/// harness and smoke script uses.
+pub fn wait_ready(endpoint: &Endpoint, timeout: Duration) -> Result<Client, ClientError> {
+    let mut client = Client::connect(endpoint.clone())?;
+    let deadline = Instant::now() + timeout;
+    loop {
+        match client.call(&Request::Ping) {
+            Ok(_) => return Ok(client),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_parse_and_reject() {
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7411").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7411".into())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/a.sock").unwrap(),
+            Endpoint::Unix("/tmp/a.sock".into())
+        );
+        assert!(Endpoint::parse("").is_err());
+        assert!(Endpoint::parse("unix:").is_err());
+        assert!(Endpoint::parse("nohost").is_err());
+        assert!(Endpoint::parse("host:notaport").is_err());
+
+        let list = Endpoint::parse_list("a:1, b:2 ,unix:/s.sock").unwrap();
+        assert_eq!(list.len(), 3);
+        assert_eq!(list[2], Endpoint::Unix("/s.sock".into()));
+        assert!(Endpoint::parse_list("").is_err());
+        assert!(Endpoint::parse_list(",,").is_err());
+    }
+
+    #[test]
+    fn endpoint_display_roundtrips_through_parse() {
+        for raw in ["127.0.0.1:9", "unix:/x/y.sock"] {
+            let ep = Endpoint::parse(raw).unwrap();
+            assert_eq!(Endpoint::parse(&ep.to_string()).unwrap(), ep);
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            min_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(150),
+        };
+        assert_eq!(policy.nominal_backoff(1), Duration::from_millis(25));
+        assert_eq!(policy.nominal_backoff(2), Duration::from_millis(50));
+        assert_eq!(policy.nominal_backoff(3), Duration::from_millis(100));
+        assert_eq!(policy.nominal_backoff(4), Duration::from_millis(150));
+        assert_eq!(policy.nominal_backoff(30), Duration::from_millis(150));
+    }
+
+    #[test]
+    fn write_classification_routes_only_replicated_writes() {
+        assert!(is_replicated_write(&Request::ApplyUpdates {
+            updates: vec![]
+        }));
+        for req in [
+            Request::Ping,
+            Request::Shutdown,
+            Request::Promote,
+            Request::Query {
+                eps: 0.5,
+                mu: 2,
+                want_labels: false,
+            },
+        ] {
+            assert!(!is_replicated_write(&req));
+        }
+    }
+
+    #[test]
+    fn empty_endpoint_list_is_a_config_error() {
+        match Client::new(ClientConfig::new(vec![])) {
+            Err(ClientError::Config(_)) => {}
+            other => panic!("expected config error, got {:?}", other.map(|_| ())),
+        }
+    }
+}

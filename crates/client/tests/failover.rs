@@ -1,0 +1,180 @@
+//! Failover behavior against scripted daemons: reads rotate off dead
+//! endpoints, writes chase the `NotPrimary` leader hint, reconnects are
+//! tallied apart from request errors, and a hung daemon costs one timeout.
+
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+use anyscan_client::{Client, ClientConfig, ClientError, Endpoint, RetryPolicy};
+use anyscan_serve::protocol::{
+    read_frame, write_frame, ErrorCode, Request, Response, WireUpdate, REQUEST_FRAME_LIMIT,
+    UPDATE_INSERT,
+};
+use anyscan_serve::Health;
+
+/// A scripted daemon: answers every request with `handler`; `None` closes
+/// the connection. The accept thread leaks — the test process ends it.
+fn fake_server(
+    mut handler: impl FnMut(Request) -> Option<Response> + Send + 'static,
+) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { continue };
+            while let Ok(Some(payload)) = read_frame(&mut conn, REQUEST_FRAME_LIMIT) {
+                let request = Request::decode(&payload).unwrap();
+                match handler(request) {
+                    Some(response) => {
+                        if write_frame(&mut conn, &response.encode()).is_err() {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+    });
+    addr
+}
+
+/// An address that refuses connections (bound, then immediately dropped).
+fn dead_endpoint() -> Endpoint {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    drop(listener);
+    Endpoint::Tcp(addr.to_string())
+}
+
+fn fast_retry(attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        attempts,
+        min_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+    }
+}
+
+fn ping_ok() -> Option<Response> {
+    Some(Response::Ping(Health::default()))
+}
+
+fn one_write() -> Request {
+    Request::ApplyUpdates {
+        updates: vec![WireUpdate {
+            kind: UPDATE_INSERT,
+            u: 0,
+            v: 1,
+            w: 1.0,
+        }],
+    }
+}
+
+#[test]
+fn reads_fail_over_past_a_dead_endpoint() {
+    let live = fake_server(|_| ping_ok());
+    let mut client = Client::new(ClientConfig {
+        retry: fast_retry(4),
+        ..ClientConfig::new(vec![dead_endpoint(), Endpoint::Tcp(live.to_string())])
+    })
+    .unwrap();
+    match client.call(&Request::Ping).unwrap() {
+        Response::Ping(_) => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+    let stats = client.stats();
+    assert!(stats.retries >= 1, "stats: {stats:?}");
+    // Refused connects are recovery, not request errors: the call succeeded.
+}
+
+#[test]
+fn writes_follow_the_not_primary_leader_hint() {
+    let primary = fake_server(|request| match request {
+        Request::ApplyUpdates { .. } => Some(Response::ApplyUpdates {
+            applied: 1,
+            skipped: 0,
+            seq: 1,
+            epoch: 1,
+        }),
+        _ => ping_ok(),
+    });
+    let hint = primary.to_string();
+    let replica = fake_server(move |request| match request {
+        Request::ApplyUpdates { .. } => Some(Response::Error {
+            code: ErrorCode::NotPrimary,
+            message: hint.clone(),
+        }),
+        _ => ping_ok(),
+    });
+
+    // The client only knows the replica; the hint teaches it the primary.
+    let mut client = Client::new(ClientConfig {
+        retry: fast_retry(4),
+        ..ClientConfig::new(vec![Endpoint::Tcp(replica.to_string())])
+    })
+    .unwrap();
+    match client.call(&one_write()).unwrap() {
+        Response::ApplyUpdates { seq, .. } => assert_eq!(seq, 1),
+        other => panic!("unexpected response {other:?}"),
+    }
+    assert_eq!(client.stats().failovers, 1);
+    assert_eq!(
+        client.primary_endpoint(),
+        &Endpoint::Tcp(primary.to_string())
+    );
+
+    // The learned primary sticks: the next write goes straight there.
+    client.call(&one_write()).unwrap();
+    assert_eq!(client.stats().failovers, 1);
+}
+
+#[test]
+fn reconnects_are_tallied_separately_from_request_errors() {
+    // Answers one request per connection, then hangs up.
+    let mut served = 0u32;
+    let flaky = fake_server(move |_| {
+        served += 1;
+        if served.is_multiple_of(2) {
+            None // close without answering: the client must reconnect
+        } else {
+            ping_ok()
+        }
+    });
+    let mut client = Client::new(ClientConfig {
+        retry: fast_retry(4),
+        ..ClientConfig::new(vec![Endpoint::Tcp(flaky.to_string())])
+    })
+    .unwrap();
+    for _ in 0..4 {
+        client.call(&Request::Ping).unwrap();
+    }
+    let stats = client.stats();
+    assert!(stats.reconnects >= 1, "stats: {stats:?}");
+    assert_eq!(stats.connects, stats.reconnects + 1);
+}
+
+#[test]
+fn a_hung_daemon_costs_a_timeout_not_a_stuck_client() {
+    // Accepts and never answers.
+    let hung = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let conns: Vec<_> = listener.incoming().take(4).collect();
+            std::thread::sleep(Duration::from_secs(30));
+            drop(conns);
+        });
+        addr
+    };
+    let mut client = Client::new(ClientConfig {
+        request_timeout: Some(Duration::from_millis(100)),
+        retry: fast_retry(2),
+        ..ClientConfig::new(vec![Endpoint::Tcp(hung.to_string())])
+    })
+    .unwrap();
+    match client.call(&Request::Ping) {
+        Err(ClientError::Exhausted { attempts: 2, last }) => {
+            assert!(last.contains("timed out"), "last: {last}");
+        }
+        other => panic!("expected exhaustion, got {:?}", other.map(|_| ())),
+    }
+}

@@ -16,13 +16,14 @@
 //! rename (io-error, short-write and panic actions), `dynamic::log_read`
 //! covers the load path. Both are exercised in CI's `dynamic-smoke` job.
 //!
-//! ## ASUL v1 layout (all integers little-endian)
+//! ## ASUL v2 layout (all integers little-endian)
 //!
 //! | section   | contents                                                  |
 //! |-----------|-----------------------------------------------------------|
 //! | header    | magic `ASUL`, version u32                                 |
 //! | base      | n u64, arcs u64, edges u64, FNV-1a hash u64               |
 //! | watermark | `applied_seq` u64                                         |
+//! | term      | replication term u64 (v2+; v1 logs load as term 0)        |
 //! | entries   | count u64, then per entry: seq u64, u u32, v u32, op u8, w f64 |
 //! | trailer   | FNV-1a checksum of everything above (u64)                 |
 
@@ -38,8 +39,9 @@ use crate::update::{DynError, EdgeOp, EdgeUpdate};
 
 /// File magic of the update-log format.
 pub const LOG_MAGIC: &[u8; 4] = b"ASUL";
-/// Current format version.
-pub const LOG_VERSION: u32 = 1;
+/// Current format version. v2 added the replication term; v1 logs still
+/// load (with term 0).
+pub const LOG_VERSION: u32 = 2;
 
 /// Identity of the graph a log's mutations start from — same FNV-1a
 /// construction as the checkpoint subsystem's graph fingerprint, so a log
@@ -101,6 +103,7 @@ impl GraphStamp {
 pub struct UpdateLog {
     base: GraphStamp,
     applied_seq: u64,
+    term: u64,
     entries: Vec<EdgeUpdate>,
 }
 
@@ -110,6 +113,21 @@ impl UpdateLog {
         UpdateLog {
             base: GraphStamp::of(base),
             applied_seq: 0,
+            term: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Empty log anchored to `base` with its watermark pre-set to
+    /// `applied_seq` — for an owner that starts mid-stream, e.g. a primary
+    /// keeping an in-memory shipping log anchored at the watermark its
+    /// engine was recovered to. Such a log can only back-fill entries
+    /// appended after the anchor.
+    pub fn new_at(base: &CsrGraph, applied_seq: u64) -> UpdateLog {
+        UpdateLog {
+            base: GraphStamp::of(base),
+            applied_seq,
+            term: 0,
             entries: Vec::new(),
         }
     }
@@ -122,6 +140,18 @@ impl UpdateLog {
     /// Watermark: sequence number of the last durably applied update.
     pub fn applied_seq(&self) -> u64 {
         self.applied_seq
+    }
+
+    /// Replication term the owner last committed under (0 for a log that
+    /// never served in a replicated deployment, and for loaded v1 logs).
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Records a term change (promotion, or a replica adopting its
+    /// primary's term). Terms are monotonic: lowering is a no-op.
+    pub fn set_term(&mut self, term: u64) {
+        self.term = self.term.max(term);
     }
 
     /// Every logged update, in sequence order.
@@ -158,7 +188,7 @@ impl UpdateLog {
         Ok(())
     }
 
-    /// Serializes to the ASUL v1 byte layout (with checksum trailer).
+    /// Serializes to the ASUL v2 byte layout (with checksum trailer).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = BytesMut::with_capacity(64 + self.entries.len() * 25);
         framing::put_header(&mut buf, LOG_MAGIC, LOG_VERSION);
@@ -167,6 +197,7 @@ impl UpdateLog {
         buf.put_u64_le(self.base.edges);
         buf.put_u64_le(self.base.hash);
         buf.put_u64_le(self.applied_seq);
+        buf.put_u64_le(self.term);
         buf.put_u64_le(self.entries.len() as u64);
         for e in &self.entries {
             buf.put_u64_le(e.seq);
@@ -185,7 +216,8 @@ impl UpdateLog {
     pub fn from_bytes(raw: Vec<u8>) -> Result<UpdateLog, DynError> {
         let corrupt = |e: anyscan_graph::GraphError| DynError::Corrupt(e.to_string());
         let mut buf: Bytes = framing::strip_checksum_trailer(raw).map_err(corrupt)?;
-        framing::get_header(&mut buf, LOG_MAGIC, LOG_VERSION).map_err(corrupt)?;
+        let version =
+            framing::get_header_versioned(&mut buf, LOG_MAGIC, 1..=LOG_VERSION).map_err(corrupt)?;
         framing::need(&buf, 48).map_err(corrupt)?;
         let base = GraphStamp {
             n: buf.get_u64_le(),
@@ -194,6 +226,12 @@ impl UpdateLog {
             hash: buf.get_u64_le(),
         };
         let applied_seq = buf.get_u64_le();
+        let term = if version >= 2 {
+            framing::need(&buf, 16).map_err(corrupt)?;
+            buf.get_u64_le()
+        } else {
+            0
+        };
         let count = buf.get_u64_le();
         let Ok(count) = usize::try_from(count) else {
             return Err(DynError::Corrupt(format!("entry count {count} overflows")));
@@ -237,6 +275,7 @@ impl UpdateLog {
         Ok(UpdateLog {
             base,
             applied_seq,
+            term,
             entries,
         })
     }
@@ -367,6 +406,48 @@ mod tests {
         ));
         // Truncation.
         assert!(UpdateLog::from_bytes(bytes[..bytes.len() - 9].to_vec()).is_err());
+    }
+
+    #[test]
+    fn term_roundtrips_and_is_monotonic() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = erdos_renyi(&mut rng, 10, 20, WeightModel::uniform_default());
+        let mut log = sample_log(&g);
+        assert_eq!(log.term(), 0);
+        log.set_term(3);
+        log.set_term(1); // lowering is a no-op: terms only move forward
+        assert_eq!(log.term(), 3);
+        let back = UpdateLog::from_bytes(log.to_bytes()).unwrap();
+        assert_eq!(back.term(), 3);
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn v1_log_without_term_still_loads() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let g = erdos_renyi(&mut rng, 10, 20, WeightModel::uniform_default());
+        let log = sample_log(&g);
+        // Hand-assemble the v1 layout: identical to v2 minus the term field.
+        let mut buf = BytesMut::new();
+        framing::put_header(&mut buf, LOG_MAGIC, 1);
+        buf.put_u64_le(log.base.n);
+        buf.put_u64_le(log.base.arcs);
+        buf.put_u64_le(log.base.edges);
+        buf.put_u64_le(log.base.hash);
+        buf.put_u64_le(log.applied_seq);
+        buf.put_u64_le(log.entries.len() as u64);
+        for e in &log.entries {
+            buf.put_u64_le(e.seq);
+            buf.put_u32_le(e.u);
+            buf.put_u32_le(e.v);
+            buf.put_u8(e.op.code());
+            buf.put_f64_le(e.op.weight());
+        }
+        framing::put_checksum_trailer(&mut buf);
+        let loaded = UpdateLog::from_bytes(buf.to_vec()).unwrap();
+        assert_eq!(loaded.term(), 0);
+        assert_eq!(loaded.entries(), log.entries());
+        assert_eq!(loaded.applied_seq(), log.applied_seq());
     }
 
     #[test]

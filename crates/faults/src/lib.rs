@@ -36,6 +36,9 @@
 //! | `serve::read_frame`   | io    | a daemon connection read fails mid-frame|
 //! | `dynamic::log_read`   | io    | loading an ASUL update log fails        |
 //! | `dynamic::log_write`  | write | error, or a torn (truncated) update log |
+//! | `repl::ack`           | io    | primary fails writing the `Subscribed` ack |
+//! | `repl::send_entry`    | io    | primary's entry-stream write to a replica fails |
+//! | `repl::recv_entry`    | io    | replica's read of a replicated frame fails |
 //!
 //! When nothing is armed the per-site check is two relaxed atomic loads.
 

@@ -17,13 +17,13 @@
 //! `anyscan-trace-check` binary that gates clustering traces gates load
 //! reports too.
 
-pub mod client;
 pub mod gate;
 pub mod metrics;
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use anyscan_client::{Client, ClientConfig, RetryPolicy};
 use anyscan_serve::protocol::{
     ErrorCode, Request, Response, WireUpdate, UPDATE_INSERT, UPDATE_REMOVE, UPDATE_REWEIGHT,
 };
@@ -31,7 +31,7 @@ use anyscan_telemetry::{Counter, Recorder, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-pub use client::{wait_ready, Client, ClientError, Target};
+pub use anyscan_client::{wait_ready, ClientError, Endpoint};
 pub use gate::IterationGate;
 pub use metrics::{Outcome, Summary, WorkerMetrics};
 
@@ -98,7 +98,16 @@ impl MixWeights {
 /// Everything one load run needs.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
-    pub target: Target,
+    /// Every known daemon address. Each worker holds a failover-aware
+    /// [`Client`] over the whole list: reads rotate onto the survivors when
+    /// an endpoint dies, writes chase the `NotPrimary` leader hint.
+    pub endpoints: Vec<Endpoint>,
+    /// Per-request socket deadline (None = block forever).
+    pub request_timeout: Option<Duration>,
+    /// Connect/transport failures retry under this policy *inside* the
+    /// client — a refused or reset connect is backoff-and-retried, and only
+    /// counts as a request error once the whole budget is spent.
+    pub retry: RetryPolicy,
     pub concurrency: usize,
     /// Stop after this many requests (None = unbounded by count).
     pub iterations: Option<u64>,
@@ -125,7 +134,9 @@ pub struct RunConfig {
 impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
-            target: Target::Tcp("127.0.0.1:7411".into()),
+            endpoints: vec![Endpoint::Tcp("127.0.0.1:7411".into())],
+            request_timeout: Some(Duration::from_secs(10)),
+            retry: RetryPolicy::default(),
             concurrency: 4,
             iterations: None,
             duration: Some(Duration::from_secs(5)),
@@ -216,6 +227,10 @@ fn classify(response: &Response) -> Outcome {
 /// `telemetry` (`load_sent` / `load_ok` / `load_overloaded` / `load_errors`)
 /// under a `load_run` span.
 pub fn run(config: &RunConfig, telemetry: &Telemetry) -> Summary {
+    assert!(
+        !config.endpoints.is_empty(),
+        "load run needs at least one endpoint"
+    );
     let _span = telemetry.span("load_run");
     let gate = Arc::new(IterationGate::new(config.iterations, config.duration));
     let interval = config
@@ -249,7 +264,17 @@ fn worker_loop(
 ) -> WorkerMetrics {
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(worker));
     let mut metrics = WorkerMetrics::default();
-    let mut client = Client::connect(&config.target).ok();
+    // One failover-aware client per worker. Refused/reset connects go
+    // through its backoff-and-retry (the pre-PR-9 harness counted them as
+    // instant request errors without ever retrying); a request only lands
+    // in the error bucket once the whole retry budget is spent.
+    let mut client = Client::new(ClientConfig {
+        endpoints: config.endpoints.clone(),
+        request_timeout: config.request_timeout,
+        retry: config.retry.clone(),
+        seed: config.seed.wrapping_add(worker) ^ 0xb0ff_0ff5,
+    })
+    .expect("load endpoints validated by run()");
     while let Some(ticket) = gate.next() {
         // Open loop: the ticket index fixes the intended send time; latency
         // is measured from it, so queueing delay is charged to the server
@@ -266,19 +291,7 @@ fn worker_loop(
         };
         let request = pick_request(config, &mut rng);
         telemetry.add(Counter::LoadSent, 1);
-        let c = match client.as_mut() {
-            Some(c) => c,
-            None => match Client::connect(&config.target) {
-                Ok(fresh) => client.insert(fresh),
-                Err(_) => {
-                    telemetry.add(Counter::LoadErrors, 1);
-                    metrics.record(Outcome::Error, None);
-                    std::thread::sleep(Duration::from_millis(10));
-                    continue;
-                }
-            },
-        };
-        match c.call(&request) {
+        match client.call(&request) {
             Ok(response) => {
                 let outcome = classify(&response);
                 metrics.record(outcome, Some(intended.elapsed()));
@@ -292,14 +305,16 @@ fn worker_loop(
                 );
             }
             Err(_) => {
-                // Transport/protocol failure: drop the connection and let
-                // the next ticket reconnect.
+                // The retry budget is spent: now it is a request error.
                 telemetry.add(Counter::LoadErrors, 1);
                 metrics.record(Outcome::Error, None);
-                client = None;
             }
         }
     }
+    // Reconnects are recovery, not failure — tallied apart from errors.
+    let reconnects = client.stats().reconnects;
+    metrics.set_reconnects(reconnects);
+    telemetry.add(Counter::LoadReconnects, reconnects);
     metrics
 }
 

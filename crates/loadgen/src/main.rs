@@ -13,7 +13,8 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::time::Duration;
 
-use anyscan_loadgen::{run, wait_ready, Client, MixWeights, RunConfig, Summary, Target};
+use anyscan_client::{Client, ClientConfig};
+use anyscan_loadgen::{run, wait_ready, Endpoint, MixWeights, RunConfig, Summary};
 use anyscan_serve::protocol::{role_name, Request, Response};
 use anyscan_telemetry::{MetaValue, Telemetry};
 
@@ -21,7 +22,10 @@ fn usage() {
     eprintln!(
         "anyscan-loadgen — load harness for `anyscan serve`
 
-  --connect HOST:PORT   daemon address (default 127.0.0.1:7411)
+  --connect LIST        daemon address(es), comma-separated host:port or
+                        unix:PATH (default 127.0.0.1:7411); with several,
+                        reads fail over across the list and writes follow
+                        the NotPrimary leader hint
   --socket PATH         unix-domain socket instead of TCP
   --duration-ms N       run for N milliseconds
   --iterations N        run for N requests (with neither bound: 1 request)
@@ -123,20 +127,20 @@ fn main() {
 }
 
 fn drive(flags: &Flags) -> Result<bool, String> {
-    let target = match flags.get_str("socket") {
+    let endpoints = match flags.get_str("socket") {
         #[cfg(unix)]
-        Some(path) => Target::Unix(path.to_string()),
+        Some(path) => vec![Endpoint::Unix(path.to_string())],
         #[cfg(not(unix))]
         Some(_) => return Err("--socket needs a unix platform; use --connect".into()),
-        None => Target::Tcp(
-            flags
-                .get_str("connect")
-                .unwrap_or("127.0.0.1:7411")
-                .to_string(),
-        ),
+        None => Endpoint::parse_list(flags.get_str("connect").unwrap_or("127.0.0.1:7411"))?,
     };
+    let target = endpoints
+        .iter()
+        .map(Endpoint::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
     let mut config = RunConfig {
-        target: target.clone(),
+        endpoints: endpoints.clone(),
         concurrency: flags.get("concurrency", 4usize)?,
         iterations: flags
             .get_str("iterations")
@@ -178,20 +182,23 @@ fn drive(flags: &Flags) -> Result<bool, String> {
         vertices: flags.get("vertices", 0u32)?,
         update_batch: flags.get("update-batch", 8u32)?,
         seed: flags.get("seed", 42u64)?,
+        ..RunConfig::default()
     };
 
     let wait_ms: u64 = flags.get("wait-ready-ms", 0)?;
     if wait_ms > 0 {
-        wait_ready(&target, Duration::from_millis(wait_ms))
-            .map_err(|e| format!("daemon at {target} not ready after {wait_ms}ms: {e}"))?;
-        println!("daemon at {target} is ready");
+        for endpoint in &endpoints {
+            wait_ready(endpoint, Duration::from_millis(wait_ms))
+                .map_err(|e| format!("daemon at {endpoint} not ready after {wait_ms}ms: {e}"))?;
+        }
+        println!("daemon(s) at {target} ready");
     }
 
     // Lookups need the vertex-id space; probe it (and optionally dump the
     // full labels for a bit-identical diff against a serial `index query`).
     let check_labels = flags.get_str("check-labels");
     if config.vertices == 0 || check_labels.is_some() {
-        let labels = fetch_labels(&target, config.eps, config.mu)?;
+        let labels = fetch_labels(&endpoints, config.eps, config.mu)?;
         if config.vertices == 0 {
             config.vertices = labels.labels.len() as u32;
             println!("probed {} vertices from the daemon", config.vertices);
@@ -223,6 +230,7 @@ fn drive(flags: &Flags) -> Result<bool, String> {
             ("ok", summary.ok.into()),
             ("overloaded", summary.overloaded.into()),
             ("errors", summary.errors.into()),
+            ("reconnects", summary.reconnects.into()),
             ("duration_ms", (summary.elapsed.as_millis() as u64).into()),
             ("throughput_rps", summary.throughput_rps.into()),
             ("p50_ms", summary.p50_ms.into()),
@@ -236,7 +244,8 @@ fn drive(flags: &Flags) -> Result<bool, String> {
     }
 
     if flags.switch("shutdown") {
-        let mut client = Client::connect(&target).map_err(|e| e.to_string())?;
+        // Targeted command: drain the first listed endpoint only.
+        let mut client = Client::connect(endpoints[0].clone()).map_err(|e| e.to_string())?;
         client
             .call(&Request::Shutdown)
             .map_err(|e| format!("shutdown: {e}"))?;
@@ -271,11 +280,12 @@ fn drive(flags: &Flags) -> Result<bool, String> {
 }
 
 fn fetch_labels(
-    target: &Target,
+    endpoints: &[Endpoint],
     eps: f64,
     mu: u32,
 ) -> Result<anyscan_serve::protocol::LabelBlock, String> {
-    let mut client = Client::connect(target).map_err(|e| e.to_string())?;
+    let mut client =
+        Client::new(ClientConfig::new(endpoints.to_vec())).map_err(|e| e.to_string())?;
     let response = client
         .call(&Request::Query {
             eps,
@@ -325,8 +335,8 @@ fn print_summary(config: &RunConfig, s: &Summary) {
         s.elapsed.as_secs_f64()
     );
     println!(
-        "requests    {} ({} ok, {} overloaded, {} errors)",
-        s.requests, s.ok, s.overloaded, s.errors
+        "requests    {} ({} ok, {} overloaded, {} errors, {} reconnects)",
+        s.requests, s.ok, s.overloaded, s.errors, s.reconnects
     );
     println!("throughput  {:.1} req/s", s.throughput_rps);
     println!(

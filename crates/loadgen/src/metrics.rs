@@ -28,6 +28,7 @@ pub struct WorkerMetrics {
     ok: u64,
     overloaded: u64,
     errors: u64,
+    reconnects: u64,
 }
 
 impl WorkerMetrics {
@@ -41,6 +42,13 @@ impl WorkerMetrics {
             self.latencies_ns.push(latency.as_nanos() as u64);
         }
     }
+
+    /// Records how often this worker's client replaced a dead connection.
+    /// Reconnects are *recovery*, kept apart from request errors: a retried
+    /// request that succeeded is not a failure.
+    pub fn set_reconnects(&mut self, reconnects: u64) {
+        self.reconnects = reconnects;
+    }
 }
 
 /// Merged results of a whole run.
@@ -50,6 +58,9 @@ pub struct Summary {
     pub ok: u64,
     pub overloaded: u64,
     pub errors: u64,
+    /// Connections the workers' clients replaced mid-run (recovery, not
+    /// failure — see [`WorkerMetrics::set_reconnects`]).
+    pub reconnects: u64,
     pub elapsed: Duration,
     pub throughput_rps: f64,
     pub p50_ms: f64,
@@ -70,6 +81,7 @@ impl Summary {
             s.ok += w.ok;
             s.overloaded += w.overloaded;
             s.errors += w.errors;
+            s.reconnects += w.reconnects;
             latencies.extend(w.latencies_ns);
         }
         s.requests = s.ok + s.overloaded + s.errors;
@@ -126,8 +138,11 @@ mod tests {
         a.record(Outcome::Overloaded, Some(Duration::from_millis(1)));
         let mut b = WorkerMetrics::default();
         b.record(Outcome::Error, None);
+        b.set_reconnects(2);
         let s = Summary::from_workers(vec![a, b], Duration::from_millis(500));
         assert_eq!((s.requests, s.ok, s.overloaded, s.errors), (3, 1, 1, 1));
+        // Reconnects merge but stay out of the request/error buckets.
+        assert_eq!(s.reconnects, 2);
         assert_eq!(s.throughput_rps, 6.0);
     }
 

@@ -24,12 +24,15 @@
 
 pub mod admission;
 pub mod protocol;
+pub mod repl;
 pub mod server;
 
 pub use admission::{AdmissionQueue, Overloaded, Permit};
 pub use protocol::{
-    completion_name, read_frame, role_name, write_frame, DecodeError, ErrorCode, FrameError,
-    LabelBlock, QuerySummary, Request, Response, ServeStats, WireUpdate, REQUEST_FRAME_LIMIT,
-    RESPONSE_FRAME_LIMIT, UPDATE_INSERT, UPDATE_REMOVE, UPDATE_REWEIGHT,
+    completion_name, read_frame, role_name, server_role_name, write_frame, DecodeError, ErrorCode,
+    FrameError, Health, LabelBlock, QuerySummary, Request, Response, ServeStats, WireUpdate,
+    REQUEST_FRAME_LIMIT, RESPONSE_FRAME_LIMIT, ROLE_PRIMARY, ROLE_REPLICA, UPDATE_INSERT,
+    UPDATE_REMOVE, UPDATE_REWEIGHT,
 };
-pub use server::{completion_code, role_code, Conn, Listener, Server, ServerConfig};
+pub use repl::{run_replica_feed, ReplicaFeedConfig};
+pub use server::{completion_code, role_code, Conn, Listener, ReplError, Server, ServerConfig};

@@ -18,6 +18,7 @@
 
 use std::io::{Read, Write};
 
+use anyscan_dynamic::{EdgeOp, EdgeUpdate};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Ceiling on request payloads the daemon will read. Requests are a few
@@ -171,7 +172,7 @@ pub const UPDATE_REWEIGHT: u8 = 2;
 /// Bytes one [`WireUpdate`] occupies in an `ApplyUpdates` payload.
 const WIRE_UPDATE_LEN: usize = 17;
 
-/// A client request. Opcodes 1–6, fixed layouts, all little-endian.
+/// A client request. Opcodes 1–8, fixed layouts, all little-endian.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Re-cluster the indexed graph at `(eps, mu)`; with `want_labels` the
@@ -203,6 +204,15 @@ pub enum Request {
     /// the batch through its incremental engine, repairs the index in place
     /// and epoch-swaps the snapshot its read path serves.
     ApplyUpdates { updates: Vec<WireUpdate> },
+    /// A replica's subscription handshake: "stream me every committed ASUL
+    /// entry with `seq > watermark`". Answered by [`Response::Subscribed`],
+    /// after which the connection becomes a one-way primary→replica stream
+    /// of [`Response::LogEntries`] frames; the replica never writes again.
+    Subscribe { watermark: u64 },
+    /// Turn a caught-up replica into a writable primary (fencing the old
+    /// primary via the bumped term). Idempotent on a daemon that is already
+    /// primary; a typed `BadRequest` on a static (non-dynamic) daemon.
+    Promote,
 }
 
 const OP_QUERY: u8 = 1;
@@ -211,6 +221,15 @@ const OP_RUN: u8 = 3;
 const OP_PING: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
 const OP_APPLY_UPDATES: u8 = 6;
+const OP_SUBSCRIBE: u8 = 7;
+const OP_PROMOTE: u8 = 8;
+/// Response-only code keying the unsolicited [`Response::LogEntries`]
+/// stream frames a primary pushes to subscribed replicas.
+const OP_LOG_ENTRIES: u8 = 9;
+
+/// Bytes one replicated log entry occupies in a `LogEntries` payload
+/// (same layout as an ASUL log entry: seq u64, u u32, v u32, op u8, w f64).
+const LOG_ENTRY_LEN: usize = 25;
 
 impl Request {
     /// Serializes the request into a frame payload.
@@ -247,6 +266,11 @@ impl Request {
             }
             Request::Ping => buf.put_u8(OP_PING),
             Request::Shutdown => buf.put_u8(OP_SHUTDOWN),
+            Request::Subscribe { watermark } => {
+                buf.put_u8(OP_SUBSCRIBE);
+                buf.put_u64_le(watermark);
+            }
+            Request::Promote => buf.put_u8(OP_PROMOTE),
             Request::ApplyUpdates { ref updates } => {
                 buf.put_u8(OP_APPLY_UPDATES);
                 buf.put_u32_le(updates.len() as u32);
@@ -317,6 +341,13 @@ impl Request {
                 }
                 Request::ApplyUpdates { updates }
             }
+            OP_SUBSCRIBE => {
+                need(&buf, 8)?;
+                Request::Subscribe {
+                    watermark: buf.get_u64_le(),
+                }
+            }
+            OP_PROMOTE => Request::Promote,
             other => return Err(DecodeError::UnknownOpcode(other)),
         };
         finish(&buf)?;
@@ -337,6 +368,15 @@ pub enum ErrorCode {
     Internal,
     /// The daemon is draining; no further requests will be admitted.
     ShuttingDown,
+    /// A write (`ApplyUpdates` / `Shutdown`-adjacent mutation) reached a
+    /// replica. The error *message* carries the leader hint — the primary's
+    /// address as the replica knows it, empty when it has none — so a
+    /// failover-aware client can retry against the right endpoint.
+    NotPrimary,
+    /// The connection sat idle (or stalled mid-frame) past the daemon's
+    /// per-connection timeout (`--conn-timeout-ms`); the daemon sends this
+    /// best-effort and closes.
+    Timeout,
 }
 
 impl ErrorCode {
@@ -346,6 +386,8 @@ impl ErrorCode {
             ErrorCode::Overloaded => 1,
             ErrorCode::Internal => 2,
             ErrorCode::ShuttingDown => 3,
+            ErrorCode::NotPrimary => 4,
+            ErrorCode::Timeout => 5,
         }
     }
 
@@ -355,6 +397,8 @@ impl ErrorCode {
             1 => ErrorCode::Overloaded,
             2 => ErrorCode::Internal,
             3 => ErrorCode::ShuttingDown,
+            4 => ErrorCode::NotPrimary,
+            5 => ErrorCode::Timeout,
             _ => return Err(DecodeError::BadValue("error code")),
         })
     }
@@ -366,6 +410,8 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Internal => "internal",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::NotPrimary => "not_primary",
+            ErrorCode::Timeout => "timeout",
         }
     }
 }
@@ -399,6 +445,47 @@ pub struct ServeStats {
     pub protocol_errors: u64,
     /// `ApplyUpdates` batches accepted and applied (dynamic daemons).
     pub updates: u64,
+    /// Connections closed for exceeding the per-connection read/write
+    /// timeout (`--conn-timeout-ms`).
+    pub timeouts: u64,
+}
+
+/// [`Health::role`]: the daemon accepts writes.
+pub const ROLE_PRIMARY: u8 = 0;
+/// [`Health::role`]: the daemon follows a primary and rejects writes with
+/// [`ErrorCode::NotPrimary`].
+pub const ROLE_REPLICA: u8 = 1;
+
+/// Stable name of a [`Health::role`] code.
+pub fn server_role_name(code: u8) -> Option<&'static str> {
+    Some(match code {
+        ROLE_PRIMARY => "primary",
+        ROLE_REPLICA => "replica",
+        _ => return None,
+    })
+}
+
+/// The health/readiness probe body answered to [`Request::Ping`]. Carries
+/// enough for an orchestrator (or the chaos harness) to tell *alive* from
+/// *caught up*: the replication role and term, the epoch the read path
+/// serves, the durable ASUL watermark, and live admission pressure —
+/// followed by the cumulative [`ServeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Health {
+    /// [`ROLE_PRIMARY`] or [`ROLE_REPLICA`].
+    pub role: u8,
+    /// Monotonic replication term the daemon is serving under.
+    pub term: u64,
+    /// Epoch counter of the snapshot answering reads.
+    pub epoch: u64,
+    /// Sequence number of the last durably applied update (0 when static).
+    pub watermark: u64,
+    /// Requests currently holding an admission slot.
+    pub inflight: u32,
+    /// Requests parked in the admission queue.
+    pub queued: u32,
+    /// Cumulative request counters.
+    pub stats: ServeStats,
 }
 
 /// A daemon response. Status byte 0 = Ok (followed by the request's opcode
@@ -419,7 +506,7 @@ pub enum Response {
         completion: u8,
         blocks: u64,
     },
-    Ping(ServeStats),
+    Ping(Health),
     Shutdown,
     /// Outcome of one applied batch: effective vs relaxed-no-op updates,
     /// the daemon-assigned watermark after the batch, and the epoch counter
@@ -429,6 +516,28 @@ pub enum Response {
         skipped: u64,
         seq: u64,
         epoch: u64,
+    },
+    /// Subscription accepted: the primary's current term and its durable
+    /// watermark at accept time. [`Response::LogEntries`] frames follow.
+    Subscribed {
+        term: u64,
+        watermark: u64,
+    },
+    /// One primary→replica stream frame: committed ASUL entries (sequence
+    /// numbers assigned by the primary, strictly ascending), stamped with
+    /// the term they were committed under. Only ever pushed after the
+    /// entries' durability point, so a replica is never ahead of the
+    /// primary's disk.
+    LogEntries {
+        term: u64,
+        entries: Vec<EdgeUpdate>,
+    },
+    /// Promotion outcome: the new term plus the epoch/watermark the fresh
+    /// primary serves at.
+    Promoted {
+        term: u64,
+        epoch: u64,
+        watermark: u64,
     },
     Error {
         code: ErrorCode,
@@ -496,16 +605,23 @@ impl Response {
                 buf.put_u8(*completion);
                 buf.put_u64_le(*blocks);
             }
-            Response::Ping(stats) => {
+            Response::Ping(health) => {
                 buf.put_u8(STATUS_OK);
                 buf.put_u8(OP_PING);
-                buf.put_u64_le(stats.requests);
-                buf.put_u64_le(stats.queries);
-                buf.put_u64_le(stats.lookups);
-                buf.put_u64_le(stats.runs);
-                buf.put_u64_le(stats.overloaded);
-                buf.put_u64_le(stats.protocol_errors);
-                buf.put_u64_le(stats.updates);
+                buf.put_u8(health.role);
+                buf.put_u64_le(health.term);
+                buf.put_u64_le(health.epoch);
+                buf.put_u64_le(health.watermark);
+                buf.put_u32_le(health.inflight);
+                buf.put_u32_le(health.queued);
+                buf.put_u64_le(health.stats.requests);
+                buf.put_u64_le(health.stats.queries);
+                buf.put_u64_le(health.stats.lookups);
+                buf.put_u64_le(health.stats.runs);
+                buf.put_u64_le(health.stats.overloaded);
+                buf.put_u64_le(health.stats.protocol_errors);
+                buf.put_u64_le(health.stats.updates);
+                buf.put_u64_le(health.stats.timeouts);
             }
             Response::Shutdown => {
                 buf.put_u8(STATUS_OK);
@@ -523,6 +639,36 @@ impl Response {
                 buf.put_u64_le(*skipped);
                 buf.put_u64_le(*seq);
                 buf.put_u64_le(*epoch);
+            }
+            Response::Subscribed { term, watermark } => {
+                buf.put_u8(STATUS_OK);
+                buf.put_u8(OP_SUBSCRIBE);
+                buf.put_u64_le(*term);
+                buf.put_u64_le(*watermark);
+            }
+            Response::LogEntries { term, entries } => {
+                buf.put_u8(STATUS_OK);
+                buf.put_u8(OP_LOG_ENTRIES);
+                buf.put_u64_le(*term);
+                buf.put_u32_le(entries.len() as u32);
+                for e in entries {
+                    buf.put_u64_le(e.seq);
+                    buf.put_u32_le(e.u);
+                    buf.put_u32_le(e.v);
+                    buf.put_u8(e.op.code());
+                    buf.put_f64_le(e.op.weight());
+                }
+            }
+            Response::Promoted {
+                term,
+                epoch,
+                watermark,
+            } => {
+                buf.put_u8(STATUS_OK);
+                buf.put_u8(OP_PROMOTE);
+                buf.put_u64_le(*term);
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(*watermark);
             }
             Response::Error { code, message } => {
                 buf.put_u8(STATUS_ERR);
@@ -599,15 +745,28 @@ impl Response {
                         }
                     }
                     OP_PING => {
-                        need(&buf, 56)?;
-                        Response::Ping(ServeStats {
-                            requests: buf.get_u64_le(),
-                            queries: buf.get_u64_le(),
-                            lookups: buf.get_u64_le(),
-                            runs: buf.get_u64_le(),
-                            overloaded: buf.get_u64_le(),
-                            protocol_errors: buf.get_u64_le(),
-                            updates: buf.get_u64_le(),
+                        need(&buf, 97)?;
+                        let role = buf.get_u8();
+                        if server_role_name(role).is_none() {
+                            return Err(DecodeError::BadValue("server role code"));
+                        }
+                        Response::Ping(Health {
+                            role,
+                            term: buf.get_u64_le(),
+                            epoch: buf.get_u64_le(),
+                            watermark: buf.get_u64_le(),
+                            inflight: buf.get_u32_le(),
+                            queued: buf.get_u32_le(),
+                            stats: ServeStats {
+                                requests: buf.get_u64_le(),
+                                queries: buf.get_u64_le(),
+                                lookups: buf.get_u64_le(),
+                                runs: buf.get_u64_le(),
+                                overloaded: buf.get_u64_le(),
+                                protocol_errors: buf.get_u64_le(),
+                                updates: buf.get_u64_le(),
+                                timeouts: buf.get_u64_le(),
+                            },
                         })
                     }
                     OP_SHUTDOWN => Response::Shutdown,
@@ -618,6 +777,43 @@ impl Response {
                             skipped: buf.get_u64_le(),
                             seq: buf.get_u64_le(),
                             epoch: buf.get_u64_le(),
+                        }
+                    }
+                    OP_SUBSCRIBE => {
+                        need(&buf, 16)?;
+                        Response::Subscribed {
+                            term: buf.get_u64_le(),
+                            watermark: buf.get_u64_le(),
+                        }
+                    }
+                    OP_LOG_ENTRIES => {
+                        need(&buf, 12)?;
+                        let term = buf.get_u64_le();
+                        let n = buf.get_u32_le() as usize;
+                        let bytes = n
+                            .checked_mul(LOG_ENTRY_LEN)
+                            .ok_or(DecodeError::BadValue("log entry count overflows"))?;
+                        need(&buf, bytes)?;
+                        let mut entries = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            let seq = buf.get_u64_le();
+                            let u = buf.get_u32_le();
+                            let v = buf.get_u32_le();
+                            let code = buf.get_u8();
+                            let w = buf.get_f64_le();
+                            let Some(op) = EdgeOp::from_wire(code, w) else {
+                                return Err(DecodeError::BadValue("log entry op code"));
+                            };
+                            entries.push(EdgeUpdate { seq, u, v, op });
+                        }
+                        Response::LogEntries { term, entries }
+                    }
+                    OP_PROMOTE => {
+                        need(&buf, 24)?;
+                        Response::Promoted {
+                            term: buf.get_u64_le(),
+                            epoch: buf.get_u64_le(),
+                            watermark: buf.get_u64_le(),
                         }
                     }
                     other => return Err(DecodeError::UnknownOpcode(other)),
@@ -695,6 +891,8 @@ mod tests {
         });
         roundtrip_request(Request::Ping);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Subscribe { watermark: 42 });
+        roundtrip_request(Request::Promote);
         roundtrip_request(Request::ApplyUpdates { updates: vec![] });
         roundtrip_request(Request::ApplyUpdates {
             updates: vec![
@@ -769,14 +967,23 @@ mod tests {
                 completion: 2,
                 blocks: 99,
             },
-            Response::Ping(ServeStats {
-                requests: 6,
-                queries: 3,
-                lookups: 1,
-                runs: 1,
-                overloaded: 1,
-                protocol_errors: 0,
-                updates: 2,
+            Response::Ping(Health {
+                role: ROLE_REPLICA,
+                term: 3,
+                epoch: 9,
+                watermark: 27,
+                inflight: 2,
+                queued: 1,
+                stats: ServeStats {
+                    requests: 6,
+                    queries: 3,
+                    lookups: 1,
+                    runs: 1,
+                    overloaded: 1,
+                    protocol_errors: 0,
+                    updates: 2,
+                    timeouts: 1,
+                },
             }),
             Response::Shutdown,
             Response::ApplyUpdates {
@@ -785,9 +992,49 @@ mod tests {
                 seq: 15,
                 epoch: 4,
             },
+            Response::Subscribed {
+                term: 2,
+                watermark: 17,
+            },
+            Response::LogEntries {
+                term: 2,
+                entries: vec![],
+            },
+            Response::LogEntries {
+                term: 2,
+                entries: vec![
+                    EdgeUpdate {
+                        seq: 18,
+                        u: 0,
+                        v: 9,
+                        op: EdgeOp::Insert(1.25),
+                    },
+                    EdgeUpdate {
+                        seq: 19,
+                        u: 3,
+                        v: 4,
+                        op: EdgeOp::Remove,
+                    },
+                    EdgeUpdate {
+                        seq: 23,
+                        u: 7,
+                        v: 2,
+                        op: EdgeOp::Reweight(0.5),
+                    },
+                ],
+            },
+            Response::Promoted {
+                term: 3,
+                epoch: 9,
+                watermark: 23,
+            },
             Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "admission queue full".into(),
+            },
+            Response::Error {
+                code: ErrorCode::NotPrimary,
+                message: "127.0.0.1:9999".into(),
             },
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
@@ -826,6 +1073,49 @@ mod tests {
         // Bump the count field (status, op, 20-byte summary, flag => offset 23).
         raw[23] = 200;
         assert_eq!(Response::decode(&raw), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn replication_frames_reject_malformed_payloads() {
+        // Subscribe cut short.
+        let mut raw = Request::Subscribe { watermark: 7 }.encode();
+        raw.truncate(raw.len() - 1);
+        assert_eq!(Request::decode(&raw), Err(DecodeError::Truncated));
+        // Trailing bytes after Promote.
+        let mut raw = Request::Promote.encode();
+        raw.push(0x55);
+        assert_eq!(Request::decode(&raw), Err(DecodeError::TrailingBytes(1)));
+        // LogEntries whose count exceeds the payload.
+        let mut raw = Response::LogEntries {
+            term: 1,
+            entries: vec![],
+        }
+        .encode();
+        raw[10] = 77; // count field (status, op, 8-byte term => offset 10)
+        assert_eq!(Response::decode(&raw), Err(DecodeError::Truncated));
+        // LogEntries with an undecodable op code.
+        let mut raw = Response::LogEntries {
+            term: 1,
+            entries: vec![EdgeUpdate {
+                seq: 1,
+                u: 0,
+                v: 1,
+                op: EdgeOp::Insert(1.0),
+            }],
+        }
+        .encode();
+        raw[30] = 9; // op byte of the first entry (14 header + seq + u + v)
+        assert_eq!(
+            Response::decode(&raw),
+            Err(DecodeError::BadValue("log entry op code"))
+        );
+        // Ping with an unknown role byte.
+        let mut raw = Response::Ping(Health::default()).encode();
+        raw[2] = 7;
+        assert_eq!(
+            Response::decode(&raw),
+            Err(DecodeError::BadValue("server role code"))
+        );
     }
 
     #[test]

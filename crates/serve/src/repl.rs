@@ -1,0 +1,233 @@
+//! The replica side of the replication stream.
+//!
+//! [`run_replica_feed`] is a daemon-internal background thread a replica
+//! runs next to its accept loop: it dials the primary, subscribes with the
+//! replica's durable watermark, and applies every [`Response::LogEntries`]
+//! frame through [`Server::apply_replicated`] — the same commit tail the
+//! primary's own writes take, so a replica is bit-identical to a
+//! single-node daemon fed the same trace.
+//!
+//! The feed is deliberately crash-tolerant rather than clever: any error —
+//! refused connect, mid-stream disconnect, a fenced or malformed frame —
+//! tears the connection down and retries from the replica's *durable*
+//! watermark under capped exponential backoff with jitter. Because the
+//! primary back-fills from its log and [`Server::apply_replicated`] skips
+//! entries at or below the local watermark, reconnect overlap is harmless.
+//!
+//! The thread exits when the server starts draining or stops being a
+//! replica (a `Promote` arrived). Fault site: `repl::recv_entry` (io style)
+//! fires in the frame-read path, modeling a stream that dies mid-entry.
+
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::protocol::{
+    read_frame, write_frame, FrameError, Request, Response, RESPONSE_FRAME_LIMIT, ROLE_REPLICA,
+};
+use crate::server::{Conn, ReplError, Server};
+
+/// Tuning of the replica feed's reconnect behavior.
+#[derive(Debug, Clone)]
+pub struct ReplicaFeedConfig {
+    /// The primary's address: `host:port`, or `unix:PATH`.
+    pub primary: String,
+    /// First backoff after a failure (default 50ms).
+    pub min_backoff: Duration,
+    /// Backoff ceiling (default 2s).
+    pub max_backoff: Duration,
+    /// Read timeout on the subscription stream — the granularity at which
+    /// a parked replica notices drain/promotion (default 200ms).
+    pub read_timeout: Duration,
+}
+
+impl ReplicaFeedConfig {
+    /// Defaults for everything but the primary address.
+    pub fn new(primary: impl Into<String>) -> ReplicaFeedConfig {
+        ReplicaFeedConfig {
+            primary: primary.into(),
+            min_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            read_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Spawns the feed thread. The server must already be a replica
+/// ([`Server::become_replica`]); the thread exits on drain or promotion.
+pub fn run_replica_feed(server: Arc<Server>, config: ReplicaFeedConfig) -> JoinHandle<()> {
+    std::thread::spawn(move || feed_loop(&server, &config))
+}
+
+fn feed_done(server: &Server) -> bool {
+    server.is_stopping() || server.role() != ROLE_REPLICA
+}
+
+fn feed_loop(server: &Server, config: &ReplicaFeedConfig) {
+    // Deterministic per-process jitter source; the spread across *processes*
+    // is what prevents reconnect stampedes.
+    let mut rng = StdRng::seed_from_u64(std::process::id() as u64 ^ 0x5eed_ab1e);
+    let mut backoff = config.min_backoff;
+    while !feed_done(server) {
+        match follow_once(server, config) {
+            FeedOutcome::Done => return,
+            FeedOutcome::Caught => backoff = config.min_backoff, // made progress: reset
+            FeedOutcome::Failed(detail) => {
+                eprintln!("repl: feed error ({detail}); retrying");
+            }
+        }
+        if feed_done(server) {
+            return;
+        }
+        // Capped exponential backoff, jittered to 50–100% of nominal.
+        let jittered = backoff.mul_f64(rng.gen_range(0.5..1.0));
+        std::thread::sleep(jittered);
+        backoff = (backoff * 2).min(config.max_backoff);
+    }
+}
+
+enum FeedOutcome {
+    /// The server is draining or was promoted; stop for good.
+    Done,
+    /// The subscription made progress before the stream ended (primary
+    /// drained, or a clean disconnect): reset the backoff.
+    Caught,
+    /// Connect/subscribe/stream failed; retry after backoff.
+    Failed(String),
+}
+
+/// One full subscribe-and-follow attempt against the primary.
+fn follow_once(server: &Server, config: &ReplicaFeedConfig) -> FeedOutcome {
+    let mut conn = match dial(&config.primary, config.read_timeout) {
+        Ok(conn) => conn,
+        Err(e) => return FeedOutcome::Failed(format!("connect {}: {e}", config.primary)),
+    };
+    let watermark = server.durable_watermark();
+    let subscribe = Request::Subscribe { watermark }.encode();
+    if let Err(e) = write_frame(&mut conn, &subscribe) {
+        return FeedOutcome::Failed(format!("subscribe: {e}"));
+    }
+
+    // The ack: Subscribed{term, watermark}, or a typed refusal.
+    let ack = match read_entry_frame(&mut conn) {
+        Ok(Some(frame)) => frame,
+        Ok(None) => return FeedOutcome::Failed("primary closed before ack".into()),
+        Err(e) => return FeedOutcome::Failed(format!("ack: {e}")),
+    };
+    match ack {
+        Response::Subscribed { term, .. } => {
+            if term < server.term() {
+                // A deposed primary. Keep retrying: it may catch up with
+                // the new term, or we may be promoted ourselves.
+                return FeedOutcome::Failed(format!(
+                    "primary term {term} below ours {}",
+                    server.term()
+                ));
+            }
+        }
+        Response::Error { code, message } => {
+            return FeedOutcome::Failed(format!("subscribe refused: {}: {message}", code.label()))
+        }
+        other => return FeedOutcome::Failed(format!("unexpected ack frame: {other:?}")),
+    }
+
+    // Follow the stream until it ends or we are told to stop.
+    let mut progressed = false;
+    loop {
+        if feed_done(server) {
+            return FeedOutcome::Done;
+        }
+        let frame = match read_entry_frame(&mut conn) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                // Clean close: the primary drained. Retry (it may restart).
+                return if progressed {
+                    FeedOutcome::Caught
+                } else {
+                    FeedOutcome::Failed("stream closed".into())
+                };
+            }
+            Err(ReadError::Idle) => continue, // timeout tick: re-check flags
+            Err(e) => return FeedOutcome::Failed(format!("stream: {e}")),
+        };
+        match frame {
+            Response::LogEntries { term, entries } => {
+                match server.apply_replicated(term, &entries) {
+                    Ok(()) => progressed = true,
+                    Err(e @ ReplError::Fenced { .. }) => {
+                        // The sender was deposed; drop its connection.
+                        return FeedOutcome::Failed(e.to_string());
+                    }
+                    Err(e) => return FeedOutcome::Failed(e.to_string()),
+                }
+            }
+            other => return FeedOutcome::Failed(format!("unexpected stream frame: {other:?}")),
+        }
+    }
+}
+
+/// Stream-read failures, separating the idle-timeout tick (benign; the
+/// loop re-checks stop/promotion flags) from real errors.
+enum ReadError {
+    Idle,
+    Frame(FrameError),
+    Decode(String),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Idle => write!(f, "idle"),
+            ReadError::Frame(e) => write!(f, "{e}"),
+            ReadError::Decode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Reads and decodes one replication frame. Fault site: `repl::recv_entry`.
+fn read_entry_frame(conn: &mut Conn) -> Result<Option<Response>, ReadError> {
+    anyscan_faults::inject_io("repl::recv_entry")
+        .map_err(|e| ReadError::Frame(FrameError::Io(e)))?;
+    match read_frame(conn, RESPONSE_FRAME_LIMIT) {
+        Ok(Some(payload)) => Response::decode(&payload)
+            .map(Some)
+            .map_err(|e| ReadError::Decode(e.to_string())),
+        Ok(None) => Ok(None),
+        Err(FrameError::Io(e)) if is_idle_timeout(&e) => Err(ReadError::Idle),
+        Err(e) => Err(ReadError::Frame(e)),
+    }
+}
+
+fn is_idle_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Dials `addr` (`host:port` or `unix:PATH`) with a read timeout so the
+/// follow loop can poll its stop conditions.
+fn dial(addr: &str, read_timeout: Duration) -> std::io::Result<Conn> {
+    if let Some(path) = addr.strip_prefix("unix:") {
+        #[cfg(unix)]
+        {
+            let stream = UnixStream::connect(path)?;
+            stream.set_read_timeout(Some(read_timeout))?;
+            return Ok(Conn::Unix(stream));
+        }
+        #[cfg(not(unix))]
+        return Err(std::io::Error::other(format!(
+            "unix sockets unsupported on this platform: {path}"
+        )));
+    }
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    Ok(Conn::Tcp(stream))
+}

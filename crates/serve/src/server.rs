@@ -36,8 +36,8 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use anyscan::{AnyScan, AnyScanConfig, Completion, RunControl};
@@ -49,9 +49,9 @@ use anyscan_telemetry::{Counter, Recorder, Telemetry};
 
 use crate::admission::AdmissionQueue;
 use crate::protocol::{
-    read_frame, write_frame, DecodeError, ErrorCode, FrameError, LabelBlock, QuerySummary, Request,
-    Response, ServeStats, WireUpdate, REQUEST_FRAME_LIMIT, UPDATE_INSERT, UPDATE_REMOVE,
-    UPDATE_REWEIGHT,
+    read_frame, write_frame, DecodeError, ErrorCode, FrameError, Health, LabelBlock, QuerySummary,
+    Request, Response, ServeStats, WireUpdate, REQUEST_FRAME_LIMIT, ROLE_PRIMARY, ROLE_REPLICA,
+    UPDATE_INSERT, UPDATE_REMOVE, UPDATE_REWEIGHT,
 };
 
 /// Tuning knobs of a [`Server`]; see field docs for defaults.
@@ -66,6 +66,12 @@ pub struct ServerConfig {
     /// Memoized `(eps, mu)` clusterings kept for queries/lookups
     /// (default 16, 0 disables the cache).
     pub cache_entries: usize,
+    /// Per-connection read/write timeout (`--conn-timeout-ms`); `None`
+    /// (the default) keeps connections blocking forever. When set, a
+    /// stalled or half-open client is answered with a typed
+    /// [`ErrorCode::Timeout`] (best-effort) and its connection closed, so
+    /// it can no longer pin daemon resources indefinitely.
+    pub conn_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +81,7 @@ impl Default for ServerConfig {
             max_inflight: 4,
             queue_depth: 16,
             cache_entries: 16,
+            conn_timeout: None,
         }
     }
 }
@@ -90,6 +97,7 @@ struct Stats {
     overloaded: AtomicU64,
     protocol_errors: AtomicU64,
     updates: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 impl Stats {
@@ -102,6 +110,7 @@ impl Stats {
             overloaded: self.overloaded.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             updates: self.updates.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
         }
     }
 }
@@ -117,11 +126,24 @@ struct Epoch {
 }
 
 /// Writer-side state of a dynamic daemon, serialized by its mutex: the
-/// incremental engine (graph mirror + repaired index) and the optional
-/// durable mutation log.
+/// incremental engine (graph mirror + repaired index) and the mutation log.
+/// The log is always present in dynamic mode — it is the back-fill source
+/// for replica subscriptions — but only persisted when a path is
+/// configured; without one the "durability point" degrades to the in-memory
+/// append.
 struct DynamicState {
     engine: DynamicIndex,
-    log: Option<(UpdateLog, PathBuf)>,
+    log: UpdateLog,
+    log_path: Option<PathBuf>,
+}
+
+/// Publication point of the replication stream: the sequence number of the
+/// last *durable* update plus the condvar subscription threads park on.
+/// Advanced (and notified) after the log save, before the epoch swap — so
+/// an entry is shipped to replicas only once the primary's disk has it.
+struct Durability {
+    seq: Mutex<u64>,
+    advanced: Condvar,
 }
 
 /// One loaded graph + index pair answering requests (see module docs).
@@ -136,6 +158,16 @@ pub struct Server {
     active_conns: AtomicUsize,
     /// Writer state; `None` for static daemons (`ApplyUpdates` rejected).
     dynamic: Option<Mutex<DynamicState>>,
+    /// [`ROLE_PRIMARY`] (accepts writes) or [`ROLE_REPLICA`] (rejects them
+    /// with `NotPrimary`). Static daemons are nominally primary.
+    role: AtomicU8,
+    /// Monotonic replication term; bumped by promotion, adopted from higher
+    /// terms seen on the replication stream, carried in every shipped frame.
+    term: AtomicU64,
+    /// Where a replica believes its primary lives — the `NotPrimary` hint.
+    leader_hint: Mutex<String>,
+    /// Durable-watermark publication point for subscription threads.
+    durability: Durability,
     /// Tiny LRU of query results keyed `(eps.to_bits(), mu)`, stored in
     /// original vertex ids; hits move to the back, evictions pop the front.
     /// Cleared on every epoch swap, so entries always describe the epoch
@@ -175,6 +207,13 @@ impl Server {
             stopping: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
             dynamic: None,
+            role: AtomicU8::new(ROLE_PRIMARY),
+            term: AtomicU64::new(0),
+            leader_hint: Mutex::new(String::new()),
+            durability: Durability {
+                seq: Mutex::new(0),
+                advanced: Condvar::new(),
+            },
             cache: Mutex::new(Vec::new()),
         })
     }
@@ -192,20 +231,60 @@ impl Server {
         telemetry: Telemetry,
     ) -> Result<Server, String> {
         let graph = engine.to_csr().map_err(|e| e.to_string())?;
-        if let Some((l, _)) = &log {
-            if l.applied_seq() != engine.applied_seq() {
-                return Err(format!(
-                    "update log watermark {} disagrees with engine watermark {}",
-                    l.applied_seq(),
-                    engine.applied_seq()
-                ));
+        let (log, log_path) = match log {
+            Some((l, path)) => {
+                if l.applied_seq() != engine.applied_seq() {
+                    return Err(format!(
+                        "update log watermark {} disagrees with engine watermark {}",
+                        l.applied_seq(),
+                        engine.applied_seq()
+                    ));
+                }
+                (l, Some(path))
             }
-        }
+            // No durable log configured: keep an in-memory shipping log
+            // anchored at the engine's watermark so replication still works
+            // (back-fill reaches only as far back as this process's own
+            // commits).
+            None => (UpdateLog::new_at(&graph, engine.applied_seq()), None),
+        };
+        let term = log.term();
+        let watermark = engine.applied_seq();
         let index = engine.index().clone();
         let perm = VertexPermutation::identity(graph.num_vertices());
         let mut server = Server::new(graph, perm, index, config, telemetry)?;
-        server.dynamic = Some(Mutex::new(DynamicState { engine, log }));
+        server.term.store(term, Ordering::Relaxed);
+        *server.durability.seq.get_mut().unwrap() = watermark;
+        server.dynamic = Some(Mutex::new(DynamicState {
+            engine,
+            log,
+            log_path,
+        }));
         Ok(server)
+    }
+
+    /// Turns this (not-yet-serving) daemon into a replica of `primary`: all
+    /// write opcodes answer [`ErrorCode::NotPrimary`] with the given
+    /// address as the leader hint, until a `Promote` arrives.
+    pub fn become_replica(&self, primary: &str) {
+        self.role.store(ROLE_REPLICA, Ordering::Release);
+        *self.leader_hint.lock().unwrap() = primary.to_string();
+    }
+
+    /// The daemon's current replication role ([`ROLE_PRIMARY`] /
+    /// [`ROLE_REPLICA`]).
+    pub fn role(&self) -> u8 {
+        self.role.load(Ordering::Acquire)
+    }
+
+    /// The replication term the daemon currently serves under.
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::Acquire)
+    }
+
+    /// Sequence number of the last durable update (0 on a static daemon).
+    pub fn durable_watermark(&self) -> u64 {
+        *self.durability.seq.lock().unwrap()
     }
 
     /// Whether this daemon accepts `ApplyUpdates`.
@@ -292,10 +371,27 @@ impl Server {
     }
 
     fn handle_conn(self: &Arc<Self>, mut conn: Conn) {
+        if let Err(e) = conn.set_timeouts(self.config.conn_timeout) {
+            eprintln!("serve: setting connection timeouts failed: {e}");
+            return;
+        }
         loop {
             let payload = match read_frame(&mut conn, REQUEST_FRAME_LIMIT) {
                 Ok(Some(payload)) => payload,
                 Ok(None) => return,
+                Err(FrameError::Io(e)) if is_timeout(&e) => {
+                    // The peer stalled past --conn-timeout-ms: typed close
+                    // (best-effort — a half-open peer won't read it) so it
+                    // can no longer pin daemon resources.
+                    self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.add(Counter::ServeTimeouts, 1);
+                    let resp = Response::Error {
+                        code: ErrorCode::Timeout,
+                        message: "connection timed out".into(),
+                    };
+                    let _ = write_frame(&mut conn, &resp.encode());
+                    return;
+                }
                 Err(e) => {
                     self.note_protocol_error(&e.to_string());
                     // Oversized leaves the stream positioned before the
@@ -327,10 +423,116 @@ impl Server {
                     continue;
                 }
             };
+            if let Request::Subscribe { watermark } = request {
+                // The connection becomes a one-way replication stream and
+                // never returns to request/response framing.
+                self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.add(Counter::ServeRequests, 1);
+                self.serve_subscription(&mut conn, watermark);
+                return;
+            }
             let close = matches!(request, Request::Shutdown);
             let response = self.dispatch(request);
             if write_frame(&mut conn, &response.encode()).is_err() || close {
                 return;
+            }
+        }
+    }
+
+    /// Streams committed log entries to one subscribed replica until the
+    /// daemon drains, the peer drops, or this daemon stops being primary.
+    fn serve_subscription(&self, conn: &mut Conn, watermark: u64) {
+        let refuse = |conn: &mut Conn, resp: Response| {
+            let _ = write_frame(conn, &resp.encode());
+        };
+        if self.dynamic.is_none() {
+            return refuse(
+                conn,
+                bad_request("daemon is not in dynamic mode (start with --dynamic)".into()),
+            );
+        }
+        if self.role() != ROLE_PRIMARY {
+            return refuse(
+                conn,
+                Response::Error {
+                    code: ErrorCode::NotPrimary,
+                    message: self.leader_hint.lock().unwrap().clone(),
+                },
+            );
+        }
+        let durable = self.durable_watermark();
+        if watermark > durable {
+            // ASUL-tail edge case: a subscriber from the future gets a
+            // typed rejection, never a hang waiting for entries that can't
+            // exist.
+            return refuse(
+                conn,
+                bad_request(format!(
+                    "subscribe watermark {watermark} is ahead of the primary's durable \
+                     watermark {durable}"
+                )),
+            );
+        }
+        let ack = anyscan_faults::inject_io("repl::ack").and_then(|()| {
+            write_frame(
+                conn,
+                &Response::Subscribed {
+                    term: self.term(),
+                    watermark: durable,
+                }
+                .encode(),
+            )
+        });
+        if let Err(e) = ack {
+            eprintln!("serve: replication ack failed: {e}");
+            return;
+        }
+        self.telemetry.add(Counter::ReplSubscribes, 1);
+
+        // Back-fill from the log, then push each batch as its durability
+        // point passes. `sent` tracks the last shipped sequence number.
+        let mut sent = watermark;
+        loop {
+            if self.is_stopping() || self.role() != ROLE_PRIMARY {
+                return;
+            }
+            let batch: Vec<EdgeUpdate> = {
+                let durable = self.durable_watermark();
+                let state = self.dynamic.as_ref().unwrap().lock().unwrap();
+                state
+                    .log
+                    .entries_after(sent)
+                    .iter()
+                    .take_while(|e| e.seq <= durable)
+                    .copied()
+                    .collect()
+            };
+            if !batch.is_empty() {
+                let last = batch.last().unwrap().seq;
+                let count = batch.len() as u64;
+                let frame = Response::LogEntries {
+                    term: self.term(),
+                    entries: batch,
+                };
+                let sent_ok = anyscan_faults::inject_io("repl::send_entry")
+                    .and_then(|()| write_frame(conn, &frame.encode()));
+                if let Err(e) = sent_ok {
+                    eprintln!("serve: replication stream write failed: {e}");
+                    return;
+                }
+                self.telemetry.add(Counter::ReplEntriesShipped, count);
+                sent = last;
+                continue;
+            }
+            // Nothing to ship: park until the durable watermark advances
+            // (bounded, so stop/demotion is noticed promptly).
+            let guard = self.durability.seq.lock().unwrap();
+            if *guard <= sent {
+                let _ = self
+                    .durability
+                    .advanced
+                    .wait_timeout(guard, Duration::from_millis(100))
+                    .unwrap();
             }
         }
     }
@@ -341,17 +543,35 @@ impl Server {
         eprintln!("serve: protocol error: {detail}");
     }
 
-    /// Executes one decoded request. `Ping`/`Shutdown` bypass admission
-    /// (health checks must answer *especially* under overload); everything
-    /// else holds an admission permit for the duration.
+    /// The health/readiness probe `Ping` answers with.
+    pub fn health(&self) -> Health {
+        Health {
+            role: self.role(),
+            term: self.term(),
+            epoch: self.current_epoch(),
+            watermark: self.durable_watermark(),
+            inflight: self.admission.inflight() as u32,
+            queued: self.admission.queued() as u32,
+            stats: self.stats.snapshot(),
+        }
+    }
+
+    /// Executes one decoded request. `Ping`/`Shutdown`/`Promote` bypass
+    /// admission (health checks and failover must answer *especially* under
+    /// overload); everything else holds an admission permit for the
+    /// duration.
     pub fn dispatch(&self, request: Request) -> Response {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         self.telemetry.add(Counter::ServeRequests, 1);
         match request {
-            Request::Ping => Response::Ping(self.stats.snapshot()),
+            Request::Ping => Response::Ping(self.health()),
             Request::Shutdown => {
                 self.stopping.store(true, Ordering::Release);
                 Response::Shutdown
+            }
+            Request::Promote => self.promote(),
+            Request::Subscribe { .. } => {
+                bad_request("subscribe must be the only request on its connection".into())
             }
             _ if self.is_stopping() => Response::Error {
                 code: ErrorCode::ShuttingDown,
@@ -480,9 +700,53 @@ impl Server {
                     },
                 }
             }
-            // Ping/Shutdown are handled before admission in `dispatch`.
-            Request::Ping => Response::Ping(self.stats.snapshot()),
+            // Ping/Shutdown/Promote/Subscribe are handled before admission
+            // in `dispatch` (Subscribe in the connection loop itself).
+            Request::Ping => Response::Ping(self.health()),
             Request::Shutdown => Response::Shutdown,
+            Request::Promote => self.promote(),
+            Request::Subscribe { .. } => {
+                bad_request("subscribe must be the only request on its connection".into())
+            }
+        }
+    }
+
+    /// `Promote`: make this daemon a writable primary. Idempotent on a
+    /// primary (answers its current coordinates without bumping the term);
+    /// on a replica, bumps the term past everything it has seen — fencing
+    /// the old primary, whose frames now carry a stale term — persists it,
+    /// and flips the role (the replica feed notices and exits).
+    pub fn promote(&self) -> Response {
+        let Some(dynamic) = &self.dynamic else {
+            return bad_request("daemon is not in dynamic mode (start with --dynamic)".into());
+        };
+        let mut state = dynamic.lock().unwrap();
+        if self.role() == ROLE_PRIMARY {
+            return Response::Promoted {
+                term: self.term(),
+                epoch: self.current_epoch(),
+                watermark: self.durable_watermark(),
+            };
+        }
+        let new_term = self.term() + 1;
+        state.log.set_term(new_term);
+        if let Some(path) = &state.log_path {
+            // Fence durably: a restart after promotion must come back with
+            // the bumped term, not the old primary's.
+            if let Err(e) = state.log.save(path) {
+                return Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("persisting promoted term failed: {e}"),
+                };
+            }
+        }
+        self.term.store(new_term, Ordering::Release);
+        self.leader_hint.lock().unwrap().clear();
+        self.role.store(ROLE_PRIMARY, Ordering::Release);
+        Response::Promoted {
+            term: new_term,
+            epoch: self.current_epoch(),
+            watermark: self.durable_watermark(),
         }
     }
 
@@ -504,6 +768,14 @@ impl Server {
         let Some(dynamic) = &self.dynamic else {
             return bad_request("daemon is not in dynamic mode (start with --dynamic)".into());
         };
+        if self.role() != ROLE_PRIMARY {
+            // Writes belong to the primary: the typed rejection carries the
+            // leader hint so a failover-aware client can follow it.
+            return Response::Error {
+                code: ErrorCode::NotPrimary,
+                message: self.leader_hint.lock().unwrap().clone(),
+            };
+        }
         let _span = self.telemetry.span("serve_apply_updates");
         let mut state = dynamic.lock().unwrap();
         if updates.is_empty() {
@@ -515,7 +787,7 @@ impl Server {
             };
         }
 
-        // The daemon owns the global mutation order: sequence numbers are
+        // The primary owns the global mutation order: sequence numbers are
         // assigned here, contiguously after the engine's watermark.
         let mut seq = state.engine.applied_seq();
         let batch: Vec<EdgeUpdate> = updates
@@ -538,38 +810,109 @@ impl Server {
             })
             .collect();
 
-        let stats = match state.engine.apply_batch(&batch, &self.telemetry) {
-            Ok(stats) => stats,
+        match self.commit_batch(&mut state, &batch) {
+            Ok((stats, epoch)) => {
+                self.stats.updates.fetch_add(1, Ordering::Relaxed);
+                Response::ApplyUpdates {
+                    applied: stats.applied,
+                    skipped: stats.skipped,
+                    seq: stats.last_seq,
+                    epoch,
+                }
+            }
+            Err(CommitError::Rejected(msg)) => bad_request(msg),
+            Err(CommitError::Internal(msg)) => Response::Error {
+                code: ErrorCode::Internal,
+                message: msg,
+            },
+        }
+    }
+
+    /// Applies one replicated batch on a replica, exactly as the primary
+    /// committed it (primary-assigned sequence numbers, primary's term).
+    /// Entries at or below the replica's watermark — back-fill overlap
+    /// after a reconnect — are skipped. Term fencing: a frame from a lower
+    /// term is refused (the sender was deposed); a higher term is adopted.
+    pub fn apply_replicated(&self, term: u64, entries: &[EdgeUpdate]) -> Result<(), ReplError> {
+        let Some(dynamic) = &self.dynamic else {
+            return Err(ReplError::Apply("daemon is not in dynamic mode".into()));
+        };
+        let current = self.term();
+        if term < current {
+            return Err(ReplError::Fenced {
+                seen: term,
+                ours: current,
+            });
+        }
+        let mut state = dynamic.lock().unwrap();
+        if term > current {
+            state.log.set_term(term);
+            self.term.store(term, Ordering::Release);
+        }
+        let floor = state.engine.applied_seq();
+        let fresh: Vec<EdgeUpdate> = entries.iter().filter(|e| e.seq > floor).copied().collect();
+        if fresh.is_empty() {
+            return Ok(());
+        }
+        let count = fresh.len() as u64;
+        match self.commit_batch(&mut state, &fresh) {
+            Ok(_) => {
+                self.telemetry.add(Counter::ReplEntriesApplied, count);
+                Ok(())
+            }
+            Err(CommitError::Rejected(msg)) | Err(CommitError::Internal(msg)) => {
+                Err(ReplError::Apply(msg))
+            }
+        }
+    }
+
+    /// The shared commit tail of both write paths: engine apply, log
+    /// append + save (durability), durable-watermark publication (wakes
+    /// subscription streams), then the epoch swap (visibility). Returns the
+    /// batch stats and the new epoch.
+    fn commit_batch(
+        &self,
+        state: &mut DynamicState,
+        batch: &[EdgeUpdate],
+    ) -> Result<(anyscan_dynamic::BatchStats, u64), CommitError> {
+        let stats = state
+            .engine
+            .apply_batch(batch, &self.telemetry)
             // apply_batch only fails validation here, and rejection is
             // atomic — engine state (and therefore the served epoch) is
             // untouched.
-            Err(e) => return bad_request(e.to_string()),
-        };
+            .map_err(|e| CommitError::Rejected(e.to_string()))?;
 
-        // Durability before visibility: the log is saved before readers can
-        // observe the new epoch. A failed save is an internal error; the
-        // engine has advanced but the epoch has not — the daemon keeps
-        // serving the last durable state and the batch reports failure.
-        if let Some((log, path)) = &mut state.log {
-            let persist = log.append_batch(&batch).and_then(|()| log.save(path));
-            if let Err(e) = persist {
-                return Response::Error {
-                    code: ErrorCode::Internal,
-                    message: format!("update log write failed: {e}"),
-                };
-            }
+        // Durability before shipping and before visibility: the log is
+        // saved before replicas can be sent the entries and before readers
+        // can observe the new epoch. A failed save is an internal error;
+        // the engine has advanced but neither the watermark nor the epoch
+        // has — the daemon keeps serving (and shipping) the last durable
+        // state and the batch reports failure.
+        state
+            .log
+            .append_batch(batch)
+            .map_err(|e| CommitError::Internal(format!("update log write failed: {e}")))?;
+        if let Some(path) = &state.log_path {
+            state
+                .log
+                .save(path)
+                .map_err(|e| CommitError::Internal(format!("update log write failed: {e}")))?;
         }
 
-        let snapshot = match state.engine.to_csr() {
-            Ok(g) => g,
-            Err(e) => {
-                return Response::Error {
-                    code: ErrorCode::Internal,
-                    message: format!("epoch snapshot failed: {e}"),
-                }
-            }
-        };
+        let snapshot = state
+            .engine
+            .to_csr()
+            .map_err(|e| CommitError::Internal(format!("epoch snapshot failed: {e}")))?;
         let index = state.engine.index().clone();
+
+        // Publish durability: subscription threads may ship the batch from
+        // this point on.
+        {
+            let mut durable = self.durability.seq.lock().unwrap();
+            *durable = stats.last_seq;
+            self.durability.advanced.notify_all();
+        }
 
         // The swap: writer excludes readers only for the Arc replacement
         // and cache clear, never for the repair work above.
@@ -584,13 +927,7 @@ impl Server {
             });
             self.cache.lock().unwrap().clear();
         }
-        self.stats.updates.fetch_add(1, Ordering::Relaxed);
-        Response::ApplyUpdates {
-            applied: stats.applied,
-            skipped: stats.skipped,
-            seq: stats.last_seq,
-            epoch: new_epoch,
-        }
+        Ok((stats, new_epoch))
     }
 
     /// An index query in original vertex ids, memoized. Concurrent misses
@@ -634,6 +971,46 @@ impl Server {
         }
         c
     }
+}
+
+/// Why a commit failed, split by whose fault it is: `Rejected` is the
+/// client's batch (validation; engine untouched), `Internal` is the
+/// daemon's own persistence/snapshot machinery.
+enum CommitError {
+    Rejected(String),
+    Internal(String),
+}
+
+/// Replica-side failure applying a replicated frame.
+#[derive(Debug)]
+pub enum ReplError {
+    /// The frame carried a term below ours: its sender was deposed. The
+    /// feed must drop the connection rather than apply fenced writes.
+    Fenced { seen: u64, ours: u64 },
+    /// The batch failed to apply or persist locally.
+    Apply(String),
+}
+
+impl std::fmt::Display for ReplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplError::Fenced { seen, ours } => {
+                write!(f, "fenced: frame term {seen} below local term {ours}")
+            }
+            ReplError::Apply(msg) => write!(f, "replicated apply failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplError {}
+
+/// Whether an I/O error is a read/write timeout (both kinds occur in the
+/// wild: unix sockets report `WouldBlock`, TCP reports `TimedOut`).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 fn bad_request(message: String) -> Response {
@@ -736,6 +1113,24 @@ pub enum Conn {
     Tcp(TcpStream),
     #[cfg(unix)]
     Unix(UnixStream),
+}
+
+impl Conn {
+    /// Applies the per-connection read/write timeout (`None` = blocking
+    /// forever, the pre-hardening behavior).
+    pub fn set_timeouts(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
+    }
 }
 
 impl Read for Conn {

@@ -3,40 +3,113 @@
 //! payload must yield a typed error, never a panic — and valid encodings
 //! must round-trip exactly.
 
+use anyscan_dynamic::{EdgeOp, EdgeUpdate};
 use proptest::prelude::*;
 use proptest::strategy::Strategy;
 
 use anyscan_serve::protocol::{
-    read_frame, write_frame, DecodeError, FrameError, Request, Response,
+    read_frame, write_frame, DecodeError, FrameError, Health, Request, Response, ServeStats,
+    WireUpdate,
 };
 
-/// All five request shapes, driven off one field tuple (the vendored
+/// All eight request shapes, driven off one field tuple (the vendored
 /// proptest facade has no `prop_oneof`, so a selector field picks the arm).
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0usize..5,
-        0.0f64..=1.0,
-        0u32..10_000,
-        0u32..100_000,
-        0u64..10_000,
-        0u32..2,
+        (
+            0usize..8,
+            0.0f64..=1.0,
+            0u32..10_000,
+            0u32..100_000,
+            0u64..10_000,
+            0u32..2,
+        ),
+        proptest::collection::vec((0u8..3, 0u32..1000, 0u32..1000, 0.0f64..2.0), 0..4),
     )
-        .prop_map(|(kind, eps, mu, vertex, max_blocks, flag)| match kind {
-            0 => Request::Query {
-                eps,
-                mu,
-                want_labels: flag == 1,
+        .prop_map(
+            |((kind, eps, mu, vertex, max_blocks, flag), ups)| match kind {
+                0 => Request::Query {
+                    eps,
+                    mu,
+                    want_labels: flag == 1,
+                },
+                1 => Request::Membership { vertex, eps, mu },
+                2 => Request::Run {
+                    eps,
+                    mu,
+                    deadline_ms: vertex,
+                    max_blocks,
+                },
+                3 => Request::Ping,
+                4 => Request::Shutdown,
+                5 => Request::ApplyUpdates {
+                    updates: ups
+                        .into_iter()
+                        .map(|(k, u, v, w)| WireUpdate { kind: k, u, v, w })
+                        .collect(),
+                },
+                6 => Request::Subscribe {
+                    watermark: max_blocks,
+                },
+                _ => Request::Promote,
             },
-            1 => Request::Membership { vertex, eps, mu },
-            2 => Request::Run {
-                eps,
-                mu,
-                deadline_ms: vertex,
-                max_blocks,
+        )
+}
+
+/// The replication-facing response frames (the frames PR 9 added), again
+/// selector-driven: `Ping(Health)`, `Subscribed`, `LogEntries`, `Promoted`.
+fn arb_repl_response() -> impl Strategy<Value = Response> {
+    (
+        (0usize..4, 0u64..1000, 0u64..1000, 0u64..10_000, 0u32..2),
+        proptest::collection::vec(
+            (1u64..10_000, 0u8..3, 0u32..1000, 0u32..1000, 0.0f64..2.0),
+            0..5,
+        ),
+    )
+        .prop_map(
+            |((kind, term, epoch, watermark, role), entries)| match kind {
+                0 => Response::Ping(Health {
+                    role: role as u8,
+                    term,
+                    epoch,
+                    watermark,
+                    inflight: role,
+                    queued: epoch as u32,
+                    stats: ServeStats {
+                        requests: term,
+                        queries: epoch,
+                        lookups: watermark,
+                        runs: 0,
+                        overloaded: 1,
+                        protocol_errors: 2,
+                        updates: 3,
+                        timeouts: 4,
+                    },
+                }),
+                1 => Response::Subscribed { term, watermark },
+                2 => Response::LogEntries {
+                    term,
+                    entries: entries
+                        .into_iter()
+                        .map(|(seq, code, u, v, w)| EdgeUpdate {
+                            seq,
+                            u,
+                            v,
+                            op: match code {
+                                0 => EdgeOp::Insert(w),
+                                1 => EdgeOp::Remove,
+                                _ => EdgeOp::Reweight(w),
+                            },
+                        })
+                        .collect(),
+                },
+                _ => Response::Promoted {
+                    term,
+                    epoch,
+                    watermark,
+                },
             },
-            3 => Request::Ping,
-            _ => Request::Shutdown,
-        })
+        )
 }
 
 proptest! {
@@ -70,6 +143,43 @@ proptest! {
     #[test]
     fn garbage_requests_never_panic(raw in proptest::collection::vec(0u8..=255, 0..64)) {
         let _ = Request::decode(&raw);
+    }
+
+    #[test]
+    fn repl_responses_roundtrip(resp in arb_repl_response()) {
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        prop_assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn truncated_repl_responses_are_typed_errors(
+        resp in arb_repl_response(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let full = resp.encode();
+        let cut = ((full.len() - 1) as f64 * cut_frac) as usize;
+        // Every layout is need()-guarded (including the count-prefixed
+        // LogEntries entry block), so a strict prefix is always a typed
+        // Truncated error — the ASUL-tail contract at the byte level.
+        prop_assert_eq!(Response::decode(&full[..cut]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn mutated_repl_responses_never_panic(
+        resp in arb_repl_response(),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut raw = resp.encode();
+        let byte = ((raw.len() - 1) as f64 * byte_frac) as usize;
+        raw[byte] ^= 1 << bit;
+        // Any outcome but a panic. A successful decode must be stable:
+        // re-encoding and re-decoding reproduces the same value (a Remove
+        // entry's weight byte is canonicalized away, so byte-identity is
+        // deliberately not required).
+        if let Ok(decoded) = Response::decode(&raw) {
+            prop_assert_eq!(Response::decode(&decoded.encode()).unwrap(), decoded);
+        }
     }
 
     #[test]

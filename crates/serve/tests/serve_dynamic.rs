@@ -276,7 +276,7 @@ fn updates_apply_under_concurrent_queries_and_match_fresh_build() {
 
     // Ping reports the accepted batches; the durable log carries them all.
     match call(&mut conn, &Request::Ping) {
-        Response::Ping(stats) => assert_eq!(stats.updates, 3),
+        Response::Ping(health) => assert_eq!(health.stats.updates, 3),
         other => panic!("unexpected response {other:?}"),
     }
     let durable = UpdateLog::load(&log_path).unwrap();

@@ -250,7 +250,7 @@ fn bad_requests_get_typed_errors_and_the_connection_survives() {
 
     // The same connection still answers work after all those rejections.
     match call(&mut stream, &Request::Ping) {
-        Response::Ping(stats) => assert!(stats.requests >= 4),
+        Response::Ping(health) => assert!(health.stats.requests >= 4),
         other => panic!("expected Ping, got {other:?}"),
     }
 

@@ -1,0 +1,355 @@
+//! Replication end-to-end: a primary daemon streams committed ASUL entries
+//! to a replica over the `Subscribe` protocol, the replica serves reads at
+//! its applied epoch, rejects writes with a typed `NotPrimary` leader hint,
+//! and a `Promote` makes it a writable primary whose bumped term fences the
+//! old one.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use anyscan::RunControl;
+use anyscan_dynamic::{DynamicIndex, EdgeOp, EdgeUpdate};
+use anyscan_graph::gen::{planted_partition, PlantedPartitionParams};
+use anyscan_graph::CsrGraph;
+use anyscan_serve::protocol::{
+    read_frame, write_frame, ErrorCode, Request, Response, WireUpdate, RESPONSE_FRAME_LIMIT,
+    UPDATE_INSERT, UPDATE_REMOVE,
+};
+use anyscan_serve::{
+    run_replica_feed, Listener, ReplError, ReplicaFeedConfig, Server, ServerConfig, ROLE_PRIMARY,
+    ROLE_REPLICA,
+};
+use anyscan_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPS: f64 = 0.5;
+const MU: u32 = 4;
+
+fn test_graph() -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(41);
+    let (g, _) = planted_partition(&mut rng, &PlantedPartitionParams::well_separated(200, 3));
+    g
+}
+
+struct Daemon {
+    server: Arc<Server>,
+    addr: std::net::SocketAddr,
+    stop: RunControl,
+    join: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+    feed: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// A dynamic primary with an in-memory shipping log.
+    fn start_primary(config: ServerConfig) -> Daemon {
+        Daemon::start(config, None)
+    }
+
+    /// A dynamic replica following `primary`'s address.
+    fn start_replica_of(primary: &Daemon) -> Daemon {
+        Daemon::start(ServerConfig::default(), Some(primary.addr.to_string()))
+    }
+
+    fn start(config: ServerConfig, replica_of: Option<String>) -> Daemon {
+        let g = test_graph();
+        let engine = DynamicIndex::new(&g, 2).unwrap();
+        let server =
+            Arc::new(Server::new_dynamic(engine, None, config, Telemetry::enabled()).unwrap());
+        let (listener, addr) = Listener::bind_tcp("127.0.0.1:0").unwrap();
+        let stop = RunControl::new();
+        let join = {
+            let server = Arc::clone(&server);
+            let stop = stop.clone();
+            std::thread::spawn(move || server.serve(listener, &stop))
+        };
+        let feed = replica_of.map(|primary| {
+            server.become_replica(&primary);
+            run_replica_feed(Arc::clone(&server), ReplicaFeedConfig::new(primary))
+        });
+        Daemon {
+            server,
+            addr,
+            stop,
+            join: Some(join),
+            feed,
+        }
+    }
+
+    fn connect(&self) -> TcpStream {
+        let s = TcpStream::connect(self.addr).unwrap();
+        s.set_nodelay(true).unwrap();
+        s
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop.cancel();
+        if let Some(join) = self.join.take() {
+            join.join().unwrap().unwrap();
+        }
+        // The feed notices the drain within its read-timeout tick.
+        if let Some(feed) = self.feed.take() {
+            feed.join().unwrap();
+        }
+    }
+}
+
+fn call<S: Read + Write>(stream: &mut S, request: &Request) -> Response {
+    write_frame(stream, &request.encode()).unwrap();
+    let payload = read_frame(stream, RESPONSE_FRAME_LIMIT)
+        .unwrap()
+        .expect("daemon closed the connection");
+    Response::decode(&payload).unwrap()
+}
+
+fn wait_for(what: &str, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !done() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Two mutation batches: inserts, a remove, and a relaxed no-op remove.
+fn batches() -> Vec<Vec<WireUpdate>> {
+    vec![
+        vec![
+            WireUpdate {
+                kind: UPDATE_INSERT,
+                u: 0,
+                v: 199,
+                w: 0.9,
+            },
+            WireUpdate {
+                kind: UPDATE_INSERT,
+                u: 1,
+                v: 150,
+                w: 0.8,
+            },
+        ],
+        vec![
+            WireUpdate {
+                kind: UPDATE_REMOVE,
+                u: 0,
+                v: 199,
+                w: 0.0,
+            },
+            WireUpdate {
+                kind: UPDATE_REMOVE,
+                u: 7,
+                v: 123,
+                w: 0.0,
+            }, // likely absent: relaxed no-op
+            WireUpdate {
+                kind: UPDATE_INSERT,
+                u: 50,
+                v: 51,
+                w: 1.5,
+            },
+        ],
+    ]
+}
+
+fn labels_of<S: Read + Write>(conn: &mut S) -> Vec<u32> {
+    match call(
+        conn,
+        &Request::Query {
+            eps: EPS,
+            mu: MU,
+            want_labels: true,
+        },
+    ) {
+        Response::Query {
+            labels: Some(block),
+            ..
+        } => block.labels,
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+#[test]
+fn replica_follows_primary_and_serves_identical_reads() {
+    let primary = Daemon::start_primary(ServerConfig::default());
+    let replica = Daemon::start_replica_of(&primary);
+
+    // Health probes identify the roles before any traffic.
+    let mut pconn = primary.connect();
+    let mut rconn = replica.connect();
+    match call(&mut pconn, &Request::Ping) {
+        Response::Ping(h) => {
+            assert_eq!(h.role, ROLE_PRIMARY);
+            assert_eq!(h.watermark, 0);
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    match call(&mut rconn, &Request::Ping) {
+        Response::Ping(h) => assert_eq!(h.role, ROLE_REPLICA),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // Write through the primary; the stream carries every committed entry.
+    let mut expect_seq = 0u64;
+    for batch in batches() {
+        expect_seq += batch.len() as u64;
+        match call(&mut pconn, &Request::ApplyUpdates { updates: batch }) {
+            Response::ApplyUpdates { seq, .. } => assert_eq!(seq, expect_seq),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    wait_for("replica catch-up", || {
+        replica.server.durable_watermark() == expect_seq
+    });
+
+    // Reads at the applied epoch are bit-identical to the primary's.
+    assert_eq!(labels_of(&mut pconn), labels_of(&mut rconn));
+    match call(&mut rconn, &Request::Ping) {
+        Response::Ping(h) => {
+            assert_eq!(h.role, ROLE_REPLICA);
+            assert_eq!(h.watermark, expect_seq);
+            // The back-fill may arrive as one frame or batch-by-batch, so
+            // only the bounds of the epoch counter are deterministic.
+            assert!((1..=2).contains(&h.epoch), "epoch: {}", h.epoch);
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // Writes to the replica: typed refusal carrying the leader hint.
+    match call(
+        &mut rconn,
+        &Request::ApplyUpdates {
+            updates: vec![WireUpdate {
+                kind: UPDATE_INSERT,
+                u: 2,
+                v: 3,
+                w: 1.0,
+            }],
+        },
+    ) {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::NotPrimary);
+            assert_eq!(message, primary.addr.to_string());
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+#[test]
+fn promote_makes_replica_writable_and_fences_the_old_term() {
+    let primary = Daemon::start_primary(ServerConfig::default());
+    let replica = Daemon::start_replica_of(&primary);
+
+    let mut pconn = primary.connect();
+    let mut expect_seq = 0u64;
+    for batch in batches() {
+        expect_seq += batch.len() as u64;
+        call(&mut pconn, &Request::ApplyUpdates { updates: batch });
+    }
+    wait_for("replica catch-up", || {
+        replica.server.durable_watermark() == expect_seq
+    });
+
+    // Promote: term bumps past everything seen, role flips, feed exits.
+    let mut rconn = replica.connect();
+    match call(&mut rconn, &Request::Promote) {
+        Response::Promoted {
+            term, watermark, ..
+        } => {
+            assert_eq!(term, 1);
+            assert_eq!(watermark, expect_seq);
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    assert_eq!(replica.server.role(), ROLE_PRIMARY);
+    assert_eq!(replica.server.term(), 1);
+
+    // Promote is idempotent on a primary: same coordinates, no term bump.
+    match call(&mut rconn, &Request::Promote) {
+        Response::Promoted { term, .. } => assert_eq!(term, 1),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // The new primary accepts writes and keeps the primary-assigned order.
+    match call(
+        &mut rconn,
+        &Request::ApplyUpdates {
+            updates: vec![WireUpdate {
+                kind: UPDATE_INSERT,
+                u: 10,
+                v: 190,
+                w: 0.6,
+            }],
+        },
+    ) {
+        Response::ApplyUpdates { seq, .. } => assert_eq!(seq, expect_seq + 1),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // A frame from the deposed term is fenced, never applied.
+    let stale = [EdgeUpdate {
+        seq: expect_seq + 2,
+        u: 11,
+        v: 12,
+        op: EdgeOp::Insert(0.5),
+    }];
+    match replica.server.apply_replicated(0, &stale) {
+        Err(ReplError::Fenced { seen: 0, ours: 1 }) => {}
+        other => panic!("expected fencing, got {other:?}"),
+    }
+    assert_eq!(replica.server.durable_watermark(), expect_seq + 1);
+}
+
+#[test]
+fn subscribe_ahead_of_the_durable_watermark_is_rejected_not_hung() {
+    let primary = Daemon::start_primary(ServerConfig::default());
+    let mut conn = primary.connect();
+    // A subscriber claiming a watermark the primary never reached: the ASUL
+    // tail can't satisfy it, so the answer is a typed rejection.
+    write_frame(&mut conn, &Request::Subscribe { watermark: 999 }.encode()).unwrap();
+    let payload = read_frame(&mut conn, RESPONSE_FRAME_LIMIT)
+        .unwrap()
+        .expect("primary closed without a typed rejection");
+    match Response::decode(&payload).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("ahead of"), "message: {message}");
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    // ... and the connection is closed, not parked.
+    assert!(read_frame(&mut conn, RESPONSE_FRAME_LIMIT)
+        .unwrap()
+        .is_none());
+}
+
+#[test]
+fn stalled_connections_get_a_typed_timeout_close() {
+    let primary = Daemon::start_primary(ServerConfig {
+        conn_timeout: Some(Duration::from_millis(150)),
+        ..ServerConfig::default()
+    });
+    let mut idle = primary.connect();
+    // Send nothing: the read deadline passes, the daemon answers a typed
+    // Timeout (best-effort) and closes.
+    let payload = read_frame(&mut idle, RESPONSE_FRAME_LIMIT)
+        .unwrap()
+        .expect("daemon closed without the typed timeout");
+    match Response::decode(&payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Timeout),
+        other => panic!("unexpected response {other:?}"),
+    }
+    assert!(read_frame(&mut idle, RESPONSE_FRAME_LIMIT)
+        .unwrap()
+        .is_none());
+    wait_for("timeout tally", || primary.server.stats().timeouts == 1);
+
+    // The daemon itself is healthy: a fresh, prompt client gets answers.
+    let mut fresh = primary.connect();
+    match call(&mut fresh, &Request::Ping) {
+        Response::Ping(h) => assert_eq!(h.stats.timeouts, 1),
+        other => panic!("unexpected response {other:?}"),
+    }
+}

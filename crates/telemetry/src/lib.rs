@@ -154,11 +154,24 @@ pub enum Counter {
     /// Neighbor-order (and matching core-order) repairs applied in place to
     /// the similarity index — one per vertex whose order changed.
     DynIndexRepairs,
+    /// Replica subscriptions a primary accepted (back-fill + live stream).
+    ReplSubscribes,
+    /// ASUL entries a primary shipped to replicas (per entry, per replica).
+    ReplEntriesShipped,
+    /// Replicated ASUL entries a replica applied to its resident engine.
+    ReplEntriesApplied,
+    /// Connections the daemon closed for exceeding the per-connection
+    /// read/write timeout (`--conn-timeout-ms`).
+    ServeTimeouts,
+    /// Reconnects the load generator's client performed after a refused,
+    /// reset, or timed-out connection (counted separately from request
+    /// errors).
+    LoadReconnects,
 }
 
 impl Counter {
     /// All counters, in storage order.
-    pub const ALL: [Counter; 43] = [
+    pub const ALL: [Counter; 48] = [
         Counter::SigmaEvals,
         Counter::Lemma5Filtered,
         Counter::SharedEvals,
@@ -202,6 +215,11 @@ impl Counter {
         Counter::DynUpdatesApplied,
         Counter::DynSigmaReevals,
         Counter::DynIndexRepairs,
+        Counter::ReplSubscribes,
+        Counter::ReplEntriesShipped,
+        Counter::ReplEntriesApplied,
+        Counter::ServeTimeouts,
+        Counter::LoadReconnects,
     ];
 
     /// Number of counters (array sizing).
@@ -253,6 +271,11 @@ impl Counter {
             Counter::DynUpdatesApplied => "dyn_updates_applied",
             Counter::DynSigmaReevals => "dyn_sigma_reevals",
             Counter::DynIndexRepairs => "dyn_index_repairs",
+            Counter::ReplSubscribes => "repl_subscribes",
+            Counter::ReplEntriesShipped => "repl_entries_shipped",
+            Counter::ReplEntriesApplied => "repl_entries_applied",
+            Counter::ServeTimeouts => "serve_timeouts",
+            Counter::LoadReconnects => "load_reconnects",
         }
     }
 }
